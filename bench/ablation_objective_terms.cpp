@@ -1,0 +1,127 @@
+// Ablation A1: contribution of each term of the LoLi-IR objective
+// (DESIGN.md).  The paper motivates three properties -- low rank /
+// known entries, the LRR prediction, and the continuity+similarity
+// priors -- and adds a reference-pinning term implicitly (the reference
+// columns are fresh measurements).  This bench disables each in turn
+// and reports the reconstruction error at 45 and 90 days.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tafloc/util/csv.h"
+#include "tafloc/util/stats.h"
+#include "tafloc/util/table.h"
+
+namespace {
+
+using namespace tafloc;
+using namespace tafloc::bench;
+
+constexpr int kSeeds = 3;
+
+struct Variant {
+  const char* name;
+  LoliIrConfig config;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  out.push_back({"full objective", LoliIrConfig{}});
+  {
+    LoliIrConfig c;
+    c.continuity_weight = 0.0;
+    c.similarity_weight = 0.0;
+    out.push_back({"no continuity/similarity", c});
+  }
+  {
+    LoliIrConfig c;
+    c.data_weight = 0.0;
+    out.push_back({"no known-entry term", c});
+  }
+  {
+    LoliIrConfig c;
+    c.lrr_weight = 0.0;
+    out.push_back({"no LRR prediction term", c});
+  }
+  {
+    LoliIrConfig c;
+    c.reference_weight = 0.0;
+    out.push_back({"no reference pinning", c});
+  }
+  {
+    LoliIrConfig c;
+    c.anchor_pairwise_to_prediction = true;
+    c.continuity_weight = 0.5;
+    c.similarity_weight = 0.5;
+    out.push_back({"priors anchored to prediction", c});
+  }
+  return out;
+}
+
+/// Mean over seeds of (mean error over all / over distorted entries).
+struct Scores {
+  double all = 0.0;
+  double distorted = 0.0;
+};
+
+Scores score(const Variant& v, double t_days) {
+  Scores s;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    ReconInstance inst(static_cast<std::uint64_t>(seed), t_days, 10);
+    const LoliIrResult res = loli_ir_reconstruct(inst.problem, v.config);
+    s.all += mean_abs_error(res.x, inst.truth);
+    const auto derr = entrywise_abs_errors_distorted(res.x, inst.truth, inst.mask);
+    s.distorted += mean(derr);
+  }
+  s.all /= kSeeds;
+  s.distorted /= kSeeds;
+  return s;
+}
+
+void run_experiment() {
+  std::printf("=== Ablation A1: objective-term contributions (LoLi-IR) ===\n");
+  std::printf("reconstruction error vs noise-free truth, %d seeds, paper room\n\n", kSeeds);
+
+  CsvWriter csv(csv_path("ablation_objective_terms"));
+  csv.write_row({"variant", "t45_all_db", "t45_distorted_db", "t90_all_db",
+                 "t90_distorted_db"});
+
+  AsciiTable table;
+  table.set_header({"variant", "45 d all", "45 d distorted", "90 d all", "90 d distorted"});
+  for (const Variant& v : variants()) {
+    const Scores s45 = score(v, 45.0);
+    const Scores s90 = score(v, 90.0);
+    table.add_row({v.name, AsciiTable::num(s45.all) + " dBm", AsciiTable::num(s45.distorted),
+                   AsciiTable::num(s90.all), AsciiTable::num(s90.distorted)});
+    csv.write_row({v.name, AsciiTable::num(s45.all, 4), AsciiTable::num(s45.distorted, 4),
+                   AsciiTable::num(s90.all, 4), AsciiTable::num(s90.distorted, 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nReading: reference pinning and the LRR term carry most of the accuracy in\n"
+      "this simulator (its drift largely preserves the linear column correlation);\n"
+      "the pairwise priors matter most when the prediction degrades -- see the\n"
+      "reference-selection ablation for a regime where they engage.\n\n");
+}
+
+// ---- micro benchmarks: solver cost vs configured rank ----
+
+void BM_LoliIrByRank(benchmark::State& state) {
+  ReconInstance inst(5, 45.0, 10);
+  LoliIrConfig cfg;
+  cfg.rank = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loli_ir_reconstruct(inst.problem, cfg));
+  }
+}
+BENCHMARK(BM_LoliIrByRank)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared plumbing for the reproduction benches: the calibrated paper
+// room, the TafLoc update pipeline at a given elapsed time, and small
+// output helpers.  Every bench binary prints its paper table/series and
+// then runs google-benchmark micro timings from the same translation
+// unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tafloc/tafloc.h"
+
+namespace tafloc::bench {
+
+/// One calibrated paper-room instance: scenario + initial survey +
+/// everything TafLoc learned at t = 0.
+struct CalibratedRoom {
+  Scenario scenario;
+  Matrix x0;
+  Vector ambient0;
+  TafLocSystem system;
+  Rng rng;
+
+  explicit CalibratedRoom(std::uint64_t seed, const TafLocConfig& config = {});
+};
+
+/// Reconstruction outcome at elapsed time t, scored two ways.
+struct ReconstructionOutcome {
+  double t_days = 0.0;
+  std::vector<double> errors_vs_truth;     ///< |X^ - noise-free truth| per entry.
+  std::vector<double> errors_vs_measured;  ///< |X^ - fresh validation survey| per entry
+                                           ///< (what the paper's Fig. 3 measures).
+  std::size_t references = 0;
+};
+
+/// Run TafLoc's low-cost update at `t_days` on a calibrated room and
+/// score the reconstructed matrix.  `validate_measured` additionally
+/// performs a full validation survey (slow but matches the paper's
+/// protocol).
+ReconstructionOutcome reconstruct_at(CalibratedRoom& room, double t_days,
+                                     bool validate_measured = true);
+
+/// A raw reconstruction problem instance (for solver / reference-policy
+/// ablations that bypass the TafLocSystem facade).
+struct ReconInstance {
+  Scenario scenario;
+  Matrix x0;
+  Vector ambient0;
+  DistortionMask mask;
+  std::vector<std::size_t> refs;
+  LoliIrProblem problem;  ///< assembled for `t_days`.
+  Matrix truth;           ///< noise-free ground truth at `t_days`.
+  double t_days = 0.0;
+
+  ReconInstance(std::uint64_t seed, double t_days, std::size_t n_refs,
+                ReferencePolicy policy = ReferencePolicy::QrPivot);
+};
+
+/// Print an empirical CDF as fixed-step table rows: value at each
+/// percentile + the curve sampled on [0, hi].
+void print_cdf_summary(const std::string& label, const std::vector<double>& samples,
+                       double curve_hi, const std::string& unit);
+
+/// Directory-less CSV path helper (benches write CSVs into the CWD).
+std::string csv_path(const std::string& stem);
+
+}  // namespace tafloc::bench

@@ -1,0 +1,126 @@
+// Micro benchmarks of the linear-algebra substrate: the kernels every
+// reconstruction and localization path runs on.  Sizes bracket the
+// paper room (10 x 96) and the Fig. 4 sweep endpoints.
+#include <benchmark/benchmark.h>
+
+#include "tafloc/linalg/cg.h"
+#include "tafloc/linalg/cholesky.h"
+#include "tafloc/linalg/eig.h"
+#include "tafloc/linalg/lu.h"
+#include "tafloc/linalg/ops.h"
+#include "tafloc/linalg/qr.h"
+#include "tafloc/linalg/sparse.h"
+#include "tafloc/linalg/svd.h"
+#include "tafloc/linalg/vector_ops.h"
+
+namespace {
+
+using namespace tafloc;
+
+Matrix fixture_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed = 9) {
+  Rng rng(seed);
+  return random_gaussian(rows, cols, rng);
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = fixture_matrix(n, n, 1);
+  const Matrix b = fixture_matrix(n, n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64)->Arg(128)->Complexity(benchmark::oNCubed);
+
+void BM_QrDecompose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = fixture_matrix(n, n / 2);
+  for (auto _ : state) benchmark::DoNotOptimize(qr_decompose(a));
+}
+BENCHMARK(BM_QrDecompose)->Arg(32)->Arg(96);
+
+void BM_QrPivoted(benchmark::State& state) {
+  // The reference-selection workload: wide fingerprint-shaped matrices.
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const Matrix a = fixture_matrix(10, cols);
+  for (auto _ : state) benchmark::DoNotOptimize(qr_decompose_pivoted(a));
+}
+BENCHMARK(BM_QrPivoted)->Arg(96)->Arg(400)->Arg(1600);
+
+void BM_SvdDecompose(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const Matrix a = fixture_matrix(10, cols);
+  for (auto _ : state) benchmark::DoNotOptimize(svd_decompose(a));
+}
+BENCHMARK(BM_SvdDecompose)->Arg(96)->Arg(400)->Arg(1600)->Unit(benchmark::kMicrosecond);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Matrix g = random_gaussian(n + 4, n, rng);
+  Matrix a = gram_product(g, g);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(solve_spd(a, b));
+}
+BENCHMARK(BM_CholeskySolve)->Arg(96)->Arg(400);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const Matrix a = random_gaussian(n, n, rng);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(solve_linear(a, b));
+}
+BENCHMARK(BM_LuSolve)->Arg(96)->Arg(256);
+
+void BM_ConjugateGradient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Matrix g = random_gaussian(n + 8, n, rng);
+  Matrix a = gram_product(g, g);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  const Vector x0(n, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        conjugate_gradient([&](const Vector& v) { return multiply(a, v); }, b, x0));
+  }
+}
+BENCHMARK(BM_ConjugateGradient)->Arg(96)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+void BM_SparseMatvec(benchmark::State& state) {
+  // RTI weight-model shape at the Fig. 4 endpoint: 60 x 3600, ~3% dense.
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < 60; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      if (rng.bernoulli(0.03)) triplets.push_back({r, c, rng.normal()});
+  const SparseMatrix w(60, cols, std::move(triplets));
+  Vector x(cols);
+  for (double& v : x) v = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(w.multiply(x));
+}
+BENCHMARK(BM_SparseMatvec)->Arg(900)->Arg(3600);
+
+void BM_EigSymmetric(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const Matrix g = random_gaussian(n, n, rng);
+  Matrix a = g + g.transposed();
+  for (auto _ : state) benchmark::DoNotOptimize(eig_symmetric(a));
+}
+BENCHMARK(BM_EigSymmetric)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_SingularValueShrink(benchmark::State& state) {
+  const Matrix a = fixture_matrix(10, 96, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(singular_value_shrink(a, 1.0));
+}
+BENCHMARK(BM_SingularValueShrink)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

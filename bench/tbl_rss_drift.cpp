@@ -1,0 +1,91 @@
+// Inline-number reproduction (paper section 1): with no change in the
+// environment, RSS drifts ~2.5 dBm after 5 days and ~6 dBm after 45
+// days.  We measure the mean ambient-RSS change across the paper room's
+// links at the evaluation time points, and verify the drift model's
+// calibration anchors.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tafloc/util/csv.h"
+#include "tafloc/util/table.h"
+
+namespace {
+
+using namespace tafloc;
+using namespace tafloc::bench;
+
+constexpr double kElapsedDays[] = {3.0, 5.0, 15.0, 45.0, 90.0};
+constexpr int kSeeds = 5;
+
+void run_experiment() {
+  std::printf("=== Section 1 inline numbers: ambient RSS drift over time ===\n");
+  std::printf("paper anchors: 2.5 dBm after 5 days, 6 dBm after 45 days\n\n");
+
+  CsvWriter csv(csv_path("tbl_rss_drift"));
+  csv.write_row({"t_days", "mean_drift_db", "max_drift_db", "paper_db"});
+
+  AsciiTable table;
+  table.set_header({"elapsed", "mean |drift|", "max |drift|", "paper"});
+
+  for (double t : kElapsedDays) {
+    double sum = 0.0, worst = 0.0;
+    std::size_t count = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario s = Scenario::paper_room(static_cast<std::uint64_t>(seed));
+      for (std::size_t i = 0; i < s.channel().num_links(); ++i) {
+        const double d = std::abs(s.channel().expected_rss(i, std::nullopt, t) -
+                                  s.channel().expected_rss(i, std::nullopt, 0.0));
+        sum += d;
+        worst = std::max(worst, d);
+        ++count;
+      }
+    }
+    const double mean_drift = sum / static_cast<double>(count);
+    std::string paper = "-";
+    if (t == 5.0) paper = "2.5 dBm";
+    if (t == 45.0) paper = "6.0 dBm";
+    table.add_row({AsciiTable::num(t, 0) + " d", AsciiTable::num(mean_drift) + " dBm",
+                   AsciiTable::num(worst), paper});
+    csv.write_numeric_row({t, mean_drift, worst, t == 5.0 ? 2.5 : (t == 45.0 ? 6.0 : 0.0)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Also show the drift magnitude law directly from the model.
+  const TemporalDriftModel model(10, DriftConfig{}, 1);
+  std::printf("\ncalibrated power law g(t) = 2.5 * (t / 5d)^alpha: ");
+  for (double t : kElapsedDays) std::printf("g(%g)=%.2f ", t, model.expected_magnitude_db(t));
+  std::printf("\n(anchors g(5) = 2.50 and g(45) = 6.00 match the paper by construction)\n\n");
+}
+
+// ---- micro benchmarks ----
+
+void BM_ExpectedRss(benchmark::State& state) {
+  const Scenario s = Scenario::paper_room(5);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    benchmark::DoNotOptimize(s.channel().expected_rss(3, Point2{3.0, 2.0}, t));
+  }
+}
+BENCHMARK(BM_ExpectedRss);
+
+void BM_FullSurvey(benchmark::State& state) {
+  const Scenario s = Scenario::paper_room(5);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.collector().survey_all(10.0, rng));
+  }
+}
+BENCHMARK(BM_FullSurvey)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

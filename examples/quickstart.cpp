@@ -1,0 +1,58 @@
+// Quickstart: the complete TafLoc lifecycle in ~60 lines.
+//
+//   1. deploy links and a grid (the paper's Fig. 2 room),
+//   2. calibrate once from a full fingerprint survey,
+//   3. weeks later, refresh the database by re-surveying ONLY the
+//      reference locations (plus one target-free ambient scan),
+//   4. localize a device-free target from real-time RSS.
+//
+// Run:  ./quickstart [--seed=N] [--days=T]
+#include <cstdio>
+
+#include "tafloc/tafloc.h"
+#include "tafloc/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tafloc;
+  const ArgParser args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  const double days = args.get_double("days", 45.0);
+
+  // 1. Deployment + simulated radio environment (stands in for real
+  //    WiFi hardware; swap Channel/FingerprintCollector for your own
+  //    measurement plumbing on a real testbed).
+  const Scenario scenario = Scenario::paper_room(seed);
+  const Deployment& room = scenario.deployment();
+  std::printf("room: %.1f x %.1f m, %zu links, %zu grids of %.1f m\n", room.grid().width(),
+              room.grid().height(), room.num_links(), room.num_grids(),
+              room.grid().cell_size());
+
+  // 2. One-time calibration from a full survey at day 0.
+  Rng rng(seed);
+  TafLocSystem tafloc(room);
+  const Matrix survey = scenario.collector().survey_all(0.0, rng);
+  Vector ambient = scenario.collector().ambient_scan(0.0, rng);
+  tafloc.calibrate(survey, std::move(ambient), 0.0);
+  std::printf("calibrated: %zu reference locations chosen (matrix rank), %.0f%% of grids\n",
+              tafloc.reference_locations().size(),
+              100.0 * static_cast<double>(tafloc.reference_locations().size()) /
+                  static_cast<double>(room.num_grids()));
+
+  // 3. `days` later the fingerprints have drifted; refresh cheaply.
+  const auto report = tafloc.update_with_collector(scenario.collector(), days, rng);
+  const SurveyCostModel cost;
+  std::printf("day %.0f update: surveyed %zu grids (%.2f h) instead of %zu (%.2f h); "
+              "solver: %zu outer iterations, converged=%s\n",
+              days, report.references_surveyed,
+              cost.reference_survey_hours(report.references_surveyed), room.num_grids(),
+              cost.hours_for_grids(room.num_grids()), report.solver.outer_iterations,
+              report.solver.converged ? "yes" : "no");
+
+  // 4. Localize a target that carries no device.
+  const Point2 truth{4.1, 2.3};
+  const Vector rss = scenario.collector().observe(truth, days, rng);
+  const Point2 estimate = tafloc.localize(rss);
+  std::printf("target at (%.2f, %.2f) -> estimate (%.2f, %.2f), error %.2f m\n", truth.x,
+              truth.y, estimate.x, estimate.y, distance(estimate, truth));
+  return 0;
+}

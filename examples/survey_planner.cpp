@@ -1,0 +1,71 @@
+// Survey planner: a deployment-time tool.  Given an area size, it
+// reports how many reference locations TafLoc will need, where they
+// are (ASCII map), and what every future fingerprint refresh will cost
+// compared to a full re-survey -- the paper's Fig. 4 economics for YOUR
+// room.
+//
+// Run:  ./survey_planner [--width=W] [--height=H] [--seed=N]
+#include <cstdio>
+#include <string>
+
+#include "tafloc/tafloc.h"
+#include "tafloc/util/cli.h"
+#include "tafloc/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tafloc;
+  const ArgParser args(argc, argv);
+  const double width = args.get_double("width", 7.2);
+  const double height = args.get_double("height", 4.8);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 5));
+
+  const auto num_links = static_cast<std::size_t>(
+      std::max(2.0, std::round((width + height) / 2.0 / 0.6)));
+  const Scenario scenario(Deployment::perimeter(width, height, 0.6, num_links),
+                          ChannelConfig{}, seed);
+  const Deployment& d = scenario.deployment();
+
+  std::printf("=== TafLoc survey plan for a %.1f x %.1f m area ===\n", width, height);
+  std::printf("%zu links, %zu grids of %.1f m\n\n", d.num_links(), d.num_grids(),
+              d.grid().cell_size());
+
+  // Plan from the noise-free fingerprint structure (at deployment time
+  // one would run the initial survey; the rank barely differs).
+  const Matrix structure = scenario.collector().ground_truth(0.0);
+  const std::size_t refs = suggest_reference_count(structure, 1e-3);
+  const auto chosen = select_reference_locations(structure, refs, ReferencePolicy::QrPivot);
+
+  const SurveyCostModel cost;
+  AsciiTable table;
+  table.set_header({"quantity", "value"});
+  table.add_row({"initial full survey", AsciiTable::num(cost.hours_for_grids(d.num_grids()), 2) +
+                                            " h (one-time)"});
+  table.add_row({"reference locations", std::to_string(refs) + " of " +
+                                            std::to_string(d.num_grids()) + " grids"});
+  table.add_row({"each refresh", AsciiTable::num(cost.reference_survey_hours(refs), 2) + " h"});
+  table.add_row({"refresh speedup",
+                 AsciiTable::num(cost.hours_for_grids(d.num_grids()) /
+                                     cost.reference_survey_hours(refs),
+                                 1) +
+                     "x"});
+  std::fputs(table.render().c_str(), stdout);
+
+  // ASCII map: '#' = reference grid to re-survey, '.' = reconstructed.
+  std::printf("\nreference map (north up; '#' = survey on refresh, '.' = reconstructed):\n");
+  const GridMap& grid = d.grid();
+  std::vector<bool> is_ref(grid.num_cells(), false);
+  for (std::size_t j : chosen) is_ref[j] = true;
+  for (std::size_t row = grid.ny(); row > 0; --row) {
+    std::string line = "  ";
+    for (std::size_t ix = 0; ix < grid.nx(); ++ix) {
+      line += is_ref[grid.index(ix, row - 1)] ? '#' : '.';
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("\nwalk order (QR-pivot priority): ");
+  for (std::size_t k = 0; k < chosen.size(); ++k) {
+    const Point2 c = grid.center(chosen[k]);
+    std::printf("(%.1f,%.1f)%s", c.x, c.y, k + 1 < chosen.size() ? " " : "\n");
+  }
+  return 0;
+}

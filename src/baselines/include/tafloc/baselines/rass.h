@@ -1,0 +1,60 @@
+// RASS -- "A Real-Time, Accurate and Scalable System for Tracking
+// Transceiver-free Objects" (Zhang et al., IEEE TPDS 2013), the
+// fingerprint-using comparator in the paper's Fig. 5.
+//
+// RASS localizes from *signal dynamics* (the per-link difference between
+// ambient and current RSS):
+//   1. influential-link selection: links whose dynamic exceeds a
+//      threshold are considered affected by the target;
+//   2. coarse estimate: dynamic-weighted centroid of the influential
+//      links' midpoints;
+//   3. refinement: fingerprint matching restricted to grids near the
+//      coarse estimate (the grid-classification step of the original
+//      system, realized here as local weighted-KNN over the
+//      fingerprint database).
+//
+// The refinement step is what ages: with a stale database RASS degrades
+// ("RASS w/o rec."); feeding it TafLoc's reconstructed database
+// ("RASS w/ rec.") restores it -- the paper's point that the
+// reconstruction scheme transfers to other systems.
+#pragma once
+
+#include <cstddef>
+
+#include "tafloc/fingerprint/database.h"
+#include "tafloc/loc/localizer.h"
+#include "tafloc/sim/deployment.h"
+
+namespace tafloc {
+
+struct RassConfig {
+  double dynamic_threshold_db = 1.5; ///< minimum dynamic to call a link influential.
+  double refine_radius_m = 1.5;      ///< fingerprint search radius around the coarse estimate.
+  std::size_t knn_k = 3;             ///< neighbours in the refinement.
+  double coarse_weight = 0.2;        ///< blend of coarse vs refined estimate.
+};
+
+class RassLocalizer : public Localizer {
+ public:
+  /// `database` may be stale (w/o reconstruction) or reconstructed
+  /// (w/ reconstruction); `current_ambient` is the fresh target-free RSS
+  /// (RASS tracks dynamics in real time, so this is always current).
+  RassLocalizer(const Deployment& deployment, const FingerprintDatabase& database,
+                Vector current_ambient, const RassConfig& config = {},
+                std::string variant_name = "RASS");
+
+  Point2 localize(std::span<const double> rss) const override;
+  std::string name() const override { return name_; }
+
+  /// The coarse (step-2) estimate alone (tests / diagnostics).
+  Point2 coarse_estimate(std::span<const double> rss) const;
+
+ private:
+  const Deployment& deployment_;
+  Matrix fingerprints_;
+  Vector current_ambient_;
+  RassConfig config_;
+  std::string name_;
+};
+
+}  // namespace tafloc

@@ -1,0 +1,91 @@
+// RTI -- Radio Tomographic Imaging (Wilson & Patwari, IEEE TMC 2010),
+// the model-based comparator in the paper's Fig. 5.
+//
+// RTI inverts the per-link RSS *change* y = ambient - current into an
+// attenuation image x over the grid:
+//
+//   y = W x + n,   W(i, j) = 1 / sqrt(d_i)   if grid j lies inside
+//                             link i's excess-path ellipse (width lambda),
+//                             0 otherwise
+//
+// regularized least squares (Tikhonov with a spatial smoothness prior):
+//
+//   x^ = (W^T W + alpha (Dx^T Dx + Dy^T Dy) + eps I)^{-1} W^T y
+//
+// The target estimate is the attenuation-weighted centroid of the
+// top-valued pixels.  RTI needs no fingerprint survey at all -- but its
+// accuracy is bounded by the imaging resolution and by multipath model
+// error, which is why the paper finds it coarser than fingerprinting.
+//
+// Two solver backends:
+//  - Direct: dense Cholesky of the N x N normal matrix, factored once
+//    (fast per-observation; fine up to a few hundred grid cells);
+//  - Iterative: the weight model stays sparse (each ellipse covers a
+//    thin band) and each image is solved by conjugate gradients with
+//    on-the-fly Laplacian application -- scales to Fig. 4-size areas
+//    (thousands of cells) where the dense factorization would not.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tafloc/linalg/matrix.h"
+#include "tafloc/linalg/sparse.h"
+#include "tafloc/loc/localizer.h"
+#include "tafloc/sim/deployment.h"
+
+namespace tafloc {
+
+enum class RtiSolver { Direct, Iterative };
+
+struct RtiConfig {
+  double ellipse_width_m = 0.4;   ///< lambda: excess-path width of the weight ellipse.
+  double regularization = 3.0;    ///< alpha: smoothness prior weight.
+  double ridge = 1e-3;            ///< eps: keeps the normal matrix SPD.
+  double top_fraction = 0.08;     ///< fraction of brightest pixels in the centroid.
+  RtiSolver solver = RtiSolver::Direct;
+  double cg_tolerance = 1e-8;     ///< Iterative backend stopping criterion.
+  std::size_t cg_max_iterations = 500;
+};
+
+class RtiLocalizer : public Localizer {
+ public:
+  /// `ambient` is the current target-free RSS per link (same order as
+  /// deployment links).  The weight model (and, for the Direct backend,
+  /// the factored regularized inverse) is precomputed here.
+  RtiLocalizer(const Deployment& deployment, Vector ambient, const RtiConfig& config = {});
+
+  Point2 localize(std::span<const double> rss) const override;
+  std::string name() const override { return "RTI"; }
+
+  /// Reconstructed attenuation image for an observation (tests / demos).
+  Vector image(std::span<const double> rss) const;
+
+  /// Multi-target extension: threshold the image at
+  /// `blob_threshold_fraction` of its peak, split the bright pixels
+  /// into 4-connected components, and return the weighted centroid of
+  /// the up-to-`max_targets` heaviest components (heaviest first).
+  /// With max_targets == 1 this reduces to (roughly) localize().
+  std::vector<Point2> localize_multi(std::span<const double> rss, std::size_t max_targets,
+                                     double blob_threshold_fraction = 0.5) const;
+
+  /// Dense weight model (Direct backend only; throws std::logic_error
+  /// for the Iterative backend, which never densifies).
+  const Matrix& weight_model() const;
+
+  /// Sparse weight model (available for both backends).
+  const SparseMatrix& sparse_weight_model() const noexcept { return w_sparse_; }
+
+ private:
+  Vector solve_direct(const Vector& wty) const;
+  Vector solve_iterative(const Vector& wty) const;
+
+  GridMap grid_;
+  Vector ambient_;
+  RtiConfig config_;
+  SparseMatrix w_sparse_;  ///< M x N ellipse weight model (always built).
+  Matrix w_dense_;         ///< Direct backend only.
+  Matrix chol_;            ///< Direct backend: Cholesky factor of the normal matrix.
+};
+
+}  // namespace tafloc

@@ -1,0 +1,97 @@
+#include "tafloc/baselines/rass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+RassLocalizer::RassLocalizer(const Deployment& deployment, const FingerprintDatabase& database,
+                             Vector current_ambient, const RassConfig& config,
+                             std::string variant_name)
+    : deployment_(deployment),
+      fingerprints_(database.fingerprints()),
+      current_ambient_(std::move(current_ambient)),
+      config_(config),
+      name_(std::move(variant_name)) {
+  TAFLOC_CHECK_ARG(fingerprints_.rows() == deployment.num_links(),
+                   "database link count must match the deployment");
+  TAFLOC_CHECK_ARG(fingerprints_.cols() == deployment.num_grids(),
+                   "database grid count must match the deployment");
+  TAFLOC_CHECK_ARG(current_ambient_.size() == deployment.num_links(),
+                   "ambient vector must have one entry per link");
+  TAFLOC_CHECK_ARG(config.dynamic_threshold_db > 0.0, "dynamic threshold must be positive");
+  TAFLOC_CHECK_ARG(config.refine_radius_m > 0.0, "refine radius must be positive");
+  TAFLOC_CHECK_ARG(config.knn_k >= 1, "knn k must be at least 1");
+  TAFLOC_CHECK_ARG(config.coarse_weight >= 0.0 && config.coarse_weight <= 1.0,
+                   "coarse weight must be in [0, 1]");
+}
+
+Point2 RassLocalizer::coarse_estimate(std::span<const double> rss) const {
+  TAFLOC_CHECK_ARG(rss.size() == current_ambient_.size(), "observation length mismatch");
+  double wx = 0.0, wy = 0.0, wsum = 0.0;
+  double best_dynamic = -1.0;
+  std::size_t best_link = 0;
+  for (std::size_t i = 0; i < rss.size(); ++i) {
+    const double dynamic = current_ambient_[i] - rss[i];  // positive = attenuated
+    if (dynamic > best_dynamic) {
+      best_dynamic = dynamic;
+      best_link = i;
+    }
+    if (dynamic < config_.dynamic_threshold_db) continue;
+    const Point2 mid = midpoint(deployment_.links()[i].a, deployment_.links()[i].b);
+    wx += dynamic * mid.x;
+    wy += dynamic * mid.y;
+    wsum += dynamic;
+  }
+  if (wsum <= 0.0) {
+    // No link crossed the threshold: fall back to the most-affected link.
+    return midpoint(deployment_.links()[best_link].a, deployment_.links()[best_link].b);
+  }
+  return {wx / wsum, wy / wsum};
+}
+
+Point2 RassLocalizer::localize(std::span<const double> rss) const {
+  const Point2 coarse = coarse_estimate(rss);
+
+  // Refinement: weighted KNN over fingerprint columns whose grid centre
+  // lies within refine_radius of the coarse estimate.
+  const GridMap& grid = deployment_.grid();
+  std::vector<std::size_t> candidates;
+  for (std::size_t j = 0; j < grid.num_cells(); ++j) {
+    if (distance(grid.center(j), coarse) <= config_.refine_radius_m) candidates.push_back(j);
+  }
+  if (candidates.empty()) return coarse;
+
+  std::vector<double> dist(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < fingerprints_.rows(); ++i) {
+      const double d = rss[i] - fingerprints_(i, candidates[c]);
+      s += d * d;
+    }
+    dist[c] = std::sqrt(s);
+  }
+  const std::size_t k = std::min(config_.knn_k, candidates.size());
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k), order.end(),
+                    [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
+
+  double wx = 0.0, wy = 0.0, wsum = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const std::size_t j = candidates[order[t]];
+    const double w = 1.0 / (dist[order[t]] + 1e-6);
+    const Point2 c = grid.center(j);
+    wx += w * c.x;
+    wy += w * c.y;
+    wsum += w;
+  }
+  const Point2 refined{wx / wsum, wy / wsum};
+  const double cw = config_.coarse_weight;
+  return {cw * coarse.x + (1.0 - cw) * refined.x, cw * coarse.y + (1.0 - cw) * refined.y};
+}
+
+}  // namespace tafloc

@@ -1,0 +1,179 @@
+#include "tafloc/baselines/rti.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tafloc/linalg/cg.h"
+#include "tafloc/linalg/cholesky.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+RtiLocalizer::RtiLocalizer(const Deployment& deployment, Vector ambient, const RtiConfig& config)
+    : grid_(deployment.grid()), ambient_(std::move(ambient)), config_(config) {
+  TAFLOC_CHECK_ARG(ambient_.size() == deployment.num_links(),
+                   "ambient vector must have one entry per link");
+  TAFLOC_CHECK_ARG(config.ellipse_width_m > 0.0, "ellipse width must be positive");
+  TAFLOC_CHECK_ARG(config.regularization >= 0.0, "regularization must be non-negative");
+  TAFLOC_CHECK_ARG(config.ridge > 0.0, "ridge must be positive");
+  TAFLOC_CHECK_ARG(config.top_fraction > 0.0 && config.top_fraction <= 1.0,
+                   "top fraction must be in (0, 1]");
+  TAFLOC_CHECK_ARG(config.cg_tolerance > 0.0, "CG tolerance must be positive");
+  TAFLOC_CHECK_ARG(config.cg_max_iterations > 0, "CG iteration cap must be positive");
+
+  const std::size_t m = deployment.num_links();
+  const std::size_t n = grid_.num_cells();
+
+  // Ellipse weight model, assembled sparse (each link covers a band).
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Segment& link = deployment.links()[i];
+    const double inv_sqrt_d = 1.0 / std::sqrt(std::max(link.length(), 1e-6));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (within_link_ellipse(grid_.center(j), link, config.ellipse_width_m))
+        triplets.push_back({i, j, inv_sqrt_d});
+    }
+  }
+  w_sparse_ = SparseMatrix(m, n, std::move(triplets));
+
+  if (config.solver == RtiSolver::Direct) {
+    w_dense_ = w_sparse_.to_dense();
+    // Regularized normal matrix Q = W^T W + alpha * Laplacian + eps I,
+    // where the Laplacian sums (e_a - e_b)(e_a - e_b)^T over 4-neighbour
+    // grid pairs (the Dx^T Dx + Dy^T Dy 'difference image' prior).
+    Matrix q = gram_product(w_dense_, w_dense_);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t nb : grid_.neighbors4(j)) {
+        if (nb < j) continue;  // count each pair once
+        q(j, j) += config.regularization;
+        q(nb, nb) += config.regularization;
+        q(j, nb) -= config.regularization;
+        q(nb, j) -= config.regularization;
+      }
+      q(j, j) += config.ridge;
+    }
+    chol_ = cholesky_factor(q);
+  }
+}
+
+const Matrix& RtiLocalizer::weight_model() const {
+  TAFLOC_CHECK_STATE(config_.solver == RtiSolver::Direct,
+                     "the dense weight model exists only for the Direct backend");
+  return w_dense_;
+}
+
+Vector RtiLocalizer::solve_direct(const Vector& wty) const {
+  return cholesky_solve(chol_, wty);
+}
+
+Vector RtiLocalizer::solve_iterative(const Vector& wty) const {
+  const std::size_t n = grid_.num_cells();
+  const auto apply = [&](const Vector& x) -> Vector {
+    // Q x = W^T (W x) + alpha * Laplacian(x) + eps x, all matrix-free.
+    const Vector wx = w_sparse_.multiply(x);
+    Vector y = w_sparse_.multiply_transposed(wx);
+    for (std::size_t j = 0; j < n; ++j) {
+      double lap = 0.0;
+      const auto neighbors = grid_.neighbors4(j);
+      for (std::size_t nb : neighbors) lap += x[j] - x[nb];
+      y[j] += config_.regularization * lap + config_.ridge * x[j];
+    }
+    return y;
+  };
+  CgOptions opts;
+  opts.relative_tolerance = config_.cg_tolerance;
+  opts.max_iterations = config_.cg_max_iterations;
+  const Vector x0(n, 0.0);
+  return conjugate_gradient(apply, wty, x0, opts).x;
+}
+
+Vector RtiLocalizer::image(std::span<const double> rss) const {
+  TAFLOC_CHECK_ARG(rss.size() == ambient_.size(), "observation length mismatch");
+  // y = RSS change attributable to the target (positive = attenuation).
+  Vector y(rss.size());
+  for (std::size_t i = 0; i < rss.size(); ++i) y[i] = ambient_[i] - rss[i];
+  const Vector wty = w_sparse_.multiply_transposed(y);
+  return config_.solver == RtiSolver::Direct ? solve_direct(wty) : solve_iterative(wty);
+}
+
+std::vector<Point2> RtiLocalizer::localize_multi(std::span<const double> rss,
+                                                 std::size_t max_targets,
+                                                 double blob_threshold_fraction) const {
+  TAFLOC_CHECK_ARG(max_targets >= 1, "must ask for at least one target");
+  TAFLOC_CHECK_ARG(blob_threshold_fraction > 0.0 && blob_threshold_fraction < 1.0,
+                   "blob threshold fraction must be in (0, 1)");
+  const Vector img = image(rss);
+  const std::size_t n = img.size();
+
+  double peak = 0.0;
+  for (double v : img) peak = std::max(peak, v);
+  if (peak <= 0.0) return {};  // empty image: nobody visible
+  const double cut = blob_threshold_fraction * peak;
+
+  // 4-connected components over the bright pixels (flood fill).
+  std::vector<int> component(n, -1);
+  struct Blob {
+    double weight = 0.0;
+    double wx = 0.0, wy = 0.0;
+  };
+  std::vector<Blob> blobs;
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (component[start] != -1 || img[start] < cut) continue;
+    const int id = static_cast<int>(blobs.size());
+    blobs.emplace_back();
+    stack.push_back(start);
+    component[start] = id;
+    while (!stack.empty()) {
+      const std::size_t j = stack.back();
+      stack.pop_back();
+      Blob& blob = blobs[static_cast<std::size_t>(id)];
+      const Point2 c = grid_.center(j);
+      blob.weight += img[j];
+      blob.wx += img[j] * c.x;
+      blob.wy += img[j] * c.y;
+      for (std::size_t nb : grid_.neighbors4(j)) {
+        if (component[nb] == -1 && img[nb] >= cut) {
+          component[nb] = id;
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+
+  std::sort(blobs.begin(), blobs.end(),
+            [](const Blob& a, const Blob& b) { return a.weight > b.weight; });
+  std::vector<Point2> out;
+  for (const Blob& b : blobs) {
+    if (out.size() == max_targets) break;
+    out.push_back({b.wx / b.weight, b.wy / b.weight});
+  }
+  return out;
+}
+
+Point2 RtiLocalizer::localize(std::span<const double> rss) const {
+  const Vector img = image(rss);
+  const std::size_t n = img.size();
+  const auto top =
+      std::max<std::size_t>(1, static_cast<std::size_t>(config_.top_fraction *
+                                                        static_cast<double>(n)));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(top), order.end(),
+                    [&](std::size_t a, std::size_t b) { return img[a] > img[b]; });
+
+  double wx = 0.0, wy = 0.0, wsum = 0.0;
+  for (std::size_t k = 0; k < top; ++k) {
+    const std::size_t j = order[k];
+    const double weight = std::max(img[j], 0.0);
+    const Point2 c = grid_.center(j);
+    wx += weight * c.x;
+    wy += weight * c.y;
+    wsum += weight;
+  }
+  if (wsum <= 0.0) return grid_.center(order[0]);  // flat image: fall back to the brightest pixel
+  return {wx / wsum, wy / wsum};
+}
+
+}  // namespace tafloc

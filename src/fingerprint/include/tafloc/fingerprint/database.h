@@ -1,0 +1,45 @@
+// FingerprintDatabase -- the surveyed fingerprint matrix plus the
+// metadata needed to use and refresh it.
+//
+// Rows are links, columns are location grids (the paper's Fig. 1
+// layout).  The ambient vector holds each link's target-free RSS from
+// the same survey epoch; the paper's distortion test and the known
+// (undistorted) entries of the reconstruction both derive from it.
+#pragma once
+
+#include <cstddef>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+class FingerprintDatabase {
+ public:
+  /// `fingerprints` is M x N (links x grids); `ambient` has length M;
+  /// `surveyed_at_days` is the elapsed-time stamp of the survey.
+  FingerprintDatabase(Matrix fingerprints, Vector ambient, double surveyed_at_days);
+
+  std::size_t num_links() const noexcept { return fingerprints_.rows(); }
+  std::size_t num_grids() const noexcept { return fingerprints_.cols(); }
+
+  const Matrix& fingerprints() const noexcept { return fingerprints_; }
+  const Vector& ambient() const noexcept { return ambient_; }
+  double surveyed_at_days() const noexcept { return surveyed_at_; }
+
+  /// Fingerprint column of grid j.
+  Vector fingerprint_of(std::size_t grid) const;
+
+  /// Replace the fingerprint matrix (e.g. with a reconstruction) and
+  /// advance the survey timestamp.  Shape must be unchanged.
+  void update(Matrix fingerprints, Vector ambient, double surveyed_at_days);
+
+  /// Age of the database relative to `now_days` (>= surveyed_at_days).
+  double age_days(double now_days) const;
+
+ private:
+  Matrix fingerprints_;
+  Vector ambient_;
+  double surveyed_at_;
+};
+
+}  // namespace tafloc

@@ -1,0 +1,38 @@
+// Reference-location selection.
+//
+// TafLoc re-surveys only n << N locations; the paper picks "RSS
+// measurements corresponding to the maximum linearly independent
+// vectors" of the initial fingerprint matrix.  The greedy realization
+// of that is column-pivoted QR: pivot columns are, step by step, the
+// columns with the largest residual outside the span of those already
+// chosen.  Random and uniform-grid policies are provided for the
+// ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tafloc/linalg/matrix.h"
+#include "tafloc/sim/grid.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+enum class ReferencePolicy {
+  QrPivot,     ///< the paper's maximal-linear-independence choice.
+  Random,      ///< uniform without replacement (ablation).
+  UniformGrid, ///< evenly strided grid indices (ablation).
+};
+
+/// Choose `count` reference grid indices from the initial fingerprint
+/// matrix `x0` (M x N; count <= N).  `rng` is consumed only by the
+/// Random policy (may be null otherwise); returns indices in selection
+/// order (for QrPivot: decreasing marginal information).
+std::vector<std::size_t> select_reference_locations(const Matrix& x0, std::size_t count,
+                                                    ReferencePolicy policy, Rng* rng = nullptr);
+
+/// The natural reference count for `x0`: its numeric rank (the paper
+/// uses n ~ rank, e.g. 10 reference locations for the 10-link room).
+std::size_t suggest_reference_count(const Matrix& x0, double rel_tol = 1e-3);
+
+}  // namespace tafloc

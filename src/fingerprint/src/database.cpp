@@ -1,0 +1,38 @@
+#include "tafloc/fingerprint/database.h"
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+FingerprintDatabase::FingerprintDatabase(Matrix fingerprints, Vector ambient,
+                                         double surveyed_at_days)
+    : fingerprints_(std::move(fingerprints)),
+      ambient_(std::move(ambient)),
+      surveyed_at_(surveyed_at_days) {
+  TAFLOC_CHECK_ARG(!fingerprints_.empty(), "fingerprint matrix must be non-empty");
+  TAFLOC_CHECK_ARG(ambient_.size() == fingerprints_.rows(),
+                   "ambient vector must have one entry per link");
+  TAFLOC_CHECK_ARG(surveyed_at_days >= 0.0, "survey timestamp must be non-negative");
+}
+
+Vector FingerprintDatabase::fingerprint_of(std::size_t grid) const {
+  TAFLOC_CHECK_BOUNDS(grid, num_grids(), "fingerprint grid index");
+  return fingerprints_.col(grid);
+}
+
+void FingerprintDatabase::update(Matrix fingerprints, Vector ambient, double surveyed_at_days) {
+  TAFLOC_CHECK_ARG(fingerprints.same_shape(fingerprints_),
+                   "updated fingerprint matrix must keep its shape");
+  TAFLOC_CHECK_ARG(ambient.size() == ambient_.size(), "updated ambient vector must keep its size");
+  TAFLOC_CHECK_ARG(surveyed_at_days >= surveyed_at_, "survey timestamps must be non-decreasing");
+  fingerprints_ = std::move(fingerprints);
+  ambient_ = std::move(ambient);
+  surveyed_at_ = surveyed_at_days;
+}
+
+double FingerprintDatabase::age_days(double now_days) const {
+  TAFLOC_CHECK_ARG(now_days >= surveyed_at_, "now must not precede the survey time");
+  return now_days - surveyed_at_;
+}
+
+}  // namespace tafloc

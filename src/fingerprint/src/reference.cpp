@@ -1,0 +1,50 @@
+#include "tafloc/fingerprint/reference.h"
+
+#include "tafloc/linalg/qr.h"
+#include "tafloc/linalg/svd.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+std::vector<std::size_t> select_reference_locations(const Matrix& x0, std::size_t count,
+                                                    ReferencePolicy policy, Rng* rng) {
+  TAFLOC_CHECK_ARG(!x0.empty(), "fingerprint matrix must be non-empty");
+  TAFLOC_CHECK_ARG(count > 0 && count <= x0.cols(),
+                   "reference count must be in [1, number of grids]");
+  switch (policy) {
+    case ReferencePolicy::QrPivot: {
+      const PivotedQr qr = qr_decompose_pivoted(x0);
+      // Pivot order ranks columns by residual norm outside the span of
+      // the already-chosen set; the QR yields min(M, N) pivots.  When
+      // more references than pivots are requested, extend with the
+      // remaining columns in permutation order (they add redundancy,
+      // not independence, but honour the caller's budget).
+      std::vector<std::size_t> out(qr.permutation.begin(),
+                                   qr.permutation.begin() + static_cast<std::ptrdiff_t>(count));
+      return out;
+    }
+    case ReferencePolicy::Random: {
+      TAFLOC_CHECK_ARG(rng != nullptr, "random policy needs an Rng");
+      return rng->sample_without_replacement(x0.cols(), count);
+    }
+    case ReferencePolicy::UniformGrid: {
+      std::vector<std::size_t> out;
+      out.reserve(count);
+      const double stride = static_cast<double>(x0.cols()) / static_cast<double>(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        out.push_back(static_cast<std::size_t>(stride * (static_cast<double>(k) + 0.5)));
+      }
+      return out;
+    }
+  }
+  TAFLOC_CHECK_STATE(false, "unknown reference policy");
+  return {};
+}
+
+std::size_t suggest_reference_count(const Matrix& x0, double rel_tol) {
+  TAFLOC_CHECK_ARG(!x0.empty(), "fingerprint matrix must be non-empty");
+  const std::size_t rank = svd_decompose(x0).numeric_rank(rel_tol);
+  return rank == 0 ? 1 : rank;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,38 @@
+// Conjugate gradient for symmetric positive (semi-)definite operators
+// given only as a matvec callback -- the inner solver of each LoLi-IR
+// half-step, where forming the full normal-equation matrix over all of
+// vec(L) or vec(R) would be wasteful.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+/// Result of a CG run.
+struct CgResult {
+  Vector x;                  ///< final iterate.
+  std::size_t iterations = 0;
+  bool converged = false;    ///< residual criterion met within the cap.
+  double residual_norm = 0.0;
+};
+
+/// Options controlling the iteration.
+struct CgOptions {
+  double relative_tolerance = 1e-10;  ///< stop when ||r|| <= tol * ||b||.
+  std::size_t max_iterations = 0;     ///< 0 means "dimension of the system".
+};
+
+/// Apply-callback type: y = A x for the SPD operator A.
+using LinearOperator = std::function<Vector(const Vector&)>;
+
+/// Solve A x = b with CG starting from x0 (pass an all-zero vector when
+/// no better guess exists).  The operator must be symmetric positive
+/// (semi-)definite; a breakdown (p^T A p <= 0) stops the iteration with
+/// converged == false.
+CgResult conjugate_gradient(const LinearOperator& apply, std::span<const double> b,
+                            std::span<const double> x0, const CgOptions& options = {});
+
+}  // namespace tafloc

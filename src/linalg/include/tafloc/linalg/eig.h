@@ -1,0 +1,53 @@
+// Symmetric eigendecomposition (classical Jacobi rotations), dominant
+// eigenpair via power iteration, and the Moore-Penrose pseudo-inverse.
+//
+// Used by the nuclear-norm LRR solver (proximal steps), by tests as an
+// independent cross-check of the SVD (singular values of A are the
+// square roots of the eigenvalues of A^T A), and generally available as
+// substrate.
+#pragma once
+
+#include <cstddef>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+/// A = V * diag(lambda) * V^T with orthonormal V, eigenvalues sorted
+/// descending (by value, not magnitude).
+struct EigResult {
+  Vector eigenvalues;
+  Matrix eigenvectors;  ///< columns are the eigenvectors, same order.
+};
+
+struct EigOptions {
+  double tolerance = 1e-12;     ///< off-diagonal magnitude target (relative).
+  std::size_t max_sweeps = 60;
+};
+
+/// Eigendecomposition of a symmetric matrix (symmetry is checked up to
+/// a tolerance; throws std::invalid_argument otherwise).
+EigResult eig_symmetric(const Matrix& a, const EigOptions& options = {});
+
+/// Dominant eigenpair by power iteration (matrix must be square; the
+/// dominant eigenvalue must be strictly largest in magnitude for
+/// convergence -- reported through `converged`).
+struct PowerIterationResult {
+  double eigenvalue = 0.0;
+  Vector eigenvector;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+PowerIterationResult power_iteration(const Matrix& a, std::size_t max_iterations = 1000,
+                                     double tolerance = 1e-10);
+
+/// Moore-Penrose pseudo-inverse via SVD: singular values below
+/// rel_tol * sigma_max are treated as zero.
+Matrix pseudo_inverse(const Matrix& a, double rel_tol = 1e-12);
+
+/// 2-norm condition number sigma_max / sigma_min (infinity if
+/// sigma_min is zero to working precision).
+double condition_number(const Matrix& a);
+
+}  // namespace tafloc

@@ -1,0 +1,31 @@
+// Plain-text serialization for matrices and vectors.
+//
+// Format (whitespace separated, full double precision):
+//   matrix <rows> <cols>\n  <row-major values...>
+//   vector <size>\n         <values...>
+// Used to persist TafLoc's calibration state (fingerprints, correlation
+// matrix, masks) so a deployment survives process restarts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+/// Write / read a matrix.  Loading throws std::runtime_error on
+/// malformed input (wrong tag, bad dimensions, missing values).
+void save_matrix(const Matrix& m, std::ostream& out);
+Matrix load_matrix(std::istream& in);
+
+/// Write / read a vector.
+void save_vector(std::span<const double> v, std::ostream& out);
+Vector load_vector(std::istream& in);
+
+/// File-path conveniences (throw std::runtime_error when the file
+/// cannot be opened).
+void save_matrix_file(const Matrix& m, const std::string& path);
+Matrix load_matrix_file(const std::string& path);
+
+}  // namespace tafloc

@@ -1,0 +1,43 @@
+// LU factorization with partial pivoting (general square solves,
+// determinants and inverses -- used by the RTI baseline's regularized
+// inverse and by tests as an independent cross-check of Cholesky).
+#pragma once
+
+#include <vector>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+/// Compact LU factorization: P a = L U stored in one matrix (unit lower
+/// triangle implicit), with the row permutation and its sign.
+class LuDecomposition {
+ public:
+  /// Factor a non-empty square matrix.  Throws std::domain_error if the
+  /// matrix is singular to working precision.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// Solve a x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solve a X = B for each column of B.
+  Matrix solve_matrix(const Matrix& b) const;
+
+  /// Determinant of the factored matrix.
+  double determinant() const noexcept;
+
+  /// Inverse of the factored matrix.
+  Matrix inverse() const;
+
+  std::size_t dimension() const noexcept { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivot_;
+  int permutation_sign_ = 1;
+};
+
+/// Convenience: solve a x = b in one call.
+Vector solve_linear(const Matrix& a, std::span<const double> b);
+
+}  // namespace tafloc

@@ -1,0 +1,163 @@
+// Dense row-major matrix of double.
+//
+// This is the numeric workhorse of the whole library: fingerprint
+// matrices (M links x N grids), factor matrices L/R, RTI weight models
+// and all solver internals are built on it.  The type is a regular
+// value type (copyable, movable, equality-comparable) per Core
+// Guidelines C.11; element access is bounds-checked in debug builds and
+// via at() always.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+/// Dense column vector, stored as a plain std::vector<double>.
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested initializer lists; all rows must have equal length.
+  static Matrix from_rows(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector of diagonal entries.
+  static Matrix diagonal(std::span<const double> diag);
+
+  /// Column matrix (n x 1) from a vector.
+  static Matrix column(std::span<const double> v);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  /// Total element count (rows * cols).
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked-in-release element access (debug builds bounds-check).
+  double& operator()(std::size_t r, std::size_t c) noexcept(false) {
+#ifndef NDEBUG
+    TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
+    TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
+#endif
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept(false) {
+#ifndef NDEBUG
+    TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
+    TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
+#endif
+    return data_[r * cols_ + c];
+  }
+
+  /// Always-checked element access.
+  double at(std::size_t r, std::size_t c) const;
+  double& at(std::size_t r, std::size_t c);
+
+  /// Copy of row r / column c as a Vector.
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+
+  /// Overwrite row r / column c.  Span length must match.
+  void set_row(std::size_t r, std::span<const double> values);
+  void set_col(std::size_t c, std::span<const double> values);
+
+  /// Contiguous storage (row-major).
+  std::span<double> data() noexcept { return data_; }
+  std::span<const double> data() const noexcept { return data_; }
+
+  /// New matrix that is the transpose of this one.
+  Matrix transposed() const;
+
+  /// Copy of the block starting at (r0, c0) of shape (nr, nc).
+  Matrix submatrix(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const;
+
+  /// New matrix whose columns are this matrix's columns at `indices`
+  /// (in the given order; duplicates allowed).
+  Matrix select_columns(std::span<const std::size_t> indices) const;
+
+  /// New matrix whose rows are this matrix's rows at `indices`.
+  Matrix select_rows(std::span<const std::size_t> indices) const;
+
+  /// Shape predicate.
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // -- in-place arithmetic (shapes must match where applicable) --
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  /// Element-wise (Hadamard) product.
+  Matrix hadamard(const Matrix& other) const;
+
+  /// Sum over all elements of the element-wise product (the Frobenius
+  /// inner product <this, other>).
+  double frobenius_dot(const Matrix& other) const;
+
+  /// Frobenius norm sqrt(sum x_ij^2).
+  double frobenius_norm() const noexcept;
+
+  /// Largest absolute element; 0 for an empty matrix.
+  double max_abs() const noexcept;
+
+  /// Sum of all elements.
+  double sum() const noexcept;
+
+  /// Exact element-wise equality (used by tests on constructed values).
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  /// Human-readable dump (for diagnostics / test failure messages).
+  std::string to_string(int decimals = 3) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// -- free arithmetic --
+
+/// Matrix sum / difference; shapes must match.
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+
+/// Scalar scaling.
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// Matrix product (a.cols() must equal b.rows()).
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product (a.cols() must equal x.size()).
+Vector multiply(const Matrix& a, std::span<const double> x);
+
+/// Transposed matrix-vector product: a^T x (a.rows() must equal x.size()).
+Vector multiply_transposed(const Matrix& a, std::span<const double> x);
+
+/// a^T * b computed without forming a.transposed() (a.rows() == b.rows()).
+Matrix gram_product(const Matrix& a, const Matrix& b);
+
+/// a * b^T computed without forming b.transposed() (a.cols() == b.cols()).
+Matrix outer_product(const Matrix& a, const Matrix& b);
+
+/// Maximum absolute difference between two same-shaped matrices.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace tafloc

@@ -1,0 +1,46 @@
+// Assorted matrix operations used by the reconstruction solvers:
+// soft-thresholding (the SVT proximal step), difference operators (the
+// paper's continuity matrix G and similarity matrix H), rank utilities
+// and deterministic random-matrix factories for tests and benches.
+#pragma once
+
+#include <cstddef>
+
+#include "tafloc/linalg/matrix.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+/// Scalar soft-threshold: sign(x) * max(|x| - tau, 0).
+double soft_threshold(double x, double tau) noexcept;
+
+/// Singular-value soft-threshold (the proximal operator of the nuclear
+/// norm): U * max(Sigma - tau, 0) * V^T.  tau must be >= 0.
+Matrix singular_value_shrink(const Matrix& a, double tau);
+
+/// First-difference operator D (size (n-1) x n): (D x)_i = x_{i+1} - x_i.
+/// Requires n >= 2.  Left-multiplying by D differences the rows of a
+/// matrix (the paper's H); right-multiplying by D^T differences its
+/// columns (the paper's G).
+Matrix first_difference_operator(std::size_t n);
+
+/// Second-difference operator (size (n-2) x n): x_{i} - 2 x_{i+1} + x_{i+2}.
+/// Requires n >= 3.
+Matrix second_difference_operator(std::size_t n);
+
+/// Numeric rank via SVD.
+std::size_t numeric_rank(const Matrix& a, double rel_tol = 1e-10);
+
+/// Matrix with i.i.d. standard normal entries.
+Matrix random_gaussian(std::size_t rows, std::size_t cols, Rng& rng);
+
+/// Random matrix of exact rank `rank`: product of two Gaussian factors
+/// (rank <= min(rows, cols)); entries scaled so the Frobenius norm is
+/// about sqrt(rows * cols).
+Matrix random_low_rank(std::size_t rows, std::size_t cols, std::size_t rank, Rng& rng);
+
+/// Random matrix with orthonormal columns (rows >= cols), from QR of a
+/// Gaussian matrix.
+Matrix random_orthonormal(std::size_t rows, std::size_t cols, Rng& rng);
+
+}  // namespace tafloc

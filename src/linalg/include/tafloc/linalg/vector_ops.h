@@ -1,0 +1,41 @@
+// Free-function kernels on Vector (std::vector<double>).
+#pragma once
+
+#include <span>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+/// Dot product; spans must have equal length.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> v) noexcept;
+
+/// Largest absolute component (infinity norm); 0 for an empty span.
+double norm_inf(std::span<const double> v) noexcept;
+
+/// y += alpha * x (equal lengths).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// v *= alpha.
+void scale(std::span<double> v, double alpha) noexcept;
+
+/// Element-wise difference a - b as a new vector (equal lengths).
+Vector subtract(std::span<const double> a, std::span<const double> b);
+
+/// Element-wise sum a + b as a new vector (equal lengths).
+Vector add(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance between two equal-length vectors.
+double distance2(std::span<const double> a, std::span<const double> b);
+
+/// Normalize v to unit Euclidean norm in place; returns the original
+/// norm.  A zero vector is left unchanged and 0 is returned.
+double normalize(std::span<double> v) noexcept;
+
+/// True if every component is finite (no NaN / infinity).
+bool all_finite(std::span<const double> v) noexcept;
+
+}  // namespace tafloc

@@ -1,0 +1,150 @@
+#include "tafloc/linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "tafloc/linalg/svd.h"
+#include "tafloc/linalg/vector_ops.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+EigResult eig_symmetric(const Matrix& a, const EigOptions& options) {
+  TAFLOC_CHECK_ARG(a.rows() == a.cols() && !a.empty(), "eig needs a non-empty square matrix");
+  TAFLOC_CHECK_ARG(options.tolerance > 0.0, "tolerance must be positive");
+  const std::size_t n = a.rows();
+  const double scale = std::max(a.max_abs(), 1e-300);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      TAFLOC_CHECK_ARG(std::abs(a(i, j) - a(j, i)) <= 1e-9 * scale,
+                       "matrix must be symmetric");
+
+  Matrix w = a;
+  Matrix v = Matrix::identity(n);
+
+  for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off = std::max(off, std::abs(w(i, j)));
+    if (off <= options.tolerance * scale) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = w(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (w(q, q) - w(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        // W <- J^T W J for the (p, q) rotation J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = w(k, p);
+          const double wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = w(p, k);
+          const double wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return w(x, x) > w(y, y); });
+
+  EigResult out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = w(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+PowerIterationResult power_iteration(const Matrix& a, std::size_t max_iterations,
+                                     double tolerance) {
+  TAFLOC_CHECK_ARG(a.rows() == a.cols() && !a.empty(),
+                   "power iteration needs a non-empty square matrix");
+  TAFLOC_CHECK_ARG(tolerance > 0.0, "tolerance must be positive");
+  const std::size_t n = a.rows();
+
+  PowerIterationResult out;
+  // Deterministic start with energy in every coordinate.
+  out.eigenvector.assign(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    out.eigenvector[i] += 0.01 * static_cast<double>(i + 1) / static_cast<double>(n);
+  normalize(out.eigenvector);
+
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    Vector next = multiply(a, out.eigenvector);
+    const double norm = normalize(next);
+    if (norm == 0.0) {  // vector in the null space: eigenvalue 0
+      out.eigenvalue = 0.0;
+      out.converged = true;
+      out.iterations = it + 1;
+      return out;
+    }
+    // Rayleigh quotient for the signed eigenvalue.
+    const Vector av = multiply(a, next);
+    out.eigenvalue = dot(next, av);
+    out.eigenvector = std::move(next);
+    out.iterations = it + 1;
+    if (std::abs(out.eigenvalue - prev) <= tolerance * std::max(std::abs(out.eigenvalue), 1.0)) {
+      out.converged = true;
+      return out;
+    }
+    prev = out.eigenvalue;
+  }
+  return out;
+}
+
+Matrix pseudo_inverse(const Matrix& a, double rel_tol) {
+  TAFLOC_CHECK_ARG(!a.empty(), "pseudo-inverse of an empty matrix is undefined");
+  TAFLOC_CHECK_ARG(rel_tol >= 0.0, "tolerance must be non-negative");
+  const SvdResult svd = svd_decompose(a);
+  const double cutoff = rel_tol * (svd.sigma.empty() ? 0.0 : svd.sigma[0]);
+  // pinv = V * diag(1/sigma) * U^T.
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t t = 0; t < svd.sigma.size(); ++t) {
+    if (svd.sigma[t] <= cutoff || svd.sigma[t] == 0.0) continue;
+    const double inv = 1.0 / svd.sigma[t];
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double vit = svd.v(i, t) * inv;
+      if (vit == 0.0) continue;
+      for (std::size_t j = 0; j < a.rows(); ++j) out(i, j) += vit * svd.u(j, t);
+    }
+  }
+  return out;
+}
+
+double condition_number(const Matrix& a) {
+  const SvdResult svd = svd_decompose(a);
+  const double smax = svd.sigma.front();
+  const double smin = svd.sigma.back();
+  // Below relative machine precision the matrix is singular for every
+  // practical purpose.
+  if (smin <= smax * 1e-14 || smin == 0.0) return std::numeric_limits<double>::infinity();
+  return smax / smin;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,85 @@
+#include "tafloc/linalg/lu.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
+  TAFLOC_CHECK_ARG(a.rows() == a.cols() && !a.empty(), "LU needs a non-empty square matrix");
+  for (double v : lu_.data())
+    TAFLOC_CHECK_ARG(std::isfinite(v), "matrix contains non-finite values");
+  const std::size_t n = lu_.rows();
+  pivot_.resize(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) throw std::domain_error("LuDecomposition: matrix is singular");
+    pivot_[k] = p;
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      permutation_sign_ = -permutation_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) *= inv_pivot;
+      const double lik = lu_(i, k);
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= lik * lu_(k, j);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  TAFLOC_CHECK_ARG(b.size() == n, "right-hand side length mismatch");
+  Vector x(b.begin(), b.end());
+  // Apply the row permutation.
+  for (std::size_t k = 0; k < n; ++k) std::swap(x[k], x[pivot_[k]]);
+  // Forward substitution (unit lower triangle).
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve_matrix(const Matrix& b) const {
+  TAFLOC_CHECK_ARG(b.rows() == lu_.rows(), "right-hand side row count mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+double LuDecomposition::determinant() const noexcept {
+  double det = static_cast<double>(permutation_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LuDecomposition::inverse() const { return solve_matrix(Matrix::identity(lu_.rows())); }
+
+Vector solve_linear(const Matrix& a, std::span<const double> b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace tafloc

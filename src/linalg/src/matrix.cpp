@@ -1,0 +1,279 @@
+#include "tafloc/linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tafloc {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  TAFLOC_CHECK_ARG((rows == 0) == (cols == 0),
+                   "a matrix must have both dimensions zero or both positive");
+}
+
+Matrix Matrix::from_rows(std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t nr = rows.size();
+  TAFLOC_CHECK_ARG(nr > 0, "from_rows needs at least one row");
+  const std::size_t nc = rows.begin()->size();
+  TAFLOC_CHECK_ARG(nc > 0, "from_rows needs at least one column");
+  Matrix m(nr, nc);
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    TAFLOC_CHECK_ARG(row.size() == nc, "all rows must have the same length");
+    std::size_t c = 0;
+    for (double v : row) m(r, c++) = v;
+    ++r;
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::column(std::span<const double> v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
+  TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
+  return data_[r * cols_ + c];
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
+  TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
+  return data_[r * cols_ + c];
+}
+
+Vector Matrix::row(std::size_t r) const {
+  TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::col(std::size_t c) const {
+  TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = data_[r * cols_ + c];
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, std::span<const double> values) {
+  TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
+  TAFLOC_CHECK_ARG(values.size() == cols_, "row length mismatch");
+  std::copy(values.begin(), values.end(), data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void Matrix::set_col(std::size_t c, std::span<const double> values) {
+  TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
+  TAFLOC_CHECK_ARG(values.size() == rows_, "column length mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = data_[r * cols_ + c];
+  return t;
+}
+
+Matrix Matrix::submatrix(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const {
+  TAFLOC_CHECK_ARG(r0 + nr <= rows_ && c0 + nc <= cols_, "submatrix exceeds matrix bounds");
+  TAFLOC_CHECK_ARG(nr > 0 && nc > 0, "submatrix must be non-empty");
+  Matrix s(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c) s(r, c) = data_[(r0 + r) * cols_ + (c0 + c)];
+  return s;
+}
+
+Matrix Matrix::select_columns(std::span<const std::size_t> indices) const {
+  TAFLOC_CHECK_ARG(!indices.empty(), "select_columns needs at least one index");
+  Matrix s(rows_, indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    TAFLOC_CHECK_BOUNDS(indices[k], cols_, "select_columns index");
+    for (std::size_t r = 0; r < rows_; ++r) s(r, k) = data_[r * cols_ + indices[k]];
+  }
+  return s;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  TAFLOC_CHECK_ARG(!indices.empty(), "select_rows needs at least one index");
+  Matrix s(indices.size(), cols_);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    TAFLOC_CHECK_BOUNDS(indices[k], rows_, "select_rows index");
+    for (std::size_t c = 0; c < cols_; ++c) s(k, c) = data_[indices[k] * cols_ + c];
+  }
+  return s;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  TAFLOC_CHECK_ARG(same_shape(other), "matrix addition requires equal shapes");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  TAFLOC_CHECK_ARG(same_shape(other), "matrix subtraction requires equal shapes");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  TAFLOC_CHECK_ARG(same_shape(other), "Hadamard product requires equal shapes");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+double Matrix::frobenius_dot(const Matrix& other) const {
+  TAFLOC_CHECK_ARG(same_shape(other), "Frobenius inner product requires equal shapes");
+  double s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Matrix::sum() const noexcept {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+std::string Matrix::to_string(int decimals) const {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(decimals);
+  oss << rows_ << "x" << cols_ << " [\n";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    oss << "  ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) oss << ' ';
+      oss << std::setw(decimals + 6) << data_[r * cols_ + c];
+    }
+    oss << '\n';
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix a, double s) {
+  a *= s;
+  return a;
+}
+
+Matrix operator*(double s, Matrix a) {
+  a *= s;
+  return a;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  TAFLOC_CHECK_ARG(a.cols() == b.rows(), "matrix product inner dimensions must agree");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the innermost accesses contiguous for
+  // row-major storage.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Vector multiply(const Matrix& a, std::span<const double> x) {
+  TAFLOC_CHECK_ARG(a.cols() == x.size(), "matrix-vector product dimension mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector multiply_transposed(const Matrix& a, std::span<const double> x) {
+  TAFLOC_CHECK_ARG(a.rows() == x.size(), "transposed matrix-vector product dimension mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
+  }
+  return y;
+}
+
+Matrix gram_product(const Matrix& a, const Matrix& b) {
+  TAFLOC_CHECK_ARG(a.rows() == b.rows(), "gram_product requires equal row counts");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
+    }
+  }
+  return c;
+}
+
+Matrix outer_product(const Matrix& a, const Matrix& b) {
+  TAFLOC_CHECK_ARG(a.cols() == b.cols(), "outer_product requires equal column counts");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  TAFLOC_CHECK_ARG(a.same_shape(b), "max_abs_diff requires equal shapes");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,74 @@
+#include "tafloc/linalg/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tafloc/linalg/qr.h"
+#include "tafloc/linalg/svd.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+double soft_threshold(double x, double tau) noexcept {
+  if (x > tau) return x - tau;
+  if (x < -tau) return x + tau;
+  return 0.0;
+}
+
+Matrix singular_value_shrink(const Matrix& a, double tau) {
+  TAFLOC_CHECK_ARG(tau >= 0.0, "shrinkage threshold must be non-negative");
+  SvdResult svd = svd_decompose(a);
+  for (double& s : svd.sigma) s = std::max(s - tau, 0.0);
+  return svd.reconstruct();
+}
+
+Matrix first_difference_operator(std::size_t n) {
+  TAFLOC_CHECK_ARG(n >= 2, "first-difference operator needs n >= 2");
+  Matrix d(n - 1, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    d(i, i) = -1.0;
+    d(i, i + 1) = 1.0;
+  }
+  return d;
+}
+
+Matrix second_difference_operator(std::size_t n) {
+  TAFLOC_CHECK_ARG(n >= 3, "second-difference operator needs n >= 3");
+  Matrix d(n - 2, n);
+  for (std::size_t i = 0; i + 2 < n; ++i) {
+    d(i, i) = 1.0;
+    d(i, i + 1) = -2.0;
+    d(i, i + 2) = 1.0;
+  }
+  return d;
+}
+
+std::size_t numeric_rank(const Matrix& a, double rel_tol) {
+  return svd_decompose(a).numeric_rank(rel_tol);
+}
+
+Matrix random_gaussian(std::size_t rows, std::size_t cols, Rng& rng) {
+  TAFLOC_CHECK_ARG(rows > 0 && cols > 0, "random matrix must be non-empty");
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng.normal();
+  return m;
+}
+
+Matrix random_low_rank(std::size_t rows, std::size_t cols, std::size_t rank, Rng& rng) {
+  TAFLOC_CHECK_ARG(rank > 0 && rank <= std::min(rows, cols),
+                   "rank must be in [1, min(rows, cols)]");
+  const Matrix left = random_gaussian(rows, rank, rng);
+  const Matrix right = random_gaussian(rank, cols, rng);
+  Matrix m = left * right;
+  // Normalize so E[x_ij^2] ~ 1 regardless of rank.
+  m *= 1.0 / std::sqrt(static_cast<double>(rank));
+  return m;
+}
+
+Matrix random_orthonormal(std::size_t rows, std::size_t cols, Rng& rng) {
+  TAFLOC_CHECK_ARG(rows >= cols, "random_orthonormal needs rows >= cols");
+  const Matrix g = random_gaussian(rows, cols, rng);
+  return qr_decompose(g).q;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,129 @@
+#include "tafloc/linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  TAFLOC_CHECK_ARG((rows == 0) == (cols == 0),
+                   "a matrix must have both dimensions zero or both positive");
+  for (const Triplet& t : triplets) {
+    TAFLOC_CHECK_BOUNDS(t.row, rows_, "sparse triplet row");
+    TAFLOC_CHECK_BOUNDS(t.col, cols_, "sparse triplet col");
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  row_start_.assign(rows_ + 1, 0);
+  col_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    std::size_t j = i + 1;
+    double sum = triplets[i].value;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    col_.push_back(triplets[i].col);
+    values_.push_back(sum);
+    ++row_start_[triplets[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_start_[r + 1] += row_start_[r];
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double tol) {
+  TAFLOC_CHECK_ARG(tol >= 0.0, "tolerance must be non-negative");
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < dense.rows(); ++r)
+    for (std::size_t c = 0; c < dense.cols(); ++c)
+      if (std::abs(dense(r, c)) > tol) triplets.push_back({r, c, dense(r, c)});
+  return SparseMatrix(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+Vector SparseMatrix::multiply(std::span<const double> x) const {
+  TAFLOC_CHECK_ARG(x.size() == cols_, "sparse matvec dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) s += values_[k] * x[col_[k]];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector SparseMatrix::multiply_transposed(std::span<const double> x) const {
+  TAFLOC_CHECK_ARG(x.size() == rows_, "sparse transposed matvec dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) y[col_[k]] += values_[k] * xr;
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  TAFLOC_CHECK_BOUNDS(row, rows_, "sparse row");
+  TAFLOC_CHECK_BOUNDS(col, cols_, "sparse col");
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_start_[row]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_start_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_.begin())];
+}
+
+Matrix SparseMatrix::to_dense() const {
+  TAFLOC_CHECK_ARG(rows_ > 0 && cols_ > 0, "cannot densify an empty sparse matrix");
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k)
+      out(r, col_[k]) = values_[k];
+  return out;
+}
+
+void SparseMatrix::prune(double tol) {
+  TAFLOC_CHECK_ARG(tol >= 0.0, "tolerance must be non-negative");
+  std::vector<std::size_t> new_start(rows_ + 1, 0);
+  std::vector<std::size_t> new_col;
+  std::vector<double> new_values;
+  new_col.reserve(col_.size());
+  new_values.reserve(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      if (std::abs(values_[k]) > tol) {
+        new_col.push_back(col_[k]);
+        new_values.push_back(values_[k]);
+        ++new_start[r + 1];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) new_start[r + 1] += new_start[r];
+  row_start_ = std::move(new_start);
+  col_ = std::move(new_col);
+  values_ = std::move(new_values);
+}
+
+std::span<const std::size_t> SparseMatrix::row_indices(std::size_t row) const {
+  TAFLOC_CHECK_BOUNDS(row, rows_, "sparse row");
+  return {col_.data() + row_start_[row], row_start_[row + 1] - row_start_[row]};
+}
+
+std::span<const double> SparseMatrix::row_values(std::size_t row) const {
+  TAFLOC_CHECK_BOUNDS(row, rows_, "sparse row");
+  return {values_.data() + row_start_[row], row_start_[row + 1] - row_start_[row]};
+}
+
+double SparseMatrix::frobenius_norm() const noexcept {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace tafloc

@@ -1,0 +1,75 @@
+#include "tafloc/linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  TAFLOC_CHECK_ARG(a.size() == b.size(), "dot product requires equal lengths");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(std::span<const double> v) noexcept {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  TAFLOC_CHECK_ARG(x.size() == y.size(), "axpy requires equal lengths");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> v, double alpha) noexcept {
+  for (double& x : v) x *= alpha;
+}
+
+Vector subtract(std::span<const double> a, std::span<const double> b) {
+  TAFLOC_CHECK_ARG(a.size() == b.size(), "subtract requires equal lengths");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  TAFLOC_CHECK_ARG(a.size() == b.size(), "add requires equal lengths");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double distance2(std::span<const double> a, std::span<const double> b) {
+  TAFLOC_CHECK_ARG(a.size() == b.size(), "distance2 requires equal lengths");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double normalize(std::span<double> v) noexcept {
+  const double n = norm2(v);
+  if (n > 0.0) scale(v, 1.0 / n);
+  return n;
+}
+
+bool all_finite(std::span<const double> v) noexcept {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,83 @@
+// Fingerprint matchers: estimate the target location by comparing a
+// real-time RSS vector Y against the columns of the fingerprint matrix
+// (paper section 2, last paragraph).
+//
+// Three matchers, all implementing Localizer:
+//  - NnMatcher:  nearest column, returns that grid's centre (coarse).
+//  - KnnMatcher: inverse-distance weighted centroid of the k nearest
+//    grids -- sub-grid ("fine-grained") estimates; TafLoc's default.
+//  - BayesMatcher: Gaussian-likelihood posterior mean over all grids.
+#pragma once
+
+#include <cstddef>
+
+#include "tafloc/linalg/matrix.h"
+#include "tafloc/loc/localizer.h"
+#include "tafloc/sim/grid.h"
+
+namespace tafloc {
+
+/// Nearest-neighbour matcher.
+class NnMatcher : public Localizer {
+ public:
+  /// `fingerprints` is M x N with one column per grid of `grid`.
+  NnMatcher(Matrix fingerprints, GridMap grid);
+
+  Point2 localize(std::span<const double> rss) const override;
+  std::string name() const override { return "NN"; }
+
+  /// Index of the best-matching grid (exposed for tests).
+  std::size_t nearest_grid(std::span<const double> rss) const;
+
+ private:
+  Matrix fingerprints_;
+  GridMap grid_;
+};
+
+/// k-nearest-neighbour matcher with inverse-distance weighting and a
+/// spatial gate: fingerprint-space neighbours are only averaged into
+/// the estimate if they are also spatially near the best match --
+/// fingerprint collisions between far-apart cells would otherwise pull
+/// the centroid to nowhere.
+class KnnMatcher : public Localizer {
+ public:
+  /// k must be in [1, N].  With weighted == false the plain centroid of
+  /// the surviving grid centres is returned.  spatial_gate_m <= 0
+  /// disables the gate.
+  KnnMatcher(Matrix fingerprints, GridMap grid, std::size_t k, bool weighted = true,
+             double spatial_gate_m = 1.0);
+
+  Point2 localize(std::span<const double> rss) const override;
+  std::string name() const override;
+
+  /// Indices of the k best-matching grids, best first (for tests).
+  std::vector<std::size_t> nearest_grids(std::span<const double> rss) const;
+
+ private:
+  Matrix fingerprints_;
+  GridMap grid_;
+  std::size_t k_;
+  bool weighted_;
+  double spatial_gate_m_;
+};
+
+/// Gaussian-likelihood matcher: p(Y | grid j) ~ exp(-||Y - x_j||^2 /
+/// (2 sigma^2 M)); the estimate is the posterior-probability-weighted
+/// centroid.
+class BayesMatcher : public Localizer {
+ public:
+  BayesMatcher(Matrix fingerprints, GridMap grid, double sigma_db = 2.0);
+
+  Point2 localize(std::span<const double> rss) const override;
+  std::string name() const override { return "Bayes"; }
+
+  /// Posterior over grids for a given observation (sums to 1; tests).
+  Vector posterior(std::span<const double> rss) const;
+
+ private:
+  Matrix fingerprints_;
+  GridMap grid_;
+  double sigma_;
+};
+
+}  // namespace tafloc

@@ -1,0 +1,34 @@
+// Localization accuracy metrics (paper Fig. 5 reports the error CDF).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tafloc/loc/localizer.h"
+#include "tafloc/rf/geometry.h"
+
+namespace tafloc {
+
+/// Euclidean localization error of one estimate.
+double localization_error(Point2 estimate, Point2 truth) noexcept;
+
+/// Errors of a localizer over paired (observation, truth) test points;
+/// observations[i] is the RSS vector measured with the target at
+/// truths[i].  Sizes must match and be non-zero.
+std::vector<double> evaluate_localizer(const Localizer& localizer,
+                                       std::span<const std::vector<double>> observations,
+                                       std::span<const Point2> truths);
+
+/// Summary statistics of an error sample.
+struct ErrorSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double p80 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute the summary; errors must be non-empty.
+ErrorSummary summarize_errors(std::span<const double> errors);
+
+}  // namespace tafloc

@@ -1,0 +1,66 @@
+// PresenceDetector -- is anybody inside the monitored area?
+//
+// Device-free localization only makes sense once presence is
+// established: an empty room should produce no location estimates.
+// Presence is scored as the RMS of per-link signal dynamics (ambient
+// minus current RSS); the detection threshold is calibrated from
+// target-free observations (mean + k sigma of the empty-room score) so
+// the false-positive rate is controlled without manual tuning, and a
+// hysteresis band keeps the decision from chattering at the boundary.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+struct PresenceConfig {
+  double sigma_multiplier = 4.0;  ///< threshold = mean + k * sigma of empty scores.
+  double hysteresis_db = 0.3;     ///< release threshold sits this far below the set threshold.
+  std::size_t min_calibration_samples = 5;
+};
+
+class PresenceDetector {
+ public:
+  /// `ambient` is the current target-free per-link RSS baseline.
+  PresenceDetector(Vector ambient, const PresenceConfig& config = {});
+
+  /// RMS signal dynamics of one observation against the baseline.
+  double score(std::span<const double> rss) const;
+
+  /// Feed one known-empty observation to the threshold calibration.
+  void calibrate_empty(std::span<const double> rss);
+
+  /// True once enough empty observations were seen.
+  bool calibrated() const noexcept;
+
+  /// Detection threshold (set level); throws if not calibrated.
+  double threshold() const;
+
+  /// Stateful detection with hysteresis: returns the current presence
+  /// decision after folding in one observation.
+  bool update(std::span<const double> rss);
+
+  /// Stateless check against the set threshold (no hysteresis).
+  bool is_present(std::span<const double> rss) const;
+
+  /// Replace the ambient baseline (e.g. after a TafLoc update's fresh
+  /// ambient scan); keeps the calibration.
+  void set_ambient(Vector ambient);
+
+  /// Latest decision (false before any update()).
+  bool present() const noexcept { return present_; }
+
+ private:
+  Vector ambient_;
+  PresenceConfig config_;
+  // Streaming mean/variance of empty-room scores.
+  std::size_t n_empty_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  bool present_ = false;
+};
+
+}  // namespace tafloc

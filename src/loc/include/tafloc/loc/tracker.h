@@ -1,0 +1,32 @@
+// EmaTracker -- exponential smoothing of successive position estimates
+// for the tracking examples (elderly care / intruder): device-free
+// targets move slowly relative to the observation rate, so smoothing
+// trades a little lag for much lower jitter.
+#pragma once
+
+#include <optional>
+
+#include "tafloc/rf/geometry.h"
+
+namespace tafloc {
+
+class EmaTracker {
+ public:
+  /// alpha in (0, 1]: weight of the newest estimate (1 = no smoothing).
+  explicit EmaTracker(double alpha = 0.5);
+
+  /// Fold in a new raw estimate; returns the smoothed position.
+  Point2 update(Point2 estimate);
+
+  /// Latest smoothed position, if any update has been seen.
+  std::optional<Point2> position() const noexcept { return state_; }
+
+  /// Forget all history.
+  void reset() noexcept { state_.reset(); }
+
+ private:
+  double alpha_;
+  std::optional<Point2> state_;
+};
+
+}  // namespace tafloc

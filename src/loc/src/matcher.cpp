@@ -1,0 +1,149 @@
+#include "tafloc/loc/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tafloc/linalg/vector_ops.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+namespace {
+
+void validate_shapes(const Matrix& fingerprints, const GridMap& grid) {
+  TAFLOC_CHECK_ARG(!fingerprints.empty(), "fingerprint matrix must be non-empty");
+  TAFLOC_CHECK_ARG(fingerprints.cols() == grid.num_cells(),
+                   "fingerprint matrix must have one column per grid cell");
+}
+
+/// Squared Euclidean distance between the observation and column j.
+double column_distance_sq(const Matrix& fp, std::span<const double> rss, std::size_t j) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < fp.rows(); ++i) {
+    const double d = rss[i] - fp(i, j);
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+// ---------------- NnMatcher ----------------
+
+NnMatcher::NnMatcher(Matrix fingerprints, GridMap grid)
+    : fingerprints_(std::move(fingerprints)), grid_(std::move(grid)) {
+  validate_shapes(fingerprints_, grid_);
+}
+
+std::size_t NnMatcher::nearest_grid(std::span<const double> rss) const {
+  TAFLOC_CHECK_ARG(rss.size() == fingerprints_.rows(), "observation length mismatch");
+  TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
+  std::size_t best = 0;
+  double best_d = column_distance_sq(fingerprints_, rss, 0);
+  for (std::size_t j = 1; j < fingerprints_.cols(); ++j) {
+    const double d = column_distance_sq(fingerprints_, rss, j);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+Point2 NnMatcher::localize(std::span<const double> rss) const {
+  return grid_.center(nearest_grid(rss));
+}
+
+// ---------------- KnnMatcher ----------------
+
+KnnMatcher::KnnMatcher(Matrix fingerprints, GridMap grid, std::size_t k, bool weighted,
+                       double spatial_gate_m)
+    : fingerprints_(std::move(fingerprints)),
+      grid_(std::move(grid)),
+      k_(k),
+      weighted_(weighted),
+      spatial_gate_m_(spatial_gate_m) {
+  validate_shapes(fingerprints_, grid_);
+  TAFLOC_CHECK_ARG(k_ >= 1 && k_ <= fingerprints_.cols(), "k must be in [1, number of grids]");
+}
+
+std::string KnnMatcher::name() const {
+  return (weighted_ ? "WKNN-k" : "KNN-k") + std::to_string(k_);
+}
+
+std::vector<std::size_t> KnnMatcher::nearest_grids(std::span<const double> rss) const {
+  TAFLOC_CHECK_ARG(rss.size() == fingerprints_.rows(), "observation length mismatch");
+  TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
+  const std::size_t n = fingerprints_.cols();
+  std::vector<double> dist(n);
+  for (std::size_t j = 0; j < n; ++j) dist[j] = column_distance_sq(fingerprints_, rss, j);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k_), order.end(),
+                    [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
+  order.resize(k_);
+  return order;
+}
+
+Point2 KnnMatcher::localize(std::span<const double> rss) const {
+  const std::vector<std::size_t> nearest = nearest_grids(rss);
+  const Point2 anchor = grid_.center(nearest.front());
+  double wx = 0.0, wy = 0.0, wsum = 0.0;
+  for (std::size_t j : nearest) {
+    const Point2 c = grid_.center(j);
+    // Gate out fingerprint collisions: neighbours in signal space that
+    // are far from the best match in physical space.
+    if (spatial_gate_m_ > 0.0 && distance(c, anchor) > spatial_gate_m_) continue;
+    double w = 1.0;
+    if (weighted_) {
+      const double d = std::sqrt(column_distance_sq(fingerprints_, rss, j));
+      w = 1.0 / (d + 1e-6);
+    }
+    wx += w * c.x;
+    wy += w * c.y;
+    wsum += w;
+  }
+  return {wx / wsum, wy / wsum};
+}
+
+// ---------------- BayesMatcher ----------------
+
+BayesMatcher::BayesMatcher(Matrix fingerprints, GridMap grid, double sigma_db)
+    : fingerprints_(std::move(fingerprints)), grid_(std::move(grid)), sigma_(sigma_db) {
+  validate_shapes(fingerprints_, grid_);
+  TAFLOC_CHECK_ARG(sigma_ > 0.0, "likelihood sigma must be positive");
+}
+
+Vector BayesMatcher::posterior(std::span<const double> rss) const {
+  TAFLOC_CHECK_ARG(rss.size() == fingerprints_.rows(), "observation length mismatch");
+  TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
+  const std::size_t n = fingerprints_.cols();
+  const double m = static_cast<double>(fingerprints_.rows());
+  Vector log_lik(n);
+  double max_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < n; ++j) {
+    log_lik[j] = -column_distance_sq(fingerprints_, rss, j) / (2.0 * sigma_ * sigma_ * m);
+    max_ll = std::max(max_ll, log_lik[j]);
+  }
+  double z = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    log_lik[j] = std::exp(log_lik[j] - max_ll);  // now an unnormalized probability
+    z += log_lik[j];
+  }
+  for (double& p : log_lik) p /= z;
+  return log_lik;
+}
+
+Point2 BayesMatcher::localize(std::span<const double> rss) const {
+  const Vector post = posterior(rss);
+  double wx = 0.0, wy = 0.0;
+  for (std::size_t j = 0; j < post.size(); ++j) {
+    const Point2 c = grid_.center(j);
+    wx += post[j] * c.x;
+    wy += post[j] * c.y;
+  }
+  return {wx, wy};
+}
+
+}  // namespace tafloc

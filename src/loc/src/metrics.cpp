@@ -1,0 +1,38 @@
+#include "tafloc/loc/metrics.h"
+
+#include "tafloc/util/check.h"
+#include "tafloc/util/stats.h"
+
+namespace tafloc {
+
+double localization_error(Point2 estimate, Point2 truth) noexcept {
+  return distance(estimate, truth);
+}
+
+std::vector<double> evaluate_localizer(const Localizer& localizer,
+                                       std::span<const std::vector<double>> observations,
+                                       std::span<const Point2> truths) {
+  TAFLOC_CHECK_ARG(observations.size() == truths.size(),
+                   "observations and truths must pair up");
+  TAFLOC_CHECK_ARG(!observations.empty(), "evaluation needs at least one test point");
+  std::vector<double> errors;
+  errors.reserve(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    const Point2 estimate = localizer.localize(observations[i]);
+    errors.push_back(localization_error(estimate, truths[i]));
+  }
+  return errors;
+}
+
+ErrorSummary summarize_errors(std::span<const double> errors) {
+  TAFLOC_CHECK_ARG(!errors.empty(), "cannot summarize an empty error sample");
+  ErrorSummary s;
+  s.mean = mean(errors);
+  s.median = percentile(errors, 50.0);
+  s.p80 = percentile(errors, 80.0);
+  s.p95 = percentile(errors, 95.0);
+  s.max = percentile(errors, 100.0);
+  return s;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,67 @@
+#include "tafloc/loc/presence.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+PresenceDetector::PresenceDetector(Vector ambient, const PresenceConfig& config)
+    : ambient_(std::move(ambient)), config_(config) {
+  TAFLOC_CHECK_ARG(!ambient_.empty(), "presence detector needs at least one link");
+  TAFLOC_CHECK_ARG(config.sigma_multiplier > 0.0, "sigma multiplier must be positive");
+  TAFLOC_CHECK_ARG(config.hysteresis_db >= 0.0, "hysteresis must be non-negative");
+  TAFLOC_CHECK_ARG(config.min_calibration_samples >= 2,
+                   "threshold calibration needs at least two samples");
+}
+
+double PresenceDetector::score(std::span<const double> rss) const {
+  TAFLOC_CHECK_ARG(rss.size() == ambient_.size(), "observation length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < rss.size(); ++i) {
+    const double d = ambient_[i] - rss[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(rss.size()));
+}
+
+void PresenceDetector::calibrate_empty(std::span<const double> rss) {
+  const double x = score(rss);
+  ++n_empty_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_empty_);
+  m2_ += delta * (x - mean_);
+}
+
+bool PresenceDetector::calibrated() const noexcept {
+  return n_empty_ >= config_.min_calibration_samples;
+}
+
+double PresenceDetector::threshold() const {
+  TAFLOC_CHECK_STATE(calibrated(), "presence threshold requires calibration samples");
+  const double variance = m2_ / static_cast<double>(n_empty_ - 1);
+  return mean_ + config_.sigma_multiplier * std::sqrt(variance);
+}
+
+bool PresenceDetector::is_present(std::span<const double> rss) const {
+  return score(rss) > threshold();
+}
+
+bool PresenceDetector::update(std::span<const double> rss) {
+  const double x = score(rss);
+  const double set_level = threshold();
+  const double release_level = set_level - config_.hysteresis_db;
+  if (present_) {
+    if (x < release_level) present_ = false;
+  } else {
+    if (x > set_level) present_ = true;
+  }
+  return present_;
+}
+
+void PresenceDetector::set_ambient(Vector ambient) {
+  TAFLOC_CHECK_ARG(ambient.size() == ambient_.size(), "ambient vector size must not change");
+  ambient_ = std::move(ambient);
+}
+
+}  // namespace tafloc

@@ -1,0 +1,21 @@
+#include "tafloc/loc/tracker.h"
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+EmaTracker::EmaTracker(double alpha) : alpha_(alpha) {
+  TAFLOC_CHECK_ARG(alpha > 0.0 && alpha <= 1.0, "EMA alpha must be in (0, 1]");
+}
+
+Point2 EmaTracker::update(Point2 estimate) {
+  if (!state_) {
+    state_ = estimate;
+  } else {
+    state_ = Point2{alpha_ * estimate.x + (1.0 - alpha_) * state_->x,
+                    alpha_ * estimate.y + (1.0 - alpha_) * state_->y};
+  }
+  return *state_;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,29 @@
+// Reconstruction error metrics (paper Fig. 3 reports the CDF and the
+// mean of per-entry |reconstructed - true| in dBm).
+#pragma once
+
+#include <vector>
+
+#include "tafloc/fingerprint/distortion.h"
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+/// Per-entry absolute errors |a - b| flattened into a vector (all
+/// entries; shapes must match).
+std::vector<double> entrywise_abs_errors(const Matrix& reconstructed, const Matrix& truth);
+
+/// Per-entry absolute errors restricted to the distorted support of
+/// `mask` (the entries reconstruction actually has to recover; the
+/// undistorted ones are measured).
+std::vector<double> entrywise_abs_errors_distorted(const Matrix& reconstructed,
+                                                   const Matrix& truth,
+                                                   const DistortionMask& mask);
+
+/// Mean absolute error over all entries.
+double mean_abs_error(const Matrix& reconstructed, const Matrix& truth);
+
+/// Root-mean-square error over all entries.
+double rms_error(const Matrix& reconstructed, const Matrix& truth);
+
+}  // namespace tafloc

@@ -1,0 +1,84 @@
+// LoLi-IR: the paper's fingerprint-matrix reconstruction algorithm
+// (Low-rank / Linear-representation Iterative Reconstruction).
+//
+// The fingerprint matrix estimate is factored as X^ = L R^T and found by
+// minimizing the paper's objective
+//
+//   min_{L,R}  lambda (||L||_F^2 + ||R||_F^2)
+//            + w_d  ||B o (L R^T) - X_I||_F^2          (undistorted entries)
+//            + mu   ||L R^T - X_R Z||_F^2              (LRR prediction)
+//            + nu   ||(L R^T)_ref - X_R||_F^2          (fresh reference columns)
+//            + gamma * continuity  + delta * similarity (distorted entries)
+//
+// by alternating minimization: with R fixed the objective is a ridge
+// least-squares problem in L (and vice versa), solved by conjugate
+// gradients on the normal equations, with matvecs assembled from the
+// problem terms directly (no giant Kronecker matrices).  Initialization
+// is the truncated SVD of the LRR prediction with known entries and
+// reference columns substituted in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tafloc/linalg/cg.h"
+#include "tafloc/linalg/matrix.h"
+#include "tafloc/recon/operators.h"
+
+namespace tafloc {
+
+/// Solver weights and iteration controls.  Defaults are the values used
+/// throughout the evaluation (see DESIGN.md).
+struct LoliIrConfig {
+  std::size_t rank = 0;      ///< factorization rank; 0 = numeric rank of the init.
+  std::size_t max_rank = 12; ///< cap for the automatic rank choice.
+  double lambda = 1e-3;             ///< factor ridge (nuclear-norm surrogate).
+  double data_weight = 0.5;         ///< w_d (X_I is ambient-approximate, so < mu).
+  double lrr_weight = 1.0;          ///< mu.
+  double continuity_weight = 0.15;  ///< gamma.
+  double similarity_weight = 0.15;  ///< delta.
+  double reference_weight = 8.0;    ///< nu.
+  std::size_t max_outer_iterations = 40;
+  double outer_tolerance = 1e-5;    ///< relative change of X^ between outer iterations.
+  CgOptions cg{1e-8, 400};          ///< inner ridge solves.
+  /// false (paper's literal formulation): penalize raw differences of
+  /// X^ on the distorted support -- a flatness prior.  true: penalize
+  /// differences of the correction X^ - X_R Z instead, trusting the
+  /// prediction's spatial gradient (useful when the prediction is clean
+  /// but incomplete; see the objective-terms ablation bench).
+  bool anchor_pairwise_to_prediction = false;
+};
+
+/// Everything the solver needs about one reconstruction instance.
+struct LoliIrProblem {
+  Matrix known;             ///< X_I (M x N), meaningful where mask == 1.
+  Matrix mask_undistorted;  ///< B (M x N), entries 0/1.
+  Matrix prediction;        ///< X_R * Z (M x N).
+  Matrix reference_columns; ///< fresh X_R (M x n).
+  std::vector<std::size_t> reference_indices;  ///< grid index of each X_R column.
+  std::vector<PairwiseTerm> continuity;        ///< property-iii pairs along links.
+  std::vector<PairwiseTerm> similarity;        ///< property-iii pairs across links.
+};
+
+struct LoliIrResult {
+  Matrix x;  ///< reconstructed fingerprint matrix L R^T.
+  Matrix l;  ///< M x rank factor.
+  Matrix r;  ///< N x rank factor.
+  std::size_t rank = 0;
+  std::size_t outer_iterations = 0;
+  bool converged = false;
+  double objective = 0.0;
+  std::vector<double> objective_trace;  ///< objective after each outer iteration.
+};
+
+/// Run the solver.  Throws std::invalid_argument on inconsistent shapes
+/// or indices; never returns silently-invalid output (non-convergence
+/// is reported through `converged` with the best iterate in `x`).
+LoliIrResult loli_ir_reconstruct(const LoliIrProblem& problem, const LoliIrConfig& config = {});
+
+/// Evaluate the objective at a given factor pair (exposed for tests:
+/// monotone decrease of the alternation is a checked invariant).
+double loli_ir_objective(const LoliIrProblem& problem, const LoliIrConfig& config,
+                         const Matrix& l, const Matrix& r);
+
+}  // namespace tafloc

@@ -1,0 +1,37 @@
+// Singular Value Thresholding (Cai, Candes & Shen 2010): the matrix
+// completion solver for fingerprint property (i) alone,
+//
+//   min rank(X^)  s.t.  B o X^ = X_I
+//
+// relaxed to nuclear-norm minimization.  In TafLoc's evaluation this is
+// the "rough" reconstruction the paper says rank minimization gives by
+// itself; LoLi-IR improves on it with the LRR and continuity/similarity
+// terms.  Also used directly by the solver-ablation bench.
+#pragma once
+
+#include <cstddef>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+struct SvtOptions {
+  double tau = 0.0;           ///< shrinkage threshold; 0 = 5 * sqrt(m * n).
+  double step = 0.0;          ///< gradient step delta; 0 = 1.2 / observed fraction.
+  double tolerance = 1e-4;    ///< stop when ||B o (X - X_I)||_F <= tol * ||X_I||_F.
+  std::size_t max_iterations = 2000;
+};
+
+struct SvtResult {
+  Matrix x;                   ///< completed matrix.
+  std::size_t iterations = 0;
+  bool converged = false;
+  double residual = 0.0;      ///< final relative residual on observed entries.
+};
+
+/// Complete `x_known` (values meaningful where mask == 1) to a low-rank
+/// matrix.  `mask` entries must be 0 or 1 and at least one entry must be
+/// observed.
+SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptions& options = {});
+
+}  // namespace tafloc

@@ -1,0 +1,329 @@
+#include "tafloc/recon/loli_ir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tafloc/linalg/svd.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+namespace {
+
+/// Shape/contents validation of a problem instance.
+void validate(const LoliIrProblem& p) {
+  TAFLOC_CHECK_ARG(!p.known.empty(), "X_I must be non-empty");
+  TAFLOC_CHECK_ARG(p.mask_undistorted.same_shape(p.known), "mask shape must match X_I");
+  TAFLOC_CHECK_ARG(p.prediction.same_shape(p.known), "prediction shape must match X_I");
+  for (double v : p.mask_undistorted.data())
+    TAFLOC_CHECK_ARG(v == 0.0 || v == 1.0, "mask entries must be 0 or 1");
+  TAFLOC_CHECK_ARG(p.reference_columns.rows() == p.known.rows(),
+                   "reference columns must have one row per link");
+  for (std::size_t idx : p.reference_indices)
+    TAFLOC_CHECK_BOUNDS(idx, p.known.cols(), "reference grid index");
+  TAFLOC_CHECK_ARG(p.reference_columns.cols() == p.reference_indices.size(),
+                   "reference column count must match index count");
+  auto check_pairs = [&](const std::vector<PairwiseTerm>& pairs) {
+    for (const PairwiseTerm& t : pairs) {
+      TAFLOC_CHECK_BOUNDS(t.row1, p.known.rows(), "pair row");
+      TAFLOC_CHECK_BOUNDS(t.row2, p.known.rows(), "pair row");
+      TAFLOC_CHECK_BOUNDS(t.col1, p.known.cols(), "pair col");
+      TAFLOC_CHECK_BOUNDS(t.col2, p.known.cols(), "pair col");
+    }
+  };
+  check_pairs(p.continuity);
+  check_pairs(p.similarity);
+}
+
+void validate(const LoliIrConfig& c) {
+  TAFLOC_CHECK_ARG(c.lambda > 0.0, "lambda must be positive (it keeps the subproblems SPD)");
+  TAFLOC_CHECK_ARG(c.data_weight >= 0.0 && c.lrr_weight >= 0.0 && c.continuity_weight >= 0.0 &&
+                       c.similarity_weight >= 0.0 && c.reference_weight >= 0.0,
+                   "objective weights must be non-negative");
+  TAFLOC_CHECK_ARG(c.max_outer_iterations > 0, "outer iteration cap must be positive");
+  TAFLOC_CHECK_ARG(c.outer_tolerance > 0.0, "outer tolerance must be positive");
+  TAFLOC_CHECK_ARG(c.max_rank > 0, "max rank must be positive");
+}
+
+/// The initialization matrix: LRR prediction, overwritten by the known
+/// undistorted entries and the freshly measured reference columns.
+Matrix initial_estimate(const LoliIrProblem& p) {
+  Matrix x0 = p.prediction;
+  for (std::size_t i = 0; i < x0.rows(); ++i)
+    for (std::size_t j = 0; j < x0.cols(); ++j)
+      if (p.mask_undistorted(i, j) == 1.0) x0(i, j) = p.known(i, j);
+  for (std::size_t k = 0; k < p.reference_indices.size(); ++k)
+    x0.set_col(p.reference_indices[k], p.reference_columns.col(k));
+  return x0;
+}
+
+Matrix reshape(const Vector& v, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  std::copy(v.begin(), v.end(), m.data().begin());
+  return m;
+}
+
+Vector flatten(const Matrix& m) { return Vector(m.data().begin(), m.data().end()); }
+
+/// Rows of R at the reference grid indices (n x rank).
+Matrix reference_rows(const Matrix& r, const std::vector<std::size_t>& idx) {
+  return r.select_rows(idx);
+}
+
+}  // namespace
+
+double loli_ir_objective(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& l,
+                         const Matrix& r) {
+  const Matrix x = outer_product(l, r);  // L R^T
+  double f = c.lambda * (l.frobenius_norm() * l.frobenius_norm() +
+                         r.frobenius_norm() * r.frobenius_norm());
+  if (c.data_weight > 0.0) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j)
+        if (p.mask_undistorted(i, j) == 1.0) {
+          const double d = x(i, j) - p.known(i, j);
+          s += d * d;
+        }
+    f += c.data_weight * s;
+  }
+  if (c.lrr_weight > 0.0) {
+    const Matrix d = x - p.prediction;
+    f += c.lrr_weight * d.frobenius_norm() * d.frobenius_norm();
+  }
+  if (c.reference_weight > 0.0) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < p.reference_indices.size(); ++k) {
+      const std::size_t j = p.reference_indices[k];
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        const double d = x(i, j) - p.reference_columns(i, k);
+        s += d * d;
+      }
+    }
+    f += c.reference_weight * s;
+  }
+  const auto pair_term = [&](const std::vector<PairwiseTerm>& pairs) {
+    return c.anchor_pairwise_to_prediction ? pairwise_energy_relative(x, p.prediction, pairs)
+                                           : pairwise_energy(x, pairs);
+  };
+  if (c.continuity_weight > 0.0) f += c.continuity_weight * pair_term(p.continuity);
+  if (c.similarity_weight > 0.0) f += c.similarity_weight * pair_term(p.similarity);
+  return f;
+}
+
+LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) {
+  validate(p);
+  validate(c);
+
+  const std::size_t m = p.known.rows();
+  const std::size_t n = p.known.cols();
+
+  // ---- initialization: truncated SVD of the patched prediction ----
+  const Matrix x0 = initial_estimate(p);
+  const SvdResult svd = svd_decompose(x0);
+  std::size_t rank = c.rank;
+  if (rank == 0) rank = std::max<std::size_t>(svd.numeric_rank(1e-3), 1);
+  rank = std::min({rank, c.max_rank, m, n});
+
+  Matrix l(m, rank);
+  Matrix r(n, rank);
+  for (std::size_t t = 0; t < rank; ++t) {
+    const double root = std::sqrt(std::max(svd.sigma[t], 1e-12));
+    for (std::size_t i = 0; i < m; ++i) l(i, t) = svd.u(i, t) * root;
+    for (std::size_t j = 0; j < n; ++j) r(j, t) = svd.v(j, t) * root;
+  }
+
+  // ---- precomputed right-hand-side building blocks ----
+  const Matrix known_masked = p.mask_undistorted.hadamard(p.known);  // B o X_I
+
+  LoliIrResult out;
+  Matrix x_prev = outer_product(l, r);
+
+  for (std::size_t outer = 0; outer < c.max_outer_iterations; ++outer) {
+    // ================= L-step: fix R, solve for L =================
+    {
+      const Matrix rtr = gram_product(r, r);  // rank x rank
+      const Matrix r_ref = reference_rows(r, p.reference_indices);
+
+      auto apply = [&](const Vector& v) -> Vector {
+        const Matrix lw = reshape(v, m, rank);
+        Matrix y = lw * c.lambda;
+        const Matrix xw = outer_product(lw, r);
+        if (c.data_weight > 0.0) {
+          const Matrix w = p.mask_undistorted.hadamard(xw);
+          y += (w * r) * c.data_weight;
+        }
+        if (c.lrr_weight > 0.0) y += (lw * rtr) * c.lrr_weight;
+        if (c.reference_weight > 0.0 && !p.reference_indices.empty()) {
+          const Matrix x_ref = outer_product(lw, r_ref);  // m x nref
+          y += (x_ref * r_ref) * c.reference_weight;
+        }
+        if (c.continuity_weight > 0.0) {
+          for (const PairwiseTerm& t : p.continuity) {
+            // rows equal for continuity pairs (same link).
+            double s = 0.0;
+            for (std::size_t k = 0; k < rank; ++k)
+              s += lw(t.row1, k) * (r(t.col1, k) - r(t.col2, k));
+            s *= c.continuity_weight;
+            for (std::size_t k = 0; k < rank; ++k)
+              y(t.row1, k) += s * (r(t.col1, k) - r(t.col2, k));
+          }
+        }
+        if (c.similarity_weight > 0.0) {
+          for (const PairwiseTerm& t : p.similarity) {
+            // cols equal for similarity pairs (same grid).
+            double s = 0.0;
+            for (std::size_t k = 0; k < rank; ++k)
+              s += (lw(t.row1, k) - lw(t.row2, k)) * r(t.col1, k);
+            s *= c.similarity_weight;
+            for (std::size_t k = 0; k < rank; ++k) {
+              y(t.row1, k) += s * r(t.col1, k);
+              y(t.row2, k) -= s * r(t.col1, k);
+            }
+          }
+        }
+        return flatten(y);
+      };
+
+      Matrix rhs(m, rank);
+      if (c.data_weight > 0.0) rhs += (known_masked * r) * c.data_weight;
+      if (c.lrr_weight > 0.0) rhs += (p.prediction * r) * c.lrr_weight;
+      if (c.reference_weight > 0.0 && !p.reference_indices.empty())
+        rhs += (p.reference_columns * r_ref) * c.reference_weight;
+      // Anchored pairwise terms penalize deviations of X^ differences
+      // from the prediction's differences: the anchor contributes to
+      // the RHS.  (Unanchored terms have a zero RHS.)
+      if (c.anchor_pairwise_to_prediction && c.continuity_weight > 0.0) {
+        for (const PairwiseTerm& t : p.continuity) {
+          const double coef = c.continuity_weight *
+                              (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
+          if (coef == 0.0) continue;
+          for (std::size_t k = 0; k < rank; ++k)
+            rhs(t.row1, k) += coef * (r(t.col1, k) - r(t.col2, k));
+        }
+      }
+      if (c.anchor_pairwise_to_prediction && c.similarity_weight > 0.0) {
+        for (const PairwiseTerm& t : p.similarity) {
+          const double coef = c.similarity_weight *
+                              (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
+          if (coef == 0.0) continue;
+          for (std::size_t k = 0; k < rank; ++k) {
+            rhs(t.row1, k) += coef * r(t.col1, k);
+            rhs(t.row2, k) -= coef * r(t.col1, k);
+          }
+        }
+      }
+
+      const CgResult cg = conjugate_gradient(apply, flatten(rhs), flatten(l), c.cg);
+      l = reshape(cg.x, m, rank);
+    }
+
+    // ================= R-step: fix L, solve for R =================
+    {
+      const Matrix ltl = gram_product(l, l);  // rank x rank
+
+      auto apply = [&](const Vector& v) -> Vector {
+        const Matrix rw = reshape(v, n, rank);
+        Matrix y = rw * c.lambda;
+        const Matrix xw = outer_product(l, rw);  // m x n
+        if (c.data_weight > 0.0) {
+          const Matrix w = p.mask_undistorted.hadamard(xw);
+          y += gram_product(w, l) * c.data_weight;  // W^T L
+        }
+        if (c.lrr_weight > 0.0) y += (rw * ltl) * c.lrr_weight;
+        if (c.reference_weight > 0.0) {
+          for (std::size_t k = 0; k < p.reference_indices.size(); ++k) {
+            const std::size_t g = p.reference_indices[k];
+            // contribution nu * L^T (L R_g^T) to row g of the normal matvec
+            for (std::size_t t = 0; t < rank; ++t) {
+              double acc = 0.0;
+              for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * xw(i, g);
+              y(g, t) += c.reference_weight * acc;
+            }
+          }
+        }
+        if (c.continuity_weight > 0.0) {
+          for (const PairwiseTerm& t : p.continuity) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < rank; ++k)
+              s += l(t.row1, k) * (rw(t.col1, k) - rw(t.col2, k));
+            s *= c.continuity_weight;
+            for (std::size_t k = 0; k < rank; ++k) {
+              y(t.col1, k) += s * l(t.row1, k);
+              y(t.col2, k) -= s * l(t.row1, k);
+            }
+          }
+        }
+        if (c.similarity_weight > 0.0) {
+          for (const PairwiseTerm& t : p.similarity) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < rank; ++k)
+              s += (l(t.row1, k) - l(t.row2, k)) * rw(t.col1, k);
+            s *= c.similarity_weight;
+            for (std::size_t k = 0; k < rank; ++k)
+              y(t.col1, k) += s * (l(t.row1, k) - l(t.row2, k));
+          }
+        }
+        return flatten(y);
+      };
+
+      Matrix rhs(n, rank);
+      if (c.data_weight > 0.0) rhs += gram_product(known_masked, l) * c.data_weight;
+      if (c.lrr_weight > 0.0) rhs += gram_product(p.prediction, l) * c.lrr_weight;
+      if (c.reference_weight > 0.0) {
+        for (std::size_t k = 0; k < p.reference_indices.size(); ++k) {
+          const std::size_t g = p.reference_indices[k];
+          for (std::size_t t = 0; t < rank; ++t) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * p.reference_columns(i, k);
+            rhs(g, t) += c.reference_weight * acc;
+          }
+        }
+      }
+      if (c.anchor_pairwise_to_prediction && c.continuity_weight > 0.0) {
+        for (const PairwiseTerm& t : p.continuity) {
+          const double coef = c.continuity_weight *
+                              (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
+          if (coef == 0.0) continue;
+          for (std::size_t k = 0; k < rank; ++k) {
+            rhs(t.col1, k) += coef * l(t.row1, k);
+            rhs(t.col2, k) -= coef * l(t.row1, k);
+          }
+        }
+      }
+      if (c.anchor_pairwise_to_prediction && c.similarity_weight > 0.0) {
+        for (const PairwiseTerm& t : p.similarity) {
+          const double coef = c.similarity_weight *
+                              (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
+          if (coef == 0.0) continue;
+          for (std::size_t k = 0; k < rank; ++k)
+            rhs(t.col1, k) += coef * (l(t.row1, k) - l(t.row2, k));
+        }
+      }
+
+      const CgResult cg = conjugate_gradient(apply, flatten(rhs), flatten(r), c.cg);
+      r = reshape(cg.x, n, rank);
+    }
+
+    // ================= convergence bookkeeping =================
+    const Matrix x_now = outer_product(l, r);
+    out.objective_trace.push_back(loli_ir_objective(p, c, l, r));
+    out.outer_iterations = outer + 1;
+    const double denom = std::max(x_prev.frobenius_norm(), 1e-12);
+    const double rel_change = (x_now - x_prev).frobenius_norm() / denom;
+    x_prev = x_now;
+    if (rel_change < c.outer_tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.x = std::move(x_prev);
+  out.l = std::move(l);
+  out.r = std::move(r);
+  out.rank = rank;
+  out.objective = out.objective_trace.empty() ? 0.0 : out.objective_trace.back();
+  return out;
+}
+
+}  // namespace tafloc

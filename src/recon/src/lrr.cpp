@@ -1,0 +1,96 @@
+#include "tafloc/recon/lrr.h"
+
+#include <cmath>
+
+#include "tafloc/linalg/lsq.h"
+#include "tafloc/linalg/ops.h"
+#include "tafloc/linalg/svd.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+LrrModel::LrrModel(const Matrix& x0, std::vector<std::size_t> reference_indices, double ridge)
+    : LrrModel(x0, std::move(reference_indices), [&] {
+        LrrOptions o;
+        o.ridge = ridge;
+        return o;
+      }()) {}
+
+LrrModel::LrrModel(const Matrix& x0, std::vector<std::size_t> reference_indices,
+                   const LrrOptions& options)
+    : reference_indices_(std::move(reference_indices)) {
+  TAFLOC_CHECK_ARG(!x0.empty(), "initial fingerprint matrix must be non-empty");
+  TAFLOC_CHECK_ARG(!reference_indices_.empty(), "LRR needs at least one reference column");
+  for (std::size_t idx : reference_indices_)
+    TAFLOC_CHECK_BOUNDS(idx, x0.cols(), "reference column index");
+  fit(x0, options);
+}
+
+LrrModel LrrModel::from_correlation(Matrix z, std::vector<std::size_t> reference_indices) {
+  TAFLOC_CHECK_ARG(!z.empty(), "correlation matrix must be non-empty");
+  TAFLOC_CHECK_ARG(z.rows() == reference_indices.size(),
+                   "correlation matrix must have one row per reference index");
+  for (std::size_t idx : reference_indices)
+    TAFLOC_CHECK_BOUNDS(idx, z.cols(), "reference column index");
+  LrrModel model;
+  model.z_ = std::move(z);
+  model.reference_indices_ = std::move(reference_indices);
+  model.training_residual_ = 0.0;  // unknown without the training data
+  model.solver_iterations_ = 0;
+  return model;
+}
+
+void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
+  const Matrix xr0 = x0.select_columns(reference_indices_);
+
+  switch (options.solver) {
+    case LrrSolver::Ridge: {
+      TAFLOC_CHECK_ARG(options.ridge > 0.0, "LRR ridge must be positive");
+      z_ = solve_ridge_matrix(xr0, x0, options.ridge);
+      solver_iterations_ = 1;
+      break;
+    }
+    case LrrSolver::NuclearNorm: {
+      TAFLOC_CHECK_ARG(options.nuclear_lambda > 0.0, "nuclear lambda must be positive");
+      TAFLOC_CHECK_ARG(options.max_iterations > 0, "iteration cap must be positive");
+      TAFLOC_CHECK_ARG(options.tolerance > 0.0, "tolerance must be positive");
+
+      // ISTA on f(Z) = lambda ||X0 - XR0 Z||_F^2 + ||Z||_*:
+      //   Z <- shrink_{1/L}(Z - (1/L) * grad),  grad = 2 lambda XR0^T (XR0 Z - X0),
+      //   L = 2 lambda sigma_max(XR0)^2 (the Lipschitz constant of grad).
+      const SvdResult xr_svd = svd_decompose(xr0);
+      const double sigma_max = xr_svd.sigma.front();
+      TAFLOC_CHECK_ARG(sigma_max > 0.0, "reference columns are all zero");
+      const double lipschitz = 2.0 * options.nuclear_lambda * sigma_max * sigma_max;
+      const double step = 1.0 / lipschitz;
+
+      // Warm start from the ridge solution.
+      z_ = solve_ridge_matrix(xr0, x0, 1e-6);
+      const double z_scale = std::max(z_.frobenius_norm(), 1e-12);
+
+      for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        const Matrix residual = xr0 * z_ - x0;                                 // M x N
+        const Matrix grad = gram_product(xr0, residual) * (2.0 * options.nuclear_lambda);
+        Matrix next = z_ - grad * step;
+        next = singular_value_shrink(next, step);
+        const double change = (next - z_).frobenius_norm() / z_scale;
+        z_ = std::move(next);
+        solver_iterations_ = it + 1;
+        if (change < options.tolerance) break;
+      }
+      break;
+    }
+  }
+
+  const Matrix fit_matrix = xr0 * z_;
+  const double denom = x0.frobenius_norm();
+  training_residual_ = denom > 0.0 ? (fit_matrix - x0).frobenius_norm() / denom : 0.0;
+}
+
+Matrix LrrModel::predict(const Matrix& fresh_reference_columns) const {
+  TAFLOC_CHECK_ARG(fresh_reference_columns.cols() == reference_indices_.size(),
+                   "reference column count mismatch");
+  return fresh_reference_columns * z_;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,64 @@
+#include "tafloc/recon/svt.h"
+
+#include <cmath>
+
+#include "tafloc/linalg/ops.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptions& options) {
+  TAFLOC_CHECK_ARG(!x_known.empty(), "SVT input must be non-empty");
+  TAFLOC_CHECK_ARG(mask.same_shape(x_known), "mask shape must match the data");
+  TAFLOC_CHECK_ARG(options.tolerance > 0.0, "SVT tolerance must be positive");
+  TAFLOC_CHECK_ARG(options.max_iterations > 0, "SVT iteration cap must be positive");
+
+  std::size_t observed = 0;
+  for (double v : mask.data()) {
+    TAFLOC_CHECK_ARG(v == 0.0 || v == 1.0, "mask entries must be 0 or 1");
+    if (v == 1.0) ++observed;
+  }
+  TAFLOC_CHECK_ARG(observed > 0, "SVT needs at least one observed entry");
+
+  const double m = static_cast<double>(x_known.rows());
+  const double n = static_cast<double>(x_known.cols());
+  const double observed_fraction = static_cast<double>(observed) / (m * n);
+  // tau trades off recovery bias (small tau over-shrinks; SVT solves
+  // min tau ||X||_* + 0.5 ||X||_F^2, exact completion only as tau grows)
+  // against iteration count.  20 sqrt(m n) keeps the bias negligible at
+  // the matrix sizes used here while converging in a few hundred steps.
+  const double tau = options.tau > 0.0 ? options.tau : 20.0 * std::sqrt(m * n);
+  const double delta = options.step > 0.0 ? options.step : 1.2 / observed_fraction;
+
+  const Matrix data = mask.hadamard(x_known);
+  const double data_norm = data.frobenius_norm();
+  TAFLOC_CHECK_ARG(data_norm > 0.0, "observed entries are all zero; nothing to complete");
+
+  // Kick-start Y so the first shrink does not annihilate everything
+  // (standard SVT warm start): Y0 = k0 * delta * data with k0 chosen so
+  // ||Y0||_2 just exceeds tau.
+  SvtResult out;
+  Matrix y = data;
+  {
+    const double k0 = std::ceil(tau / (delta * data_norm));
+    y *= std::max(k0, 1.0) * delta;
+  }
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    out.x = singular_value_shrink(y, tau);
+    // Residual on the observed entries only.
+    Matrix masked_residual = mask.hadamard(out.x) - data;
+    const double rel = masked_residual.frobenius_norm() / data_norm;
+    out.iterations = it + 1;
+    out.residual = rel;
+    if (rel <= options.tolerance) {
+      out.converged = true;
+      return out;
+    }
+    masked_residual *= -delta;
+    y += masked_residual;
+  }
+  return out;
+}
+
+}  // namespace tafloc

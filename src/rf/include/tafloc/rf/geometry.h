@@ -1,0 +1,55 @@
+// 2-D geometry primitives for link / target layouts.
+//
+// All coordinates are in metres in the monitoring-area frame (origin at
+// the south-west corner, x east, y north), matching the paper's Fig. 2
+// room sketch.
+#pragma once
+
+#include <cmath>
+
+namespace tafloc {
+
+/// A point (or displacement) in the plane.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(Point2 a, double s) noexcept { return {a.x * s, a.y * s}; }
+  friend Point2 operator*(double s, Point2 a) noexcept { return a * s; }
+  friend bool operator==(Point2 a, Point2 b) noexcept { return a.x == b.x && a.y == b.y; }
+};
+
+/// Euclidean distance between two points.
+double distance(Point2 a, Point2 b) noexcept;
+
+/// Euclidean norm of a displacement.
+double norm(Point2 p) noexcept;
+
+/// Midpoint of the segment ab.
+Point2 midpoint(Point2 a, Point2 b) noexcept;
+
+/// A line segment (used for radio links: a = transmitter, b = receiver).
+struct Segment {
+  Point2 a;
+  Point2 b;
+
+  /// Segment length |ab|.
+  double length() const noexcept { return distance(a, b); }
+};
+
+/// Shortest distance from point p to the segment (not the infinite line).
+double point_segment_distance(Point2 p, const Segment& s) noexcept;
+
+/// Excess path length of the reflected/diffracted path through p:
+/// |ap| + |pb| - |ab|.  Zero exactly on the segment, grows with the
+/// ellipse of constant detour around the link -- the standard DfL
+/// shadowing coordinate (Wilson & Patwari 2010).
+double excess_path_length(Point2 p, const Segment& link) noexcept;
+
+/// True if p lies inside the ellipse of excess path length `lambda`
+/// around the link (the RTI weight-model membership test).
+bool within_link_ellipse(Point2 p, const Segment& link, double lambda) noexcept;
+
+}  // namespace tafloc

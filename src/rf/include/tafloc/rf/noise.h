@@ -1,0 +1,36 @@
+// Measurement noise: fast per-sample RSS fluctuation.
+//
+// The paper states measurement noise is "usually within 1~4 dBm"; we
+// default to a Gaussian with sigma = 1.2 dB (so ~99% of samples fall
+// within +/- 3.6 dB) and optional quantization to the integer-dBm
+// reporting granularity of commodity WiFi chipsets.
+#pragma once
+
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+/// Parameters of the noise model.
+struct NoiseConfig {
+  double stddev_db = 1.2;          ///< Gaussian sigma of one RSS sample.
+  double quantization_step_db = 0.0; ///< 0 disables quantization; 1.0 = integer dBm.
+};
+
+/// NoiseModel -- draws noise from a caller-supplied Rng (no hidden state).
+class NoiseModel {
+ public:
+  explicit NoiseModel(const NoiseConfig& config = {});
+
+  /// One noisy observation of the true value `rss_dbm`.
+  double corrupt(double rss_dbm, Rng& rng) const;
+
+  /// Quantize a value to the configured step (identity when step == 0).
+  double quantize(double rss_dbm) const noexcept;
+
+  const NoiseConfig& config() const noexcept { return config_; }
+
+ private:
+  NoiseConfig config_;
+};
+
+}  // namespace tafloc

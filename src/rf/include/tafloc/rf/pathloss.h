@@ -1,0 +1,39 @@
+// Log-distance path-loss model: the ambient (target-free) RSS of a link.
+//
+//   RSS(d) = P_tx - PL(d0) - 10 eta log10(d / d0)
+//
+// Default parameters are typical for 2.4 GHz indoor WiFi at the power
+// level of the paper's Atheros AR9331 nodes.
+#pragma once
+
+#include "tafloc/rf/geometry.h"
+
+namespace tafloc {
+
+/// Parameters of the log-distance model.
+struct PathLossConfig {
+  double tx_power_dbm = 15.0;        ///< transmit power (AR9331-class radio).
+  double reference_distance_m = 1.0; ///< d0 in the model.
+  double reference_loss_db = 40.0;   ///< free-space-ish loss at d0, 2.4 GHz.
+  double path_loss_exponent = 2.5;   ///< indoor LoS-dominated exponent eta.
+};
+
+/// LogDistancePathLoss -- stateless once configured; validates its
+/// parameters at construction.
+class LogDistancePathLoss {
+ public:
+  explicit LogDistancePathLoss(const PathLossConfig& config = {});
+
+  /// Ambient RSS in dBm at link length `distance_m` (> 0).
+  double rss_dbm(double distance_m) const;
+
+  /// Ambient RSS for a link segment.
+  double rss_dbm(const Segment& link) const { return rss_dbm(link.length()); }
+
+  const PathLossConfig& config() const noexcept { return config_; }
+
+ private:
+  PathLossConfig config_;
+};
+
+}  // namespace tafloc

@@ -1,0 +1,76 @@
+#include "tafloc/rf/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tafloc/util/check.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+TemporalDriftModel::TemporalDriftModel(std::size_t num_links, const DriftConfig& config,
+                                       std::uint64_t seed)
+    : config_(config) {
+  TAFLOC_CHECK_ARG(num_links > 0, "drift model needs at least one link");
+  TAFLOC_CHECK_ARG(config.magnitude_at_5_days_db > 0.0, "5-day anchor must be positive");
+  TAFLOC_CHECK_ARG(config.magnitude_at_45_days_db >= config.magnitude_at_5_days_db,
+                   "drift magnitude must be non-decreasing between the anchors");
+  TAFLOC_CHECK_ARG(config.shared_fraction >= 0.0 && config.shared_fraction <= 1.0,
+                   "shared fraction must be in [0, 1]");
+  TAFLOC_CHECK_ARG(config.link_scale_stddev >= 0.0, "link scale stddev must be non-negative");
+  TAFLOC_CHECK_ARG(config.attenuation_drift_fraction >= 0.0 &&
+                       config.attenuation_drift_fraction < 1.0,
+                   "attenuation drift fraction must be in [0, 1)");
+  TAFLOC_CHECK_ARG(config.horizon_days > 0.0, "horizon must be positive");
+
+  // g(t) = m5 * (t/5)^alpha with g(45) = m45  =>  alpha = ln(m45/m5)/ln(9).
+  alpha_ = std::log(config.magnitude_at_45_days_db / config.magnitude_at_5_days_db) /
+           std::log(45.0 / 5.0);
+
+  Rng rng(seed);
+  const double shared_sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  const double shared_mag = std::abs(rng.normal(1.0, config.link_scale_stddev));
+  const double shared = shared_sign * shared_mag;
+
+  directions_.resize(num_links);
+  attenuation_directions_.resize(num_links);
+  double sum_abs = 0.0;
+  for (std::size_t i = 0; i < num_links; ++i) {
+    const double own_sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double own = own_sign * std::abs(rng.normal(1.0, config.link_scale_stddev));
+    directions_[i] = config.shared_fraction * shared + (1.0 - config.shared_fraction) * own;
+    sum_abs += std::abs(directions_[i]);
+    attenuation_directions_[i] = rng.uniform(-1.0, 1.0);
+  }
+  // Normalize so mean_i |d_i| == 1: the model's mean drift magnitude is
+  // then exactly g(t).
+  const double mean_abs = sum_abs / static_cast<double>(num_links);
+  if (mean_abs > 0.0) {
+    for (double& d : directions_) d /= mean_abs;
+  } else {
+    // Degenerate draw (all zero): fall back to alternating unit drift.
+    for (std::size_t i = 0; i < num_links; ++i) directions_[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+}
+
+double TemporalDriftModel::expected_magnitude_db(double t_days) const {
+  TAFLOC_CHECK_ARG(t_days >= 0.0, "elapsed time must be non-negative");
+  if (t_days == 0.0) return 0.0;
+  return config_.magnitude_at_5_days_db * std::pow(t_days / 5.0, alpha_);
+}
+
+double TemporalDriftModel::ambient_offset_db(std::size_t link, double t_days) const {
+  TAFLOC_CHECK_BOUNDS(link, directions_.size(), "drift link index");
+  return directions_[link] * expected_magnitude_db(t_days);
+}
+
+double TemporalDriftModel::attenuation_scale(std::size_t link, double t_days) const {
+  TAFLOC_CHECK_BOUNDS(link, attenuation_directions_.size(), "drift link index");
+  TAFLOC_CHECK_ARG(t_days >= 0.0, "elapsed time must be non-negative");
+  const double wander = config_.attenuation_drift_fraction *
+                        std::min(t_days / config_.horizon_days, 2.0) *
+                        attenuation_directions_[link];
+  return std::max(1.0 + wander, 0.3);
+}
+
+}  // namespace tafloc

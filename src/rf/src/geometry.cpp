@@ -1,0 +1,34 @@
+#include "tafloc/rf/geometry.h"
+
+#include <algorithm>
+
+namespace tafloc {
+
+double distance(Point2 a, Point2 b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double norm(Point2 p) noexcept { return std::sqrt(p.x * p.x + p.y * p.y); }
+
+Point2 midpoint(Point2 a, Point2 b) noexcept { return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5}; }
+
+double point_segment_distance(Point2 p, const Segment& s) noexcept {
+  const Point2 d = s.b - s.a;
+  const double len_sq = d.x * d.x + d.y * d.y;
+  if (len_sq == 0.0) return distance(p, s.a);
+  double t = ((p.x - s.a.x) * d.x + (p.y - s.a.y) * d.y) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return distance(p, {s.a.x + t * d.x, s.a.y + t * d.y});
+}
+
+double excess_path_length(Point2 p, const Segment& link) noexcept {
+  return distance(p, link.a) + distance(p, link.b) - link.length();
+}
+
+bool within_link_ellipse(Point2 p, const Segment& link, double lambda) noexcept {
+  return excess_path_length(p, link) < lambda;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,23 @@
+#include "tafloc/rf/noise.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+NoiseModel::NoiseModel(const NoiseConfig& config) : config_(config) {
+  TAFLOC_CHECK_ARG(config.stddev_db >= 0.0, "noise stddev must be non-negative");
+  TAFLOC_CHECK_ARG(config.quantization_step_db >= 0.0, "quantization step must be non-negative");
+}
+
+double NoiseModel::quantize(double rss_dbm) const noexcept {
+  if (config_.quantization_step_db == 0.0) return rss_dbm;
+  return std::round(rss_dbm / config_.quantization_step_db) * config_.quantization_step_db;
+}
+
+double NoiseModel::corrupt(double rss_dbm, Rng& rng) const {
+  return quantize(rss_dbm + rng.normal(0.0, config_.stddev_db));
+}
+
+}  // namespace tafloc

@@ -1,0 +1,22 @@
+#include "tafloc/rf/pathloss.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+LogDistancePathLoss::LogDistancePathLoss(const PathLossConfig& config) : config_(config) {
+  TAFLOC_CHECK_ARG(config.reference_distance_m > 0.0, "reference distance must be positive");
+  TAFLOC_CHECK_ARG(config.path_loss_exponent > 0.0, "path loss exponent must be positive");
+}
+
+double LogDistancePathLoss::rss_dbm(double distance_m) const {
+  TAFLOC_CHECK_ARG(distance_m > 0.0, "link distance must be positive");
+  // Clamp to the reference distance: the model is not meaningful below d0.
+  const double d = std::max(distance_m, config_.reference_distance_m);
+  return config_.tx_power_dbm - config_.reference_loss_db -
+         10.0 * config_.path_loss_exponent * std::log10(d / config_.reference_distance_m);
+}
+
+}  // namespace tafloc

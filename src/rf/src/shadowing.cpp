@@ -1,0 +1,27 @@
+#include "tafloc/rf/shadowing.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+TargetShadowingModel::TargetShadowingModel(const ShadowingConfig& config) : config_(config) {
+  TAFLOC_CHECK_ARG(config.max_attenuation_db >= 0.0, "max attenuation must be non-negative");
+  TAFLOC_CHECK_ARG(config.decay_m > 0.0, "decay length must be positive");
+  TAFLOC_CHECK_ARG(config.los_block_db >= 0.0, "LoS block loss must be non-negative");
+  TAFLOC_CHECK_ARG(config.body_radius_m >= 0.0, "body radius must be non-negative");
+}
+
+bool TargetShadowingModel::blocks_los(const Segment& link, Point2 target) const noexcept {
+  return point_segment_distance(target, link) <= config_.body_radius_m;
+}
+
+double TargetShadowingModel::attenuation_db(const Segment& link, Point2 target) const noexcept {
+  const double excess = excess_path_length(target, link);
+  double att = config_.max_attenuation_db * std::exp(-excess / config_.decay_m);
+  if (blocks_los(link, target)) att += config_.los_block_db;
+  return att;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,81 @@
+// Deployment -- the physical layout: monitored area grid + radio links.
+//
+// The paper deploys "M links on the two sides of the monitoring area"
+// (Fig. 2: WiFi transceivers along the walls of a 9 m x 12 m room, 10
+// links covering 96 grids of 0.6 m).  `two_sided` reproduces that
+// family: transceiver pairs on two opposite walls with parallel links
+// crossing the whole area; `paper_room` is the exact Fig. 2 instance.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tafloc/rf/geometry.h"
+#include "tafloc/sim/grid.h"
+
+namespace tafloc {
+
+class Deployment {
+ public:
+  /// Assemble from a grid map and explicit links (validated non-empty,
+  /// positive-length).
+  Deployment(GridMap grid, std::vector<Segment> links);
+
+  /// Two-sided layout: `num_links` horizontal links spanning the area
+  /// from the west wall (x = -margin) to the east wall (x = width +
+  /// margin), evenly spaced in y.  This covers every grid row with
+  /// nearby links, giving adjacent links the "similarity" property the
+  /// paper exploits.  Note: with ONLY parallel links the along-link
+  /// coordinate is weakly observable; use `perimeter` for localization.
+  static Deployment two_sided(double width_m, double height_m, double cell_m,
+                              std::size_t num_links, double margin_m = 0.3);
+
+  /// Perimeter layout (the Fig. 2 room: transceivers along the walls):
+  /// ceil(num_links / 2) horizontal links (west-east, evenly spaced in
+  /// y, listed first, south to north) followed by floor(num_links / 2)
+  /// vertical links (south-north, evenly spaced in x, west to east).
+  /// Crossing orientations make both coordinates observable.
+  static Deployment perimeter(double width_m, double height_m, double cell_m,
+                              std::size_t num_links, double margin_m = 0.3);
+
+  /// The Fig. 2 experiment: 10 links over 96 grids of 0.6 m (12 x 8
+  /// cells = 7.2 m x 4.8 m monitored region inside the 9 m x 12 m room).
+  static Deployment paper_room();
+
+  /// Square layout for the Fig. 4 area sweep: edge_m x edge_m area,
+  /// 0.6 m cells, one link per 0.6 m of edge (10 links at 6 m -- the
+  /// paper's density).
+  static Deployment square_area(double edge_m);
+
+  /// Frequency diversity: each physical link measured on `copies` WiFi
+  /// channels (the AR9331 can hop).  Realized as `copies` virtual links
+  /// per physical link (channel fading differs per frequency, so each
+  /// copy gets its own multipath draw from the Channel's seed).  Link
+  /// ordering: all copies of link 0, then all copies of link 1, ...
+  static Deployment with_diversity(const Deployment& base, std::size_t copies);
+
+  const GridMap& grid() const noexcept { return grid_; }
+  const std::vector<Segment>& links() const noexcept { return links_; }
+  std::size_t num_links() const noexcept { return links_.size(); }
+  std::size_t num_grids() const noexcept { return grid_.num_cells(); }
+
+  /// Index (into links()) of the link whose direct path passes closest
+  /// to point p.
+  std::size_t nearest_link(Point2 p) const;
+
+  /// Pairs of spatially adjacent, (near-)parallel links -- the "adjacent
+  /// links" of the paper's similarity property.  Each link is paired
+  /// with its nearest parallel neighbour; pairs are deduplicated and
+  /// returned with the smaller index first.
+  std::vector<std::pair<std::size_t, std::size_t>> adjacent_link_pairs() const;
+
+  /// True if link i runs predominantly west-east (|dx| >= |dy|).
+  bool link_is_horizontal(std::size_t i) const;
+
+ private:
+  GridMap grid_;
+  std::vector<Segment> links_;
+};
+
+}  // namespace tafloc

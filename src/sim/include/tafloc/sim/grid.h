@@ -1,0 +1,64 @@
+// GridMap -- the discretization of the monitoring area into N location
+// grids (paper: 0.6 m x 0.6 m cells, 96 grids in the Fig. 2 room).
+//
+// Grid cells are indexed row-major: j = iy * nx + ix, with ix advancing
+// east (+x) and iy advancing north (+y).  Columns of the fingerprint
+// matrix follow this ordering, so consecutive indices within a row of
+// cells are spatial neighbours -- the ordering the paper's continuity
+// operator G relies on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "tafloc/rf/geometry.h"
+
+namespace tafloc {
+
+class GridMap {
+ public:
+  /// Area of width_m x height_m metres split into square cells of
+  /// cell_m.  Both extents must be (near-)integer multiples of cell_m.
+  GridMap(double width_m, double height_m, double cell_m);
+
+  double width() const noexcept { return width_; }
+  double height() const noexcept { return height_; }
+  double cell_size() const noexcept { return cell_; }
+
+  /// Cells along x / along y / total.
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t num_cells() const noexcept { return nx_ * ny_; }
+
+  /// Centre point of cell j.
+  Point2 center(std::size_t j) const;
+
+  /// Row-major index from integer cell coordinates.
+  std::size_t index(std::size_t ix, std::size_t iy) const;
+
+  /// Integer cell coordinates of index j.
+  std::size_t ix_of(std::size_t j) const;
+  std::size_t iy_of(std::size_t j) const;
+
+  /// Cell containing point p, or nullopt when p is outside the area.
+  std::optional<std::size_t> cell_of(Point2 p) const noexcept;
+
+  /// 4-neighbourhood (N/S/E/W) of cell j, only in-bounds neighbours.
+  std::vector<std::size_t> neighbors4(std::size_t j) const;
+
+  /// True if cells a and b share an edge.
+  bool adjacent(std::size_t a, std::size_t b) const;
+
+  /// Centres of all cells, in index order.
+  std::vector<Point2> all_centers() const;
+
+ private:
+  double width_;
+  double height_;
+  double cell_;
+  std::size_t nx_;
+  std::size_t ny_;
+};
+
+}  // namespace tafloc

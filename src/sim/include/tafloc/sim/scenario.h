@@ -1,0 +1,39 @@
+// Scenario -- a reproducible bundle of deployment + channel, the unit
+// every example and bench starts from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "tafloc/rf/channel.h"
+#include "tafloc/sim/collector.h"
+#include "tafloc/sim/deployment.h"
+
+namespace tafloc {
+
+/// Owns a deployment and the channel simulating its radio environment.
+/// (The Channel and FingerprintCollector reference the Deployment, so
+/// the three are bundled to keep lifetimes trivially correct.)
+class Scenario {
+ public:
+  /// Build from any deployment with explicit channel config and seed.
+  Scenario(Deployment deployment, const ChannelConfig& config, std::uint64_t seed,
+           const SurveyConfig& survey = {});
+
+  /// The paper's Fig. 2 room with default channel parameters.
+  static Scenario paper_room(std::uint64_t seed);
+
+  /// Square area of the given edge (Fig. 4 sweep member).
+  static Scenario square_area(double edge_m, std::uint64_t seed);
+
+  const Deployment& deployment() const noexcept { return *deployment_; }
+  const Channel& channel() const noexcept { return *channel_; }
+  const FingerprintCollector& collector() const noexcept { return *collector_; }
+
+ private:
+  std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<Channel> channel_;
+  std::unique_ptr<FingerprintCollector> collector_;
+};
+
+}  // namespace tafloc

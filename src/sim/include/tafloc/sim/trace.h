@@ -1,0 +1,28 @@
+// Target motion traces for evaluation: random held-out positions,
+// grid-centre sequences, and a waypoint walk for the tracking examples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tafloc/rf/geometry.h"
+#include "tafloc/sim/grid.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+/// `count` positions uniform over the grid's area (continuous -- i.e.
+/// generally NOT at grid centres, which is what makes localization
+/// "fine-grained" rather than classification).
+std::vector<Point2> random_positions(const GridMap& grid, std::size_t count, Rng& rng);
+
+/// `count` distinct grid indices chosen uniformly (count <= num_cells).
+std::vector<std::size_t> random_grid_sequence(const GridMap& grid, std::size_t count, Rng& rng);
+
+/// Random waypoint walk: straight segments between uniformly drawn
+/// waypoints at `speed_mps`, sampled every `dt_s`; returns `count`
+/// positions starting from a random point.
+std::vector<Point2> waypoint_walk(const GridMap& grid, std::size_t count, double speed_mps,
+                                  double dt_s, Rng& rng);
+
+}  // namespace tafloc

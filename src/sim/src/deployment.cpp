@@ -1,0 +1,155 @@
+#include "tafloc/sim/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+Deployment::Deployment(GridMap grid, std::vector<Segment> links)
+    : grid_(std::move(grid)), links_(std::move(links)) {
+  TAFLOC_CHECK_ARG(!links_.empty(), "a deployment needs at least one link");
+  for (const Segment& l : links_)
+    TAFLOC_CHECK_ARG(l.length() > 0.0, "links must have positive length");
+}
+
+Deployment Deployment::two_sided(double width_m, double height_m, double cell_m,
+                                 std::size_t num_links, double margin_m) {
+  TAFLOC_CHECK_ARG(num_links >= 2, "a two-sided deployment needs at least two links");
+  TAFLOC_CHECK_ARG(margin_m >= 0.0, "margin must be non-negative");
+  GridMap grid(width_m, height_m, cell_m);
+  std::vector<Segment> links;
+  links.reserve(num_links);
+  // Links evenly spaced in y across (0, height): link k sits at
+  // y = (k + 0.5) * height / num_links, so every band of grid rows has
+  // a link through or next to it.
+  for (std::size_t k = 0; k < num_links; ++k) {
+    const double y =
+        (static_cast<double>(k) + 0.5) * height_m / static_cast<double>(num_links);
+    links.push_back(Segment{{-margin_m, y}, {width_m + margin_m, y}});
+  }
+  return Deployment(std::move(grid), std::move(links));
+}
+
+Deployment Deployment::perimeter(double width_m, double height_m, double cell_m,
+                                 std::size_t num_links, double margin_m) {
+  TAFLOC_CHECK_ARG(num_links >= 2, "a perimeter deployment needs at least two links");
+  TAFLOC_CHECK_ARG(margin_m >= 0.0, "margin must be non-negative");
+  GridMap grid(width_m, height_m, cell_m);
+  const std::size_t nh = (num_links + 1) / 2;
+  const std::size_t nv = num_links - nh;
+  std::vector<Segment> links;
+  links.reserve(num_links);
+  // Links are slightly slanted in alternating directions (transceivers
+  // on opposite walls are rarely at matching positions).  The crossing
+  // angles break the mirror symmetries that would otherwise make
+  // distinct locations produce near-identical fingerprints.
+  const double h_slant = height_m / 8.0;
+  const double v_slant = width_m / 8.0;
+  auto clamp = [](double v, double lo, double hi) { return std::min(std::max(v, lo), hi); };
+  for (std::size_t k = 0; k < nh; ++k) {
+    const double y = (static_cast<double>(k) + 0.5) * height_m / static_cast<double>(nh);
+    const double slant = (k % 2 == 0 ? 1.0 : -1.0) * h_slant;
+    links.push_back(Segment{{-margin_m, clamp(y - slant / 2.0, 0.0, height_m)},
+                            {width_m + margin_m, clamp(y + slant / 2.0, 0.0, height_m)}});
+  }
+  for (std::size_t k = 0; k < nv; ++k) {
+    const double x = (static_cast<double>(k) + 0.5) * width_m / static_cast<double>(nv);
+    const double slant = (k % 2 == 0 ? 1.0 : -1.0) * v_slant;
+    links.push_back(Segment{{clamp(x - slant / 2.0, 0.0, width_m), -margin_m},
+                            {clamp(x + slant / 2.0, 0.0, width_m), height_m + margin_m}});
+  }
+  return Deployment(std::move(grid), std::move(links));
+}
+
+Deployment Deployment::paper_room() {
+  // 96 grids of 0.6 m arranged 12 x 8; 10 links from wall transceivers.
+  return perimeter(7.2, 4.8, 0.6, 10);
+}
+
+Deployment Deployment::square_area(double edge_m) {
+  TAFLOC_CHECK_ARG(edge_m >= 1.2, "square area edge must be at least two cells");
+  const double cell = 0.6;
+  const auto num_links = static_cast<std::size_t>(std::round(edge_m / cell));
+  return perimeter(edge_m, edge_m, cell, std::max<std::size_t>(num_links, 2));
+}
+
+Deployment Deployment::with_diversity(const Deployment& base, std::size_t copies) {
+  TAFLOC_CHECK_ARG(copies >= 1, "diversity needs at least one copy");
+  std::vector<Segment> links;
+  links.reserve(base.num_links() * copies);
+  for (const Segment& l : base.links()) {
+    for (std::size_t c = 0; c < copies; ++c) links.push_back(l);
+  }
+  return Deployment(base.grid(), std::move(links));
+}
+
+bool Deployment::link_is_horizontal(std::size_t i) const {
+  TAFLOC_CHECK_BOUNDS(i, links_.size(), "link index");
+  const Point2 d = links_[i].b - links_[i].a;
+  return std::abs(d.x) >= std::abs(d.y);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Deployment::adjacent_link_pairs() const {
+  // Group links by orientation (near-parallel, |cos angle| > 0.95 with
+  // the group's representative), sort each group by its perpendicular
+  // offset, and pair consecutive links: adjacency in the parallel stack.
+  const std::size_t m = links_.size();
+  std::vector<Point2> dirs(m);
+  std::vector<Point2> mids(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    Point2 d = links_[i].b - links_[i].a;
+    const double len = norm(d);
+    dirs[i] = d * (1.0 / len);
+    mids[i] = midpoint(links_[i].a, links_[i].b);
+  }
+
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < m; ++i) {
+    bool placed = false;
+    for (auto& group : groups) {
+      const Point2 rep = dirs[group.front()];
+      const double cos_angle = std::abs(rep.x * dirs[i].x + rep.y * dirs[i].y);
+      if (cos_angle > 0.95) {
+        group.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (auto& group : groups) {
+    if (group.size() < 2) continue;
+    const Point2 rep = dirs[group.front()];
+    const Point2 normal{-rep.y, rep.x};
+    std::sort(group.begin(), group.end(), [&](std::size_t a, std::size_t b) {
+      return mids[a].x * normal.x + mids[a].y * normal.y <
+             mids[b].x * normal.x + mids[b].y * normal.y;
+    });
+    for (std::size_t k = 0; k + 1 < group.size(); ++k) {
+      const auto pair = std::minmax(group[k], group[k + 1]);
+      pairs.emplace_back(pair.first, pair.second);
+    }
+  }
+  return pairs;
+}
+
+std::size_t Deployment::nearest_link(Point2 p) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const double d = point_segment_distance(p, links_[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,91 @@
+#include "tafloc/sim/grid.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+namespace {
+
+std::size_t cells_along(double extent_m, double cell_m, const char* axis) {
+  const double raw = extent_m / cell_m;
+  const double rounded = std::round(raw);
+  TAFLOC_CHECK_ARG(rounded >= 1.0 && std::abs(raw - rounded) < 1e-9,
+                   std::string("area extent along ") + axis +
+                       " must be a positive integer multiple of the cell size");
+  return static_cast<std::size_t>(rounded);
+}
+
+}  // namespace
+
+GridMap::GridMap(double width_m, double height_m, double cell_m)
+    : width_(width_m), height_(height_m), cell_(cell_m) {
+  TAFLOC_CHECK_ARG(cell_m > 0.0, "cell size must be positive");
+  TAFLOC_CHECK_ARG(width_m > 0.0 && height_m > 0.0, "area extents must be positive");
+  nx_ = cells_along(width_m, cell_m, "x");
+  ny_ = cells_along(height_m, cell_m, "y");
+}
+
+Point2 GridMap::center(std::size_t j) const {
+  TAFLOC_CHECK_BOUNDS(j, num_cells(), "grid cell index");
+  const std::size_t ix = j % nx_;
+  const std::size_t iy = j / nx_;
+  return {(static_cast<double>(ix) + 0.5) * cell_, (static_cast<double>(iy) + 0.5) * cell_};
+}
+
+std::size_t GridMap::index(std::size_t ix, std::size_t iy) const {
+  TAFLOC_CHECK_BOUNDS(ix, nx_, "grid ix");
+  TAFLOC_CHECK_BOUNDS(iy, ny_, "grid iy");
+  return iy * nx_ + ix;
+}
+
+std::size_t GridMap::ix_of(std::size_t j) const {
+  TAFLOC_CHECK_BOUNDS(j, num_cells(), "grid cell index");
+  return j % nx_;
+}
+
+std::size_t GridMap::iy_of(std::size_t j) const {
+  TAFLOC_CHECK_BOUNDS(j, num_cells(), "grid cell index");
+  return j / nx_;
+}
+
+std::optional<std::size_t> GridMap::cell_of(Point2 p) const noexcept {
+  if (p.x < 0.0 || p.y < 0.0 || p.x >= width_ || p.y >= height_) return std::nullopt;
+  const auto ix = static_cast<std::size_t>(p.x / cell_);
+  const auto iy = static_cast<std::size_t>(p.y / cell_);
+  if (ix >= nx_ || iy >= ny_) return std::nullopt;  // guard the x == width edge
+  return iy * nx_ + ix;
+}
+
+std::vector<std::size_t> GridMap::neighbors4(std::size_t j) const {
+  TAFLOC_CHECK_BOUNDS(j, num_cells(), "grid cell index");
+  const std::size_t ix = j % nx_;
+  const std::size_t iy = j / nx_;
+  std::vector<std::size_t> out;
+  out.reserve(4);
+  if (ix > 0) out.push_back(j - 1);
+  if (ix + 1 < nx_) out.push_back(j + 1);
+  if (iy > 0) out.push_back(j - nx_);
+  if (iy + 1 < ny_) out.push_back(j + nx_);
+  return out;
+}
+
+bool GridMap::adjacent(std::size_t a, std::size_t b) const {
+  TAFLOC_CHECK_BOUNDS(a, num_cells(), "grid cell index");
+  TAFLOC_CHECK_BOUNDS(b, num_cells(), "grid cell index");
+  const auto axi = a % nx_, ayi = a / nx_;
+  const auto bxi = b % nx_, byi = b / nx_;
+  const std::size_t dx = axi > bxi ? axi - bxi : bxi - axi;
+  const std::size_t dy = ayi > byi ? ayi - byi : byi - ayi;
+  return dx + dy == 1;
+}
+
+std::vector<Point2> GridMap::all_centers() const {
+  std::vector<Point2> out;
+  out.reserve(num_cells());
+  for (std::size_t j = 0; j < num_cells(); ++j) out.push_back(center(j));
+  return out;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,20 @@
+#include "tafloc/sim/scenario.h"
+
+namespace tafloc {
+
+Scenario::Scenario(Deployment deployment, const ChannelConfig& config, std::uint64_t seed,
+                   const SurveyConfig& survey)
+    : deployment_(std::make_unique<Deployment>(std::move(deployment))) {
+  channel_ = std::make_unique<Channel>(deployment_->links(), config, seed);
+  collector_ = std::make_unique<FingerprintCollector>(*deployment_, *channel_, survey);
+}
+
+Scenario Scenario::paper_room(std::uint64_t seed) {
+  return Scenario(Deployment::paper_room(), ChannelConfig{}, seed);
+}
+
+Scenario Scenario::square_area(double edge_m, std::uint64_t seed) {
+  return Scenario(Deployment::square_area(edge_m), ChannelConfig{}, seed);
+}
+
+}  // namespace tafloc

@@ -1,0 +1,28 @@
+#include "tafloc/sim/survey_cost.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+double SurveyCostModel::hours_for_grids(std::size_t num_grids) const {
+  TAFLOC_CHECK_ARG(sample_period_s > 0.0, "sample period must be positive");
+  TAFLOC_CHECK_ARG(walk_overhead_s >= 0.0, "walk overhead must be non-negative");
+  const double per_grid_s =
+      static_cast<double>(samples_per_grid) * sample_period_s + walk_overhead_s;
+  return static_cast<double>(num_grids) * per_grid_s / 3600.0;
+}
+
+double SurveyCostModel::full_survey_hours(double edge_m, double cell_m) const {
+  TAFLOC_CHECK_ARG(edge_m > 0.0 && cell_m > 0.0, "edge and cell size must be positive");
+  const double cells_per_side = std::round(edge_m / cell_m);
+  TAFLOC_CHECK_ARG(cells_per_side >= 1.0, "area must contain at least one cell");
+  return hours_for_grids(static_cast<std::size_t>(cells_per_side * cells_per_side));
+}
+
+double SurveyCostModel::reference_survey_hours(std::size_t num_reference_locations) const {
+  return hours_for_grids(num_reference_locations);
+}
+
+}  // namespace tafloc

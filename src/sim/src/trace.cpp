@@ -1,0 +1,52 @@
+#include "tafloc/sim/trace.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+std::vector<Point2> random_positions(const GridMap& grid, std::size_t count, Rng& rng) {
+  TAFLOC_CHECK_ARG(count > 0, "trace needs at least one position");
+  std::vector<Point2> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({rng.uniform(0.0, grid.width()), rng.uniform(0.0, grid.height())});
+  }
+  return out;
+}
+
+std::vector<std::size_t> random_grid_sequence(const GridMap& grid, std::size_t count, Rng& rng) {
+  TAFLOC_CHECK_ARG(count > 0, "sequence needs at least one grid");
+  return rng.sample_without_replacement(grid.num_cells(), count);
+}
+
+std::vector<Point2> waypoint_walk(const GridMap& grid, std::size_t count, double speed_mps,
+                                  double dt_s, Rng& rng) {
+  TAFLOC_CHECK_ARG(count > 0, "walk needs at least one position");
+  TAFLOC_CHECK_ARG(speed_mps > 0.0 && dt_s > 0.0, "speed and step must be positive");
+  std::vector<Point2> out;
+  out.reserve(count);
+  Point2 pos{rng.uniform(0.0, grid.width()), rng.uniform(0.0, grid.height())};
+  Point2 goal{rng.uniform(0.0, grid.width()), rng.uniform(0.0, grid.height())};
+  const double step = speed_mps * dt_s;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(pos);
+    double remaining = step;
+    while (remaining > 0.0) {
+      const double to_goal = distance(pos, goal);
+      if (to_goal <= remaining) {
+        pos = goal;
+        remaining -= to_goal;
+        goal = {rng.uniform(0.0, grid.width()), rng.uniform(0.0, grid.height())};
+      } else {
+        const Point2 dir = (goal - pos) * (1.0 / to_goal);
+        pos = pos + dir * remaining;
+        remaining = 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,55 @@
+// UpdateScheduler -- the "time-adaptive" part of TafLoc: decide WHEN to
+// run the low-cost fingerprint update.
+//
+// The trigger signal is free: the per-link ambient RSS (no target, no
+// human labour) can be scanned any time, and the dominant fingerprint
+// staleness is exactly the ambient drift (per-link offsets).  The
+// scheduler tracks the mean absolute ambient change since the last
+// update and requests a refresh when it crosses a threshold -- so a
+// quiet month costs nothing while a week of fast drift (weather swing,
+// furniture moved) triggers an early update.  Interval clamps bound
+// both the update rate and the worst-case staleness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+struct SchedulerConfig {
+  double staleness_threshold_db = 3.0;  ///< trigger level for the mean ambient drift.
+  double min_interval_days = 1.0;       ///< never update more often than this.
+  double max_interval_days = 45.0;      ///< always update at least this often.
+};
+
+class UpdateScheduler {
+ public:
+  /// Start from the ambient scan taken at the last (or initial) update.
+  UpdateScheduler(Vector ambient_at_update, double updated_at_days,
+                  const SchedulerConfig& config = {});
+
+  /// Feed a cheap ambient scan at time `t_days`; returns true when an
+  /// update should run now.  Observations must not go back in time.
+  bool observe_ambient(std::span<const double> ambient, double t_days);
+
+  /// Mean absolute per-link ambient change since the last update, from
+  /// the most recent observation (0 before any observation).
+  double estimated_staleness_db() const noexcept { return staleness_; }
+
+  /// Record that an update ran (resets the baseline and the clock).
+  void notify_updated(Vector fresh_ambient, double t_days);
+
+  double last_update_days() const noexcept { return updated_at_; }
+  const SchedulerConfig& config() const noexcept { return config_; }
+
+ private:
+  Vector baseline_;
+  double updated_at_;
+  double last_observation_ = 0.0;
+  double staleness_ = 0.0;
+  SchedulerConfig config_;
+};
+
+}  // namespace tafloc

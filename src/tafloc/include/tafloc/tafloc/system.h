@@ -1,0 +1,137 @@
+// TafLocSystem -- the end-to-end system facade.
+//
+// Lifecycle (mirrors the paper's deployment):
+//
+//   1. calibrate(full_survey, ambient, t0)
+//        one labour-intensive full survey; learns the reference
+//        locations (column-pivoted QR), the LRR correlation Z, and the
+//        distortion mask from the data.
+//   2. update(fresh_reference_columns, fresh_ambient, t)
+//        the low-cost refresh: n reference grids re-surveyed + one
+//        ambient scan; runs LoLi-IR and swaps in the reconstructed
+//        fingerprint matrix.
+//   3. localize(rss)
+//        weighted-KNN fingerprint matching against the current matrix.
+//
+// TafLocSystem implements Localizer so the Fig. 5 harness can drive it
+// uniformly alongside RTI and RASS.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tafloc/fingerprint/database.h"
+#include "tafloc/fingerprint/distortion.h"
+#include "tafloc/fingerprint/reference.h"
+#include "tafloc/loc/localizer.h"
+#include "tafloc/loc/matcher.h"
+#include "tafloc/recon/loli_ir.h"
+#include "tafloc/recon/lrr.h"
+#include "tafloc/sim/collector.h"
+#include "tafloc/sim/deployment.h"
+
+namespace tafloc {
+
+/// Everything calibrate() (plus any later updates) learned -- enough to
+/// restore a working system in a fresh process without re-surveying.
+/// Serialized as plain text (see linalg/io.h for the matrix format).
+struct TafLocState {
+  Matrix fingerprints;
+  Vector ambient;
+  double surveyed_at_days = 0.0;
+  Matrix correlation;  ///< the LRR Z matrix (n x N).
+  std::vector<std::size_t> reference_indices;
+  Matrix mask_undistorted;
+
+  /// Stream / file round-trip; loading throws std::runtime_error on
+  /// malformed input.
+  void save(std::ostream& out) const;
+  static TafLocState load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static TafLocState load_file(const std::string& path);
+};
+
+struct TafLocConfig {
+  std::size_t reference_count = 0;  ///< 0 = automatic (numeric rank of the survey).
+  ReferencePolicy reference_policy = ReferencePolicy::QrPivot;
+  DistortionConfig distortion;
+  LoliIrConfig solver;
+  double lrr_ridge = 1e-6;
+  std::size_t knn_k = 3;            ///< localization matcher neighbours.
+  bool mask_pairwise = true;        ///< restrict G/H terms to the distorted support.
+};
+
+class TafLocSystem : public Localizer {
+ public:
+  /// The deployment must outlive the system.
+  explicit TafLocSystem(const Deployment& deployment, const TafLocConfig& config = {});
+
+  /// One-time calibration from a full survey (M x N) and the
+  /// same-epoch ambient scan, at elapsed time `t_days`.
+  void calibrate(const Matrix& full_survey, Vector ambient, double t_days);
+
+  /// Diagnostics of one fingerprint update.
+  struct UpdateReport {
+    LoliIrResult solver;
+    double updated_at_days = 0.0;
+    std::size_t references_surveyed = 0;
+  };
+
+  /// Low-cost update from freshly surveyed reference columns (M x n, in
+  /// reference_locations() order) and a fresh ambient scan.
+  UpdateReport update(const Matrix& fresh_reference_columns, Vector fresh_ambient,
+                      double t_days);
+
+  /// Convenience: perform the reference survey + ambient scan through a
+  /// collector, then update.
+  UpdateReport update_with_collector(const FingerprintCollector& collector, double t_days,
+                                     Rng& rng);
+
+  // -- Localizer interface --
+  Point2 localize(std::span<const double> rss) const override;
+  std::string name() const override { return "TafLoc"; }
+
+  /// True once calibrate() has run.
+  bool calibrated() const noexcept { return database_.has_value(); }
+
+  /// Chosen reference grid indices (available after calibration).
+  const std::vector<std::size_t>& reference_locations() const;
+
+  /// Current fingerprint database (available after calibration).
+  const FingerprintDatabase& database() const;
+
+  /// The learned LRR model (available after calibration).
+  const LrrModel& lrr() const;
+
+  /// The distortion mask learned at calibration.
+  const DistortionMask& distortion_mask() const;
+
+  /// Snapshot of the learned state (requires a calibrated system).
+  TafLocState export_state() const;
+
+  /// Restore a previously exported state (shapes must match this
+  /// system's deployment); leaves the system calibrated and ready to
+  /// update()/localize() without any survey.
+  void import_state(const TafLocState& state);
+
+  const TafLocConfig& config() const noexcept { return config_; }
+  const Deployment& deployment() const noexcept { return deployment_; }
+
+ private:
+  void rebuild_matcher();
+
+  const Deployment& deployment_;
+  TafLocConfig config_;
+  std::optional<FingerprintDatabase> database_;
+  std::optional<LrrModel> lrr_;
+  std::optional<DistortionMask> mask_;
+  std::vector<std::size_t> reference_indices_;
+  std::vector<PairwiseTerm> continuity_;
+  std::vector<PairwiseTerm> similarity_;
+  std::unique_ptr<KnnMatcher> matcher_;
+};
+
+}  // namespace tafloc

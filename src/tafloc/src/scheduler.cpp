@@ -1,0 +1,47 @@
+#include "tafloc/tafloc/scheduler.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+UpdateScheduler::UpdateScheduler(Vector ambient_at_update, double updated_at_days,
+                                 const SchedulerConfig& config)
+    : baseline_(std::move(ambient_at_update)),
+      updated_at_(updated_at_days),
+      last_observation_(updated_at_days),
+      config_(config) {
+  TAFLOC_CHECK_ARG(!baseline_.empty(), "scheduler needs at least one link");
+  TAFLOC_CHECK_ARG(updated_at_days >= 0.0, "update time must be non-negative");
+  TAFLOC_CHECK_ARG(config.staleness_threshold_db > 0.0, "staleness threshold must be positive");
+  TAFLOC_CHECK_ARG(config.min_interval_days >= 0.0, "min interval must be non-negative");
+  TAFLOC_CHECK_ARG(config.max_interval_days > config.min_interval_days,
+                   "max interval must exceed min interval");
+}
+
+bool UpdateScheduler::observe_ambient(std::span<const double> ambient, double t_days) {
+  TAFLOC_CHECK_ARG(ambient.size() == baseline_.size(), "ambient vector size mismatch");
+  TAFLOC_CHECK_ARG(t_days >= last_observation_, "observations must not go back in time");
+  last_observation_ = t_days;
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ambient.size(); ++i) sum += std::abs(ambient[i] - baseline_[i]);
+  staleness_ = sum / static_cast<double>(ambient.size());
+
+  const double age = t_days - updated_at_;
+  if (age < config_.min_interval_days) return false;
+  if (age >= config_.max_interval_days) return true;
+  return staleness_ > config_.staleness_threshold_db;
+}
+
+void UpdateScheduler::notify_updated(Vector fresh_ambient, double t_days) {
+  TAFLOC_CHECK_ARG(fresh_ambient.size() == baseline_.size(), "ambient vector size mismatch");
+  TAFLOC_CHECK_ARG(t_days >= updated_at_, "update times must not go back in time");
+  baseline_ = std::move(fresh_ambient);
+  updated_at_ = t_days;
+  last_observation_ = t_days;
+  staleness_ = 0.0;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,216 @@
+#include "tafloc/tafloc/system.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "tafloc/linalg/io.h"
+#include "tafloc/recon/operators.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+namespace {
+constexpr const char* kStateHeader = "tafloc-state-v1";
+}  // namespace
+
+void TafLocState::save(std::ostream& out) const {
+  out << kStateHeader << '\n';
+  out << "surveyed_at " << surveyed_at_days << '\n';
+  save_matrix(fingerprints, out);
+  save_vector(ambient, out);
+  save_matrix(correlation, out);
+  out << "references " << reference_indices.size() << '\n';
+  for (std::size_t i = 0; i < reference_indices.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << reference_indices[i];
+  }
+  out << '\n';
+  save_matrix(mask_undistorted, out);
+}
+
+TafLocState TafLocState::load(std::istream& in) {
+  const auto fail = [](const std::string& what) -> void {
+    throw std::runtime_error("TafLocState::load: malformed input: " + what);
+  };
+  std::string token;
+  if (!(in >> token) || token != kStateHeader) fail("missing header");
+  TafLocState state;
+  if (!(in >> token) || token != "surveyed_at") fail("missing surveyed_at");
+  if (!(in >> state.surveyed_at_days) || state.surveyed_at_days < 0.0)
+    fail("bad surveyed_at value");
+  state.fingerprints = load_matrix(in);
+  state.ambient = load_vector(in);
+  state.correlation = load_matrix(in);
+  if (!(in >> token) || token != "references") fail("missing references");
+  long long count = -1;
+  if (!(in >> count) || count <= 0) fail("bad reference count");
+  state.reference_indices.resize(static_cast<std::size_t>(count));
+  for (std::size_t& idx : state.reference_indices) {
+    if (!(in >> idx)) fail("truncated reference indices");
+  }
+  state.mask_undistorted = load_matrix(in);
+  return state;
+}
+
+void TafLocState::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  save(out);
+  if (!out) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+TafLocState TafLocState::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
+  return load(in);
+}
+
+TafLocSystem::TafLocSystem(const Deployment& deployment, const TafLocConfig& config)
+    : deployment_(deployment), config_(config) {
+  TAFLOC_CHECK_ARG(config.knn_k >= 1, "knn k must be at least 1");
+}
+
+void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t_days) {
+  TAFLOC_CHECK_ARG(full_survey.rows() == deployment_.num_links(),
+                   "survey must have one row per link");
+  TAFLOC_CHECK_ARG(full_survey.cols() == deployment_.num_grids(),
+                   "survey must have one column per grid");
+
+  // Distortion structure, learned from the data (no geometry needed).
+  const DistortionDetector detector(config_.distortion);
+  mask_ = detector.detect_from_data(full_survey, ambient);
+
+  // Reference locations: maximal linearly independent columns.
+  std::size_t count = config_.reference_count;
+  if (count == 0) count = suggest_reference_count(full_survey);
+  count = std::min(count, full_survey.cols());
+  reference_indices_ =
+      select_reference_locations(full_survey, count, config_.reference_policy, nullptr);
+
+  // LRR correlation matrix from the initial survey.
+  lrr_.emplace(full_survey, reference_indices_, config_.lrr_ridge);
+
+  // Property-iii pair sets, fixed by the learned distortion structure.
+  const DistortionMask* mask_ptr = config_.mask_pairwise ? &*mask_ : nullptr;
+  continuity_ = continuity_pairs(deployment_, mask_ptr);
+  similarity_ = similarity_pairs(deployment_, mask_ptr);
+
+  database_.emplace(full_survey, std::move(ambient), t_days);
+  rebuild_matcher();
+}
+
+TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_columns,
+                                                Vector fresh_ambient, double t_days) {
+  TAFLOC_CHECK_STATE(calibrated(), "update() requires a prior calibrate()");
+  TAFLOC_CHECK_ARG(fresh_reference_columns.rows() == deployment_.num_links(),
+                   "reference columns must have one row per link");
+  TAFLOC_CHECK_ARG(fresh_reference_columns.cols() == reference_indices_.size(),
+                   "reference column count must match the calibrated reference set");
+  TAFLOC_CHECK_ARG(fresh_ambient.size() == deployment_.num_links(),
+                   "ambient vector must have one entry per link");
+
+  LoliIrProblem problem;
+  problem.mask_undistorted = mask_->undistorted;
+  problem.known = known_entry_matrix(*mask_, fresh_ambient);
+  problem.prediction = lrr_->predict(fresh_reference_columns);
+  problem.reference_columns = fresh_reference_columns;
+  problem.reference_indices = reference_indices_;
+  problem.continuity = continuity_;
+  problem.similarity = similarity_;
+
+  UpdateReport report;
+  report.solver = loli_ir_reconstruct(problem, config_.solver);
+  report.updated_at_days = t_days;
+  report.references_surveyed = reference_indices_.size();
+
+  database_->update(report.solver.x, std::move(fresh_ambient), t_days);
+  rebuild_matcher();
+  return report;
+}
+
+TafLocSystem::UpdateReport TafLocSystem::update_with_collector(
+    const FingerprintCollector& collector, double t_days, Rng& rng) {
+  TAFLOC_CHECK_STATE(calibrated(), "update_with_collector() requires a prior calibrate()");
+  const Matrix fresh = collector.survey_grids(reference_indices_, t_days, rng);
+  Vector ambient = collector.ambient_scan(t_days, rng);
+  return update(fresh, std::move(ambient), t_days);
+}
+
+Point2 TafLocSystem::localize(std::span<const double> rss) const {
+  TAFLOC_CHECK_STATE(matcher_ != nullptr, "localize() requires a prior calibrate()");
+  return matcher_->localize(rss);
+}
+
+const std::vector<std::size_t>& TafLocSystem::reference_locations() const {
+  TAFLOC_CHECK_STATE(calibrated(), "reference locations exist only after calibrate()");
+  return reference_indices_;
+}
+
+const FingerprintDatabase& TafLocSystem::database() const {
+  TAFLOC_CHECK_STATE(calibrated(), "database exists only after calibrate()");
+  return *database_;
+}
+
+const LrrModel& TafLocSystem::lrr() const {
+  TAFLOC_CHECK_STATE(lrr_.has_value(), "LRR model exists only after calibrate()");
+  return *lrr_;
+}
+
+const DistortionMask& TafLocSystem::distortion_mask() const {
+  TAFLOC_CHECK_STATE(mask_.has_value(), "distortion mask exists only after calibrate()");
+  return *mask_;
+}
+
+TafLocState TafLocSystem::export_state() const {
+  TAFLOC_CHECK_STATE(calibrated(), "export_state() requires a prior calibrate()");
+  TafLocState state;
+  state.fingerprints = database_->fingerprints();
+  state.ambient = database_->ambient();
+  state.surveyed_at_days = database_->surveyed_at_days();
+  state.correlation = lrr_->correlation();
+  state.reference_indices = reference_indices_;
+  state.mask_undistorted = mask_->undistorted;
+  return state;
+}
+
+void TafLocSystem::import_state(const TafLocState& state) {
+  TAFLOC_CHECK_ARG(state.fingerprints.rows() == deployment_.num_links(),
+                   "state fingerprints must have one row per link");
+  TAFLOC_CHECK_ARG(state.fingerprints.cols() == deployment_.num_grids(),
+                   "state fingerprints must have one column per grid");
+  TAFLOC_CHECK_ARG(state.ambient.size() == deployment_.num_links(),
+                   "state ambient vector must have one entry per link");
+  TAFLOC_CHECK_ARG(state.mask_undistorted.same_shape(state.fingerprints),
+                   "state mask shape must match the fingerprints");
+  TAFLOC_CHECK_ARG(state.correlation.cols() == deployment_.num_grids(),
+                   "state correlation must have one column per grid");
+  for (double v : state.mask_undistorted.data())
+    TAFLOC_CHECK_ARG(v == 0.0 || v == 1.0, "state mask entries must be 0 or 1");
+
+  mask_.emplace();
+  mask_->undistorted = state.mask_undistorted;
+  mask_->distorted = Matrix(state.mask_undistorted.rows(), state.mask_undistorted.cols());
+  for (std::size_t i = 0; i < mask_->undistorted.rows(); ++i)
+    for (std::size_t j = 0; j < mask_->undistorted.cols(); ++j)
+      mask_->distorted(i, j) = 1.0 - mask_->undistorted(i, j);
+
+  reference_indices_ = state.reference_indices;
+  lrr_.emplace(LrrModel::from_correlation(state.correlation, state.reference_indices));
+
+  const DistortionMask* mask_ptr = config_.mask_pairwise ? &*mask_ : nullptr;
+  continuity_ = continuity_pairs(deployment_, mask_ptr);
+  similarity_ = similarity_pairs(deployment_, mask_ptr);
+
+  database_.emplace(state.fingerprints, state.ambient, state.surveyed_at_days);
+  rebuild_matcher();
+}
+
+void TafLocSystem::rebuild_matcher() {
+  matcher_ = std::make_unique<KnnMatcher>(database_->fingerprints(), deployment_.grid(),
+                                          std::min(config_.knn_k, deployment_.num_grids()),
+                                          /*weighted=*/true);
+}
+
+}  // namespace tafloc

@@ -1,0 +1,53 @@
+// Empirical cumulative distribution function over a finite sample.
+//
+// Used everywhere the paper reports a CDF (Fig. 3 reconstruction error,
+// Fig. 5 localization error): collect raw per-trial values, then query
+// F(x), percentiles, and fixed-grid series for table / CSV output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tafloc {
+
+/// EmpiricalCdf -- immutable once built; all queries are O(log n).
+class EmpiricalCdf {
+ public:
+  /// Build from a (not necessarily sorted) non-empty sample.
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// Number of samples.
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// F(x) = fraction of samples <= x, in [0, 1].
+  double at(double x) const noexcept;
+
+  /// Inverse CDF: smallest sample value v with F(v) >= q, q in (0, 1].
+  /// q = 0 returns the minimum sample.
+  double quantile(double q) const;
+
+  /// Median, i.e. quantile(0.5).
+  double median() const { return quantile(0.5); }
+
+  /// Mean of the underlying sample.
+  double mean() const noexcept { return mean_; }
+
+  /// Smallest / largest sample.
+  double min() const noexcept { return sorted_.front(); }
+  double max() const noexcept { return sorted_.back(); }
+
+  /// Evaluate F on `points` equally spaced x-values covering [lo, hi].
+  /// Returns pairs (x, F(x)) suitable for plotting a CDF curve.
+  std::vector<std::pair<double, double>> curve(double lo, double hi, std::size_t points) const;
+
+  /// The sorted sample (ascending); useful for exact-step CDF export.
+  const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_;
+};
+
+}  // namespace tafloc

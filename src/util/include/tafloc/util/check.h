@@ -1,0 +1,56 @@
+// Contract-checking helpers (Core Guidelines I.5 / I.7).
+//
+// TAFLOC_CHECK_ARG   -- validate a caller-supplied argument; throws
+//                       std::invalid_argument on violation.
+// TAFLOC_CHECK_STATE -- validate an internal invariant or object state;
+//                       throws std::logic_error on violation.
+// TAFLOC_CHECK_BOUNDS-- validate an index against a size; throws
+//                       std::out_of_range on violation.
+//
+// All checks are always on: the library is used for scientific
+// reproduction where silent out-of-contract behaviour would invalidate
+// results, and the checked paths are never in inner numeric loops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tafloc {
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const std::string& msg) {
+  throw std::invalid_argument(std::string("argument check failed: ") + expr +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const std::string& msg) {
+  throw std::logic_error(std::string("state check failed: ") + expr +
+                         (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void throw_out_of_range(const std::string& what, std::size_t index,
+                                            std::size_t size) {
+  throw std::out_of_range(what + ": index " + std::to_string(index) + " >= size " +
+                          std::to_string(size));
+}
+
+}  // namespace detail
+
+}  // namespace tafloc
+
+#define TAFLOC_CHECK_ARG(expr, msg)                            \
+  do {                                                         \
+    if (!(expr)) ::tafloc::detail::throw_invalid_argument(#expr, (msg)); \
+  } while (false)
+
+#define TAFLOC_CHECK_STATE(expr, msg)                          \
+  do {                                                         \
+    if (!(expr)) ::tafloc::detail::throw_logic_error(#expr, (msg)); \
+  } while (false)
+
+#define TAFLOC_CHECK_BOUNDS(index, size, what)                 \
+  do {                                                         \
+    if ((index) >= (size))                                     \
+      ::tafloc::detail::throw_out_of_range((what), (index), (size)); \
+  } while (false)

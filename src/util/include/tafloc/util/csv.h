@@ -1,0 +1,35 @@
+// Minimal CSV writer for machine-readable experiment output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tafloc {
+
+/// CsvWriter -- writes rows to a file (or any owned ofstream).  Fields
+/// containing commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Open `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row of string fields.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+  /// Write one row of numeric fields with full double precision.
+  void write_numeric_row(const std::vector<double>& values);
+
+  /// Flush the underlying stream.
+  void flush();
+
+  /// Quote a single field if needed (exposed for testing).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace tafloc

@@ -1,0 +1,30 @@
+// Piecewise-linear interpolation over a monotone knot sequence.
+//
+// Used by the drift model (anchored to the paper's measured drift at
+// 5 and 45 days) and by CDF resampling in the benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tafloc {
+
+/// LinearInterpolator -- y(x) linear between knots, clamped outside the
+/// knot range (constant extrapolation).
+class LinearInterpolator {
+ public:
+  /// Build from strictly increasing xs and matching ys (same length >= 1).
+  LinearInterpolator(std::span<const double> xs, std::span<const double> ys);
+
+  /// Interpolated value at x.
+  double operator()(double x) const noexcept;
+
+  /// Knot count.
+  std::size_t size() const noexcept { return xs_.size(); }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace tafloc

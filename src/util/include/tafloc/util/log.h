@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// Libraries log through this to keep dependencies at zero; the sink is
+// stderr.  The level is process-wide but explicitly set by the binary's
+// main() (no hidden environment coupling), defaulting to Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tafloc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the minimum level that is emitted.
+void set_log_level(LogLevel level) noexcept;
+
+/// Currently configured minimum level.
+LogLevel log_level() noexcept;
+
+/// Emit one message at `level` (no-op when below the configured level).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style helper: collects one message and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace tafloc
+
+#define TAFLOC_LOG_DEBUG ::tafloc::detail::LogLine(::tafloc::LogLevel::Debug)
+#define TAFLOC_LOG_INFO ::tafloc::detail::LogLine(::tafloc::LogLevel::Info)
+#define TAFLOC_LOG_WARN ::tafloc::detail::LogLine(::tafloc::LogLevel::Warn)
+#define TAFLOC_LOG_ERROR ::tafloc::detail::LogLine(::tafloc::LogLevel::Error)

@@ -1,0 +1,60 @@
+// Streaming statistics and percentile helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tafloc {
+
+/// RunningStats -- Welford-style single-pass mean/variance with min/max.
+/// Numerically stable; O(1) memory.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel-reduction safe).
+  void merge(const RunningStats& other) noexcept;
+
+  /// Number of observations added so far.
+  std::size_t count() const noexcept { return count_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const noexcept;
+  /// Square root of variance().
+  double stddev() const noexcept;
+  /// Smallest observation; +inf when empty.
+  double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  RunningStats() noexcept;
+};
+
+/// Mean of a sample.  Requires a non-empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation.  Requires at least two elements.
+double sample_stddev(std::span<const double> xs);
+
+/// p-th percentile (p in [0,100]) using linear interpolation between
+/// order statistics.  Requires a non-empty span; does not need xs sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Root-mean-square of a sample.  Requires a non-empty span.
+double rms(std::span<const double> xs);
+
+}  // namespace tafloc

@@ -1,0 +1,35 @@
+// ASCII table rendering for bench / example output.
+//
+// Benches print the paper's tables and figure series in this format so
+// the reproduction can be eyeballed straight from the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tafloc {
+
+/// AsciiTable -- accumulate a header plus rows of strings, then render
+/// with column-aligned monospace borders.
+class AsciiTable {
+ public:
+  /// Set the header row (column titles).  May be called once, before rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one data row.  Rows may have fewer cells than the header;
+  /// missing cells render empty.  Rows wider than the header widen the
+  /// table.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `decimals` fractional digits.
+  static std::string num(double value, int decimals = 2);
+
+  /// Render the table to a string (with trailing newline).
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tafloc

@@ -1,0 +1,46 @@
+#include "tafloc/util/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  TAFLOC_CHECK_ARG(!sorted_.empty(), "cannot build a CDF from an empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  double s = 0.0;
+  for (double x : sorted_) s += x;
+  mean_ = s / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::at(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  TAFLOC_CHECK_ARG(q >= 0.0 && q <= 1.0, "quantile level must be in [0, 1]");
+  if (q == 0.0) return sorted_.front();
+  const double target = q * static_cast<double>(sorted_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(target));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted_.size());
+  return sorted_[rank - 1];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(double lo, double hi,
+                                                           std::size_t points) const {
+  TAFLOC_CHECK_ARG(points >= 2, "a CDF curve needs at least two points");
+  TAFLOC_CHECK_ARG(lo < hi, "curve range must be non-empty");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+}  // namespace tafloc

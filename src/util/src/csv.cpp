@@ -1,0 +1,48 @@
+#include "tafloc/util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tafloc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open '" + path + "' for writing");
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> fields) {
+  write_row(std::vector<std::string>(fields));
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& values) {
+  std::ostringstream oss;
+  oss.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) oss << ',';
+    oss << values[i];
+  }
+  out_ << oss.str() << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace tafloc

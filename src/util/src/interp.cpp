@@ -1,0 +1,27 @@
+#include "tafloc/util/interp.h"
+
+#include <algorithm>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+LinearInterpolator::LinearInterpolator(std::span<const double> xs, std::span<const double> ys)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  TAFLOC_CHECK_ARG(!xs_.empty(), "interpolator needs at least one knot");
+  TAFLOC_CHECK_ARG(xs_.size() == ys_.size(), "xs and ys must have equal length");
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    TAFLOC_CHECK_ARG(xs_[i - 1] < xs_[i], "knot abscissae must be strictly increasing");
+}
+
+double LinearInterpolator::operator()(double x) const noexcept {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] * (1.0 - t) + ys_[hi] * t;
+}
+
+}  // namespace tafloc

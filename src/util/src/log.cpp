@@ -1,0 +1,41 @@
+#include "tafloc/util/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace tafloc {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << "[tafloc " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace tafloc

@@ -1,0 +1,75 @@
+#include "tafloc/util/rng.h"
+
+#include <algorithm>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  std::seed_seq seq{static_cast<std::uint32_t>(sm.next()), static_cast<std::uint32_t>(sm.next()),
+                    static_cast<std::uint32_t>(sm.next()), static_cast<std::uint32_t>(sm.next()),
+                    static_cast<std::uint32_t>(sm.next()), static_cast<std::uint32_t>(sm.next())};
+  engine_.seed(seq);
+}
+
+double Rng::uniform(double lo, double hi) {
+  TAFLOC_CHECK_ARG(lo < hi, "uniform range must be non-empty");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+double Rng::normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+double Rng::normal(double mean, double sigma) {
+  TAFLOC_CHECK_ARG(sigma >= 0.0, "standard deviation must be non-negative");
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  TAFLOC_CHECK_ARG(n > 0, "cannot draw an index from an empty range");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+std::int64_t Rng::integer(std::int64_t lo, std::int64_t hi) {
+  TAFLOC_CHECK_ARG(lo <= hi, "integer range must be non-empty");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  TAFLOC_CHECK_ARG(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::fork() {
+  SplitMix64 sm(seed_ ^ (0xa5a5a5a5a5a5a5a5ULL + ++fork_counter_));
+  // Mix in one draw from the parent so forks after different histories
+  // differ even with the same counter value after copying.
+  return Rng(sm.next() ^ engine_());
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  TAFLOC_CHECK_ARG(k <= n, "cannot sample more elements than the population holds");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: only the first k swaps are needed.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  if (v.size() < 2) return;
+  for (std::size_t i = v.size() - 1; i > 0; --i) {
+    const std::size_t j = index(i + 1);
+    std::swap(v[i], v[j]);
+  }
+}
+
+}  // namespace tafloc

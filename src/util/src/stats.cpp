@@ -1,0 +1,84 @@
+#include "tafloc/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+RunningStats::RunningStats() noexcept
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  TAFLOC_CHECK_ARG(!xs.empty(), "mean of an empty sample is undefined");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_stddev(std::span<const double> xs) {
+  TAFLOC_CHECK_ARG(xs.size() >= 2, "sample stddev needs at least two observations");
+  RunningStats st;
+  for (double x : xs) st.add(x);
+  return st.stddev();
+}
+
+double percentile(std::span<const double> xs, double p) {
+  TAFLOC_CHECK_ARG(!xs.empty(), "percentile of an empty sample is undefined");
+  TAFLOC_CHECK_ARG(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double rms(std::span<const double> xs) {
+  TAFLOC_CHECK_ARG(!xs.empty(), "rms of an empty sample is undefined");
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace tafloc

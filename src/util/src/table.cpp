@@ -1,0 +1,55 @@
+#include "tafloc/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tafloc {
+
+void AsciiTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void AsciiTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string AsciiTable::num(double value, int decimals) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(decimals) << value;
+  return oss.str();
+}
+
+std::string AsciiTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return "(empty table)\n";
+
+  std::vector<std::size_t> width(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (std::size_t c = 0; c < columns; ++c) s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,122 @@
+#include "tafloc/baselines/rass.h"
+
+#include <gtest/gtest.h>
+
+#include "tafloc/sim/scenario.h"
+
+namespace tafloc {
+namespace {
+
+class RassTest : public ::testing::Test {
+ protected:
+  RassTest() : scenario_(Scenario::paper_room(41)), rng_(41) {
+    x0_ = scenario_.collector().survey_all(0.0, rng_);
+    ambient0_ = scenario_.collector().ambient_scan(0.0, rng_);
+  }
+
+  FingerprintDatabase fresh_db() { return FingerprintDatabase(x0_, ambient0_, 0.0); }
+
+  Scenario scenario_;
+  Rng rng_;
+  Matrix x0_;
+  Vector ambient0_;
+};
+
+TEST_F(RassTest, CoarseEstimateNearAffectedLinks) {
+  const FingerprintDatabase db = fresh_db();
+  const RassLocalizer rass(scenario_.deployment(), db, ambient0_);
+  // Target on link 4 (y ~ 2.16): coarse estimate must land at a similar y.
+  const Point2 target{3.6, 2.16};
+  const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+  const Point2 coarse = rass.coarse_estimate(y);
+  EXPECT_NEAR(coarse.y, target.y, 1.2);
+}
+
+TEST_F(RassTest, LocalizesFreshDatabaseWell) {
+  const FingerprintDatabase db = fresh_db();
+  const RassLocalizer rass(scenario_.deployment(), db, ambient0_);
+  double total = 0.0;
+  for (std::size_t j : {12u, 37u, 61u, 85u}) {
+    const Point2 target = scenario_.deployment().grid().center(j);
+    const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+    total += distance(rass.localize(y), target);
+  }
+  EXPECT_LT(total / 4.0, 2.2);
+}
+
+TEST_F(RassTest, StaleDatabaseDegradesAccuracy) {
+  // The Fig. 5 phenomenon: RASS w/o reconstruction at 90 days is worse
+  // than RASS with a fresh (reconstruction-quality) database.
+  const double t = 90.0;
+  Vector ambient_now = scenario_.collector().ambient_scan(t, rng_);
+
+  const FingerprintDatabase stale_db = fresh_db();
+  Rng rng_fresh(42);
+  const Matrix x_now = scenario_.collector().survey_all(t, rng_fresh);
+  const FingerprintDatabase current_db(x_now, ambient_now, t);
+
+  const RassLocalizer rass_stale(scenario_.deployment(), stale_db, ambient_now, RassConfig{},
+                                 "RASS w/o rec.");
+  const RassLocalizer rass_fresh(scenario_.deployment(), current_db, ambient_now, RassConfig{},
+                                 "RASS w/ rec.");
+
+  double err_stale = 0.0, err_fresh = 0.0;
+  for (std::size_t j = 4; j < 96; j += 7) {
+    const Point2 target = scenario_.deployment().grid().center(j);
+    const Vector y = scenario_.collector().observe(target, t, rng_);
+    err_stale += distance(rass_stale.localize(y), target);
+    err_fresh += distance(rass_fresh.localize(y), target);
+  }
+  EXPECT_LT(err_fresh, err_stale);
+}
+
+TEST_F(RassTest, FallsBackWhenNoLinkCrossesThreshold) {
+  const FingerprintDatabase db = fresh_db();
+  RassConfig cfg;
+  cfg.dynamic_threshold_db = 50.0;  // nothing will cross it
+  const RassLocalizer rass(scenario_.deployment(), db, ambient0_, cfg);
+  const Point2 target = scenario_.deployment().grid().center(40);
+  const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+  // Falls back to the most-affected link's midpoint: still inside the room.
+  const Point2 est = rass.localize(y);
+  EXPECT_GE(est.y, 0.0);
+  EXPECT_LE(est.y, 4.8);
+}
+
+TEST_F(RassTest, VariantNameIsReported) {
+  const FingerprintDatabase db = fresh_db();
+  const RassLocalizer rass(scenario_.deployment(), db, ambient0_, RassConfig{}, "RASS w/ rec.");
+  EXPECT_EQ(rass.name(), "RASS w/ rec.");
+}
+
+TEST_F(RassTest, RejectsBadConfig) {
+  const FingerprintDatabase db = fresh_db();
+  RassConfig cfg;
+  cfg.dynamic_threshold_db = 0.0;
+  EXPECT_THROW(RassLocalizer(scenario_.deployment(), db, ambient0_, cfg),
+               std::invalid_argument);
+  cfg = RassConfig{};
+  cfg.knn_k = 0;
+  EXPECT_THROW(RassLocalizer(scenario_.deployment(), db, ambient0_, cfg),
+               std::invalid_argument);
+  cfg = RassConfig{};
+  cfg.coarse_weight = 1.5;
+  EXPECT_THROW(RassLocalizer(scenario_.deployment(), db, ambient0_, cfg),
+               std::invalid_argument);
+}
+
+TEST_F(RassTest, RejectsMismatchedShapes) {
+  const FingerprintDatabase db = fresh_db();
+  Vector bad_ambient{1.0};
+  EXPECT_THROW(RassLocalizer(scenario_.deployment(), db, bad_ambient), std::invalid_argument);
+}
+
+TEST_F(RassTest, RejectsWrongObservationLength) {
+  const FingerprintDatabase db = fresh_db();
+  const RassLocalizer rass(scenario_.deployment(), db, ambient0_);
+  const std::vector<double> bad{1.0, 2.0};
+  EXPECT_THROW(rass.localize(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,270 @@
+#include "tafloc/baselines/rti.h"
+
+#include <gtest/gtest.h>
+
+#include "tafloc/sim/scenario.h"
+#include "tafloc/sim/trace.h"
+
+namespace tafloc {
+namespace {
+
+class RtiTest : public ::testing::Test {
+ protected:
+  RtiTest() : scenario_(Scenario::paper_room(31)), rng_(31) {
+    ambient_ = scenario_.collector().ambient_scan(0.0, rng_);
+  }
+  Scenario scenario_;
+  Rng rng_;
+  Vector ambient_;
+};
+
+TEST_F(RtiTest, WeightModelShapeAndSparsity) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const Matrix& w = rti.weight_model();
+  EXPECT_EQ(w.rows(), 10u);
+  EXPECT_EQ(w.cols(), 96u);
+  // Each link's ellipse covers only a band of grids, not the whole area.
+  std::size_t nonzero = 0;
+  for (double v : w.data())
+    if (v != 0.0) ++nonzero;
+  EXPECT_GT(nonzero, 0u);
+  EXPECT_LT(nonzero, w.size() / 2);
+}
+
+TEST_F(RtiTest, WeightsScaleInverseSqrtLinkLength) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const Matrix& w = rti.weight_model();
+  const double expected = 1.0 / std::sqrt(scenario_.deployment().links()[0].length());
+  for (std::size_t j = 0; j < w.cols(); ++j) {
+    if (w(0, j) != 0.0) EXPECT_NEAR(w(0, j), expected, 1e-12);
+  }
+}
+
+TEST_F(RtiTest, ImagePeaksNearTarget) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const Point2 target = scenario_.deployment().grid().center(40);
+  const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+  const Vector img = rti.image(y);
+  std::size_t argmax = 0;
+  for (std::size_t j = 1; j < img.size(); ++j)
+    if (img[j] > img[argmax]) argmax = j;
+  const Point2 peak = scenario_.deployment().grid().center(argmax);
+  EXPECT_LT(distance(peak, target), 1.6);
+}
+
+TEST_F(RtiTest, LocalizesGridCenterTargets) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  double total = 0.0;
+  const std::vector<std::size_t> cells{10, 30, 50, 70, 90};
+  for (std::size_t j : cells) {
+    const Point2 target = scenario_.deployment().grid().center(j);
+    const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+    total += distance(rti.localize(y), target);
+  }
+  EXPECT_LT(total / static_cast<double>(cells.size()), 1.8);
+}
+
+TEST_F(RtiTest, AmbientObservationGivesFlatImage) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const Vector y = scenario_.collector().observe_ambient(0.0, rng_);
+  const Vector img = rti.image(y);
+  double max_abs = 0.0;
+  for (double v : img) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_LT(max_abs, 0.6);  // nothing but noise in the image
+}
+
+TEST_F(RtiTest, NeedsNoFingerprintsSoAgeDoesNotMatter) {
+  // RTI's accuracy at t=90 d (with a fresh ambient scan) should match
+  // its accuracy at t=0: no fingerprint DB to go stale.
+  const double t = 90.0;
+  Vector ambient_now = scenario_.collector().ambient_scan(t, rng_);
+  const RtiLocalizer rti_now(scenario_.deployment(), ambient_now);
+  const RtiLocalizer rti_then(scenario_.deployment(), ambient_);
+
+  double err_now = 0.0, err_then = 0.0;
+  for (std::size_t j : {20u, 45u, 75u}) {
+    const Point2 target = scenario_.deployment().grid().center(j);
+    const Vector y_now = scenario_.collector().observe(target, t, rng_);
+    const Vector y_then = scenario_.collector().observe(target, 0.0, rng_);
+    err_now += distance(rti_now.localize(y_now), target);
+    err_then += distance(rti_then.localize(y_then), target);
+  }
+  EXPECT_LT(err_now, err_then + 2.5);
+}
+
+TEST_F(RtiTest, RejectsBadConfig) {
+  RtiConfig cfg;
+  cfg.ellipse_width_m = 0.0;
+  EXPECT_THROW(RtiLocalizer(scenario_.deployment(), ambient_, cfg), std::invalid_argument);
+  cfg = RtiConfig{};
+  cfg.ridge = 0.0;
+  EXPECT_THROW(RtiLocalizer(scenario_.deployment(), ambient_, cfg), std::invalid_argument);
+  cfg = RtiConfig{};
+  cfg.top_fraction = 0.0;
+  EXPECT_THROW(RtiLocalizer(scenario_.deployment(), ambient_, cfg), std::invalid_argument);
+}
+
+TEST_F(RtiTest, RejectsWrongAmbientLength) {
+  Vector bad{1.0, 2.0};
+  EXPECT_THROW(RtiLocalizer(scenario_.deployment(), bad), std::invalid_argument);
+}
+
+TEST_F(RtiTest, RejectsWrongObservationLength) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(rti.localize(bad), std::invalid_argument);
+}
+
+/// A channel with mild multipath: with TWO bodies the ghost responses
+/// add up and (realistically) wreck the tomographic image, so the blob
+/// mechanism is tested where the linear model approximately holds.
+Scenario gentle_scenario(std::uint64_t seed) {
+  ChannelConfig cfg;
+  cfg.multipath_ghost_db = 0.4;
+  cfg.static_ripple_db = 0.4;
+  return Scenario(Deployment::paper_room(), cfg, seed);
+}
+
+TEST(RtiMultiTarget, FindsTwoSeparatedPeople) {
+  const Scenario s = gentle_scenario(31);
+  Rng rng(31);
+  const Vector ambient = s.collector().ambient_scan(0.0, rng);
+  const RtiLocalizer rti(s.deployment(), ambient);
+  // Two targets sharing a horizontal band: no cross-ambiguity (see the
+  // CrossAmbiguity test below for the degenerate rectangle case).
+  const std::vector<Point2> targets{{1.5, 2.4}, {5.7, 2.4}};
+  const Vector y = s.collector().observe_multi(targets, 0.0, rng);
+  const auto found = rti.localize_multi(y, 2);
+  ASSERT_GE(found.size(), 1u);
+  for (const Point2& truth : targets) {
+    double best = 1e9;
+    for (const Point2& est : found) best = std::min(best, distance(est, truth));
+    EXPECT_LT(best, 2.0) << "missed target at (" << truth.x << ", " << truth.y << ")";
+  }
+}
+
+TEST(RtiMultiTarget, CrossAmbiguityBlobsLandOnIntersections) {
+  // Two targets at opposite rectangle corners: with (near-)orthogonal
+  // link bands, tomography cannot tell {(x1,y1),(x2,y2)} from
+  // {(x1,y2),(x2,y1)} -- the blobs must land near SOME of the four band
+  // intersections, which is the documented behaviour, not a bug.
+  const Scenario s = gentle_scenario(32);
+  Rng rng(32);
+  const Vector ambient = s.collector().ambient_scan(0.0, rng);
+  const RtiLocalizer rti(s.deployment(), ambient);
+  const std::vector<Point2> targets{{1.5, 1.2}, {5.7, 3.6}};
+  const Vector y = s.collector().observe_multi(targets, 0.0, rng);
+  const auto found = rti.localize_multi(y, 2);
+  ASSERT_GE(found.size(), 1u);
+
+  const Point2 candidates[] = {{1.5, 1.2}, {5.7, 3.6}, {1.5, 3.6}, {5.7, 1.2}};
+  for (const Point2& est : found) {
+    double best = 1e9;
+    for (const Point2& c : candidates) best = std::min(best, distance(est, c));
+    EXPECT_LT(best, 2.0) << "blob at (" << est.x << ", " << est.y
+                         << ") is not near any band intersection";
+  }
+}
+
+TEST_F(RtiTest, MultiTargetEmptyRoomFindsLittle) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const std::vector<Point2> none;
+  const Vector y = scenario_.collector().observe_multi(none, 0.0, rng_);
+  const auto found = rti.localize_multi(y, 3);
+  // A noise-only image has no dominant blob structure; whatever blob
+  // survives thresholding is at most a couple of spurious components.
+  EXPECT_LE(found.size(), 3u);
+}
+
+TEST_F(RtiTest, MultiTargetSingleReducesTowardLocalize) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const Point2 target = scenario_.deployment().grid().center(40);
+  const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+  const auto found = rti.localize_multi(y, 1);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_LT(distance(found[0], rti.localize(y)), 1.0);
+}
+
+TEST_F(RtiTest, MultiTargetOrderedByBlobWeight) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const std::vector<Point2> targets{{1.5, 1.2}, {5.7, 3.6}};
+  const Vector y = scenario_.collector().observe_multi(targets, 0.0, rng_);
+  const auto two = rti.localize_multi(y, 2);
+  const auto one = rti.localize_multi(y, 1);
+  ASSERT_GE(two.size(), 1u);
+  ASSERT_EQ(one.size(), 1u);
+  // The first (heaviest) blob must be stable under the max_targets cap.
+  EXPECT_LT(distance(two[0], one[0]), 1e-9);
+}
+
+TEST_F(RtiTest, MultiTargetRejectsBadArguments) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  const Vector y(10, -40.0);
+  EXPECT_THROW(rti.localize_multi(y, 0), std::invalid_argument);
+  EXPECT_THROW(rti.localize_multi(y, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(rti.localize_multi(y, 2, 1.0), std::invalid_argument);
+}
+
+TEST_F(RtiTest, IterativeBackendMatchesDirectImage) {
+  RtiConfig direct_cfg;
+  RtiConfig iter_cfg;
+  iter_cfg.solver = RtiSolver::Iterative;
+  const RtiLocalizer direct(scenario_.deployment(), ambient_, direct_cfg);
+  const RtiLocalizer iterative(scenario_.deployment(), ambient_, iter_cfg);
+
+  const Point2 target = scenario_.deployment().grid().center(40);
+  const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+  const Vector img_d = direct.image(y);
+  const Vector img_i = iterative.image(y);
+  ASSERT_EQ(img_d.size(), img_i.size());
+  double worst = 0.0;
+  for (std::size_t j = 0; j < img_d.size(); ++j)
+    worst = std::max(worst, std::abs(img_d[j] - img_i[j]));
+  EXPECT_LT(worst, 1e-5);
+}
+
+TEST_F(RtiTest, IterativeBackendLocalizesSameTargets) {
+  RtiConfig iter_cfg;
+  iter_cfg.solver = RtiSolver::Iterative;
+  const RtiLocalizer direct(scenario_.deployment(), ambient_);
+  const RtiLocalizer iterative(scenario_.deployment(), ambient_, iter_cfg);
+  for (std::size_t j : {10u, 50u, 90u}) {
+    const Point2 target = scenario_.deployment().grid().center(j);
+    const Vector y = scenario_.collector().observe(target, 0.0, rng_);
+    EXPECT_LT(distance(direct.localize(y), iterative.localize(y)), 0.05);
+  }
+}
+
+TEST_F(RtiTest, IterativeBackendHasNoDenseModel) {
+  RtiConfig cfg;
+  cfg.solver = RtiSolver::Iterative;
+  const RtiLocalizer rti(scenario_.deployment(), ambient_, cfg);
+  EXPECT_THROW(rti.weight_model(), std::logic_error);
+  EXPECT_GT(rti.sparse_weight_model().nnz(), 0u);
+}
+
+TEST(RtiLargeArea, IterativeBackendScalesToBigGrids) {
+  // 18 m x 18 m = 900 cells: the iterative backend must build fast and
+  // localize sensibly (the dense backend would factor a 900x900 matrix).
+  const Scenario s = Scenario::square_area(18.0, 8);
+  Rng rng(8);
+  const Vector ambient = s.collector().ambient_scan(0.0, rng);
+  RtiConfig cfg;
+  cfg.solver = RtiSolver::Iterative;
+  const RtiLocalizer rti(s.deployment(), ambient, cfg);
+  double total = 0.0;
+  const std::vector<Point2> targets{{4.0, 5.0}, {12.5, 9.3}, {9.0, 15.0}};
+  for (const Point2& target : targets) {
+    const Vector y = s.collector().observe(target, 0.0, rng);
+    total += distance(rti.localize(y), target);
+  }
+  EXPECT_LT(total / 3.0, 3.5);
+}
+
+TEST_F(RtiTest, NameIsRti) {
+  const RtiLocalizer rti(scenario_.deployment(), ambient_);
+  EXPECT_EQ(rti.name(), "RTI");
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,111 @@
+// Fault injection: corrupted measurements (NaN / infinity / absurd
+// magnitudes) must surface as exceptions or explicit non-convergence --
+// never as silently wrong localization output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tafloc/linalg/cholesky.h"
+#include "tafloc/linalg/lu.h"
+#include "tafloc/linalg/ops.h"
+#include "tafloc/linalg/svd.h"
+#include "tafloc/loc/matcher.h"
+#include "tafloc/recon/loli_ir.h"
+#include "tafloc/loc/presence.h"
+#include "tafloc/sim/scenario.h"
+#include "tafloc/tafloc/system.h"
+#include "tafloc/util/stats.h"
+
+namespace tafloc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FaultInjection, SvdOfNanMatrixThrowsRatherThanReturningGarbage) {
+  Matrix a(4, 4, 1.0);
+  a(1, 2) = kNan;
+  EXPECT_THROW(svd_decompose(a), std::invalid_argument);
+  a(1, 2) = kInf;
+  EXPECT_THROW(svd_decompose(a), std::invalid_argument);
+}
+
+TEST(FaultInjection, CholeskyOfNanMatrixThrows) {
+  Matrix a = Matrix::identity(3);
+  a(1, 1) = kNan;
+  EXPECT_THROW(cholesky_factor(a), std::invalid_argument);
+}
+
+TEST(FaultInjection, LuOfAllNanThrows) {
+  Matrix a(2, 2, kNan);
+  EXPECT_THROW(LuDecomposition{a}, std::invalid_argument);
+}
+
+TEST(FaultInjection, MatchersRejectNanObservations) {
+  const GridMap grid(1.8, 0.6, 0.6);
+  const Matrix fp = Matrix::from_rows({{-30.0, -40.0, -50.0}});
+  const std::vector<double> y{kNan};
+  EXPECT_THROW(KnnMatcher(fp, grid, 2).localize(y), std::invalid_argument);
+  EXPECT_THROW(NnMatcher(fp, grid).localize(y), std::invalid_argument);
+  EXPECT_THROW(BayesMatcher(fp, grid).localize(y), std::invalid_argument);
+}
+
+TEST(FaultInjection, PresencePipelineFlagsAbsurdObservation) {
+  // A receiver fault reporting +inf RSS shows up as an enormous
+  // presence score -- the natural guard point for real deployments.
+  const Scenario s = Scenario::paper_room(3);
+  Rng rng(3);
+  Vector ambient = s.collector().ambient_scan(0.0, rng);
+  const std::size_t m = ambient.size();
+  PresenceDetector det(std::move(ambient));
+  for (int i = 0; i < 6; ++i) det.calibrate_empty(s.collector().observe_ambient(0.0, rng));
+  Vector faulty(m, -40.0);
+  faulty[2] = kInf;
+  EXPECT_TRUE(std::isinf(det.score(faulty)));
+}
+
+TEST(FaultInjection, LoliIrRejectsNanMaskEntries) {
+  const Scenario s = Scenario::paper_room(4);
+  Rng rng(4);
+  const Matrix x0 = s.collector().survey_all(0.0, rng);
+  const Vector amb = s.collector().ambient_scan(0.0, rng);
+  const DistortionMask mask = DistortionDetector().detect_from_data(x0, amb);
+
+  LoliIrProblem p;
+  p.mask_undistorted = mask.undistorted;
+  p.mask_undistorted(0, 0) = kNan;  // corrupt
+  p.known = known_entry_matrix(mask, amb);
+  p.prediction = x0;
+  p.reference_columns = x0.select_columns(std::vector<std::size_t>{0});
+  p.reference_indices = {0};
+  EXPECT_THROW(loli_ir_reconstruct(p), std::invalid_argument);
+}
+
+TEST(FaultInjection, SystemRejectsWrongSizedRealtimeVector) {
+  const Scenario s = Scenario::paper_room(5);
+  Rng rng(5);
+  TafLocSystem system(s.deployment());
+  system.calibrate(s.collector().survey_all(0.0, rng), s.collector().ambient_scan(0.0, rng),
+                   0.0);
+  const std::vector<double> too_short(5, -40.0);
+  EXPECT_THROW(system.localize(too_short), std::invalid_argument);
+  const std::vector<double> too_long(20, -40.0);
+  EXPECT_THROW(system.localize(too_long), std::invalid_argument);
+}
+
+TEST(FaultInjection, SoftThresholdHandlesInfinities) {
+  EXPECT_DOUBLE_EQ(soft_threshold(kInf, 5.0), kInf);
+  EXPECT_DOUBLE_EQ(soft_threshold(-kInf, 5.0), -kInf);
+}
+
+TEST(FaultInjection, RunningStatsPropagateNanVisibly) {
+  // A NaN observation must poison the mean (visible), not vanish.
+  RunningStats st;
+  st.add(1.0);
+  st.add(kNan);
+  EXPECT_TRUE(std::isnan(st.mean()));
+}
+
+}  // namespace
+}  // namespace tafloc

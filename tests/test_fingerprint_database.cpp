@@ -1,0 +1,71 @@
+#include "tafloc/fingerprint/database.h"
+
+#include <gtest/gtest.h>
+
+namespace tafloc {
+namespace {
+
+FingerprintDatabase make_db() {
+  const Matrix fp = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  return FingerprintDatabase(fp, Vector{10.0, 20.0}, 0.0);
+}
+
+TEST(FingerprintDatabase, Accessors) {
+  const FingerprintDatabase db = make_db();
+  EXPECT_EQ(db.num_links(), 2u);
+  EXPECT_EQ(db.num_grids(), 3u);
+  EXPECT_DOUBLE_EQ(db.surveyed_at_days(), 0.0);
+  EXPECT_DOUBLE_EQ(db.ambient()[1], 20.0);
+}
+
+TEST(FingerprintDatabase, FingerprintOfGrid) {
+  const FingerprintDatabase db = make_db();
+  const Vector fp = db.fingerprint_of(1);
+  ASSERT_EQ(fp.size(), 2u);
+  EXPECT_DOUBLE_EQ(fp[0], 2.0);
+  EXPECT_DOUBLE_EQ(fp[1], 5.0);
+}
+
+TEST(FingerprintDatabase, FingerprintOfRejectsBadIndex) {
+  const FingerprintDatabase db = make_db();
+  EXPECT_THROW(db.fingerprint_of(3), std::out_of_range);
+}
+
+TEST(FingerprintDatabase, RejectsInconsistentConstruction) {
+  const Matrix fp(2, 3, 1.0);
+  EXPECT_THROW(FingerprintDatabase(fp, Vector{1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(FingerprintDatabase(fp, Vector{1.0, 2.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(FingerprintDatabase(Matrix{}, Vector{}, 0.0), std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, UpdateSwapsContents) {
+  FingerprintDatabase db = make_db();
+  const Matrix fresh(2, 3, 9.0);
+  db.update(fresh, Vector{11.0, 21.0}, 30.0);
+  EXPECT_DOUBLE_EQ(db.fingerprints()(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(db.ambient()[0], 11.0);
+  EXPECT_DOUBLE_EQ(db.surveyed_at_days(), 30.0);
+}
+
+TEST(FingerprintDatabase, UpdateRejectsShapeChange) {
+  FingerprintDatabase db = make_db();
+  EXPECT_THROW(db.update(Matrix(2, 4, 0.0), Vector{1.0, 2.0}, 30.0), std::invalid_argument);
+  EXPECT_THROW(db.update(Matrix(2, 3, 0.0), Vector{1.0}, 30.0), std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, UpdateRejectsTimeTravel) {
+  FingerprintDatabase db = make_db();
+  db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, 30.0);
+  EXPECT_THROW(db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, 10.0), std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, AgeComputation) {
+  FingerprintDatabase db = make_db();
+  EXPECT_DOUBLE_EQ(db.age_days(45.0), 45.0);
+  db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, 40.0);
+  EXPECT_DOUBLE_EQ(db.age_days(45.0), 5.0);
+  EXPECT_THROW(db.age_days(39.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,116 @@
+#include "tafloc/fingerprint/reference.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tafloc/linalg/lsq.h"
+#include "tafloc/linalg/ops.h"
+#include "tafloc/sim/scenario.h"
+
+namespace tafloc {
+namespace {
+
+TEST(ReferenceSelection, QrPivotReturnsDistinctIndices) {
+  Rng rng(1);
+  const Matrix x0 = random_low_rank(10, 40, 5, rng);
+  const auto refs = select_reference_locations(x0, 8, ReferencePolicy::QrPivot);
+  EXPECT_EQ(refs.size(), 8u);
+  std::set<std::size_t> unique(refs.begin(), refs.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (std::size_t r : refs) EXPECT_LT(r, 40u);
+}
+
+TEST(ReferenceSelection, QrPivotSpansLowRankMatrix) {
+  // With rank-r data, r QR-pivot columns must reconstruct the whole
+  // matrix by linear combination (the paper's property ii).
+  Rng rng(2);
+  const Matrix x0 = random_low_rank(12, 50, 4, rng);
+  const auto refs = select_reference_locations(x0, 4, ReferencePolicy::QrPivot);
+  const Matrix xr = x0.select_columns(refs);
+  const Matrix z = solve_ridge_matrix(xr, x0, 1e-10);
+  EXPECT_LT(max_abs_diff(xr * z, x0), 1e-6);
+}
+
+TEST(ReferenceSelection, QrPivotBeatsWorstCaseRandom) {
+  // Construct a matrix where columns 0..2 are informative and the rest
+  // are near-copies of column 0; QR pivoting must select the three
+  // informative directions first.
+  Matrix x0(3, 20);
+  for (std::size_t j = 0; j < 20; ++j) {
+    x0(0, j) = 1.0;
+    x0(1, j) = (j == 1) ? 1.0 : 0.0;
+    x0(2, j) = (j == 2) ? 1.0 : 0.0;
+  }
+  const auto refs = select_reference_locations(x0, 3, ReferencePolicy::QrPivot);
+  const std::set<std::size_t> chosen(refs.begin(), refs.end());
+  EXPECT_TRUE(chosen.count(1) == 1);
+  EXPECT_TRUE(chosen.count(2) == 1);
+}
+
+TEST(ReferenceSelection, RandomPolicyNeedsRng) {
+  Rng rng(3);
+  const Matrix x0 = random_gaussian(4, 10, rng);
+  EXPECT_THROW(select_reference_locations(x0, 3, ReferencePolicy::Random, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ReferenceSelection, RandomPolicyDistinct) {
+  Rng rng(4);
+  const Matrix x0 = random_gaussian(4, 10, rng);
+  const auto refs = select_reference_locations(x0, 5, ReferencePolicy::Random, &rng);
+  std::set<std::size_t> unique(refs.begin(), refs.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(ReferenceSelection, UniformGridEvenlySpaced) {
+  Rng rng(5);
+  const Matrix x0 = random_gaussian(4, 100, rng);
+  const auto refs = select_reference_locations(x0, 10, ReferencePolicy::UniformGrid);
+  ASSERT_EQ(refs.size(), 10u);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_EQ(refs[k], 10 * k + 5);
+}
+
+TEST(ReferenceSelection, UniformGridDistinctForAnyCount) {
+  Rng rng(6);
+  const Matrix x0 = random_gaussian(4, 96, rng);
+  for (std::size_t count : {1u, 7u, 48u, 96u}) {
+    const auto refs = select_reference_locations(x0, count, ReferencePolicy::UniformGrid);
+    std::set<std::size_t> unique(refs.begin(), refs.end());
+    EXPECT_EQ(unique.size(), count);
+  }
+}
+
+TEST(ReferenceSelection, RejectsBadCount) {
+  Rng rng(7);
+  const Matrix x0 = random_gaussian(4, 10, rng);
+  EXPECT_THROW(select_reference_locations(x0, 0, ReferencePolicy::QrPivot),
+               std::invalid_argument);
+  EXPECT_THROW(select_reference_locations(x0, 11, ReferencePolicy::QrPivot),
+               std::invalid_argument);
+}
+
+TEST(SuggestReferenceCount, MatchesNumericRank) {
+  Rng rng(8);
+  const Matrix x0 = random_low_rank(10, 30, 6, rng);
+  EXPECT_EQ(suggest_reference_count(x0, 1e-8), 6u);
+}
+
+TEST(SuggestReferenceCount, AtLeastOne) {
+  const Matrix zero(4, 6);
+  EXPECT_EQ(suggest_reference_count(zero), 1u);
+}
+
+TEST(SuggestReferenceCount, PaperRoomIsSmall) {
+  // The fingerprint matrix of the paper room is approximately low rank:
+  // a handful of reference locations suffices (n << N = 96).
+  const Scenario s = Scenario::paper_room(9);
+  Rng rng(9);
+  const Matrix x0 = s.collector().survey_all(0.0, rng);
+  const std::size_t n = suggest_reference_count(x0, 1e-3);
+  EXPECT_LE(n, 12u);
+  EXPECT_GE(n, 1u);
+}
+
+}  // namespace
+}  // namespace tafloc

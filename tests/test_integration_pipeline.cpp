@@ -1,0 +1,145 @@
+// End-to-end integration tests: the complete TafLoc lifecycle on the
+// simulated paper room, plus the cross-system comparison the paper's
+// Fig. 5 reports.  These are the "does the whole thing hang together"
+// tests; per-module behaviour is covered in the unit files.
+#include <gtest/gtest.h>
+
+#include "tafloc/baselines/rass.h"
+#include "tafloc/baselines/rti.h"
+#include "tafloc/loc/metrics.h"
+#include "tafloc/recon/error.h"
+#include "tafloc/sim/scenario.h"
+#include "tafloc/sim/survey_cost.h"
+#include "tafloc/sim/trace.h"
+#include "tafloc/tafloc/system.h"
+
+namespace tafloc {
+namespace {
+
+/// Shared fixture: one calibrated room, observed at 3 months.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static constexpr double kEvalDay = 90.0;
+
+  PipelineTest() : scenario_(Scenario::paper_room(61)), rng_(61) {
+    x0_ = scenario_.collector().survey_all(0.0, rng_);
+    ambient0_ = scenario_.collector().ambient_scan(0.0, rng_);
+    ambient_now_ = scenario_.collector().ambient_scan(kEvalDay, rng_);
+
+    // Evaluation set: continuous positions (fine-grained), with their
+    // noisy observations at eval time.
+    auto targets = random_positions(scenario_.deployment().grid(), 30, rng_);
+    for (const Point2& p : targets) {
+      truths_.push_back(p);
+      observations_.push_back(scenario_.collector().observe(p, kEvalDay, rng_));
+    }
+  }
+
+  double mean_error(const Localizer& loc) {
+    const auto errs = evaluate_localizer(loc, observations_, truths_);
+    return summarize_errors(errs).mean;
+  }
+
+  Scenario scenario_;
+  Rng rng_;
+  Matrix x0_;
+  Vector ambient0_;
+  Vector ambient_now_;
+  std::vector<std::vector<double>> observations_;
+  std::vector<Point2> truths_;
+};
+
+TEST_F(PipelineTest, FullLifecycleRuns) {
+  TafLocSystem system(scenario_.deployment());
+  system.calibrate(x0_, ambient0_, 0.0);
+  const auto report = system.update_with_collector(scenario_.collector(), kEvalDay, rng_);
+  EXPECT_GT(report.solver.outer_iterations, 0u);
+  const double err = mean_error(system);
+  EXPECT_LT(err, 2.2);  // paper band: TafLoc stays best at 3 months
+}
+
+TEST_F(PipelineTest, Fig5OrderingTafLocBeatsStaleRass) {
+  // TafLoc (reconstructed) vs RASS w/o reconstruction: TafLoc wins.
+  TafLocSystem tafloc(scenario_.deployment());
+  tafloc.calibrate(x0_, ambient0_, 0.0);
+  tafloc.update_with_collector(scenario_.collector(), kEvalDay, rng_);
+
+  const FingerprintDatabase stale_db(x0_, ambient0_, 0.0);
+  const RassLocalizer rass_stale(scenario_.deployment(), stale_db, ambient_now_, RassConfig{},
+                                 "RASS w/o rec.");
+
+  EXPECT_LT(mean_error(tafloc), mean_error(rass_stale));
+}
+
+TEST_F(PipelineTest, Fig5ReconstructionHelpsRass) {
+  // Plugging TafLoc's reconstructed database into RASS improves it --
+  // the paper's transferability claim.
+  TafLocSystem tafloc(scenario_.deployment());
+  tafloc.calibrate(x0_, ambient0_, 0.0);
+  tafloc.update_with_collector(scenario_.collector(), kEvalDay, rng_);
+
+  const FingerprintDatabase stale_db(x0_, ambient0_, 0.0);
+  const RassLocalizer rass_without(scenario_.deployment(), stale_db, ambient_now_,
+                                   RassConfig{}, "RASS w/o rec.");
+  const RassLocalizer rass_with(scenario_.deployment(), tafloc.database(), ambient_now_,
+                                RassConfig{}, "RASS w/ rec.");
+
+  EXPECT_LT(mean_error(rass_with), mean_error(rass_without));
+}
+
+TEST_F(PipelineTest, Fig5TafLocBeatsRti) {
+  TafLocSystem tafloc(scenario_.deployment());
+  tafloc.calibrate(x0_, ambient0_, 0.0);
+  tafloc.update_with_collector(scenario_.collector(), kEvalDay, rng_);
+
+  const RtiLocalizer rti(scenario_.deployment(), ambient_now_);
+  EXPECT_LT(mean_error(tafloc), mean_error(rti));
+}
+
+TEST_F(PipelineTest, ReconstructionErrorBeatsStalenessAtThreeMonths) {
+  TafLocSystem tafloc(scenario_.deployment());
+  tafloc.calibrate(x0_, ambient0_, 0.0);
+  tafloc.update_with_collector(scenario_.collector(), kEvalDay, rng_);
+
+  const Matrix truth = scenario_.collector().ground_truth(kEvalDay);
+  const double recon_err = mean_abs_error(tafloc.database().fingerprints(), truth);
+  const double stale_err = mean_abs_error(x0_, truth);
+  EXPECT_LT(recon_err, stale_err);
+  EXPECT_LT(recon_err, 5.0);  // paper: 4.1 dBm at 3 months
+}
+
+TEST_F(PipelineTest, UpdateCostIsTenTimesCheaperThanFullSurvey) {
+  TafLocSystem tafloc(scenario_.deployment());
+  tafloc.calibrate(x0_, ambient0_, 0.0);
+  const SurveyCostModel cost;
+  const double full = cost.hours_for_grids(scenario_.deployment().num_grids());
+  const double taf = cost.reference_survey_hours(tafloc.reference_locations().size());
+  EXPECT_LT(taf, full / 5.0);
+}
+
+TEST_F(PipelineTest, RepeatedUpdatesKeepAccuracyStable) {
+  TafLocSystem tafloc(scenario_.deployment());
+  tafloc.calibrate(x0_, ambient0_, 0.0);
+  for (double t : {15.0, 45.0, 90.0}) {
+    tafloc.update_with_collector(scenario_.collector(), t, rng_);
+  }
+  EXPECT_LT(mean_error(tafloc), 2.2);
+}
+
+TEST_F(PipelineTest, MovingTargetTracking) {
+  // Track a waypoint walk with EMA smoothing; mean error stays bounded.
+  TafLocSystem tafloc(scenario_.deployment());
+  tafloc.calibrate(x0_, ambient0_, 0.0);
+  tafloc.update_with_collector(scenario_.collector(), kEvalDay, rng_);
+
+  const auto walk = waypoint_walk(scenario_.deployment().grid(), 40, 0.8, 1.0, rng_);
+  double total = 0.0;
+  for (const Point2& p : walk) {
+    const Vector y = scenario_.collector().observe(p, kEvalDay, rng_);
+    total += distance(tafloc.localize(y), p);
+  }
+  EXPECT_LT(total / static_cast<double>(walk.size()), 2.2);
+}
+
+}  // namespace
+}  // namespace tafloc

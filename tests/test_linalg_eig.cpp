@@ -1,0 +1,184 @@
+#include "tafloc/linalg/eig.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/linalg/ops.h"
+#include "tafloc/linalg/svd.h"
+#include "tafloc/linalg/vector_ops.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  const Matrix g = random_gaussian(n, n, rng);
+  Matrix s = g + g.transposed();
+  s *= 0.5;
+  return s;
+}
+
+// ---------------- eig_symmetric ----------------
+
+TEST(EigSymmetric, DiagonalMatrix) {
+  const std::vector<double> d{3.0, -1.0, 5.0};
+  const EigResult res = eig_symmetric(Matrix::diagonal(d));
+  EXPECT_NEAR(res.eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(res.eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(res.eigenvalues[2], -1.0, 1e-12);
+}
+
+TEST(EigSymmetric, ReconstructsMatrix) {
+  Rng rng(1);
+  const Matrix a = random_symmetric(7, rng);
+  const EigResult res = eig_symmetric(a);
+  // A == V diag(lambda) V^T.
+  const Matrix lambda = Matrix::diagonal(res.eigenvalues);
+  const Matrix recon = res.eigenvectors * lambda * res.eigenvectors.transposed();
+  EXPECT_LT(max_abs_diff(recon, a), 1e-9);
+}
+
+TEST(EigSymmetric, EigenvectorsOrthonormal) {
+  Rng rng(2);
+  const Matrix a = random_symmetric(6, rng);
+  const EigResult res = eig_symmetric(a);
+  EXPECT_LT(max_abs_diff(gram_product(res.eigenvectors, res.eigenvectors),
+                         Matrix::identity(6)),
+            1e-9);
+}
+
+TEST(EigSymmetric, SatisfiesEigenEquation) {
+  Rng rng(3);
+  const Matrix a = random_symmetric(5, rng);
+  const EigResult res = eig_symmetric(a);
+  for (std::size_t j = 0; j < 5; ++j) {
+    const Vector v = res.eigenvectors.col(j);
+    const Vector av = multiply(a, v);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_NEAR(av[i], res.eigenvalues[j] * v[i], 1e-8);
+  }
+}
+
+TEST(EigSymmetric, EigenvaluesSortedDescending) {
+  Rng rng(4);
+  const Matrix a = random_symmetric(8, rng);
+  const EigResult res = eig_symmetric(a);
+  for (std::size_t i = 1; i < 8; ++i)
+    EXPECT_LE(res.eigenvalues[i], res.eigenvalues[i - 1] + 1e-12);
+}
+
+TEST(EigSymmetric, AgreesWithSvdOnGramMatrix) {
+  // Eigenvalues of A^T A are squared singular values of A.
+  Rng rng(5);
+  const Matrix a = random_gaussian(9, 4, rng);
+  const Matrix gram = gram_product(a, a);
+  const EigResult eig = eig_symmetric(gram);
+  const SvdResult svd = svd_decompose(a);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(eig.eigenvalues[i], svd.sigma[i] * svd.sigma[i], 1e-7);
+}
+
+TEST(EigSymmetric, RejectsAsymmetric) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {0.0, 1.0}});
+  EXPECT_THROW(eig_symmetric(a), std::invalid_argument);
+}
+
+TEST(EigSymmetric, RejectsNonSquare) {
+  const Matrix a(2, 3, 1.0);
+  EXPECT_THROW(eig_symmetric(a), std::invalid_argument);
+}
+
+TEST(EigSymmetric, IdentityHasUnitEigenvalues) {
+  const EigResult res = eig_symmetric(Matrix::identity(4));
+  for (double l : res.eigenvalues) EXPECT_NEAR(l, 1.0, 1e-12);
+}
+
+// ---------------- power iteration ----------------
+
+TEST(PowerIteration, FindsDominantEigenpair) {
+  const std::vector<double> d{5.0, 2.0, 1.0};
+  const PowerIterationResult res = power_iteration(Matrix::diagonal(d));
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.eigenvalue, 5.0, 1e-7);
+  EXPECT_NEAR(std::abs(res.eigenvector[0]), 1.0, 1e-5);
+}
+
+TEST(PowerIteration, MatchesEigOnRandomSymmetric) {
+  Rng rng(6);
+  // SPD matrix so the dominant eigenvalue is positive and separated.
+  const Matrix g = random_gaussian(8, 6, rng);
+  const Matrix a = gram_product(g, g);
+  const PowerIterationResult pi = power_iteration(a);
+  const EigResult eig = eig_symmetric(a);
+  EXPECT_TRUE(pi.converged);
+  EXPECT_NEAR(pi.eigenvalue, eig.eigenvalues[0], 1e-5 * eig.eigenvalues[0]);
+}
+
+TEST(PowerIteration, ZeroMatrixConverges) {
+  const Matrix z(3, 3);
+  const PowerIterationResult res = power_iteration(z);
+  EXPECT_TRUE(res.converged);
+  EXPECT_DOUBLE_EQ(res.eigenvalue, 0.0);
+}
+
+TEST(PowerIteration, RejectsNonSquare) {
+  const Matrix a(2, 3, 1.0);
+  EXPECT_THROW(power_iteration(a), std::invalid_argument);
+}
+
+// ---------------- pseudo-inverse ----------------
+
+TEST(PseudoInverse, InvertsFullRankSquare) {
+  Rng rng(7);
+  const Matrix a = random_gaussian(5, 5, rng);
+  const Matrix pinv = pseudo_inverse(a);
+  EXPECT_LT(max_abs_diff(a * pinv, Matrix::identity(5)), 1e-8);
+}
+
+TEST(PseudoInverse, LeftInverseOfTallFullRank) {
+  Rng rng(8);
+  const Matrix a = random_gaussian(8, 3, rng);
+  const Matrix pinv = pseudo_inverse(a);
+  EXPECT_EQ(pinv.rows(), 3u);
+  EXPECT_EQ(pinv.cols(), 8u);
+  EXPECT_LT(max_abs_diff(pinv * a, Matrix::identity(3)), 1e-8);
+}
+
+TEST(PseudoInverse, MoorePenroseConditions) {
+  Rng rng(9);
+  const Matrix a = random_low_rank(6, 8, 3, rng);  // rank deficient
+  const Matrix p = pseudo_inverse(a, 1e-10);
+  EXPECT_LT(max_abs_diff(a * p * a, a), 1e-7);       // A P A == A
+  EXPECT_LT(max_abs_diff(p * a * p, p), 1e-7);       // P A P == P
+  const Matrix ap = a * p;                           // symmetric
+  EXPECT_LT(max_abs_diff(ap, ap.transposed()), 1e-7);
+  const Matrix pa = p * a;                           // symmetric
+  EXPECT_LT(max_abs_diff(pa, pa.transposed()), 1e-7);
+}
+
+TEST(PseudoInverse, ZeroMatrixGivesZero) {
+  const Matrix z(3, 4);
+  const Matrix p = pseudo_inverse(z);
+  EXPECT_LT(p.max_abs(), 1e-12);
+}
+
+// ---------------- condition number ----------------
+
+TEST(ConditionNumber, IdentityIsOne) {
+  EXPECT_NEAR(condition_number(Matrix::identity(5)), 1.0, 1e-9);
+}
+
+TEST(ConditionNumber, DiagonalKnownValue) {
+  const std::vector<double> d{10.0, 2.0, 0.5};
+  EXPECT_NEAR(condition_number(Matrix::diagonal(d)), 20.0, 1e-9);
+}
+
+TEST(ConditionNumber, SingularIsInfinite) {
+  Rng rng(10);
+  const Matrix a = random_low_rank(5, 5, 2, rng);
+  EXPECT_TRUE(std::isinf(condition_number(a)));
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,98 @@
+#include "tafloc/linalg/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tafloc/linalg/ops.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+TEST(LinalgIo, MatrixRoundTripExact) {
+  Rng rng(1);
+  const Matrix m = random_gaussian(5, 7, rng);
+  std::stringstream ss;
+  save_matrix(m, ss);
+  const Matrix back = load_matrix(ss);
+  EXPECT_EQ(back.rows(), 5u);
+  EXPECT_EQ(back.cols(), 7u);
+  // precision 17 makes the text round trip bit-exact for doubles.
+  EXPECT_EQ(back, m);
+}
+
+TEST(LinalgIo, EmptyMatrixRoundTrip) {
+  std::stringstream ss;
+  save_matrix(Matrix(), ss);
+  const Matrix back = load_matrix(ss);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(LinalgIo, VectorRoundTripExact) {
+  const Vector v{1.0, -2.5, 3.25e-17, 1e300};
+  std::stringstream ss;
+  save_vector(v, ss);
+  const Vector back = load_vector(ss);
+  EXPECT_EQ(back, v);
+}
+
+TEST(LinalgIo, EmptyVectorRoundTrip) {
+  std::stringstream ss;
+  save_vector(Vector{}, ss);
+  EXPECT_TRUE(load_vector(ss).empty());
+}
+
+TEST(LinalgIo, SequentialObjectsInOneStream) {
+  Rng rng(2);
+  const Matrix a = random_gaussian(2, 3, rng);
+  const Vector v{9.0, 8.0};
+  const Matrix b = random_gaussian(4, 1, rng);
+  std::stringstream ss;
+  save_matrix(a, ss);
+  save_vector(v, ss);
+  save_matrix(b, ss);
+  EXPECT_EQ(load_matrix(ss), a);
+  EXPECT_EQ(load_vector(ss), v);
+  EXPECT_EQ(load_matrix(ss), b);
+}
+
+TEST(LinalgIo, LoadRejectsWrongTag) {
+  std::stringstream ss("vector 2\n1 2\n");
+  EXPECT_THROW(load_matrix(ss), std::runtime_error);
+  std::stringstream ss2("matrix 1 1\n3\n");
+  EXPECT_THROW(load_vector(ss2), std::runtime_error);
+}
+
+TEST(LinalgIo, LoadRejectsTruncatedValues) {
+  std::stringstream ss("matrix 2 2\n1 2 3\n");
+  EXPECT_THROW(load_matrix(ss), std::runtime_error);
+}
+
+TEST(LinalgIo, LoadRejectsBadDimensions) {
+  std::stringstream ss("matrix -1 2\n");
+  EXPECT_THROW(load_matrix(ss), std::runtime_error);
+  std::stringstream ss2("matrix 0 2\n");
+  EXPECT_THROW(load_matrix(ss2), std::runtime_error);
+  std::stringstream ss3("matrix x y\n");
+  EXPECT_THROW(load_matrix(ss3), std::runtime_error);
+}
+
+TEST(LinalgIo, FileRoundTrip) {
+  Rng rng(3);
+  const Matrix m = random_gaussian(3, 3, rng);
+  const std::string path = std::string(::testing::TempDir()) + "tafloc_io_test.mat";
+  save_matrix_file(m, path);
+  EXPECT_EQ(load_matrix_file(path), m);
+  std::remove(path.c_str());
+}
+
+TEST(LinalgIo, FileErrorsThrow) {
+  EXPECT_THROW(save_matrix_file(Matrix(2, 2, 1.0), "/nonexistent_dir_xyz/m.mat"),
+               std::runtime_error);
+  EXPECT_THROW(load_matrix_file("/nonexistent_dir_xyz/m.mat"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/linalg/cg.h"
+#include "tafloc/linalg/lsq.h"
+#include "tafloc/linalg/ops.h"
+#include "tafloc/linalg/vector_ops.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+// ---------------- least squares ----------------
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  const Matrix a = Matrix::from_rows({{1.0, 0.0}, {0.0, 2.0}, {1.0, 1.0}});
+  const std::vector<double> x_true{2.0, 3.0};
+  const Vector b = multiply(a, x_true);
+  const Vector x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualForInconsistentSystem) {
+  // Fit y = c to points {1, 2, 3}: optimum is the mean, c = 2.
+  const Matrix a = Matrix::from_rows({{1.0}, {1.0}, {1.0}});
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const Vector x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumnSpace) {
+  Rng rng(1);
+  const Matrix a = random_gaussian(10, 4, rng);
+  Vector b(10);
+  for (double& v : b) v = rng.normal();
+  const Vector x = solve_least_squares(a, b);
+  const Vector ax = multiply(a, x);
+  Vector r = subtract(b, ax);
+  const Vector atr = multiply_transposed(a, r);
+  EXPECT_LT(norm_inf(atr), 1e-9);
+}
+
+TEST(LeastSquares, RejectsWideMatrix) {
+  const Matrix a(2, 3);
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(solve_least_squares(a, b), std::invalid_argument);
+}
+
+TEST(LeastSquares, RejectsLengthMismatch) {
+  const Matrix a(3, 2, 1.0);
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(solve_least_squares(a, b), std::invalid_argument);
+}
+
+// ---------------- ridge ----------------
+
+TEST(Ridge, ZeroLambdaMatchesLeastSquares) {
+  Rng rng(2);
+  const Matrix a = random_gaussian(8, 3, rng);
+  Vector b(8);
+  for (double& v : b) v = rng.normal();
+  const Vector x1 = solve_least_squares(a, b);
+  const Vector x2 = solve_ridge(a, b, 0.0);
+  EXPECT_LT(distance2(x1, x2), 1e-7);
+}
+
+TEST(Ridge, ShrinksSolutionNorm) {
+  Rng rng(3);
+  const Matrix a = random_gaussian(10, 4, rng);
+  Vector b(10);
+  for (double& v : b) v = rng.normal();
+  const Vector x_small = solve_ridge(a, b, 0.01);
+  const Vector x_large = solve_ridge(a, b, 100.0);
+  EXPECT_LT(norm2(x_large), norm2(x_small));
+}
+
+TEST(Ridge, WorksForWideMatrices) {
+  Rng rng(4);
+  const Matrix a = random_gaussian(3, 8, rng);
+  Vector b(3);
+  for (double& v : b) v = rng.normal();
+  const Vector x = solve_ridge(a, b, 1e-6);
+  // Must reproduce b nearly exactly (underdetermined, tiny ridge).
+  EXPECT_LT(residual_norm(a, x, b), 1e-3);
+}
+
+TEST(Ridge, SatisfiesNormalEquations) {
+  Rng rng(5);
+  const Matrix a = random_gaussian(9, 4, rng);
+  Vector b(9);
+  for (double& v : b) v = rng.normal();
+  const double lambda = 0.7;
+  const Vector x = solve_ridge(a, b, lambda);
+  // (A^T A + lambda I) x == A^T b.
+  const Vector ax = multiply(a, x);
+  Vector lhs = multiply_transposed(a, ax);
+  axpy(lambda, x, lhs);
+  const Vector rhs = multiply_transposed(a, b);
+  EXPECT_LT(distance2(lhs, rhs), 1e-8);
+}
+
+TEST(Ridge, RejectsNegativeLambda) {
+  const Matrix a(2, 2, 1.0);
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(solve_ridge(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(RidgeMatrix, MatchesColumnwiseSolves) {
+  Rng rng(6);
+  const Matrix a = random_gaussian(7, 3, rng);
+  const Matrix b = random_gaussian(7, 4, rng);
+  const Matrix x = solve_ridge_matrix(a, b, 0.5);
+  for (std::size_t c = 0; c < 4; ++c) {
+    const Vector xc = solve_ridge(a, b.col(c), 0.5);
+    const Vector got = x.col(c);
+    EXPECT_LT(distance2(xc, got), 1e-9);
+  }
+}
+
+TEST(ResidualNorm, KnownValue) {
+  const Matrix a = Matrix::identity(2);
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> b{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(residual_norm(a, x, b), 3.0);
+}
+
+// ---------------- conjugate gradient ----------------
+
+TEST(Cg, SolvesSpdSystem) {
+  Rng rng(7);
+  const Matrix g = random_gaussian(10, 6, rng);
+  Matrix a = gram_product(g, g);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) += 0.5;
+  Vector x_true(6);
+  for (double& v : x_true) v = rng.normal();
+  const Vector b = multiply(a, x_true);
+  const Vector x0(6, 0.0);
+  const CgResult res =
+      conjugate_gradient([&](const Vector& v) { return multiply(a, v); }, b, x0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(distance2(res.x, x_true), 1e-6);
+}
+
+TEST(Cg, ConvergesInAtMostNIterationsForExactArithmetic) {
+  Rng rng(8);
+  const Matrix g = random_gaussian(8, 5, rng);
+  Matrix a = gram_product(g, g);
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) += 1.0;
+  Vector b(5);
+  for (double& v : b) v = rng.normal();
+  const Vector x0(5, 0.0);
+  const CgResult res =
+      conjugate_gradient([&](const Vector& v) { return multiply(a, v); }, b, x0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 5u + 2u);
+}
+
+TEST(Cg, IdentityOperatorConvergesImmediately) {
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const std::vector<double> x0{0.0, 0.0, 0.0};
+  const CgResult res = conjugate_gradient([](const Vector& v) { return v; }, b, x0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 1u);
+  EXPECT_LT(distance2(res.x, b), 1e-10);
+}
+
+TEST(Cg, WarmStartAtSolutionTakesZeroIterations) {
+  const std::vector<double> b{2.0, 4.0};
+  const CgResult res =
+      conjugate_gradient([](const Vector& v) { return v; }, b, b, CgOptions{});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(Cg, DiagonalSystem) {
+  const std::vector<double> diag{1.0, 10.0, 100.0};
+  const Matrix a = Matrix::diagonal(diag);
+  const std::vector<double> b{1.0, 10.0, 100.0};
+  const std::vector<double> x0{0.0, 0.0, 0.0};
+  const CgResult res =
+      conjugate_gradient([&](const Vector& v) { return multiply(a, v); }, b, x0);
+  EXPECT_TRUE(res.converged);
+  for (double v : res.x) EXPECT_NEAR(v, 1.0, 1e-7);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const std::vector<double> b{0.0, 0.0};
+  const std::vector<double> x0{0.0, 0.0};
+  const CgResult res = conjugate_gradient([](const Vector& v) { return v; }, b, x0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_DOUBLE_EQ(norm2(res.x), 0.0);
+}
+
+TEST(Cg, IterationCapReported) {
+  Rng rng(9);
+  const Matrix g = random_gaussian(30, 20, rng);
+  Matrix a = gram_product(g, g);
+  for (std::size_t i = 0; i < 20; ++i) a(i, i) += 1e-4;
+  Vector b(20);
+  for (double& v : b) v = rng.normal();
+  const Vector x0(20, 0.0);
+  CgOptions opts;
+  opts.max_iterations = 2;  // deliberately too few
+  opts.relative_tolerance = 1e-14;
+  const CgResult res =
+      conjugate_gradient([&](const Vector& v) { return multiply(a, v); }, b, x0, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 2u);
+}
+
+TEST(Cg, RejectsBadArguments) {
+  const std::vector<double> b{1.0};
+  const std::vector<double> x0_bad{1.0, 2.0};
+  EXPECT_THROW(conjugate_gradient([](const Vector& v) { return v; }, b, x0_bad),
+               std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(conjugate_gradient([](const Vector& v) { return v; }, empty, empty),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

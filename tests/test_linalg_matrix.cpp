@@ -1,0 +1,252 @@
+#include "tafloc/linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace tafloc {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, RejectsHalfEmptyShape) {
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Diagonal) {
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  const Matrix m = Matrix::diagonal(d);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 0.0);
+}
+
+TEST(Matrix, ColumnFactory) {
+  const std::vector<double> v{1.0, 2.0};
+  const Matrix m = Matrix::column(v);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  m.at(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+}
+
+TEST(Matrix, RowAndColCopies) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Vector r = m.row(1);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+  const Vector c = m.col(2);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+}
+
+TEST(Matrix, SetRowAndCol) {
+  Matrix m(2, 2);
+  const std::vector<double> row{1.0, 2.0};
+  const std::vector<double> col{3.0, 4.0};
+  m.set_row(0, row);
+  m.set_col(1, col);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);  // set_col overwrote the row value
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, SetRowRejectsWrongLength) {
+  Matrix m(2, 2);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(m.set_row(0, bad), std::invalid_argument);
+  EXPECT_THROW(m.set_col(0, bad), std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+}
+
+TEST(Matrix, TransposeTwiceIsIdentity) {
+  const Matrix m = Matrix::from_rows({{1.0, -2.0}, {0.5, 7.0}});
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, Submatrix) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}});
+  const Matrix s = m.submatrix(1, 1, 2, 2);
+  EXPECT_EQ(s, Matrix::from_rows({{5.0, 6.0}, {8.0, 9.0}}));
+}
+
+TEST(Matrix, SubmatrixRejectsOutOfBounds) {
+  const Matrix m(2, 2);
+  EXPECT_THROW(m.submatrix(1, 1, 2, 1), std::invalid_argument);
+  EXPECT_THROW(m.submatrix(0, 0, 0, 1), std::invalid_argument);
+}
+
+TEST(Matrix, SelectColumns) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const std::vector<std::size_t> idx{2, 0, 2};
+  const Matrix s = m.select_columns(idx);
+  EXPECT_EQ(s, Matrix::from_rows({{3.0, 1.0, 3.0}, {6.0, 4.0, 6.0}}));
+}
+
+TEST(Matrix, SelectRows) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix s = m.select_rows(idx);
+  EXPECT_EQ(s, Matrix::from_rows({{5.0, 6.0}, {1.0, 2.0}}));
+}
+
+TEST(Matrix, SelectRejectsBadIndex) {
+  const Matrix m(2, 2);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(m.select_columns(bad), std::out_of_range);
+  EXPECT_THROW(m.select_rows(bad), std::out_of_range);
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{10.0, 20.0}, {30.0, 40.0}});
+  EXPECT_EQ(a + b, Matrix::from_rows({{11.0, 22.0}, {33.0, 44.0}}));
+  EXPECT_EQ(b - a, Matrix::from_rows({{9.0, 18.0}, {27.0, 36.0}}));
+}
+
+TEST(Matrix, ArithmeticRejectsShapeMismatch) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.hadamard(b), std::invalid_argument);
+  EXPECT_THROW(a.frobenius_dot(b), std::invalid_argument);
+}
+
+TEST(Matrix, ScalarScaling) {
+  const Matrix a = Matrix::from_rows({{1.0, -2.0}});
+  EXPECT_EQ(a * 2.0, Matrix::from_rows({{2.0, -4.0}}));
+  EXPECT_EQ(-1.0 * a, Matrix::from_rows({{-1.0, 2.0}}));
+}
+
+TEST(Matrix, Hadamard) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{2.0, 0.0}, {1.0, -1.0}});
+  EXPECT_EQ(a.hadamard(b), Matrix::from_rows({{2.0, 0.0}, {3.0, -4.0}}));
+}
+
+TEST(Matrix, FrobeniusNormAndDot) {
+  const Matrix a = Matrix::from_rows({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  const Matrix b = Matrix::from_rows({{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(a.frobenius_dot(b), 7.0);
+}
+
+TEST(Matrix, MaxAbsAndSum) {
+  const Matrix a = Matrix::from_rows({{-5.0, 2.0}, {1.0, 3.0}});
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 1.0);
+}
+
+TEST(Matrix, MatrixProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  EXPECT_EQ(a * b, Matrix::from_rows({{19.0, 22.0}, {43.0, 50.0}}));
+}
+
+TEST(Matrix, ProductWithIdentityIsNoop) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  EXPECT_EQ(a * Matrix::identity(3), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, ProductRejectsMismatch) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const std::vector<double> x{1.0, -1.0};
+  const Vector y = multiply(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, TransposedMatrixVectorProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const std::vector<double> x{1.0, 1.0};
+  const Vector y = multiply_transposed(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, GramProductMatchesExplicit) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  const Matrix b = Matrix::from_rows({{1.0, 0.0, 2.0}, {0.0, 1.0, 1.0}, {1.0, 1.0, 0.0}});
+  const Matrix expected = a.transposed() * b;
+  const Matrix got = gram_product(a, b);
+  EXPECT_LT(max_abs_diff(expected, got), 1e-12);
+}
+
+TEST(Matrix, OuterProductMatchesExplicit) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}, {9.0, 1.0}});
+  const Matrix expected = a * b.transposed();
+  EXPECT_LT(max_abs_diff(expected, outer_product(a, b)), 1e-12);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}});
+  const Matrix b = Matrix::from_rows({{1.5, -1.0}});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+}
+
+TEST(Matrix, ToStringContainsShape) {
+  const Matrix m(2, 3);
+  EXPECT_NE(m.to_string().find("2x3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,132 @@
+#include "tafloc/linalg/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/linalg/svd.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+TEST(SoftThreshold, ShrinksTowardZero) {
+  EXPECT_DOUBLE_EQ(soft_threshold(5.0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-5.0, 2.0), -3.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(0.0, 2.0), 0.0);
+}
+
+TEST(SoftThreshold, ZeroTauIsIdentity) {
+  EXPECT_DOUBLE_EQ(soft_threshold(3.5, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(soft_threshold(-3.5, 0.0), -3.5);
+}
+
+TEST(SingularValueShrink, ShrinksSigmaByTau) {
+  const std::vector<double> d{5.0, 3.0, 1.0};
+  const Matrix a = Matrix::diagonal(d);
+  const Matrix shrunk = singular_value_shrink(a, 2.0);
+  const SvdResult svd = svd_decompose(shrunk);
+  EXPECT_NEAR(svd.sigma[0], 3.0, 1e-9);
+  EXPECT_NEAR(svd.sigma[1], 1.0, 1e-9);
+  EXPECT_NEAR(svd.sigma[2], 0.0, 1e-9);
+}
+
+TEST(SingularValueShrink, LargeTauGivesZeroMatrix) {
+  Rng rng(1);
+  const Matrix a = random_gaussian(4, 4, rng);
+  const Matrix z = singular_value_shrink(a, 1e6);
+  EXPECT_LT(z.max_abs(), 1e-9);
+}
+
+TEST(SingularValueShrink, ReducesRank) {
+  Rng rng(2);
+  const Matrix a = random_low_rank(8, 8, 4, rng);
+  const SvdResult before = svd_decompose(a);
+  const Matrix shrunk = singular_value_shrink(a, before.sigma[2] + 1e-6);
+  EXPECT_LE(numeric_rank(shrunk, 1e-6), 2u);
+}
+
+TEST(SingularValueShrink, RejectsNegativeTau) {
+  const Matrix a(2, 2, 1.0);
+  EXPECT_THROW(singular_value_shrink(a, -1.0), std::invalid_argument);
+}
+
+TEST(FirstDifference, KnownShapeAndAction) {
+  const Matrix d = first_difference_operator(4);
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 4u);
+  const std::vector<double> x{1.0, 3.0, 6.0, 10.0};
+  const Vector dx = multiply(d, x);
+  EXPECT_DOUBLE_EQ(dx[0], 2.0);
+  EXPECT_DOUBLE_EQ(dx[1], 3.0);
+  EXPECT_DOUBLE_EQ(dx[2], 4.0);
+}
+
+TEST(FirstDifference, AnnihilatesConstants) {
+  const Matrix d = first_difference_operator(5);
+  const std::vector<double> x(5, 7.0);
+  const Vector dx = multiply(d, x);
+  for (double v : dx) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FirstDifference, RejectsTooSmall) {
+  EXPECT_THROW(first_difference_operator(1), std::invalid_argument);
+}
+
+TEST(SecondDifference, AnnihilatesAffineSequences) {
+  const Matrix d = second_difference_operator(5);
+  const std::vector<double> x{1.0, 3.0, 5.0, 7.0, 9.0};  // affine
+  const Vector dx = multiply(d, x);
+  for (double v : dx) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(SecondDifference, RejectsTooSmall) {
+  EXPECT_THROW(second_difference_operator(2), std::invalid_argument);
+}
+
+TEST(NumericRank, MatchesConstruction) {
+  Rng rng(3);
+  EXPECT_EQ(numeric_rank(random_low_rank(9, 7, 3, rng), 1e-8), 3u);
+}
+
+TEST(RandomGaussian, ShapeAndMoments) {
+  Rng rng(4);
+  const Matrix m = random_gaussian(40, 40, rng);
+  EXPECT_EQ(m.rows(), 40u);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : m.data()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
+}
+
+TEST(RandomLowRank, HasRequestedRank) {
+  Rng rng(5);
+  const Matrix m = random_low_rank(12, 10, 4, rng);
+  EXPECT_EQ(numeric_rank(m, 1e-8), 4u);
+}
+
+TEST(RandomLowRank, RejectsBadRank) {
+  Rng rng(6);
+  EXPECT_THROW(random_low_rank(4, 4, 0, rng), std::invalid_argument);
+  EXPECT_THROW(random_low_rank(4, 4, 5, rng), std::invalid_argument);
+}
+
+TEST(RandomOrthonormal, ColumnsOrthonormal) {
+  Rng rng(7);
+  const Matrix q = random_orthonormal(9, 4, rng);
+  EXPECT_LT(max_abs_diff(gram_product(q, q), Matrix::identity(4)), 1e-10);
+}
+
+TEST(RandomOrthonormal, RejectsWide) {
+  Rng rng(8);
+  EXPECT_THROW(random_orthonormal(3, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

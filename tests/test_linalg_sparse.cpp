@@ -1,0 +1,132 @@
+#include "tafloc/linalg/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "tafloc/linalg/ops.h"
+#include "tafloc/linalg/vector_ops.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+SparseMatrix small_example() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  return SparseMatrix(3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}});
+}
+
+TEST(SparseMatrix, DefaultIsEmpty) {
+  SparseMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(SparseMatrix, AtLookup) {
+  const SparseMatrix m = small_example();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_EQ(m.nnz(), 4u);
+}
+
+TEST(SparseMatrix, DuplicateTripletsAreSummed) {
+  const SparseMatrix m(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, -1.0}});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(SparseMatrix, RejectsOutOfRangeTriplets) {
+  EXPECT_THROW(SparseMatrix(2, 2, {{2, 0, 1.0}}), std::out_of_range);
+  EXPECT_THROW(SparseMatrix(2, 2, {{0, 2, 1.0}}), std::out_of_range);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(1);
+  const Matrix dense = random_gaussian(7, 5, rng);
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  Vector x(5);
+  for (double& v : x) v = rng.normal();
+  const Vector ys = sparse.multiply(x);
+  const Vector yd = multiply(dense, x);
+  EXPECT_LT(distance2(ys, yd), 1e-12);
+}
+
+TEST(SparseMatrix, MultiplyTransposedMatchesDense) {
+  Rng rng(2);
+  const Matrix dense = random_gaussian(6, 9, rng);
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  Vector x(6);
+  for (double& v : x) v = rng.normal();
+  const Vector ys = sparse.multiply_transposed(x);
+  const Vector yd = multiply_transposed(dense, x);
+  EXPECT_LT(distance2(ys, yd), 1e-12);
+}
+
+TEST(SparseMatrix, MultiplyRejectsWrongLength) {
+  const SparseMatrix m = small_example();
+  const Vector bad(2, 1.0);
+  EXPECT_THROW(m.multiply(bad), std::invalid_argument);
+  EXPECT_THROW(m.multiply_transposed(bad), std::invalid_argument);
+}
+
+TEST(SparseMatrix, FromDenseRespectsTolerance) {
+  const Matrix d = Matrix::from_rows({{1.0, 1e-13}, {0.0, -2.0}});
+  const SparseMatrix m = SparseMatrix::from_dense(d, 1e-12);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(SparseMatrix, ToDenseRoundTrip) {
+  Rng rng(3);
+  Matrix dense = random_gaussian(5, 4, rng);
+  // Make it actually sparse.
+  for (std::size_t i = 0; i < dense.rows(); ++i)
+    for (std::size_t j = 0; j < dense.cols(); ++j)
+      if ((i + j) % 3 != 0) dense(i, j) = 0.0;
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  EXPECT_LT(max_abs_diff(sparse.to_dense(), dense), 1e-15);
+}
+
+TEST(SparseMatrix, PruneDropsSmallEntries) {
+  SparseMatrix m(2, 2, {{0, 0, 1.0}, {0, 1, 1e-14}, {1, 1, 2.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  m.prune(1e-12);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 2.0);
+}
+
+TEST(SparseMatrix, RowSpansExposeCsrStructure) {
+  const SparseMatrix m = small_example();
+  const auto idx0 = m.row_indices(0);
+  const auto val0 = m.row_values(0);
+  ASSERT_EQ(idx0.size(), 2u);
+  EXPECT_EQ(idx0[0], 0u);
+  EXPECT_EQ(idx0[1], 2u);
+  EXPECT_DOUBLE_EQ(val0[1], 2.0);
+  EXPECT_EQ(m.row_indices(1).size(), 0u);
+}
+
+TEST(SparseMatrix, FrobeniusNormMatchesDense) {
+  Rng rng(4);
+  const Matrix dense = random_gaussian(4, 6, rng);
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  EXPECT_NEAR(sparse.frobenius_norm(), dense.frobenius_norm(), 1e-12);
+}
+
+TEST(SparseMatrix, ColumnIndicesSortedWithinRows) {
+  // Assembly from unsorted triplets must still produce sorted rows
+  // (at() relies on binary search).
+  const SparseMatrix m(1, 5, {{0, 3, 1.0}, {0, 0, 2.0}, {0, 4, 3.0}, {0, 1, 4.0}});
+  const auto idx = m.row_indices(0);
+  for (std::size_t k = 1; k < idx.size(); ++k) EXPECT_LT(idx[k - 1], idx[k]);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace tafloc

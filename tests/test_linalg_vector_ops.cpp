@@ -1,0 +1,87 @@
+#include "tafloc/linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tafloc {
+namespace {
+
+TEST(VectorOps, Dot) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+}
+
+TEST(VectorOps, DotRejectsMismatch) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+TEST(VectorOps, Norm2) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(norm2(empty), 0.0);
+}
+
+TEST(VectorOps, NormInf) {
+  const std::vector<double> v{-7.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(norm_inf(v), 7.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, AxpyRejectsMismatch) {
+  const std::vector<double> x{1.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(axpy(1.0, x, y), std::invalid_argument);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<double> v{1.0, -2.0};
+  scale(v, -3.0);
+  EXPECT_DOUBLE_EQ(v[0], -3.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+}
+
+TEST(VectorOps, AddSubtract) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{0.5, -0.5};
+  const Vector s = add(a, b);
+  const Vector d = subtract(a, b);
+  EXPECT_DOUBLE_EQ(s[0], 1.5);
+  EXPECT_DOUBLE_EQ(s[1], 1.5);
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[1], 2.5);
+}
+
+TEST(VectorOps, Distance2) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance2(a, b), 5.0);
+}
+
+TEST(VectorOps, NormalizeUnitResult) {
+  std::vector<double> v{3.0, 4.0};
+  const double n = normalize(v);
+  EXPECT_DOUBLE_EQ(n, 5.0);
+  EXPECT_DOUBLE_EQ(norm2(v), 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.6);
+}
+
+TEST(VectorOps, NormalizeZeroVectorIsNoop) {
+  std::vector<double> v{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(v), 0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,186 @@
+#include "tafloc/loc/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/sim/scenario.h"
+#include "tafloc/sim/trace.h"
+
+namespace tafloc {
+namespace {
+
+/// A toy 1x3 fingerprint setup on a 3-cell strip: RSS values -30/-40/-50.
+struct Toy {
+  GridMap grid{1.8, 0.6, 0.6};
+  Matrix fp = Matrix::from_rows({{-30.0, -40.0, -50.0}});
+};
+
+TEST(NnMatcher, PicksClosestColumn) {
+  Toy toy;
+  const NnMatcher nn(toy.fp, toy.grid);
+  const std::vector<double> y{-41.0};
+  EXPECT_EQ(nn.nearest_grid(y), 1u);
+  const Point2 est = nn.localize(y);
+  EXPECT_DOUBLE_EQ(est.x, 0.9);
+  EXPECT_DOUBLE_EQ(est.y, 0.3);
+}
+
+TEST(NnMatcher, ExactMatch) {
+  Toy toy;
+  const NnMatcher nn(toy.fp, toy.grid);
+  const std::vector<double> y{-50.0};
+  EXPECT_EQ(nn.nearest_grid(y), 2u);
+}
+
+TEST(NnMatcher, RejectsWrongObservationLength) {
+  Toy toy;
+  const NnMatcher nn(toy.fp, toy.grid);
+  const std::vector<double> y{-40.0, -40.0};
+  EXPECT_THROW(nn.localize(y), std::invalid_argument);
+}
+
+TEST(NnMatcher, RejectsMismatchedShapes) {
+  const GridMap grid(1.8, 0.6, 0.6);
+  const Matrix fp(1, 2, 0.0);  // 2 cols for 3 cells
+  EXPECT_THROW(NnMatcher(fp, grid), std::invalid_argument);
+}
+
+TEST(KnnMatcher, K1MatchesNn) {
+  Toy toy;
+  const NnMatcher nn(toy.fp, toy.grid);
+  const KnnMatcher knn(toy.fp, toy.grid, 1);
+  const std::vector<double> y{-44.0};
+  const Point2 a = nn.localize(y);
+  const Point2 b = knn.localize(y);
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.y, b.y);
+}
+
+TEST(KnnMatcher, InterpolatesBetweenGrids) {
+  Toy toy;
+  const KnnMatcher knn(toy.fp, toy.grid, 2, /*weighted=*/true);
+  // Observation exactly between columns 0 and 1: estimate must fall
+  // between the two grid centres.
+  const std::vector<double> y{-35.0};
+  const Point2 est = knn.localize(y);
+  EXPECT_GT(est.x, 0.3);
+  EXPECT_LT(est.x, 0.9);
+}
+
+TEST(KnnMatcher, WeightedPullsTowardCloserFingerprint) {
+  Toy toy;
+  const KnnMatcher knn(toy.fp, toy.grid, 2, /*weighted=*/true);
+  const std::vector<double> y{-31.0};  // much closer to column 0
+  const Point2 est = knn.localize(y);
+  EXPECT_LT(est.x, 0.6);  // nearer the first grid centre at 0.3
+}
+
+TEST(KnnMatcher, UnweightedIsPlainCentroid) {
+  Toy toy;
+  const KnnMatcher knn(toy.fp, toy.grid, 2, /*weighted=*/false);
+  const std::vector<double> y{-31.0};
+  const Point2 est = knn.localize(y);
+  EXPECT_NEAR(est.x, (0.3 + 0.9) / 2.0, 1e-12);
+}
+
+TEST(KnnMatcher, NearestGridsOrdered) {
+  Toy toy;
+  const KnnMatcher knn(toy.fp, toy.grid, 3);
+  const std::vector<double> y{-49.0};
+  const auto order = knn.nearest_grids(y);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(KnnMatcher, RejectsBadK) {
+  Toy toy;
+  EXPECT_THROW(KnnMatcher(toy.fp, toy.grid, 0), std::invalid_argument);
+  EXPECT_THROW(KnnMatcher(toy.fp, toy.grid, 4), std::invalid_argument);
+}
+
+TEST(KnnMatcher, NameEncodesVariant) {
+  Toy toy;
+  EXPECT_EQ(KnnMatcher(toy.fp, toy.grid, 3, true).name(), "WKNN-k3");
+  EXPECT_EQ(KnnMatcher(toy.fp, toy.grid, 2, false).name(), "KNN-k2");
+}
+
+TEST(BayesMatcher, PosteriorSumsToOne) {
+  Toy toy;
+  const BayesMatcher bayes(toy.fp, toy.grid, 2.0);
+  const std::vector<double> y{-42.0};
+  const Vector post = bayes.posterior(y);
+  double sum = 0.0;
+  for (double p : post) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BayesMatcher, PosteriorPeaksAtBestMatch) {
+  Toy toy;
+  const BayesMatcher bayes(toy.fp, toy.grid, 2.0);
+  const std::vector<double> y{-40.2};
+  const Vector post = bayes.posterior(y);
+  EXPECT_GT(post[1], post[0]);
+  EXPECT_GT(post[1], post[2]);
+}
+
+TEST(BayesMatcher, SmallSigmaApproachesNn) {
+  Toy toy;
+  const BayesMatcher bayes(toy.fp, toy.grid, 0.1);
+  const std::vector<double> y{-40.0};
+  const Point2 est = bayes.localize(y);
+  EXPECT_NEAR(est.x, 0.9, 1e-6);
+}
+
+TEST(BayesMatcher, RejectsBadSigma) {
+  Toy toy;
+  EXPECT_THROW(BayesMatcher(toy.fp, toy.grid, 0.0), std::invalid_argument);
+}
+
+TEST(Matchers, LocalizeFreshFingerprintsAccurately) {
+  // End-to-end sanity on the simulated paper room with a fresh DB: all
+  // three matchers localize a grid-centre target to well under a metre.
+  const Scenario s = Scenario::paper_room(20);
+  Rng rng(20);
+  const Matrix fp = s.collector().survey_all(0.0, rng);
+  const GridMap& grid = s.deployment().grid();
+  const NnMatcher nn(fp, grid);
+  const KnnMatcher knn(fp, grid, 3);
+  const BayesMatcher bayes(fp, grid, 2.0);
+
+  for (std::size_t j : {7u, 40u, 88u}) {
+    const Point2 truth = grid.center(j);
+    const Vector y = s.collector().observe(truth, 0.0, rng);
+    EXPECT_LT(distance(nn.localize(y), truth), 1.5);
+    EXPECT_LT(distance(knn.localize(y), truth), 1.5);
+    EXPECT_LT(distance(bayes.localize(y), truth), 1.8);
+  }
+}
+
+TEST(Matchers, KnnIsFineGrained) {
+  // For an off-centre target, weighted KNN should usually beat plain NN
+  // (which is quantized to grid centres).  Check on aggregate error.
+  const Scenario s = Scenario::paper_room(21);
+  Rng rng(21);
+  const Matrix fp = s.collector().survey_all(0.0, rng);
+  const GridMap& grid = s.deployment().grid();
+  const NnMatcher nn(fp, grid);
+  const KnnMatcher knn(fp, grid, 3);
+
+  double nn_total = 0.0, knn_total = 0.0;
+  const auto targets = random_positions(grid, 40, rng);
+  for (const Point2& truth : targets) {
+    const Vector y = s.collector().observe(truth, 0.0, rng);
+    nn_total += distance(nn.localize(y), truth);
+    knn_total += distance(knn.localize(y), truth);
+  }
+  EXPECT_LT(knn_total, nn_total * 1.05);
+}
+
+}  // namespace
+}  // namespace tafloc

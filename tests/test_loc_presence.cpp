@@ -1,0 +1,129 @@
+#include "tafloc/loc/presence.h"
+
+#include <gtest/gtest.h>
+
+#include "tafloc/sim/scenario.h"
+#include "tafloc/sim/trace.h"
+
+namespace tafloc {
+namespace {
+
+TEST(PresenceDetector, ScoreIsRmsDynamics) {
+  PresenceDetector det(Vector{-30.0, -40.0});
+  const std::vector<double> rss{-33.0, -44.0};  // dynamics 3 and 4
+  EXPECT_NEAR(det.score(rss), std::sqrt((9.0 + 16.0) / 2.0), 1e-12);
+}
+
+TEST(PresenceDetector, ZeroScoreOnBaseline) {
+  PresenceDetector det(Vector{-30.0, -40.0});
+  const std::vector<double> rss{-30.0, -40.0};
+  EXPECT_DOUBLE_EQ(det.score(rss), 0.0);
+}
+
+TEST(PresenceDetector, ThresholdRequiresCalibration) {
+  PresenceDetector det(Vector{-30.0});
+  EXPECT_FALSE(det.calibrated());
+  EXPECT_THROW(det.threshold(), std::logic_error);
+}
+
+TEST(PresenceDetector, CalibrationSetsThresholdAboveEmptyScores) {
+  PresenceDetector det(Vector{-30.0, -40.0});
+  for (double eps : {0.1, -0.2, 0.15, -0.05, 0.12}) {
+    const std::vector<double> rss{-30.0 + eps, -40.0 - eps};
+    det.calibrate_empty(rss);
+  }
+  EXPECT_TRUE(det.calibrated());
+  const double thr = det.threshold();
+  for (double eps : {0.1, -0.2, 0.15}) {
+    const std::vector<double> rss{-30.0 + eps, -40.0 - eps};
+    EXPECT_LT(det.score(rss), thr);
+  }
+}
+
+TEST(PresenceDetector, HysteresisPreventsChattering) {
+  PresenceConfig cfg;
+  cfg.hysteresis_db = 0.5;
+  cfg.min_calibration_samples = 2;
+  PresenceDetector det(Vector{0.0}, cfg);
+  // Empty-room scores 0.1 and 0.3: threshold = 0.2 + 4 * 0.1414 ~ 0.77,
+  // release level ~ 0.27.  (The observation is a single-link RSS; its
+  // score against the 0 baseline is its absolute value.)
+  det.calibrate_empty(std::vector<double>{0.1});
+  det.calibrate_empty(std::vector<double>{0.3});
+  const double thr = det.threshold();
+  ASSERT_GT(thr, 0.6);
+
+  // Cross the set threshold: present.
+  EXPECT_TRUE(det.update(std::vector<double>{thr + 0.2}));
+  // Drop slightly below the set level but above release: still present.
+  EXPECT_TRUE(det.update(std::vector<double>{thr - 0.2}));
+  // Drop below the release level: absent.
+  EXPECT_FALSE(det.update(std::vector<double>{0.1}));
+}
+
+TEST(PresenceDetector, RejectsBadConfig) {
+  PresenceConfig cfg;
+  cfg.sigma_multiplier = 0.0;
+  EXPECT_THROW(PresenceDetector(Vector{0.0}, cfg), std::invalid_argument);
+  cfg = PresenceConfig{};
+  cfg.min_calibration_samples = 1;
+  EXPECT_THROW(PresenceDetector(Vector{0.0}, cfg), std::invalid_argument);
+  EXPECT_THROW(PresenceDetector(Vector{}), std::invalid_argument);
+}
+
+TEST(PresenceDetector, RejectsWrongLengths) {
+  PresenceDetector det(Vector{0.0, 0.0});
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(det.score(bad), std::invalid_argument);
+  EXPECT_THROW(det.set_ambient(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(PresenceDetector, SetAmbientKeepsCalibration) {
+  PresenceConfig cfg;
+  cfg.min_calibration_samples = 2;
+  PresenceDetector det(Vector{0.0}, cfg);
+  det.calibrate_empty(std::vector<double>{0.1});
+  det.calibrate_empty(std::vector<double>{-0.1});
+  det.set_ambient(Vector{5.0});
+  EXPECT_TRUE(det.calibrated());
+  // Score is now relative to the new baseline.
+  EXPECT_DOUBLE_EQ(det.score(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(PresenceDetector, EndToEndOnSimulatedRoom) {
+  const Scenario s = Scenario::paper_room(9);
+  Rng rng(9);
+  Vector ambient = s.collector().ambient_scan(0.0, rng);
+  PresenceDetector det(std::move(ambient));
+
+  // Calibrate from empty-room observations.
+  for (int i = 0; i < 10; ++i) det.calibrate_empty(s.collector().observe_ambient(0.0, rng));
+  ASSERT_TRUE(det.calibrated());
+
+  // Empty observations stay below threshold; occupied ones cross it.
+  int false_alarms = 0, misses = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (det.is_present(s.collector().observe_ambient(0.0, rng))) ++false_alarms;
+    const Point2 p = random_positions(s.deployment().grid(), 1, rng).front();
+    if (!det.is_present(s.collector().observe(p, 0.0, rng))) ++misses;
+  }
+  EXPECT_LE(false_alarms, 2);
+  EXPECT_LE(misses, 2);
+}
+
+TEST(PresenceDetector, StatefulUpdateTracksOccupancy) {
+  const Scenario s = Scenario::paper_room(10);
+  Rng rng(10);
+  PresenceDetector det(s.collector().ambient_scan(0.0, rng));
+  for (int i = 0; i < 8; ++i) det.calibrate_empty(s.collector().observe_ambient(0.0, rng));
+
+  EXPECT_FALSE(det.present());
+  const Point2 p{3.6, 2.4};
+  det.update(s.collector().observe(p, 0.0, rng));
+  EXPECT_TRUE(det.present());
+  for (int i = 0; i < 3; ++i) det.update(s.collector().observe_ambient(0.0, rng));
+  EXPECT_FALSE(det.present());
+}
+
+}  // namespace
+}  // namespace tafloc

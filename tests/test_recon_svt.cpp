@@ -1,0 +1,148 @@
+#include "tafloc/recon/svt.h"
+
+#include <gtest/gtest.h>
+
+#include "tafloc/linalg/ops.h"
+#include "tafloc/linalg/svd.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+/// Random 0/1 mask with the given observed fraction.
+Matrix random_mask(std::size_t rows, std::size_t cols, double fraction, Rng& rng) {
+  Matrix mask(rows, cols);
+  for (double& v : mask.data()) v = rng.bernoulli(fraction) ? 1.0 : 0.0;
+  return mask;
+}
+
+/// A completion instance: rank-2 truth + Bernoulli mask.
+struct Instance {
+  Matrix truth;
+  Matrix mask;
+  Instance(std::size_t n, double fraction, std::uint64_t seed) {
+    Rng rng(seed);
+    truth = random_low_rank(n, n, 2, rng) * 10.0;
+    mask = random_mask(n, n, fraction, rng);
+  }
+};
+
+SvtOptions tight_options() {
+  SvtOptions o;
+  o.tolerance = 1e-5;
+  o.max_iterations = 10000;
+  return o;
+}
+
+TEST(Svt, CompletesLowRankMatrix) {
+  // 24x24 rank-2 at 85% sampling: comfortably above the exact-recovery
+  // threshold (smaller/sparser instances can have feasible completions
+  // with smaller nuclear norm than the truth -- see
+  // NeverExceedsTruthNuclearNorm, which tests that exact property).
+  const Instance inst(24, 0.85, 3);
+  const SvtResult res = svt_complete(inst.truth.hadamard(inst.mask), inst.mask, tight_options());
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT((res.x - inst.truth).frobenius_norm() / inst.truth.frobenius_norm(), 0.05);
+}
+
+TEST(Svt, ObservedEntriesFitTightly) {
+  const Instance inst(20, 0.8, 4);
+  const SvtResult res = svt_complete(inst.truth.hadamard(inst.mask), inst.mask, tight_options());
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.residual, 1e-5);
+}
+
+TEST(Svt, ResultHasLowRank) {
+  const Instance inst(24, 0.85, 5);
+  const SvtResult res = svt_complete(inst.truth.hadamard(inst.mask), inst.mask, tight_options());
+  EXPECT_LE(numeric_rank(res.x, 1e-3), 4u);
+}
+
+TEST(Svt, NeverExceedsTruthNuclearNorm) {
+  // The solver minimizes the (tau-regularized) nuclear norm over the
+  // feasible set, and the truth is feasible: whatever the instance, the
+  // solution's nuclear norm must not exceed the truth's (within the
+  // constraint tolerance).  This holds even on instances where exact
+  // recovery fails.
+  for (std::uint64_t seed : {1u, 2u, 3u, 7u}) {
+    const Instance inst(16, 0.7, seed);
+    const SvtResult res =
+        svt_complete(inst.truth.hadamard(inst.mask), inst.mask, tight_options());
+    const double got = svd_decompose(res.x).nuclear_norm();
+    const double truth_norm = svd_decompose(inst.truth).nuclear_norm();
+    EXPECT_LE(got, truth_norm * 1.01) << "seed " << seed;
+  }
+}
+
+TEST(Svt, FullObservationReproducesInput) {
+  Rng rng(4);
+  const Matrix truth = random_low_rank(10, 10, 3, rng) * 8.0;
+  const Matrix mask(10, 10, 1.0);
+  const SvtResult res = svt_complete(truth, mask, tight_options());
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT((res.x - truth).frobenius_norm() / truth.frobenius_norm(), 1e-3);
+}
+
+TEST(Svt, ReportsNonConvergenceHonestly) {
+  const Instance inst(10, 0.3, 5);
+  SvtOptions opts;
+  opts.max_iterations = 2;
+  opts.tolerance = 1e-12;
+  const SvtResult res = svt_complete(inst.truth.hadamard(inst.mask), inst.mask, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 2u);
+  EXPECT_GT(res.residual, 0.0);
+}
+
+TEST(Svt, RejectsBadMaskValues) {
+  const Matrix x(3, 3, 1.0);
+  Matrix mask(3, 3, 1.0);
+  mask(0, 0) = 0.5;
+  EXPECT_THROW(svt_complete(x, mask), std::invalid_argument);
+}
+
+TEST(Svt, RejectsEmptyObservationSet) {
+  const Matrix x(3, 3, 1.0);
+  const Matrix mask(3, 3, 0.0);
+  EXPECT_THROW(svt_complete(x, mask), std::invalid_argument);
+}
+
+TEST(Svt, RejectsAllZeroObservations) {
+  const Matrix x(3, 3, 0.0);
+  const Matrix mask(3, 3, 1.0);
+  EXPECT_THROW(svt_complete(x, mask), std::invalid_argument);
+}
+
+TEST(Svt, RejectsShapeMismatch) {
+  const Matrix x(3, 3, 1.0);
+  const Matrix mask(3, 4, 1.0);
+  EXPECT_THROW(svt_complete(x, mask), std::invalid_argument);
+}
+
+TEST(Svt, RejectsBadOptions) {
+  const Matrix x(3, 3, 1.0);
+  const Matrix mask(3, 3, 1.0);
+  SvtOptions opts;
+  opts.tolerance = 0.0;
+  EXPECT_THROW(svt_complete(x, mask, opts), std::invalid_argument);
+  opts = SvtOptions{};
+  opts.max_iterations = 0;
+  EXPECT_THROW(svt_complete(x, mask, opts), std::invalid_argument);
+}
+
+// Sweep: recovery quality across observation fractions (24x24 keeps all
+// fractions above the exact-recovery threshold).
+class SvtFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvtFractionSweep, RecoversWithEnoughSamples) {
+  const double fraction = GetParam();
+  const Instance inst(24, fraction, 42);
+  const SvtResult res = svt_complete(inst.truth.hadamard(inst.mask), inst.mask, tight_options());
+  const double rel = (res.x - inst.truth).frobenius_norm() / inst.truth.frobenius_norm();
+  EXPECT_LT(rel, 0.1) << "fraction " << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SvtFractionSweep, ::testing::Values(0.7, 0.85, 1.0));
+
+}  // namespace
+}  // namespace tafloc

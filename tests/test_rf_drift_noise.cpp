@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/rf/drift.h"
+#include "tafloc/rf/noise.h"
+#include "tafloc/util/stats.h"
+
+namespace tafloc {
+namespace {
+
+// ---------------- drift ----------------
+
+TEST(Drift, AnchorsMatchPaper) {
+  // The paper: RSS changes 2.5 dBm after 5 days and 6 dBm after 45 days.
+  const TemporalDriftModel model(10, DriftConfig{}, 1);
+  EXPECT_NEAR(model.expected_magnitude_db(5.0), 2.5, 1e-12);
+  EXPECT_NEAR(model.expected_magnitude_db(45.0), 6.0, 1e-12);
+}
+
+TEST(Drift, ZeroAtTimeZero) {
+  const TemporalDriftModel model(8, DriftConfig{}, 2);
+  EXPECT_DOUBLE_EQ(model.expected_magnitude_db(0.0), 0.0);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(model.ambient_offset_db(i, 0.0), 0.0);
+}
+
+TEST(Drift, MeanAbsOffsetEqualsCalibratedMagnitude) {
+  // The per-link directions are normalized so the mean |offset| is
+  // exactly g(t) for every t.
+  const TemporalDriftModel model(12, DriftConfig{}, 3);
+  for (double t : {3.0, 5.0, 15.0, 45.0, 90.0}) {
+    double sum_abs = 0.0;
+    for (std::size_t i = 0; i < 12; ++i) sum_abs += std::abs(model.ambient_offset_db(i, t));
+    EXPECT_NEAR(sum_abs / 12.0, model.expected_magnitude_db(t), 1e-9);
+  }
+}
+
+TEST(Drift, MagnitudeIsMonotoneInTime) {
+  const TemporalDriftModel model(5, DriftConfig{}, 4);
+  double prev = 0.0;
+  for (double t = 1.0; t <= 90.0; t += 4.0) {
+    const double g = model.expected_magnitude_db(t);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Drift, PerLinkOffsetScalesWithTime) {
+  const TemporalDriftModel model(6, DriftConfig{}, 5);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double o5 = model.ambient_offset_db(i, 5.0);
+    const double o45 = model.ambient_offset_db(i, 45.0);
+    // Same direction, scaled by g(45)/g(5) = 2.4.
+    EXPECT_NEAR(o45, o5 * 2.4, 1e-9);
+  }
+}
+
+TEST(Drift, DeterministicGivenSeed) {
+  const TemporalDriftModel a(7, DriftConfig{}, 42);
+  const TemporalDriftModel b(7, DriftConfig{}, 42);
+  for (std::size_t i = 0; i < 7; ++i)
+    EXPECT_DOUBLE_EQ(a.ambient_offset_db(i, 30.0), b.ambient_offset_db(i, 30.0));
+}
+
+TEST(Drift, DifferentSeedsDiffer) {
+  const TemporalDriftModel a(7, DriftConfig{}, 1);
+  const TemporalDriftModel b(7, DriftConfig{}, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 7; ++i)
+    any_diff |= a.ambient_offset_db(i, 30.0) != b.ambient_offset_db(i, 30.0);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Drift, AttenuationScaleStartsAtOne) {
+  const TemporalDriftModel model(9, DriftConfig{}, 6);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(model.attenuation_scale(i, 0.0), 1.0);
+}
+
+TEST(Drift, AttenuationScaleBounded) {
+  DriftConfig cfg;
+  cfg.attenuation_drift_fraction = 0.25;
+  const TemporalDriftModel model(20, cfg, 7);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double s = model.attenuation_scale(i, 90.0);
+    EXPECT_GE(s, 0.75 - 1e-12);
+    EXPECT_LE(s, 1.25 + 1e-12);
+  }
+}
+
+TEST(Drift, AttenuationScaleWandersWithTime) {
+  const TemporalDriftModel model(30, DriftConfig{}, 8);
+  double spread_30 = 0.0, spread_90 = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    spread_30 += std::abs(model.attenuation_scale(i, 30.0) - 1.0);
+    spread_90 += std::abs(model.attenuation_scale(i, 90.0) - 1.0);
+  }
+  EXPECT_GT(spread_90, spread_30);
+}
+
+TEST(Drift, CustomAnchorsRespected) {
+  DriftConfig cfg;
+  cfg.magnitude_at_5_days_db = 1.0;
+  cfg.magnitude_at_45_days_db = 4.0;
+  const TemporalDriftModel model(4, cfg, 9);
+  EXPECT_NEAR(model.expected_magnitude_db(5.0), 1.0, 1e-12);
+  EXPECT_NEAR(model.expected_magnitude_db(45.0), 4.0, 1e-12);
+}
+
+TEST(Drift, RejectsBadConfig) {
+  DriftConfig cfg;
+  cfg.magnitude_at_5_days_db = 0.0;
+  EXPECT_THROW(TemporalDriftModel(3, cfg, 1), std::invalid_argument);
+  cfg = DriftConfig{};
+  cfg.magnitude_at_45_days_db = 1.0;  // < 5-day anchor
+  EXPECT_THROW(TemporalDriftModel(3, cfg, 1), std::invalid_argument);
+  cfg = DriftConfig{};
+  cfg.shared_fraction = 1.5;
+  EXPECT_THROW(TemporalDriftModel(3, cfg, 1), std::invalid_argument);
+  EXPECT_THROW(TemporalDriftModel(0, DriftConfig{}, 1), std::invalid_argument);
+}
+
+TEST(Drift, RejectsNegativeTime) {
+  const TemporalDriftModel model(3, DriftConfig{}, 1);
+  EXPECT_THROW(model.expected_magnitude_db(-1.0), std::invalid_argument);
+  EXPECT_THROW(model.ambient_offset_db(0, -1.0), std::invalid_argument);
+}
+
+TEST(Drift, RejectsBadLinkIndex) {
+  const TemporalDriftModel model(3, DriftConfig{}, 1);
+  EXPECT_THROW(model.ambient_offset_db(3, 1.0), std::out_of_range);
+  EXPECT_THROW(model.attenuation_scale(3, 1.0), std::out_of_range);
+}
+
+// ---------------- noise ----------------
+
+TEST(Noise, ZeroSigmaIsDeterministic) {
+  NoiseConfig cfg;
+  cfg.stddev_db = 0.0;
+  const NoiseModel model(cfg);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.corrupt(-40.0, rng), -40.0);
+}
+
+TEST(Noise, SampleMomentsMatchConfig) {
+  NoiseConfig cfg;
+  cfg.stddev_db = 1.2;
+  const NoiseModel model(cfg);
+  Rng rng(2);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(model.corrupt(-50.0, rng));
+  EXPECT_NEAR(st.mean(), -50.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 1.2, 0.05);
+}
+
+TEST(Noise, QuantizationRounds) {
+  NoiseConfig cfg;
+  cfg.stddev_db = 0.0;
+  cfg.quantization_step_db = 1.0;
+  const NoiseModel model(cfg);
+  EXPECT_DOUBLE_EQ(model.quantize(-49.4), -49.0);
+  EXPECT_DOUBLE_EQ(model.quantize(-49.6), -50.0);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(model.corrupt(-49.4, rng), -49.0);
+}
+
+TEST(Noise, NoQuantizationByDefault) {
+  const NoiseModel model;
+  EXPECT_DOUBLE_EQ(model.quantize(-49.37), -49.37);
+}
+
+TEST(Noise, RejectsBadConfig) {
+  NoiseConfig cfg;
+  cfg.stddev_db = -0.1;
+  EXPECT_THROW(NoiseModel{cfg}, std::invalid_argument);
+  cfg = NoiseConfig{};
+  cfg.quantization_step_db = -1.0;
+  EXPECT_THROW(NoiseModel{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

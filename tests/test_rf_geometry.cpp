@@ -1,0 +1,101 @@
+#include "tafloc/rf/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tafloc {
+namespace {
+
+TEST(Point2, Arithmetic) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point2{4.0, 1.0}));
+  EXPECT_EQ(b - a, (Point2{2.0, -3.0}));
+  EXPECT_EQ(a * 2.0, (Point2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point2{2.0, 4.0}));
+}
+
+TEST(Distance, KnownValues) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Norm, KnownValues) {
+  EXPECT_DOUBLE_EQ(norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm({0.0, 0.0}), 0.0);
+}
+
+TEST(Midpoint, KnownValue) {
+  const Point2 m = midpoint({0.0, 0.0}, {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.x, 1.0);
+  EXPECT_DOUBLE_EQ(m.y, 2.0);
+}
+
+TEST(Segment, Length) {
+  const Segment s{{0.0, 0.0}, {6.0, 8.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 10.0);
+}
+
+TEST(PointSegmentDistance, PerpendicularFoot) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5.0, 3.0}, s), 3.0);
+}
+
+TEST(PointSegmentDistance, BeyondEndpointsClampsToEndpoint) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3.0, 4.0}, s), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({13.0, 4.0}, s), 5.0);
+}
+
+TEST(PointSegmentDistance, OnSegmentIsZero) {
+  const Segment s{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_NEAR(point_segment_distance({5.0, 5.0}, s), 0.0, 1e-12);
+}
+
+TEST(PointSegmentDistance, DegenerateSegmentIsPointDistance) {
+  const Segment s{{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5.0, 6.0}, s), 5.0);
+}
+
+TEST(ExcessPathLength, ZeroOnDirectPath) {
+  const Segment link{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_NEAR(excess_path_length({5.0, 0.0}, link), 0.0, 1e-12);
+  EXPECT_NEAR(excess_path_length({0.0, 0.0}, link), 0.0, 1e-12);
+}
+
+TEST(ExcessPathLength, GrowsOffPath) {
+  const Segment link{{0.0, 0.0}, {10.0, 0.0}};
+  const double e1 = excess_path_length({5.0, 1.0}, link);
+  const double e2 = excess_path_length({5.0, 2.0}, link);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_GT(e2, e1);
+}
+
+TEST(ExcessPathLength, KnownTriangle) {
+  // tx at origin, rx at (6, 0); point at (3, 4): detour = 5 + 5 - 6 = 4.
+  const Segment link{{0.0, 0.0}, {6.0, 0.0}};
+  EXPECT_NEAR(excess_path_length({3.0, 4.0}, link), 4.0, 1e-12);
+}
+
+TEST(ExcessPathLength, SymmetricAcrossLink) {
+  const Segment link{{0.0, 0.0}, {8.0, 0.0}};
+  EXPECT_NEAR(excess_path_length({4.0, 1.5}, link), excess_path_length({4.0, -1.5}, link),
+              1e-12);
+}
+
+TEST(WithinLinkEllipse, InsideAndOutside) {
+  const Segment link{{0.0, 0.0}, {6.0, 0.0}};
+  EXPECT_TRUE(within_link_ellipse({3.0, 0.1}, link, 0.5));
+  EXPECT_FALSE(within_link_ellipse({3.0, 4.0}, link, 0.5));  // detour 4 > 0.5
+}
+
+TEST(WithinLinkEllipse, BoundaryIsExclusive) {
+  const Segment link{{0.0, 0.0}, {6.0, 0.0}};
+  // Excess of (3, 4) is exactly 4.
+  EXPECT_FALSE(within_link_ellipse({3.0, 4.0}, link, 4.0));
+  EXPECT_TRUE(within_link_ellipse({3.0, 4.0}, link, 4.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace tafloc

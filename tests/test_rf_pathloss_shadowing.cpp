@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/rf/pathloss.h"
+#include "tafloc/rf/shadowing.h"
+
+namespace tafloc {
+namespace {
+
+// ---------------- path loss ----------------
+
+TEST(PathLoss, ReferenceDistanceValue) {
+  PathLossConfig cfg;
+  cfg.tx_power_dbm = 15.0;
+  cfg.reference_loss_db = 40.0;
+  const LogDistancePathLoss pl(cfg);
+  EXPECT_DOUBLE_EQ(pl.rss_dbm(1.0), -25.0);
+}
+
+TEST(PathLoss, DecadeDropsTenEta) {
+  PathLossConfig cfg;
+  cfg.path_loss_exponent = 2.5;
+  const LogDistancePathLoss pl(cfg);
+  EXPECT_NEAR(pl.rss_dbm(1.0) - pl.rss_dbm(10.0), 25.0, 1e-10);
+}
+
+TEST(PathLoss, MonotoneDecreasingInDistance) {
+  const LogDistancePathLoss pl;
+  double prev = pl.rss_dbm(1.0);
+  for (double d = 2.0; d < 40.0; d += 3.0) {
+    const double cur = pl.rss_dbm(d);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PathLoss, ClampsBelowReferenceDistance) {
+  const LogDistancePathLoss pl;
+  EXPECT_DOUBLE_EQ(pl.rss_dbm(0.5), pl.rss_dbm(1.0));
+}
+
+TEST(PathLoss, SegmentOverloadUsesLength) {
+  const LogDistancePathLoss pl;
+  const Segment s{{0.0, 0.0}, {5.0, 0.0}};
+  EXPECT_DOUBLE_EQ(pl.rss_dbm(s), pl.rss_dbm(5.0));
+}
+
+TEST(PathLoss, RejectsNonPositiveDistance) {
+  const LogDistancePathLoss pl;
+  EXPECT_THROW(pl.rss_dbm(0.0), std::invalid_argument);
+  EXPECT_THROW(pl.rss_dbm(-1.0), std::invalid_argument);
+}
+
+TEST(PathLoss, RejectsBadConfig) {
+  PathLossConfig cfg;
+  cfg.reference_distance_m = 0.0;
+  EXPECT_THROW(LogDistancePathLoss{cfg}, std::invalid_argument);
+  cfg = PathLossConfig{};
+  cfg.path_loss_exponent = -1.0;
+  EXPECT_THROW(LogDistancePathLoss{cfg}, std::invalid_argument);
+}
+
+// ---------------- shadowing ----------------
+
+TEST(Shadowing, MaximalOnLineOfSight) {
+  ShadowingConfig cfg;
+  cfg.max_attenuation_db = 6.0;
+  cfg.los_block_db = 3.0;
+  const TargetShadowingModel model(cfg);
+  const Segment link{{0.0, 0.0}, {10.0, 0.0}};
+  // On the LoS: full exponential term + body-block extra.
+  EXPECT_NEAR(model.attenuation_db(link, {5.0, 0.0}), 9.0, 1e-9);
+}
+
+TEST(Shadowing, DecaysWithExcessPath) {
+  const TargetShadowingModel model;
+  const Segment link{{0.0, 0.0}, {10.0, 0.0}};
+  const double a1 = model.attenuation_db(link, {5.0, 0.5});
+  const double a2 = model.attenuation_db(link, {5.0, 1.0});
+  const double a3 = model.attenuation_db(link, {5.0, 2.0});
+  EXPECT_GT(a1, a2);
+  EXPECT_GT(a2, a3);
+  EXPECT_GE(a3, 0.0);
+}
+
+TEST(Shadowing, FarTargetNegligible) {
+  const TargetShadowingModel model;
+  const Segment link{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_LT(model.attenuation_db(link, {5.0, 8.0}), 0.01);
+}
+
+TEST(Shadowing, ExponentialDecayRate) {
+  ShadowingConfig cfg;
+  cfg.max_attenuation_db = 6.0;
+  cfg.decay_m = 0.18;
+  cfg.los_block_db = 0.0;  // isolate the exponential term
+  cfg.body_radius_m = 0.0;
+  const TargetShadowingModel model(cfg);
+  const Segment link{{0.0, 0.0}, {6.0, 0.0}};
+  const Point2 p{3.0, 1.0};
+  const double excess = excess_path_length(p, link);
+  EXPECT_NEAR(model.attenuation_db(link, p), 6.0 * std::exp(-excess / 0.18), 1e-12);
+}
+
+TEST(Shadowing, BlocksLosWithinBodyRadius) {
+  ShadowingConfig cfg;
+  cfg.body_radius_m = 0.25;
+  const TargetShadowingModel model(cfg);
+  const Segment link{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_TRUE(model.blocks_los(link, {5.0, 0.2}));
+  EXPECT_FALSE(model.blocks_los(link, {5.0, 0.3}));
+}
+
+TEST(Shadowing, ContinuityAlongLink) {
+  // Moving the target by one 0.6 m grid step along the link changes the
+  // attenuation smoothly (fingerprint property iii, continuity).
+  const TargetShadowingModel model;
+  const Segment link{{0.0, 2.0}, {7.2, 2.0}};
+  double prev = model.attenuation_db(link, {0.3, 2.3});
+  for (double x = 0.9; x < 7.0; x += 0.6) {
+    const double cur = model.attenuation_db(link, {x, 2.3});
+    EXPECT_LT(std::abs(cur - prev), 2.2);  // no jumps
+    prev = cur;
+  }
+}
+
+TEST(Shadowing, SimilarityAcrossAdjacentLinks) {
+  // Two parallel links 0.48 m apart see similar attenuation from the
+  // same target (fingerprint property iii, similarity).
+  const TargetShadowingModel model;
+  const Segment l1{{0.0, 2.0}, {7.2, 2.0}};
+  const Segment l2{{0.0, 2.48}, {7.2, 2.48}};
+  const Point2 target{3.6, 2.24};
+  const double a1 = model.attenuation_db(l1, target);
+  const double a2 = model.attenuation_db(l2, target);
+  EXPECT_LT(std::abs(a1 - a2), 2.0);
+  EXPECT_GT(a1, 0.5);  // both are actually affected
+  EXPECT_GT(a2, 0.5);
+}
+
+TEST(Shadowing, RejectsBadConfig) {
+  ShadowingConfig cfg;
+  cfg.decay_m = 0.0;
+  EXPECT_THROW(TargetShadowingModel{cfg}, std::invalid_argument);
+  cfg = ShadowingConfig{};
+  cfg.max_attenuation_db = -1.0;
+  EXPECT_THROW(TargetShadowingModel{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

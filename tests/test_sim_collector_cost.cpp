@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/sim/collector.h"
+#include "tafloc/sim/scenario.h"
+#include "tafloc/sim/survey_cost.h"
+
+namespace tafloc {
+namespace {
+
+// ---------------- survey cost model ----------------
+
+TEST(SurveyCost, PaperInlineNumbers) {
+  // Paper section 3: 6 m x 6 m full survey = 100 * (6/0.6)^2 / 3600
+  // ~ 2.78 h; TafLoc with 10 reference locations ~ 0.28 h.
+  const SurveyCostModel cost;
+  EXPECT_NEAR(cost.full_survey_hours(6.0), 2.7778, 1e-3);
+  EXPECT_NEAR(cost.reference_survey_hours(10), 0.2778, 1e-3);
+}
+
+TEST(SurveyCost, QuadraticInEdgeLength) {
+  const SurveyCostModel cost;
+  EXPECT_NEAR(cost.full_survey_hours(12.0), 4.0 * cost.full_survey_hours(6.0), 1e-9);
+  EXPECT_NEAR(cost.full_survey_hours(36.0), 36.0 * cost.full_survey_hours(6.0), 1e-9);
+}
+
+TEST(SurveyCost, LinearInReferenceCount) {
+  const SurveyCostModel cost;
+  EXPECT_NEAR(cost.reference_survey_hours(20), 2.0 * cost.reference_survey_hours(10), 1e-12);
+}
+
+TEST(SurveyCost, WalkOverheadAdds) {
+  SurveyCostModel cost;
+  cost.walk_overhead_s = 20.0;
+  // 100 s sampling + 20 s walking per grid.
+  EXPECT_NEAR(cost.hours_for_grids(30), 30.0 * 120.0 / 3600.0, 1e-12);
+}
+
+TEST(SurveyCost, PaperTafLocAt36m) {
+  // Fig. 4: TafLoc needs ~1.6 h at 36 m edge (60 reference locations).
+  const SurveyCostModel cost;
+  EXPECT_NEAR(cost.reference_survey_hours(60), 1.67, 0.01);
+}
+
+TEST(SurveyCost, RejectsBadArguments) {
+  SurveyCostModel cost;
+  EXPECT_THROW(cost.full_survey_hours(0.0), std::invalid_argument);
+  EXPECT_THROW(cost.full_survey_hours(6.0, 0.0), std::invalid_argument);
+  cost.sample_period_s = 0.0;
+  EXPECT_THROW(cost.hours_for_grids(1), std::invalid_argument);
+}
+
+// ---------------- collector ----------------
+
+/// Survey config with the placement-repeatability noise disabled, for
+/// tests that compare surveyed values against the noise-free truth.
+SurveyConfig exact_survey_config() {
+  SurveyConfig cfg;
+  cfg.repeatability_stddev_db = 0.0;
+  return cfg;
+}
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  CollectorTest()
+      : scenario_(Deployment::paper_room(), ChannelConfig{}, 99, exact_survey_config()) {}
+  Scenario scenario_;
+};
+
+TEST_F(CollectorTest, SurveyAllShape) {
+  Rng rng(1);
+  const Matrix x = scenario_.collector().survey_all(0.0, rng);
+  EXPECT_EQ(x.rows(), 10u);
+  EXPECT_EQ(x.cols(), 96u);
+}
+
+TEST_F(CollectorTest, SurveyedValuesNearGroundTruth) {
+  Rng rng(2);
+  const Matrix x = scenario_.collector().survey_all(0.0, rng);
+  const Matrix truth = scenario_.collector().ground_truth(0.0);
+  // 100-sample means have sigma ~ 1.2/10 = 0.12 dB.
+  EXPECT_LT(max_abs_diff(x, truth), 0.8);
+}
+
+TEST_F(CollectorTest, SurveyGridsSubsetMatchesColumns) {
+  Rng rng(3);
+  const std::vector<std::size_t> grids{5, 17, 40};
+  const Matrix sub = scenario_.collector().survey_grids(grids, 0.0, rng);
+  EXPECT_EQ(sub.rows(), 10u);
+  EXPECT_EQ(sub.cols(), 3u);
+  const Matrix truth = scenario_.collector().ground_truth(0.0);
+  for (std::size_t k = 0; k < grids.size(); ++k)
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_NEAR(sub(i, k), truth(i, grids[k]), 0.8);
+}
+
+TEST_F(CollectorTest, AmbientScanMatchesTargetFreeRss) {
+  Rng rng(4);
+  const Vector ambient = scenario_.collector().ambient_scan(0.0, rng);
+  ASSERT_EQ(ambient.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(ambient[i], scenario_.channel().expected_rss(i, std::nullopt, 0.0), 0.8);
+}
+
+TEST_F(CollectorTest, GroundTruthIsNoiseFree) {
+  const Matrix a = scenario_.collector().ground_truth(15.0);
+  const Matrix b = scenario_.collector().ground_truth(15.0);
+  EXPECT_LT(max_abs_diff(a, b), 1e-15);
+}
+
+TEST_F(CollectorTest, ObserveLengthAndPlausibility) {
+  Rng rng(5);
+  const Point2 target{3.0, 2.0};
+  const Vector y = scenario_.collector().observe(target, 0.0, rng);
+  ASSERT_EQ(y.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(y[i], scenario_.channel().expected_rss(i, target, 0.0), 3.0);
+}
+
+TEST_F(CollectorTest, ObserveAmbientNoTarget) {
+  Rng rng(6);
+  const Vector y = scenario_.collector().observe_ambient(0.0, rng);
+  ASSERT_EQ(y.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(y[i], scenario_.channel().expected_rss(i, std::nullopt, 0.0), 3.0);
+}
+
+TEST_F(CollectorTest, SurveyRejectsBadGridIndex) {
+  Rng rng(7);
+  const std::vector<std::size_t> bad{96};
+  EXPECT_THROW(scenario_.collector().survey_grids(bad, 0.0, rng), std::out_of_range);
+}
+
+TEST_F(CollectorTest, SurveyRejectsEmptyGridList) {
+  Rng rng(8);
+  const std::vector<std::size_t> empty;
+  EXPECT_THROW(scenario_.collector().survey_grids(empty, 0.0, rng), std::invalid_argument);
+}
+
+TEST(Collector, RepeatabilityNoiseAppliedToTargetSurveys) {
+  // With the default config, two surveys of the same grid at the same
+  // instant differ by placement repeatability (>> the 100-sample mean
+  // noise), while ambient scans (no target, no placement) agree tightly.
+  const Scenario s = Scenario::paper_room(123);
+  Rng rng(5);
+  const std::vector<std::size_t> grids{40};
+  const Matrix a = s.collector().survey_grids(grids, 0.0, rng);
+  const Matrix b = s.collector().survey_grids(grids, 0.0, rng);
+  EXPECT_GT(max_abs_diff(a, b), 0.4);
+
+  const Vector amb_a = s.collector().ambient_scan(0.0, rng);
+  const Vector amb_b = s.collector().ambient_scan(0.0, rng);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < amb_a.size(); ++i)
+    worst = std::max(worst, std::abs(amb_a[i] - amb_b[i]));
+  EXPECT_LT(worst, 0.8);
+}
+
+TEST(Collector, RejectsNegativeRepeatability) {
+  const Deployment d = Deployment::paper_room();
+  const Channel ch(d.links(), ChannelConfig{}, 1);
+  SurveyConfig cfg;
+  cfg.repeatability_stddev_db = -0.1;
+  EXPECT_THROW(FingerprintCollector(d, ch, cfg), std::invalid_argument);
+}
+
+TEST(Collector, RejectsMismatchedChannel) {
+  const Deployment d10 = Deployment::paper_room();
+  const Deployment d4 = Deployment::two_sided(6.0, 6.0, 0.6, 4);
+  const Channel ch(d4.links(), ChannelConfig{}, 1);
+  EXPECT_THROW(FingerprintCollector(d10, ch), std::invalid_argument);
+}
+
+TEST(Collector, RejectsBadSurveyConfig) {
+  const Deployment d = Deployment::paper_room();
+  const Channel ch(d.links(), ChannelConfig{}, 1);
+  SurveyConfig cfg;
+  cfg.samples_per_grid = 0;
+  EXPECT_THROW(FingerprintCollector(d, ch, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,160 @@
+#include "tafloc/sim/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/rf/channel.h"
+
+namespace tafloc {
+namespace {
+
+TEST(Deployment, PaperRoomMatchesFig2) {
+  const Deployment d = Deployment::paper_room();
+  EXPECT_EQ(d.num_links(), 10u);
+  EXPECT_EQ(d.num_grids(), 96u);
+  EXPECT_DOUBLE_EQ(d.grid().cell_size(), 0.6);
+}
+
+TEST(Deployment, PerimeterMixesOrientations) {
+  const Deployment d = Deployment::perimeter(7.2, 4.8, 0.6, 10);
+  std::size_t horizontal = 0, vertical = 0;
+  for (std::size_t i = 0; i < d.num_links(); ++i) {
+    if (d.link_is_horizontal(i)) {
+      ++horizontal;
+    } else {
+      ++vertical;
+    }
+  }
+  EXPECT_EQ(horizontal, 5u);
+  EXPECT_EQ(vertical, 5u);
+}
+
+TEST(Deployment, PerimeterListsHorizontalsFirst) {
+  const Deployment d = Deployment::perimeter(6.0, 6.0, 0.6, 7);  // 4 h + 3 v
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(d.link_is_horizontal(i));
+  for (std::size_t i = 4; i < 7; ++i) EXPECT_FALSE(d.link_is_horizontal(i));
+}
+
+TEST(Deployment, PerimeterLinksSpanTheArea) {
+  const Deployment d = Deployment::perimeter(6.0, 4.8, 0.6, 8);
+  for (std::size_t i = 0; i < d.num_links(); ++i) {
+    const Segment& l = d.links()[i];
+    if (d.link_is_horizontal(i)) {
+      EXPECT_LE(l.a.x, 0.0);
+      EXPECT_GE(l.b.x, 6.0);
+    } else {
+      EXPECT_LE(l.a.y, 0.0);
+      EXPECT_GE(l.b.y, 4.8);
+    }
+  }
+}
+
+TEST(Deployment, TwoSidedLinksSpanTheArea) {
+  const Deployment d = Deployment::two_sided(6.0, 6.0, 0.6, 10, 0.3);
+  for (const Segment& l : d.links()) {
+    EXPECT_LE(l.a.x, 0.0);
+    EXPECT_GE(l.b.x, 6.0);
+    EXPECT_DOUBLE_EQ(l.a.y, l.b.y);  // horizontal
+  }
+}
+
+TEST(Deployment, TwoSidedLinksEvenlySpaced) {
+  const Deployment d = Deployment::two_sided(6.0, 6.0, 0.6, 10);
+  const double spacing = d.links()[1].a.y - d.links()[0].a.y;
+  for (std::size_t i = 1; i < d.num_links(); ++i) {
+    EXPECT_NEAR(d.links()[i].a.y - d.links()[i - 1].a.y, spacing, 1e-12);
+  }
+  EXPECT_NEAR(spacing, 0.6, 1e-12);
+}
+
+TEST(Deployment, LinksCoverEveryGridRowBand) {
+  // Every grid cell must be within one cell size of some link (the
+  // similarity property needs nearby links everywhere).
+  const Deployment d = Deployment::paper_room();
+  for (std::size_t j = 0; j < d.num_grids(); ++j) {
+    const Point2 c = d.grid().center(j);
+    double best = 1e9;
+    for (const Segment& l : d.links()) best = std::min(best, point_segment_distance(c, l));
+    EXPECT_LE(best, 0.6);
+  }
+}
+
+TEST(Deployment, SquareAreaLinkDensityMatchesPaper) {
+  // 6 m edge -> 10 links (paper's density: one link per 0.6 m of edge).
+  EXPECT_EQ(Deployment::square_area(6.0).num_links(), 10u);
+  EXPECT_EQ(Deployment::square_area(36.0).num_links(), 60u);
+  EXPECT_EQ(Deployment::square_area(6.0).num_grids(), 100u);
+  EXPECT_EQ(Deployment::square_area(36.0).num_grids(), 3600u);
+}
+
+TEST(Deployment, NearestLinkPicksClosest) {
+  const Deployment d = Deployment::two_sided(6.0, 6.0, 0.6, 3);
+  // Links at y = 1, 3, 5.
+  EXPECT_EQ(d.nearest_link({3.0, 0.9}), 0u);
+  EXPECT_EQ(d.nearest_link({3.0, 3.1}), 1u);
+  EXPECT_EQ(d.nearest_link({3.0, 5.4}), 2u);
+}
+
+TEST(Deployment, RejectsTooFewLinks) {
+  EXPECT_THROW(Deployment::two_sided(6.0, 6.0, 0.6, 1), std::invalid_argument);
+}
+
+TEST(Deployment, RejectsNegativeMargin) {
+  EXPECT_THROW(Deployment::two_sided(6.0, 6.0, 0.6, 4, -0.1), std::invalid_argument);
+}
+
+TEST(Deployment, RejectsTinySquare) {
+  EXPECT_THROW(Deployment::square_area(0.6), std::invalid_argument);
+}
+
+TEST(Deployment, DiversityDuplicatesLinksInOrder) {
+  const Deployment base = Deployment::paper_room();
+  const Deployment div = Deployment::with_diversity(base, 3);
+  EXPECT_EQ(div.num_links(), 30u);
+  EXPECT_EQ(div.num_grids(), base.num_grids());
+  for (std::size_t i = 0; i < base.num_links(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const Segment& orig = base.links()[i];
+      const Segment& copy = div.links()[i * 3 + c];
+      EXPECT_EQ(copy.a, orig.a);
+      EXPECT_EQ(copy.b, orig.b);
+    }
+  }
+}
+
+TEST(Deployment, DiversityOneCopyIsIdentity) {
+  const Deployment base = Deployment::paper_room();
+  const Deployment same = Deployment::with_diversity(base, 1);
+  EXPECT_EQ(same.num_links(), base.num_links());
+}
+
+TEST(Deployment, DiversityRejectsZeroCopies) {
+  EXPECT_THROW(Deployment::with_diversity(Deployment::paper_room(), 0),
+               std::invalid_argument);
+}
+
+TEST(Deployment, DiversityCopiesGetIndependentChannelDraws) {
+  // The channel seeds per-link multipath; duplicated links must fade
+  // differently (that is what frequency diversity buys).
+  const Deployment div = Deployment::with_diversity(Deployment::paper_room(), 2);
+  const Channel ch(div.links(), ChannelConfig{}, 3);
+  const Point2 target{3.6, 2.4};
+  bool any_difference = false;
+  for (std::size_t i = 0; i < div.num_links(); i += 2) {
+    if (std::abs(ch.target_response_db(i, target, 0.0) -
+                 ch.target_response_db(i + 1, target, 0.0)) > 0.05)
+      any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Deployment, ExplicitConstructorValidatesLinks) {
+  GridMap g(1.2, 1.2, 0.6);
+  EXPECT_THROW(Deployment(g, {}), std::invalid_argument);
+  std::vector<Segment> degenerate{Segment{{0.0, 0.0}, {0.0, 0.0}}};
+  EXPECT_THROW(Deployment(g, std::move(degenerate)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,123 @@
+#include "tafloc/sim/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tafloc {
+namespace {
+
+TEST(GridMap, PaperRoomDimensions) {
+  // 7.2 m x 4.8 m at 0.6 m cells: 12 x 8 = 96 grids (paper Fig. 2).
+  const GridMap g(7.2, 4.8, 0.6);
+  EXPECT_EQ(g.nx(), 12u);
+  EXPECT_EQ(g.ny(), 8u);
+  EXPECT_EQ(g.num_cells(), 96u);
+}
+
+TEST(GridMap, RejectsNonMultipleExtent) {
+  EXPECT_THROW(GridMap(7.0, 4.8, 0.6), std::invalid_argument);
+  EXPECT_THROW(GridMap(7.2, 4.7, 0.6), std::invalid_argument);
+}
+
+TEST(GridMap, RejectsBadSizes) {
+  EXPECT_THROW(GridMap(6.0, 6.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(GridMap(0.0, 6.0, 0.6), std::invalid_argument);
+  EXPECT_THROW(GridMap(6.0, -1.0, 0.6), std::invalid_argument);
+}
+
+TEST(GridMap, CenterOfFirstAndLastCells) {
+  const GridMap g(1.2, 1.2, 0.6);  // 2x2
+  const Point2 c0 = g.center(0);
+  EXPECT_DOUBLE_EQ(c0.x, 0.3);
+  EXPECT_DOUBLE_EQ(c0.y, 0.3);
+  const Point2 c3 = g.center(3);
+  EXPECT_DOUBLE_EQ(c3.x, 0.9);
+  EXPECT_DOUBLE_EQ(c3.y, 0.9);
+}
+
+TEST(GridMap, RowMajorIndexing) {
+  const GridMap g(1.8, 1.2, 0.6);  // 3x2
+  EXPECT_EQ(g.index(0, 0), 0u);
+  EXPECT_EQ(g.index(2, 0), 2u);
+  EXPECT_EQ(g.index(0, 1), 3u);
+  EXPECT_EQ(g.ix_of(4), 1u);
+  EXPECT_EQ(g.iy_of(4), 1u);
+}
+
+TEST(GridMap, IndexRoundTrip) {
+  const GridMap g(3.0, 2.4, 0.6);
+  for (std::size_t j = 0; j < g.num_cells(); ++j)
+    EXPECT_EQ(g.index(g.ix_of(j), g.iy_of(j)), j);
+}
+
+TEST(GridMap, CellOfContainsItsCenter) {
+  const GridMap g(7.2, 4.8, 0.6);
+  for (std::size_t j = 0; j < g.num_cells(); ++j) {
+    const auto cell = g.cell_of(g.center(j));
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_EQ(*cell, j);
+  }
+}
+
+TEST(GridMap, CellOfOutsideReturnsNullopt) {
+  const GridMap g(6.0, 6.0, 0.6);
+  EXPECT_FALSE(g.cell_of({-0.1, 3.0}).has_value());
+  EXPECT_FALSE(g.cell_of({3.0, -0.1}).has_value());
+  EXPECT_FALSE(g.cell_of({6.0, 3.0}).has_value());  // right edge exclusive
+  EXPECT_FALSE(g.cell_of({3.0, 6.0}).has_value());
+  EXPECT_TRUE(g.cell_of({0.0, 0.0}).has_value());   // left edge inclusive
+}
+
+TEST(GridMap, Neighbors4Interior) {
+  const GridMap g(1.8, 1.8, 0.6);  // 3x3
+  auto nb = g.neighbors4(4);       // center cell
+  std::sort(nb.begin(), nb.end());
+  const std::vector<std::size_t> expect{1, 3, 5, 7};
+  EXPECT_EQ(nb, expect);
+}
+
+TEST(GridMap, Neighbors4Corner) {
+  const GridMap g(1.8, 1.8, 0.6);
+  auto nb = g.neighbors4(0);
+  std::sort(nb.begin(), nb.end());
+  const std::vector<std::size_t> expect{1, 3};
+  EXPECT_EQ(nb, expect);
+}
+
+TEST(GridMap, AdjacencySymmetric) {
+  const GridMap g(2.4, 1.8, 0.6);
+  for (std::size_t a = 0; a < g.num_cells(); ++a)
+    for (std::size_t b = 0; b < g.num_cells(); ++b)
+      EXPECT_EQ(g.adjacent(a, b), g.adjacent(b, a));
+}
+
+TEST(GridMap, AdjacentExcludesDiagonalAndSelf) {
+  const GridMap g(1.8, 1.8, 0.6);
+  EXPECT_FALSE(g.adjacent(0, 0));
+  EXPECT_FALSE(g.adjacent(0, 4));  // diagonal
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(g.adjacent(0, 3));
+}
+
+TEST(GridMap, AdjacentDoesNotWrapRows) {
+  const GridMap g(1.8, 1.2, 0.6);  // 3x2: cells 2 and 3 are on different rows
+  EXPECT_FALSE(g.adjacent(2, 3));
+}
+
+TEST(GridMap, AllCentersCountAndOrder) {
+  const GridMap g(1.2, 0.6, 0.6);  // 2x1
+  const auto centers = g.all_centers();
+  ASSERT_EQ(centers.size(), 2u);
+  EXPECT_LT(centers[0].x, centers[1].x);
+}
+
+TEST(GridMap, BoundsChecks) {
+  const GridMap g(1.2, 1.2, 0.6);
+  EXPECT_THROW(g.center(4), std::out_of_range);
+  EXPECT_THROW(g.index(2, 0), std::out_of_range);
+  EXPECT_THROW(g.neighbors4(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tafloc

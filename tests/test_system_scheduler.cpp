@@ -1,0 +1,124 @@
+#include "tafloc/tafloc/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "tafloc/sim/scenario.h"
+#include "tafloc/tafloc/system.h"
+
+namespace tafloc {
+namespace {
+
+TEST(UpdateScheduler, NoTriggerBelowThreshold) {
+  UpdateScheduler sched(Vector{-30.0, -40.0}, 0.0);
+  const std::vector<double> ambient{-30.5, -40.5};  // 0.5 dB drift
+  EXPECT_FALSE(sched.observe_ambient(ambient, 10.0));
+  EXPECT_NEAR(sched.estimated_staleness_db(), 0.5, 1e-12);
+}
+
+TEST(UpdateScheduler, TriggersAboveThreshold) {
+  SchedulerConfig cfg;
+  cfg.staleness_threshold_db = 3.0;
+  UpdateScheduler sched(Vector{-30.0, -40.0}, 0.0, cfg);
+  const std::vector<double> drifted{-34.0, -44.0};  // 4 dB drift
+  EXPECT_TRUE(sched.observe_ambient(drifted, 10.0));
+}
+
+TEST(UpdateScheduler, MinIntervalSuppressesEarlyTrigger) {
+  SchedulerConfig cfg;
+  cfg.min_interval_days = 5.0;
+  UpdateScheduler sched(Vector{-30.0}, 0.0, cfg);
+  const std::vector<double> drifted{-40.0};  // way above threshold
+  EXPECT_FALSE(sched.observe_ambient(drifted, 2.0));  // too soon
+  EXPECT_TRUE(sched.observe_ambient(drifted, 6.0));
+}
+
+TEST(UpdateScheduler, MaxIntervalForcesUpdate) {
+  SchedulerConfig cfg;
+  cfg.staleness_threshold_db = 100.0;  // never triggered by drift
+  cfg.max_interval_days = 30.0;
+  UpdateScheduler sched(Vector{-30.0}, 0.0, cfg);
+  const std::vector<double> quiet{-30.0};
+  EXPECT_FALSE(sched.observe_ambient(quiet, 29.0));
+  EXPECT_TRUE(sched.observe_ambient(quiet, 30.0));
+}
+
+TEST(UpdateScheduler, NotifyUpdatedResetsBaselineAndClock) {
+  SchedulerConfig cfg;
+  cfg.staleness_threshold_db = 3.0;
+  UpdateScheduler sched(Vector{-30.0}, 0.0, cfg);
+  const std::vector<double> drifted{-35.0};
+  EXPECT_TRUE(sched.observe_ambient(drifted, 10.0));
+
+  sched.notify_updated(Vector{-35.0}, 10.0);
+  EXPECT_DOUBLE_EQ(sched.last_update_days(), 10.0);
+  EXPECT_DOUBLE_EQ(sched.estimated_staleness_db(), 0.0);
+  // Same ambient is now the baseline: no trigger.
+  EXPECT_FALSE(sched.observe_ambient(drifted, 20.0));
+}
+
+TEST(UpdateScheduler, RejectsBadArguments) {
+  EXPECT_THROW(UpdateScheduler(Vector{}, 0.0), std::invalid_argument);
+  SchedulerConfig cfg;
+  cfg.staleness_threshold_db = 0.0;
+  EXPECT_THROW(UpdateScheduler(Vector{1.0}, 0.0, cfg), std::invalid_argument);
+  cfg = SchedulerConfig{};
+  cfg.max_interval_days = cfg.min_interval_days;
+  EXPECT_THROW(UpdateScheduler(Vector{1.0}, 0.0, cfg), std::invalid_argument);
+
+  UpdateScheduler sched(Vector{1.0}, 5.0);
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(sched.observe_ambient(a, 4.0), std::invalid_argument);  // time travel
+  const std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW(sched.observe_ambient(wrong, 6.0), std::invalid_argument);
+}
+
+TEST(UpdateScheduler, AdaptiveBehaviourOnSimulatedDrift) {
+  // On the simulated room the ambient drifts with the power law; the
+  // scheduler should stay quiet early and trigger once mean drift
+  // crosses its threshold -- i.e. the trigger day tracks g(t).
+  const Scenario s = Scenario::paper_room(5);
+  Rng rng(5);
+  SchedulerConfig cfg;
+  cfg.staleness_threshold_db = 3.0;
+  cfg.max_interval_days = 365.0;
+  UpdateScheduler sched(s.collector().ambient_scan(0.0, rng), 0.0, cfg);
+
+  double triggered_at = -1.0;
+  for (double t = 2.0; t <= 90.0; t += 2.0) {
+    if (sched.observe_ambient(s.collector().ambient_scan(t, rng), t)) {
+      triggered_at = t;
+      break;
+    }
+  }
+  // g(t) = 2.5 (t/5)^0.398 crosses 3.0 dB around t ~ 8 days; noise in
+  // the scan shifts it a little.
+  ASSERT_GT(triggered_at, 0.0);
+  EXPECT_GT(triggered_at, 3.0);
+  EXPECT_LT(triggered_at, 30.0);
+}
+
+TEST(UpdateScheduler, EndToEndWithTafLocSystem) {
+  const Scenario s = Scenario::paper_room(6);
+  Rng rng(6);
+  TafLocSystem system(s.deployment());
+  system.calibrate(s.collector().survey_all(0.0, rng), s.collector().ambient_scan(0.0, rng),
+                   0.0);
+  UpdateScheduler sched(Vector(s.collector().ambient_scan(0.0, rng)), 0.0);
+
+  std::size_t updates = 0;
+  for (double t = 5.0; t <= 90.0; t += 5.0) {
+    Vector ambient = s.collector().ambient_scan(t, rng);
+    if (sched.observe_ambient(ambient, t)) {
+      system.update_with_collector(s.collector(), t, rng);
+      sched.notify_updated(std::move(ambient), t);
+      ++updates;
+    }
+  }
+  EXPECT_GE(updates, 1u);
+  EXPECT_LE(updates, 10u);
+  // The database must not be older than the scheduler's max interval.
+  EXPECT_GE(system.database().surveyed_at_days(), 90.0 - sched.config().max_interval_days);
+}
+
+}  // namespace
+}  // namespace tafloc

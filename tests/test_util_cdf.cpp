@@ -1,0 +1,107 @@
+#include "tafloc/util/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmptySample) {
+  const std::vector<double> xs;
+  EXPECT_THROW(EmpiricalCdf{xs}, std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StepValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, HandlesDuplicates) {
+  const std::vector<double> xs{2.0, 2.0, 2.0, 5.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(1.9), 0.0);
+}
+
+TEST(EmpiricalCdf, MeanMinMax) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsAt) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+}
+
+TEST(EmpiricalCdf, MedianOfKnownSample) {
+  const std::vector<double> xs{1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs).median(), 5.0);
+}
+
+TEST(EmpiricalCdf, QuantileRejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotoneAndCoversRange) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0.0, 2.0));
+  const EmpiricalCdf cdf(xs);
+  const auto curve = cdf.curve(-8.0, 8.0, 33);
+  ASSERT_EQ(curve.size(), 33u);
+  EXPECT_DOUBLE_EQ(curve.front().first, -8.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 8.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_NEAR(curve.back().second, 1.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, CurveRejectsBadArguments) {
+  const std::vector<double> xs{1.0, 2.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_THROW(cdf.curve(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(cdf.curve(1.0, 1.0, 10), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, SortedSamplesAreSorted) {
+  const std::vector<double> xs{4.0, -1.0, 2.5};
+  const EmpiricalCdf cdf(xs);
+  const auto& s = cdf.sorted_samples();
+  EXPECT_DOUBLE_EQ(s[0], -1.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.5);
+  EXPECT_DOUBLE_EQ(s[2], 4.0);
+}
+
+TEST(EmpiricalCdf, QuantileAtMatchesRoundTrip) {
+  Rng rng(77);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  const EmpiricalCdf cdf(xs);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double v = cdf.quantile(q);
+    EXPECT_GE(cdf.at(v), q - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tafloc

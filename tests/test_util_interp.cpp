@@ -1,0 +1,68 @@
+#include "tafloc/util/interp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tafloc {
+namespace {
+
+TEST(LinearInterpolator, ExactAtKnots) {
+  const std::vector<double> xs{0.0, 1.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, -2.0};
+  const LinearInterpolator f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(f(3.0), -2.0);
+}
+
+TEST(LinearInterpolator, InterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0};
+  const LinearInterpolator f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(f(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 7.5);
+}
+
+TEST(LinearInterpolator, ClampsOutsideRange) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{5.0, 6.0};
+  const LinearInterpolator f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(10.0), 6.0);
+}
+
+TEST(LinearInterpolator, SingleKnotIsConstant) {
+  const std::vector<double> xs{2.0};
+  const std::vector<double> ys{7.0};
+  const LinearInterpolator f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 7.0);
+}
+
+TEST(LinearInterpolator, RejectsEmptyAndMismatched) {
+  const std::vector<double> empty;
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(LinearInterpolator(empty, empty), std::invalid_argument);
+  EXPECT_THROW(LinearInterpolator(one, two), std::invalid_argument);
+}
+
+TEST(LinearInterpolator, RejectsNonIncreasingKnots) {
+  const std::vector<double> xs{0.0, 0.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(LinearInterpolator(xs, ys), std::invalid_argument);
+  const std::vector<double> xs2{1.0, 0.5};
+  EXPECT_THROW(LinearInterpolator(xs2, ys), std::invalid_argument);
+}
+
+TEST(LinearInterpolator, SizeReportsKnots) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 0.0, 0.0};
+  EXPECT_EQ(LinearInterpolator(xs, ys).size(), 3u);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,210 @@
+#include "tafloc/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tafloc/util/stats.h"
+
+namespace tafloc {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, NearbySeedsDecorrelate) {
+  // Successive outputs from adjacent seeds should not be simply offset.
+  SplitMix64 a(100);
+  SplitMix64 b(101);
+  const std::uint64_t d1 = b.next() - a.next();
+  const std::uint64_t d2 = b.next() - a.next();
+  EXPECT_NE(d1, d2);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 32; ++i)
+    if (a.uniform01() == b.uniform01()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 4.5);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(12);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(st.mean(), 5.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, NormalZeroSigmaIsDeterministic) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng(9);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, IndexRejectsEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, IntegerInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.integer(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng(5);
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // Child and parent streams should diverge immediately.
+  int equal = 0;
+  for (int i = 0; i < 32; ++i)
+    if (parent.uniform01() == child.uniform01()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SuccessiveForksDiffer) {
+  Rng parent(21);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  EXPECT_NE(c1.uniform01(), c2.uniform01());
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(33);
+  const auto sample = rng.sample_without_replacement(100, 40);
+  EXPECT_EQ(sample.size(), 40u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(33);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(44);
+  std::vector<std::size_t> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(44);
+  std::vector<std::size_t> v(50);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -1,0 +1,158 @@
+#include "tafloc/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tafloc {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(st.min()));
+  EXPECT_TRUE(std::isinf(st.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats st;
+  st.add(3.0);
+  EXPECT_EQ(st.count(), 1u);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(st.min(), 3.0);
+  EXPECT_DOUBLE_EQ(st.max(), 3.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, a, b;
+  const std::vector<double> xs{1.0, -2.0, 3.5, 0.25, 10.0, -7.0, 2.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(RunningStats, MergeIntoEmptyCopies) {
+  RunningStats a, b;
+  b.add(5.0);
+  b.add(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats st;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) st.add(x);
+  EXPECT_NEAR(st.variance(), 1.0, 1e-6);
+}
+
+TEST(Mean, SimpleAverage) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Mean, RejectsEmpty) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), std::invalid_argument);
+}
+
+TEST(SampleStddev, MatchesKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStddev, RejectsSingleton) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(sample_stddev(xs), std::invalid_argument);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, MedianOfEvenSampleInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Percentile, ExtremesReturnMinMax) {
+  const std::vector<double> xs{9.0, -1.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, SingletonSample) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 7.0);
+}
+
+TEST(Percentile, RejectsBadInputs) {
+  const std::vector<double> empty;
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(empty, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Median, MatchesPercentile50) {
+  const std::vector<double> xs{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  EXPECT_DOUBLE_EQ(median(xs), percentile(xs, 50.0));
+}
+
+TEST(Rms, KnownValue) {
+  const std::vector<double> xs{3.0, 4.0};
+  EXPECT_NEAR(rms(xs), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Rms, ZeroVector) {
+  const std::vector<double> xs{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(rms(xs), 0.0);
+}
+
+TEST(Rms, RejectsEmpty) {
+  const std::vector<double> xs;
+  EXPECT_THROW(rms(xs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc
