@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frequency_diversity.dir/ablation_frequency_diversity.cpp.o"
+  "CMakeFiles/ablation_frequency_diversity.dir/ablation_frequency_diversity.cpp.o.d"
+  "ablation_frequency_diversity"
+  "ablation_frequency_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frequency_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_objective_terms.dir/ablation_objective_terms.cpp.o"
+  "CMakeFiles/ablation_objective_terms.dir/ablation_objective_terms.cpp.o.d"
+  "ablation_objective_terms"
+  "ablation_objective_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_objective_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reference_selection.dir/ablation_reference_selection.cpp.o"
+  "CMakeFiles/ablation_reference_selection.dir/ablation_reference_selection.cpp.o.d"
+  "ablation_reference_selection"
+  "ablation_reference_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reference_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_localization_cdf.dir/fig5_localization_cdf.cpp.o"
+  "CMakeFiles/fig5_localization_cdf.dir/fig5_localization_cdf.cpp.o.d"
+  "fig5_localization_cdf"
+  "fig5_localization_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_localization_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

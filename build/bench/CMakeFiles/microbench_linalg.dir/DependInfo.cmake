@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/microbench_linalg.cpp" "bench/CMakeFiles/microbench_linalg.dir/microbench_linalg.cpp.o" "gcc" "bench/CMakeFiles/microbench_linalg.dir/microbench_linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tafloc_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tafloc/CMakeFiles/tafloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/tafloc_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tafloc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/loc/CMakeFiles/tafloc_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tafloc_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tafloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tafloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tafloc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

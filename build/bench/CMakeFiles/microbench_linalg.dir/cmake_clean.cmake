@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_linalg.dir/microbench_linalg.cpp.o"
+  "CMakeFiles/microbench_linalg.dir/microbench_linalg.cpp.o.d"
+  "microbench_linalg"
+  "microbench_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/tafloc_bench_util.dir/bench_util.cpp.o.d"
+  "libtafloc_bench_util.a"
+  "libtafloc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtafloc_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_rss_drift.dir/tbl_rss_drift.cpp.o"
+  "CMakeFiles/tbl_rss_drift.dir/tbl_rss_drift.cpp.o.d"
+  "tbl_rss_drift"
+  "tbl_rss_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_rss_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

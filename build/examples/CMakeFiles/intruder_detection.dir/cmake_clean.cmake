@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intruder_detection.dir/intruder_detection.cpp.o"
+  "CMakeFiles/intruder_detection.dir/intruder_detection.cpp.o.d"
+  "intruder_detection"
+  "intruder_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intruder_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

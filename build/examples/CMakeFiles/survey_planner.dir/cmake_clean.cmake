@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_planner.dir/survey_planner.cpp.o"
+  "CMakeFiles/survey_planner.dir/survey_planner.cpp.o.d"
+  "survey_planner"
+  "survey_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

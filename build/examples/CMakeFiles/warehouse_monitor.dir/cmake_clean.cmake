@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_monitor.dir/warehouse_monitor.cpp.o"
+  "CMakeFiles/warehouse_monitor.dir/warehouse_monitor.cpp.o.d"
+  "warehouse_monitor"
+  "warehouse_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

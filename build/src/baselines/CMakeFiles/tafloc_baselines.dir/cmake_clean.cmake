@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_baselines.dir/src/rass.cpp.o"
+  "CMakeFiles/tafloc_baselines.dir/src/rass.cpp.o.d"
+  "CMakeFiles/tafloc_baselines.dir/src/rti.cpp.o"
+  "CMakeFiles/tafloc_baselines.dir/src/rti.cpp.o.d"
+  "libtafloc_baselines.a"
+  "libtafloc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_fingerprint.dir/src/database.cpp.o"
+  "CMakeFiles/tafloc_fingerprint.dir/src/database.cpp.o.d"
+  "CMakeFiles/tafloc_fingerprint.dir/src/distortion.cpp.o"
+  "CMakeFiles/tafloc_fingerprint.dir/src/distortion.cpp.o.d"
+  "CMakeFiles/tafloc_fingerprint.dir/src/reference.cpp.o"
+  "CMakeFiles/tafloc_fingerprint.dir/src/reference.cpp.o.d"
+  "libtafloc_fingerprint.a"
+  "libtafloc_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/src/cg.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/cg.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/cg.cpp.o.d"
+  "/root/repo/src/linalg/src/cholesky.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/src/eig.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/eig.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/eig.cpp.o.d"
+  "/root/repo/src/linalg/src/io.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/io.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/io.cpp.o.d"
+  "/root/repo/src/linalg/src/lsq.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/lsq.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/lsq.cpp.o.d"
+  "/root/repo/src/linalg/src/lu.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/lu.cpp.o.d"
+  "/root/repo/src/linalg/src/matrix.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/linalg/src/ops.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/ops.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/ops.cpp.o.d"
+  "/root/repo/src/linalg/src/qr.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/qr.cpp.o.d"
+  "/root/repo/src/linalg/src/sparse.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/sparse.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/sparse.cpp.o.d"
+  "/root/repo/src/linalg/src/svd.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/svd.cpp.o.d"
+  "/root/repo/src/linalg/src/vector_ops.cpp" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/tafloc_linalg.dir/src/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_linalg.dir/src/cg.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/cg.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/cholesky.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/cholesky.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/eig.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/eig.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/io.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/io.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/lsq.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/lsq.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/lu.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/lu.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/matrix.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/ops.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/ops.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/qr.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/qr.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/sparse.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/sparse.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/svd.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/svd.cpp.o.d"
+  "CMakeFiles/tafloc_linalg.dir/src/vector_ops.cpp.o"
+  "CMakeFiles/tafloc_linalg.dir/src/vector_ops.cpp.o.d"
+  "libtafloc_linalg.a"
+  "libtafloc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

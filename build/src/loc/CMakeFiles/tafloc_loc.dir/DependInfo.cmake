@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loc/src/matcher.cpp" "src/loc/CMakeFiles/tafloc_loc.dir/src/matcher.cpp.o" "gcc" "src/loc/CMakeFiles/tafloc_loc.dir/src/matcher.cpp.o.d"
+  "/root/repo/src/loc/src/metrics.cpp" "src/loc/CMakeFiles/tafloc_loc.dir/src/metrics.cpp.o" "gcc" "src/loc/CMakeFiles/tafloc_loc.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/loc/src/presence.cpp" "src/loc/CMakeFiles/tafloc_loc.dir/src/presence.cpp.o" "gcc" "src/loc/CMakeFiles/tafloc_loc.dir/src/presence.cpp.o.d"
+  "/root/repo/src/loc/src/tracker.cpp" "src/loc/CMakeFiles/tafloc_loc.dir/src/tracker.cpp.o" "gcc" "src/loc/CMakeFiles/tafloc_loc.dir/src/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tafloc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tafloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tafloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tafloc_fingerprint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_loc.dir/src/matcher.cpp.o"
+  "CMakeFiles/tafloc_loc.dir/src/matcher.cpp.o.d"
+  "CMakeFiles/tafloc_loc.dir/src/metrics.cpp.o"
+  "CMakeFiles/tafloc_loc.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/tafloc_loc.dir/src/presence.cpp.o"
+  "CMakeFiles/tafloc_loc.dir/src/presence.cpp.o.d"
+  "CMakeFiles/tafloc_loc.dir/src/tracker.cpp.o"
+  "CMakeFiles/tafloc_loc.dir/src/tracker.cpp.o.d"
+  "libtafloc_loc.a"
+  "libtafloc_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

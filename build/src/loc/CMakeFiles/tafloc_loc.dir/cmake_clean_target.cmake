@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtafloc_loc.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recon/src/error.cpp" "src/recon/CMakeFiles/tafloc_recon.dir/src/error.cpp.o" "gcc" "src/recon/CMakeFiles/tafloc_recon.dir/src/error.cpp.o.d"
+  "/root/repo/src/recon/src/loli_ir.cpp" "src/recon/CMakeFiles/tafloc_recon.dir/src/loli_ir.cpp.o" "gcc" "src/recon/CMakeFiles/tafloc_recon.dir/src/loli_ir.cpp.o.d"
+  "/root/repo/src/recon/src/lrr.cpp" "src/recon/CMakeFiles/tafloc_recon.dir/src/lrr.cpp.o" "gcc" "src/recon/CMakeFiles/tafloc_recon.dir/src/lrr.cpp.o.d"
+  "/root/repo/src/recon/src/operators.cpp" "src/recon/CMakeFiles/tafloc_recon.dir/src/operators.cpp.o" "gcc" "src/recon/CMakeFiles/tafloc_recon.dir/src/operators.cpp.o.d"
+  "/root/repo/src/recon/src/svt.cpp" "src/recon/CMakeFiles/tafloc_recon.dir/src/svt.cpp.o" "gcc" "src/recon/CMakeFiles/tafloc_recon.dir/src/svt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tafloc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tafloc_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tafloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tafloc_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_recon.dir/src/error.cpp.o"
+  "CMakeFiles/tafloc_recon.dir/src/error.cpp.o.d"
+  "CMakeFiles/tafloc_recon.dir/src/loli_ir.cpp.o"
+  "CMakeFiles/tafloc_recon.dir/src/loli_ir.cpp.o.d"
+  "CMakeFiles/tafloc_recon.dir/src/lrr.cpp.o"
+  "CMakeFiles/tafloc_recon.dir/src/lrr.cpp.o.d"
+  "CMakeFiles/tafloc_recon.dir/src/operators.cpp.o"
+  "CMakeFiles/tafloc_recon.dir/src/operators.cpp.o.d"
+  "CMakeFiles/tafloc_recon.dir/src/svt.cpp.o"
+  "CMakeFiles/tafloc_recon.dir/src/svt.cpp.o.d"
+  "libtafloc_recon.a"
+  "libtafloc_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

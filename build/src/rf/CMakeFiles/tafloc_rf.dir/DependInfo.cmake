@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/src/channel.cpp" "src/rf/CMakeFiles/tafloc_rf.dir/src/channel.cpp.o" "gcc" "src/rf/CMakeFiles/tafloc_rf.dir/src/channel.cpp.o.d"
+  "/root/repo/src/rf/src/drift.cpp" "src/rf/CMakeFiles/tafloc_rf.dir/src/drift.cpp.o" "gcc" "src/rf/CMakeFiles/tafloc_rf.dir/src/drift.cpp.o.d"
+  "/root/repo/src/rf/src/geometry.cpp" "src/rf/CMakeFiles/tafloc_rf.dir/src/geometry.cpp.o" "gcc" "src/rf/CMakeFiles/tafloc_rf.dir/src/geometry.cpp.o.d"
+  "/root/repo/src/rf/src/noise.cpp" "src/rf/CMakeFiles/tafloc_rf.dir/src/noise.cpp.o" "gcc" "src/rf/CMakeFiles/tafloc_rf.dir/src/noise.cpp.o.d"
+  "/root/repo/src/rf/src/pathloss.cpp" "src/rf/CMakeFiles/tafloc_rf.dir/src/pathloss.cpp.o" "gcc" "src/rf/CMakeFiles/tafloc_rf.dir/src/pathloss.cpp.o.d"
+  "/root/repo/src/rf/src/shadowing.cpp" "src/rf/CMakeFiles/tafloc_rf.dir/src/shadowing.cpp.o" "gcc" "src/rf/CMakeFiles/tafloc_rf.dir/src/shadowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tafloc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_rf.dir/src/channel.cpp.o"
+  "CMakeFiles/tafloc_rf.dir/src/channel.cpp.o.d"
+  "CMakeFiles/tafloc_rf.dir/src/drift.cpp.o"
+  "CMakeFiles/tafloc_rf.dir/src/drift.cpp.o.d"
+  "CMakeFiles/tafloc_rf.dir/src/geometry.cpp.o"
+  "CMakeFiles/tafloc_rf.dir/src/geometry.cpp.o.d"
+  "CMakeFiles/tafloc_rf.dir/src/noise.cpp.o"
+  "CMakeFiles/tafloc_rf.dir/src/noise.cpp.o.d"
+  "CMakeFiles/tafloc_rf.dir/src/pathloss.cpp.o"
+  "CMakeFiles/tafloc_rf.dir/src/pathloss.cpp.o.d"
+  "CMakeFiles/tafloc_rf.dir/src/shadowing.cpp.o"
+  "CMakeFiles/tafloc_rf.dir/src/shadowing.cpp.o.d"
+  "libtafloc_rf.a"
+  "libtafloc_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

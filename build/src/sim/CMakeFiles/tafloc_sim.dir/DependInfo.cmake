@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/collector.cpp" "src/sim/CMakeFiles/tafloc_sim.dir/src/collector.cpp.o" "gcc" "src/sim/CMakeFiles/tafloc_sim.dir/src/collector.cpp.o.d"
+  "/root/repo/src/sim/src/deployment.cpp" "src/sim/CMakeFiles/tafloc_sim.dir/src/deployment.cpp.o" "gcc" "src/sim/CMakeFiles/tafloc_sim.dir/src/deployment.cpp.o.d"
+  "/root/repo/src/sim/src/grid.cpp" "src/sim/CMakeFiles/tafloc_sim.dir/src/grid.cpp.o" "gcc" "src/sim/CMakeFiles/tafloc_sim.dir/src/grid.cpp.o.d"
+  "/root/repo/src/sim/src/scenario.cpp" "src/sim/CMakeFiles/tafloc_sim.dir/src/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/tafloc_sim.dir/src/scenario.cpp.o.d"
+  "/root/repo/src/sim/src/survey_cost.cpp" "src/sim/CMakeFiles/tafloc_sim.dir/src/survey_cost.cpp.o" "gcc" "src/sim/CMakeFiles/tafloc_sim.dir/src/survey_cost.cpp.o.d"
+  "/root/repo/src/sim/src/trace.cpp" "src/sim/CMakeFiles/tafloc_sim.dir/src/trace.cpp.o" "gcc" "src/sim/CMakeFiles/tafloc_sim.dir/src/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tafloc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tafloc_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

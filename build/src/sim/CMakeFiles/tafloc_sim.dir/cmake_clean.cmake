@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_sim.dir/src/collector.cpp.o"
+  "CMakeFiles/tafloc_sim.dir/src/collector.cpp.o.d"
+  "CMakeFiles/tafloc_sim.dir/src/deployment.cpp.o"
+  "CMakeFiles/tafloc_sim.dir/src/deployment.cpp.o.d"
+  "CMakeFiles/tafloc_sim.dir/src/grid.cpp.o"
+  "CMakeFiles/tafloc_sim.dir/src/grid.cpp.o.d"
+  "CMakeFiles/tafloc_sim.dir/src/scenario.cpp.o"
+  "CMakeFiles/tafloc_sim.dir/src/scenario.cpp.o.d"
+  "CMakeFiles/tafloc_sim.dir/src/survey_cost.cpp.o"
+  "CMakeFiles/tafloc_sim.dir/src/survey_cost.cpp.o.d"
+  "CMakeFiles/tafloc_sim.dir/src/trace.cpp.o"
+  "CMakeFiles/tafloc_sim.dir/src/trace.cpp.o.d"
+  "libtafloc_sim.a"
+  "libtafloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_core.dir/src/scheduler.cpp.o"
+  "CMakeFiles/tafloc_core.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/tafloc_core.dir/src/system.cpp.o"
+  "CMakeFiles/tafloc_core.dir/src/system.cpp.o.d"
+  "libtafloc_core.a"
+  "libtafloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafloc_util.dir/src/cdf.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/cdf.cpp.o.d"
+  "CMakeFiles/tafloc_util.dir/src/cli.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/cli.cpp.o.d"
+  "CMakeFiles/tafloc_util.dir/src/csv.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/csv.cpp.o.d"
+  "CMakeFiles/tafloc_util.dir/src/interp.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/interp.cpp.o.d"
+  "CMakeFiles/tafloc_util.dir/src/log.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/tafloc_util.dir/src/rng.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/tafloc_util.dir/src/stats.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/tafloc_util.dir/src/table.cpp.o"
+  "CMakeFiles/tafloc_util.dir/src/table.cpp.o.d"
+  "libtafloc_util.a"
+  "libtafloc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafloc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_linalg_cholesky_lu.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_cholesky_lu.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_cholesky_lu.cpp.o.d"
+  "/root/repo/tests/test_linalg_eig.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_eig.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_eig.cpp.o.d"
+  "/root/repo/tests/test_linalg_io.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_io.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_io.cpp.o.d"
+  "/root/repo/tests/test_linalg_lsq_cg.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_lsq_cg.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_lsq_cg.cpp.o.d"
+  "/root/repo/tests/test_linalg_matrix.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_matrix.cpp.o.d"
+  "/root/repo/tests/test_linalg_ops.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_ops.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_ops.cpp.o.d"
+  "/root/repo/tests/test_linalg_qr.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_qr.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_qr.cpp.o.d"
+  "/root/repo/tests/test_linalg_sparse.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_sparse.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_sparse.cpp.o.d"
+  "/root/repo/tests/test_linalg_svd.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_svd.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_svd.cpp.o.d"
+  "/root/repo/tests/test_linalg_vector_ops.cpp" "tests/CMakeFiles/test_linalg.dir/test_linalg_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_linalg_vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tafloc/CMakeFiles/tafloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/tafloc_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tafloc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/loc/CMakeFiles/tafloc_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tafloc_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tafloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tafloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tafloc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/test_linalg_cholesky_lu.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_cholesky_lu.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_eig.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_eig.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_io.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_io.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_lsq_cg.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_lsq_cg.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_matrix.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_matrix.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_ops.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_ops.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_qr.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_qr.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_sparse.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_sparse.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_svd.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_svd.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_vector_ops.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_vector_ops.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

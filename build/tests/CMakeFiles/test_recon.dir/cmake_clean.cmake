@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recon.dir/test_recon_error.cpp.o"
+  "CMakeFiles/test_recon.dir/test_recon_error.cpp.o.d"
+  "CMakeFiles/test_recon.dir/test_recon_loli_ir.cpp.o"
+  "CMakeFiles/test_recon.dir/test_recon_loli_ir.cpp.o.d"
+  "CMakeFiles/test_recon.dir/test_recon_lrr.cpp.o"
+  "CMakeFiles/test_recon.dir/test_recon_lrr.cpp.o.d"
+  "CMakeFiles/test_recon.dir/test_recon_operators.cpp.o"
+  "CMakeFiles/test_recon.dir/test_recon_operators.cpp.o.d"
+  "CMakeFiles/test_recon.dir/test_recon_svt.cpp.o"
+  "CMakeFiles/test_recon.dir/test_recon_svt.cpp.o.d"
+  "test_recon"
+  "test_recon.pdb"
+  "test_recon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rf.dir/test_rf_channel.cpp.o"
+  "CMakeFiles/test_rf.dir/test_rf_channel.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_rf_drift_noise.cpp.o"
+  "CMakeFiles/test_rf.dir/test_rf_drift_noise.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_rf_geometry.cpp.o"
+  "CMakeFiles/test_rf.dir/test_rf_geometry.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_rf_pathloss_shadowing.cpp.o"
+  "CMakeFiles/test_rf.dir/test_rf_pathloss_shadowing.cpp.o.d"
+  "test_rf"
+  "test_rf.pdb"
+  "test_rf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

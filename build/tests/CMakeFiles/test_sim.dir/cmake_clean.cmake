@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_sim_collector_cost.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_collector_cost.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_deployment.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_deployment.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_grid.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_grid.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_trace_scenario.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_trace_scenario.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

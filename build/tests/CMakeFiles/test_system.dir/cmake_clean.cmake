@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/test_fault_injection.cpp.o"
+  "CMakeFiles/test_system.dir/test_fault_injection.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_integration_pipeline.cpp.o"
+  "CMakeFiles/test_system.dir/test_integration_pipeline.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_properties.cpp.o"
+  "CMakeFiles/test_system.dir/test_properties.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_system_scheduler.cpp.o"
+  "CMakeFiles/test_system.dir/test_system_scheduler.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_system_tafloc.cpp.o"
+  "CMakeFiles/test_system.dir/test_system_tafloc.cpp.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

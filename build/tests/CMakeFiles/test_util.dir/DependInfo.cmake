@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util_cdf.cpp" "tests/CMakeFiles/test_util.dir/test_util_cdf.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util_cdf.cpp.o.d"
+  "/root/repo/tests/test_util_interp.cpp" "tests/CMakeFiles/test_util.dir/test_util_interp.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util_interp.cpp.o.d"
+  "/root/repo/tests/test_util_io.cpp" "tests/CMakeFiles/test_util.dir/test_util_io.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util_io.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/test_util.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "tests/CMakeFiles/test_util.dir/test_util_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tafloc/CMakeFiles/tafloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/tafloc_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tafloc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/loc/CMakeFiles/tafloc_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tafloc_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tafloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/tafloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tafloc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tafloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
