@@ -15,6 +15,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "tafloc/exec/exec_config.h"
+#include "tafloc/tafloc/system.h"
 #include "tafloc/util/csv.h"
 #include "tafloc/util/table.h"
 
@@ -98,6 +100,33 @@ void BM_RankEstimation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RankEstimation)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_TafLocUpdateThreads(benchmark::State& state) {
+  // The compute side of an update (LoLi-IR on the paper room) at an
+  // explicit pool size -- the wall-clock half of the Fig. 4 story.  The
+  // reconstruction itself is thread-count deterministic, so every arg
+  // does identical numeric work.
+  const std::size_t before = global_thread_count();
+  set_global_threads(static_cast<std::size_t>(state.range(0)));
+
+  const Scenario s = Scenario::paper_room(51);
+  TafLocSystem system(s.deployment());
+  Rng rng(51);
+  const Matrix x0 = s.collector().survey_all(0.0, rng);
+  const Vector ambient0 = s.collector().ambient_scan(0.0, rng);
+  system.calibrate(x0, ambient0, 0.0);
+
+  const double t = 45.0;
+  const Matrix fresh_refs = s.collector().survey_grids(system.reference_locations(), t, rng);
+  const Vector fresh_ambient = s.collector().ambient_scan(t, rng);
+
+  for (auto _ : state) {
+    auto report = system.update(fresh_refs, fresh_ambient, t);
+    benchmark::DoNotOptimize(report.solver.outer_iterations);
+  }
+  set_global_threads(before);
+}
+BENCHMARK(BM_TafLocUpdateThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

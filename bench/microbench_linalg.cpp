@@ -1,8 +1,19 @@
 // Micro benchmarks of the linear-algebra substrate: the kernels every
 // reconstruction and localization path runs on.  Sizes bracket the
 // paper room (10 x 96) and the Fig. 4 sweep endpoints.
+//
+// Before the google-benchmark suite runs, a thread-scaling experiment
+// times the destination-passing gemm at 1/2/4/8 threads and writes
+// BENCH_linalg.json (ops/sec per thread count) -- the CI artefact that
+// tracks the parallel speedup.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "tafloc/exec/exec_config.h"
+#include "tafloc/exec/workspace.h"
 #include "tafloc/linalg/cg.h"
 #include "tafloc/linalg/cholesky.h"
 #include "tafloc/linalg/eig.h"
@@ -30,6 +41,82 @@ void BM_MatrixMultiply(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64)->Arg(128)->Complexity(benchmark::oNCubed);
+
+void BM_MultiplyInto(benchmark::State& state) {
+  // Destination-passing gemm: same kernel as operator*, zero allocation.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = fixture_matrix(n, n, 1);
+  const Matrix b = fixture_matrix(n, n, 2);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    multiply_into(a, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiplyInto)->Arg(64)->Arg(128)->Arg(256)->Complexity(benchmark::oNCubed);
+
+void BM_MultiplyIntoThreads(benchmark::State& state) {
+  // 512 x 512 gemm at an explicit pool size; the acceptance target is
+  // >= 2x ops/sec from 1 -> 4/8 threads (also captured in the JSON).
+  const std::size_t before = global_thread_count();
+  set_global_threads(static_cast<std::size_t>(state.range(0)));
+  const Matrix a = fixture_matrix(512, 512, 1);
+  const Matrix b = fixture_matrix(512, 512, 2);
+  Matrix out(512, 512);
+  for (auto _ : state) {
+    multiply_into(a, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  set_global_threads(before);
+}
+BENCHMARK(BM_MultiplyIntoThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_GramProductInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = fixture_matrix(n, n, 3);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    gram_product_into(a, a, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_GramProductInto)->Arg(64)->Arg(256);
+
+void BM_TransposedInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = fixture_matrix(n, n, 4);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    transposed_into(a, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_TransposedInto)->Arg(128)->Arg(512);
+
+void BM_AddScaledInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = fixture_matrix(n, n, 5);
+  Matrix y(n, n);
+  for (auto _ : state) {
+    add_scaled_into(x, 0.5, y);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_AddScaledInto)->Arg(128)->Arg(512);
+
+void BM_WorkspaceLeaseReuse(benchmark::State& state) {
+  // Steady-state lease cost: after warm-up this is pointer bookkeeping
+  // plus the zero-fill, never malloc.
+  Workspace ws;
+  for (auto _ : state) {
+    auto a = ws.matrix(96, 12);
+    auto b = ws.matrix(96, 12);
+    benchmark::DoNotOptimize(&*a);
+    benchmark::DoNotOptimize(&*b);
+  }
+}
+BENCHMARK(BM_WorkspaceLeaseReuse);
 
 void BM_QrDecompose(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -121,6 +208,56 @@ void BM_SingularValueShrink(benchmark::State& state) {
 }
 BENCHMARK(BM_SingularValueShrink)->Unit(benchmark::kMicrosecond);
 
+/// Time one 512 x 512 multiply_into at the given pool size; returns
+/// operations per second over ~0.5 s of repetitions.
+double gemm_ops_per_sec(std::size_t threads) {
+  set_global_threads(threads);
+  const Matrix a = fixture_matrix(512, 512, 1);
+  const Matrix b = fixture_matrix(512, 512, 2);
+  Matrix out(512, 512);
+  multiply_into(a, b, out);  // warm the pool and the caches
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  std::size_t reps = 0;
+  while (clock::now() - t0 < std::chrono::milliseconds(500)) {
+    multiply_into(a, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+    ++reps;
+  }
+  const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
+  return static_cast<double>(reps) / seconds;
+}
+
+void run_thread_scaling_experiment() {
+  std::printf("=== gemm thread scaling: 512 x 512 multiply_into ===\n");
+  const std::size_t before = global_thread_count();
+  const std::size_t counts[] = {1, 2, 4, 8};
+  double results[4] = {};
+  for (std::size_t i = 0; i < 4; ++i) {
+    results[i] = gemm_ops_per_sec(counts[i]);
+    std::printf("  threads=%zu  %8.2f ops/s  (%.2fx vs 1 thread)\n", counts[i], results[i],
+                results[i] / results[0]);
+  }
+  set_global_threads(before);
+
+  std::ofstream json("BENCH_linalg.json");
+  json << "{\n  \"benchmark\": \"multiply_into_512x512\",\n  \"unit\": \"ops_per_sec\",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < 4; ++i) {
+    json << "    {\"threads\": " << counts[i] << ", \"ops_per_sec\": " << results[i]
+         << ", \"speedup\": " << results[i] / results[0] << "}" << (i + 1 < 4 ? "," : "")
+         << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_linalg.json\n\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_thread_scaling_experiment();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Execution configuration shared by every parallel kernel in the
+// library.  A single knob -- the worker thread count -- is plumbed from
+// TafLocConfig (or the TAFLOC_THREADS environment variable) down to the
+// global ThreadPool that the linalg / recon / loc kernels draw from.
+//
+// Determinism contract: every parallel kernel in this library
+// partitions work so that the floating-point operation order of each
+// output element is independent of the thread count, so results are
+// bit-identical at threads = 1, 4 or 64.  threads = 1 additionally runs
+// the exact sequential code paths (no pool involvement at all).
+#pragma once
+
+#include <cstddef>
+
+namespace tafloc {
+
+struct ExecConfig {
+  /// Worker thread count for the global pool.  0 = automatic: the
+  /// TAFLOC_THREADS environment variable if set, otherwise
+  /// std::thread::hardware_concurrency().  1 = fully sequential legacy
+  /// behaviour (bit-identical to the pre-exec-layer code).
+  std::size_t threads = 0;
+};
+
+/// Turn an ExecConfig thread request into a concrete count >= 1,
+/// applying the TAFLOC_THREADS / hardware_concurrency fallbacks.
+std::size_t resolve_thread_count(const ExecConfig& config = {});
+
+/// Resize the process-global pool (see ThreadPool::global()).  0 uses
+/// the same automatic resolution as resolve_thread_count.  Not safe to
+/// call while parallel kernels are running on other threads.
+void set_global_threads(std::size_t threads);
+
+/// Current size of the process-global pool.
+std::size_t global_thread_count();
+
+}  // namespace tafloc

@@ -1,0 +1,115 @@
+// Fixed-size thread pool with deterministic fork-join loops.
+//
+// Design goals, in order:
+//  1. Determinism -- parallel_for hands out index *ranges*, so a kernel
+//     that keeps each output element's accumulation order internal to
+//     one range produces bit-identical results at any thread count;
+//     parallel_reduce fixes its chunk boundaries from the grain alone
+//     (never from the thread count) and combines partials in chunk
+//     order, so its rounding is also thread-count independent.
+//  2. Simplicity -- no work stealing, no lock-free queues: one mutex,
+//     two condition variables, a chunk counter.  TSan-clean by
+//     construction.
+//  3. Graceful nesting -- a parallel_for issued from inside a pool task
+//     runs inline on the calling thread (same results, no deadlock), so
+//     batch drivers can parallelize over items whose kernels are
+//     themselves parallel.
+//
+// A pool of size 1 never spawns threads and runs every loop inline --
+// this is the "threads = 1 means bit-identical legacy behaviour" mode.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tafloc {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` >= 1 concurrency: `threads - 1` workers are
+  /// spawned and the submitting thread participates in every loop.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrency level (worker threads + the submitting thread).
+  std::size_t size() const noexcept { return threads_; }
+
+  /// Run body(chunk_begin, chunk_end) over a partition of [begin, end)
+  /// into contiguous ranges of at least `grain` indices.  Blocks until
+  /// every range is done; rethrows the first exception a range threw.
+  /// Ranges are disjoint, so bodies may write to per-index outputs
+  /// without synchronization.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Map [begin, end) in fixed chunks of `grain` indices (the last one
+  /// shorter) and fold the per-chunk values left-to-right in chunk
+  /// order: combine(...combine(init, map(c0)), map(c1)...).  Chunk
+  /// boundaries depend only on `grain`, so the rounding of the fold is
+  /// identical at every thread count.
+  template <class T, class Map, class Combine>
+  T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain, T init,
+                    const Map& map, const Combine& combine) {
+    if (end <= begin) return init;
+    if (grain == 0) grain = 1;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = (n + grain - 1) / grain;
+    std::vector<T> partial(chunks);
+    run_chunks(chunks, [&](std::size_t c) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = lo + std::min(grain, end - lo);
+      partial[c] = map(lo, hi);
+    });
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < chunks; ++c) acc = combine(std::move(acc), std::move(partial[c]));
+    return acc;
+  }
+
+  /// True when the calling thread is currently executing a pool task
+  /// (loops issued now would run inline).
+  static bool in_pool_task() noexcept;
+
+  /// The process-global pool used by the linalg / recon / loc kernels.
+  /// Created on first use with the automatic thread count (TAFLOC_THREADS
+  /// environment variable, else hardware_concurrency); resized by
+  /// set_global_threads() in exec_config.h.
+  static ThreadPool& global();
+
+  /// Run task(0) ... task(count - 1), distributed over the pool, in
+  /// unspecified order; blocks until all are done.  Building block for
+  /// parallel_for / parallel_reduce, exposed for irregular workloads.
+  void run_chunks(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+  /// Pull and run chunks of the current batch until none remain.
+  /// `lock` must hold mu_; temporarily released around each task.
+  void drain_batch(std::unique_lock<std::mutex>& lock);
+
+  const std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mu_;  ///< serializes run_chunks() callers.
+
+  std::mutex mu_;  ///< guards everything below.
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped per batch so workers never re-enter an old one.
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t chunk_count_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t finished_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace tafloc

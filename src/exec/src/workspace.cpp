@@ -1,0 +1,97 @@
+#include "tafloc/exec/workspace.h"
+
+#include <algorithm>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+namespace {
+
+/// Best-fit over the free slots: the smallest capacity that holds
+/// `needed` elements.  Returns the slot count when nothing fits.
+template <class Slots, class CapacityOf>
+std::size_t find_best_fit(const Slots& slots, std::size_t needed, const CapacityOf& capacity_of) {
+  std::size_t best = slots.size();
+  std::size_t best_capacity = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i]->in_use) continue;
+    const std::size_t cap = capacity_of(*slots[i]);
+    if (cap < needed) continue;
+    if (best == slots.size() || cap < best_capacity) {
+      best = i;
+      best_capacity = cap;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Workspace::MatrixLease Workspace::matrix(std::size_t rows, std::size_t cols) {
+  TAFLOC_CHECK_ARG(rows > 0 && cols > 0, "workspace matrices must be non-empty");
+  const std::size_t needed = rows * cols;
+  std::size_t slot = find_best_fit(matrix_slots_, needed,
+                                   [](const Slot<Matrix>& s) { return s.value.capacity(); });
+  if (slot == matrix_slots_.size()) {
+    // No free buffer is big enough: grow the largest free one (keeps the
+    // pool small when sizes ramp up) or create a new slot.
+    std::size_t grow = matrix_slots_.size();
+    for (std::size_t i = 0; i < matrix_slots_.size(); ++i) {
+      if (matrix_slots_[i]->in_use) continue;
+      if (grow == matrix_slots_.size() ||
+          matrix_slots_[i]->value.capacity() > matrix_slots_[grow]->value.capacity())
+        grow = i;
+    }
+    if (grow == matrix_slots_.size()) {
+      matrix_slots_.push_back(std::make_unique<Slot<Matrix>>());
+      grow = matrix_slots_.size() - 1;
+    }
+    slot = grow;
+    ++allocations_;
+  }
+  Slot<Matrix>& s = *matrix_slots_[slot];
+  s.value.resize(rows, cols);
+  s.value.fill(0.0);
+  s.in_use = true;
+  ++outstanding_;
+  return MatrixLease(this, slot, &s.value);
+}
+
+Workspace::VectorLease Workspace::vector(std::size_t n) {
+  TAFLOC_CHECK_ARG(n > 0, "workspace vectors must be non-empty");
+  std::size_t slot = find_best_fit(vector_slots_, n,
+                                   [](const Slot<Vector>& s) { return s.value.capacity(); });
+  if (slot == vector_slots_.size()) {
+    std::size_t grow = vector_slots_.size();
+    for (std::size_t i = 0; i < vector_slots_.size(); ++i) {
+      if (vector_slots_[i]->in_use) continue;
+      if (grow == vector_slots_.size() ||
+          vector_slots_[i]->value.capacity() > vector_slots_[grow]->value.capacity())
+        grow = i;
+    }
+    if (grow == vector_slots_.size()) {
+      vector_slots_.push_back(std::make_unique<Slot<Vector>>());
+      grow = vector_slots_.size() - 1;
+    }
+    slot = grow;
+    ++allocations_;
+  }
+  Slot<Vector>& s = *vector_slots_[slot];
+  s.value.assign(n, 0.0);
+  s.in_use = true;
+  ++outstanding_;
+  return VectorLease(this, slot, &s.value);
+}
+
+void Workspace::release(const MatrixLease& lease) {
+  matrix_slots_[lease.slot_]->in_use = false;
+  --outstanding_;
+}
+
+void Workspace::release(const VectorLease& lease) {
+  vector_slots_[lease.slot_]->in_use = false;
+  --outstanding_;
+}
+
+}  // namespace tafloc

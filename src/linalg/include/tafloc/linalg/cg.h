@@ -28,11 +28,40 @@ struct CgOptions {
 /// Apply-callback type: y = A x for the SPD operator A.
 using LinearOperator = std::function<Vector(const Vector&)>;
 
+/// Destination-passing apply-callback: write A x into `out`
+/// (pre-sized); must not retain either span.
+using LinearOperatorInto =
+    std::function<void(std::span<const double> x, std::span<double> out)>;
+
+/// Iteration outcome of the in-place solver (the iterate itself lives
+/// in the caller's buffer).
+struct CgSummary {
+  std::size_t iterations = 0;
+  bool converged = false;
+  double residual_norm = 0.0;
+};
+
+/// Reusable scratch for conjugate_gradient_in_place: three work vectors
+/// the solver resizes as needed.  Hoist one instance outside an
+/// iteration loop (or back it with Workspace leases) and the solver
+/// performs no heap allocation after the first call.
+struct CgScratch {
+  Vector r, p, ap;
+};
+
 /// Solve A x = b with CG starting from x0 (pass an all-zero vector when
 /// no better guess exists).  The operator must be symmetric positive
 /// (semi-)definite; a breakdown (p^T A p <= 0) stops the iteration with
 /// converged == false.
 CgResult conjugate_gradient(const LinearOperator& apply, std::span<const double> b,
                             std::span<const double> x0, const CgOptions& options = {});
+
+/// Allocation-free CG: `x` holds the initial guess on entry and the
+/// final iterate on exit; all temporaries come from `scratch`.
+/// Identical arithmetic to conjugate_gradient (the value API is a thin
+/// wrapper over this one).
+CgSummary conjugate_gradient_in_place(const LinearOperatorInto& apply, std::span<const double> b,
+                                      std::span<double> x, CgScratch& scratch,
+                                      const CgOptions& options = {});
 
 }  // namespace tafloc

@@ -8,6 +8,7 @@
 // via at() always.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
@@ -15,6 +16,14 @@
 #include <vector>
 
 #include "tafloc/util/check.h"
+
+// Element access is unchecked (and noexcept) in release builds; debug
+// builds bounds-check, which throws.
+#ifdef NDEBUG
+#define TAFLOC_MATRIX_ACCESS_NOEXCEPT noexcept
+#else
+#define TAFLOC_MATRIX_ACCESS_NOEXCEPT noexcept(false)
+#endif
 
 namespace tafloc {
 
@@ -48,14 +57,14 @@ class Matrix {
   bool empty() const noexcept { return data_.empty(); }
 
   /// Unchecked-in-release element access (debug builds bounds-check).
-  double& operator()(std::size_t r, std::size_t c) noexcept(false) {
+  double& operator()(std::size_t r, std::size_t c) TAFLOC_MATRIX_ACCESS_NOEXCEPT {
 #ifndef NDEBUG
     TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
     TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
 #endif
     return data_[r * cols_ + c];
   }
-  double operator()(std::size_t r, std::size_t c) const noexcept(false) {
+  double operator()(std::size_t r, std::size_t c) const TAFLOC_MATRIX_ACCESS_NOEXCEPT {
 #ifndef NDEBUG
     TAFLOC_CHECK_BOUNDS(r, rows_, "Matrix row");
     TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
@@ -78,6 +87,24 @@ class Matrix {
   /// Contiguous storage (row-major).
   std::span<double> data() noexcept { return data_; }
   std::span<const double> data() const noexcept { return data_; }
+
+  /// Reshape in place to rows x cols.  Element values are unspecified
+  /// afterwards (pair with fill()); no allocation happens while
+  /// rows * cols stays within capacity() -- the property Workspace
+  /// leasing relies on.
+  void resize(std::size_t rows, std::size_t cols) {
+    TAFLOC_CHECK_ARG((rows == 0) == (cols == 0),
+                     "a matrix must have both dimensions zero or both positive");
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Set every element to `value`.
+  void fill(double value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Element capacity of the underlying storage.
+  std::size_t capacity() const noexcept { return data_.capacity(); }
 
   /// New matrix that is the transpose of this one.
   Matrix transposed() const;
@@ -159,5 +186,43 @@ Matrix outer_product(const Matrix& a, const Matrix& b);
 
 /// Maximum absolute difference between two same-shaped matrices.
 double max_abs_diff(const Matrix& a, const Matrix& b);
+
+// -- destination-passing kernels --
+//
+// The in-place counterparts of the value-returning operations above:
+// each writes into a caller-provided `out` (resized as needed, so a
+// Workspace-leased buffer is reused without allocation) and runs
+// blocked/tiled with the outer loop parallelized on the global
+// ThreadPool.  Work is partitioned by *output rows*, and each output
+// element's floating-point accumulation order is identical to the
+// sequential kernel's, so results are bit-identical at every thread
+// count.  The value-returning API is a thin wrapper over these.
+
+/// out = a * b (blocked gemm; out must not alias a or b).
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = a * x (parallel over rows; y resized to a.rows()).
+void multiply_into(const Matrix& a, std::span<const double> x, Vector& y);
+
+/// y = a^T x (parallel over output entries; y resized to a.cols()).
+void multiply_transposed_into(const Matrix& a, std::span<const double> x, Vector& y);
+
+/// out = a^T * b without forming transposes (out must not alias a or b).
+void gram_product_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T without forming transposes (out must not alias a or b).
+void outer_product_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T (out must not alias a).
+void transposed_into(const Matrix& a, Matrix& out);
+
+/// out = a o b element-wise (out may alias a or b).
+void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y += s * x element-wise (the matrix axpy; shapes must match).
+void add_scaled_into(const Matrix& x, double s, Matrix& y);
+
+/// Frobenius norm of (a - b) without forming the difference.
+double frobenius_diff_norm(const Matrix& a, const Matrix& b);
 
 }  // namespace tafloc

@@ -7,25 +7,28 @@
 
 namespace tafloc {
 
-CgResult conjugate_gradient(const LinearOperator& apply, std::span<const double> b,
-                            std::span<const double> x0, const CgOptions& options) {
+CgSummary conjugate_gradient_in_place(const LinearOperatorInto& apply, std::span<const double> b,
+                                      std::span<double> x, CgScratch& scratch,
+                                      const CgOptions& options) {
   TAFLOC_CHECK_ARG(static_cast<bool>(apply), "CG needs a non-empty operator");
-  TAFLOC_CHECK_ARG(b.size() == x0.size(), "initial guess length mismatch");
+  TAFLOC_CHECK_ARG(b.size() == x.size(), "initial guess length mismatch");
   TAFLOC_CHECK_ARG(!b.empty(), "CG system must be non-empty");
   TAFLOC_CHECK_ARG(options.relative_tolerance > 0.0, "CG tolerance must be positive");
 
   const std::size_t n = b.size();
   const std::size_t max_iter = options.max_iterations == 0 ? n : options.max_iterations;
 
-  CgResult out;
-  out.x.assign(x0.begin(), x0.end());
+  Vector& r = scratch.r;
+  Vector& p = scratch.p;
+  Vector& ap = scratch.ap;
+  r.resize(n);
+  p.resize(n);
+  ap.resize(n);
 
-  Vector r(n);
-  {
-    const Vector ax = apply(out.x);
-    TAFLOC_CHECK_ARG(ax.size() == n, "operator returned a vector of wrong length");
-    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
-  }
+  CgSummary out;
+
+  apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
 
   const double b_norm = norm2(b);
   const double threshold = options.relative_tolerance * (b_norm > 0.0 ? b_norm : 1.0);
@@ -37,13 +40,13 @@ CgResult conjugate_gradient(const LinearOperator& apply, std::span<const double>
     return out;
   }
 
-  Vector p = r;
+  std::copy(r.begin(), r.end(), p.begin());
   for (std::size_t it = 0; it < max_iter; ++it) {
-    const Vector ap = apply(p);
+    apply(p, ap);
     const double p_ap = dot(p, ap);
     if (p_ap <= 0.0) break;  // operator not SPD on this subspace
     const double alpha = r_dot / p_ap;
-    axpy(alpha, p, out.x);
+    axpy(alpha, p, x);
     axpy(-alpha, ap, r);
     const double r_dot_new = dot(r, r);
     ++out.iterations;
@@ -56,6 +59,26 @@ CgResult conjugate_gradient(const LinearOperator& apply, std::span<const double>
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
     r_dot = r_dot_new;
   }
+  return out;
+}
+
+CgResult conjugate_gradient(const LinearOperator& apply, std::span<const double> b,
+                            std::span<const double> x0, const CgOptions& options) {
+  TAFLOC_CHECK_ARG(static_cast<bool>(apply), "CG needs a non-empty operator");
+  CgResult out;
+  out.x.assign(x0.begin(), x0.end());
+  CgScratch scratch;
+  Vector in(b.size());
+  const LinearOperatorInto apply_into = [&](std::span<const double> v, std::span<double> y) {
+    std::copy(v.begin(), v.end(), in.begin());
+    const Vector result = apply(in);
+    TAFLOC_CHECK_ARG(result.size() == y.size(), "operator returned a vector of wrong length");
+    std::copy(result.begin(), result.end(), y.begin());
+  };
+  const CgSummary summary = conjugate_gradient_in_place(apply_into, b, out.x, scratch, options);
+  out.iterations = summary.iterations;
+  out.converged = summary.converged;
+  out.residual_norm = summary.residual_norm;
   return out;
 }
 

@@ -5,7 +5,22 @@
 #include <iomanip>
 #include <sstream>
 
+#include "tafloc/exec/thread_pool.h"
+
 namespace tafloc {
+
+namespace {
+
+/// Row grain sized so each parallel chunk carries roughly this many
+/// floating-point operations -- below that, fork-join overhead beats
+/// the speedup and the loop runs inline.
+constexpr std::size_t kKernelGrainFlops = 1 << 15;
+
+std::size_t row_grain(std::size_t flops_per_row) {
+  return std::max<std::size_t>(1, kKernelGrainFlops / std::max<std::size_t>(flops_per_row, 1));
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {
@@ -85,9 +100,8 @@ void Matrix::set_col(std::size_t c, std::span<const double> values) {
 }
 
 Matrix Matrix::transposed() const {
-  Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = data_[r * cols_ + c];
+  Matrix t;
+  transposed_into(*this, t);
   return t;
 }
 
@@ -206,65 +220,32 @@ Matrix operator*(double s, Matrix a) {
 }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
-  TAFLOC_CHECK_ARG(a.cols() == b.rows(), "matrix product inner dimensions must agree");
-  Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the innermost accesses contiguous for
-  // row-major storage.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
-    }
-  }
+  Matrix c;
+  multiply_into(a, b, c);
   return c;
 }
 
 Vector multiply(const Matrix& a, std::span<const double> x) {
-  TAFLOC_CHECK_ARG(a.cols() == x.size(), "matrix-vector product dimension mismatch");
-  Vector y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double s = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
-    y[i] = s;
-  }
+  Vector y;
+  multiply_into(a, x, y);
   return y;
 }
 
 Vector multiply_transposed(const Matrix& a, std::span<const double> x) {
-  TAFLOC_CHECK_ARG(a.rows() == x.size(), "transposed matrix-vector product dimension mismatch");
-  Vector y(a.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
-  }
+  Vector y;
+  multiply_transposed_into(a, x, y);
   return y;
 }
 
 Matrix gram_product(const Matrix& a, const Matrix& b) {
-  TAFLOC_CHECK_ARG(a.rows() == b.rows(), "gram_product requires equal row counts");
-  Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
-    }
-  }
+  Matrix c;
+  gram_product_into(a, b, c);
   return c;
 }
 
 Matrix outer_product(const Matrix& a, const Matrix& b) {
-  TAFLOC_CHECK_ARG(a.cols() == b.cols(), "outer_product requires equal column counts");
-  Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      double s = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
-      c(i, j) = s;
-    }
-  }
+  Matrix c;
+  outer_product_into(a, b, c);
   return c;
 }
 
@@ -274,6 +255,151 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.data().size(); ++i)
     m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
   return m;
+}
+
+// ---------------- destination-passing kernels ----------------
+
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  TAFLOC_CHECK_ARG(a.cols() == b.rows(), "matrix product inner dimensions must agree");
+  TAFLOC_CHECK_ARG(&out != &a && &out != &b, "multiply_into destination must not alias an input");
+  out.resize(a.rows(), b.cols());
+  out.fill(0.0);
+  const std::size_t kk = a.cols();
+  const std::size_t nc = b.cols();
+  const double* bp = b.data().data();
+  double* cp = out.data().data();
+  // Row-panel blocking: within a panel of kPanel output rows the k loop
+  // is outermost, so each B row is streamed once per panel instead of
+  // once per output row.  Per output element the accumulation still
+  // runs over k in increasing order -- the same order as the classic
+  // i-k-j loop, so the result is bitwise independent of panel size and
+  // thread count.
+  constexpr std::size_t kPanel = 8;
+  ThreadPool::global().parallel_for(
+      0, a.rows(), row_grain(kk * nc), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i0 = r0; i0 < r1; i0 += kPanel) {
+          const std::size_t ilim = std::min(i0 + kPanel, r1);
+          for (std::size_t k = 0; k < kk; ++k) {
+            const double* brow = bp + k * nc;
+            for (std::size_t i = i0; i < ilim; ++i) {
+              const double aik = a(i, k);
+              if (aik == 0.0) continue;
+              double* crow = cp + i * nc;
+              for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
+            }
+          }
+        }
+      });
+}
+
+void multiply_into(const Matrix& a, std::span<const double> x, Vector& y) {
+  TAFLOC_CHECK_ARG(a.cols() == x.size(), "matrix-vector product dimension mismatch");
+  y.assign(a.rows(), 0.0);
+  ThreadPool::global().parallel_for(
+      0, a.rows(), row_grain(a.cols()), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          double s = 0.0;
+          for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+          y[i] = s;
+        }
+      });
+}
+
+void multiply_transposed_into(const Matrix& a, std::span<const double> x, Vector& y) {
+  TAFLOC_CHECK_ARG(a.rows() == x.size(), "transposed matrix-vector product dimension mismatch");
+  y.assign(a.cols(), 0.0);
+  // Partitioned over *output* entries: every lane scans all rows but
+  // only accumulates its own span of y, preserving the sequential
+  // per-entry accumulation order (increasing i).
+  ThreadPool::global().parallel_for(
+      0, a.cols(), row_grain(2 * a.rows()), [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          const double xi = x[i];
+          if (xi == 0.0) continue;
+          for (std::size_t j = c0; j < c1; ++j) y[j] += a(i, j) * xi;
+        }
+      });
+}
+
+void gram_product_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  TAFLOC_CHECK_ARG(a.rows() == b.rows(), "gram_product requires equal row counts");
+  TAFLOC_CHECK_ARG(&out != &a && &out != &b,
+                   "gram_product_into destination must not alias an input");
+  out.resize(a.cols(), b.cols());
+  out.fill(0.0);
+  const std::size_t kk = a.rows();
+  const std::size_t nc = b.cols();
+  const double* bp = b.data().data();
+  double* cp = out.data().data();
+  ThreadPool::global().parallel_for(
+      0, a.cols(), row_grain(kk * nc), [&](std::size_t r0, std::size_t r1) {
+        // k outermost (as in the sequential kernel) keeps per-element
+        // accumulation order identical; the i loop covers only this
+        // lane's output rows.
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double* brow = bp + k * nc;
+          for (std::size_t i = r0; i < r1; ++i) {
+            const double aki = a(k, i);
+            if (aki == 0.0) continue;
+            double* crow = cp + i * nc;
+            for (std::size_t j = 0; j < nc; ++j) crow[j] += aki * brow[j];
+          }
+        }
+      });
+}
+
+void outer_product_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  TAFLOC_CHECK_ARG(a.cols() == b.cols(), "outer_product requires equal column counts");
+  TAFLOC_CHECK_ARG(&out != &a && &out != &b,
+                   "outer_product_into destination must not alias an input");
+  out.resize(a.rows(), b.rows());
+  const std::size_t kk = a.cols();
+  ThreadPool::global().parallel_for(
+      0, a.rows(), row_grain(kk * b.rows()), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < kk; ++k) s += a(i, k) * b(j, k);
+            out(i, j) = s;
+          }
+        }
+      });
+}
+
+void transposed_into(const Matrix& a, Matrix& out) {
+  TAFLOC_CHECK_ARG(&out != &a, "transposed_into destination must not alias the input");
+  out.resize(a.cols(), a.rows());
+  ThreadPool::global().parallel_for(
+      0, a.cols(), row_grain(a.rows()), [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c)
+          for (std::size_t r = 0; r < a.rows(); ++r) out(c, r) = a(r, c);
+      });
+}
+
+void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  TAFLOC_CHECK_ARG(a.same_shape(b), "Hadamard product requires equal shapes");
+  out.resize(a.rows(), a.cols());
+  const std::span<const double> ap = a.data();
+  const std::span<const double> bp = b.data();
+  const std::span<double> op = out.data();
+  for (std::size_t i = 0; i < ap.size(); ++i) op[i] = ap[i] * bp[i];
+}
+
+void add_scaled_into(const Matrix& x, double s, Matrix& y) {
+  TAFLOC_CHECK_ARG(x.same_shape(y), "add_scaled_into requires equal shapes");
+  const std::span<const double> xp = x.data();
+  const std::span<double> yp = y.data();
+  for (std::size_t i = 0; i < xp.size(); ++i) yp[i] += s * xp[i];
+}
+
+double frobenius_diff_norm(const Matrix& a, const Matrix& b) {
+  TAFLOC_CHECK_ARG(a.same_shape(b), "frobenius_diff_norm requires equal shapes");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
 }
 
 }  // namespace tafloc

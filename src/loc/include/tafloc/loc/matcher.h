@@ -48,6 +48,9 @@ class KnnMatcher : public Localizer {
              double spatial_gate_m = 1.0);
 
   Point2 localize(std::span<const double> rss) const override;
+  /// Parallelizes over queries (and the per-query column scan when the
+  /// batch is small); same results as sequential localize() calls.
+  std::vector<Point2> localize_batch(std::span<const Vector> rss_batch) const override;
   std::string name() const override;
 
   /// Indices of the k best-matching grids, best first (for tests).

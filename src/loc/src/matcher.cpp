@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "tafloc/exec/thread_pool.h"
 #include "tafloc/linalg/vector_ops.h"
 #include "tafloc/util/check.h"
 
@@ -77,7 +78,13 @@ std::vector<std::size_t> KnnMatcher::nearest_grids(std::span<const double> rss) 
   TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
   const std::size_t n = fingerprints_.cols();
   std::vector<double> dist(n);
-  for (std::size_t j = 0; j < n; ++j) dist[j] = column_distance_sq(fingerprints_, rss, j);
+  // Each distance is an independent scalar: the scan parallelizes over
+  // columns without changing any accumulation order.
+  const std::size_t grain =
+      std::max<std::size_t>(1, (std::size_t{1} << 14) / std::max<std::size_t>(fingerprints_.rows(), 1));
+  ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) dist[j] = column_distance_sq(fingerprints_, rss, j);
+  });
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k_), order.end(),
@@ -105,6 +112,16 @@ Point2 KnnMatcher::localize(std::span<const double> rss) const {
     wsum += w;
   }
   return {wx / wsum, wy / wsum};
+}
+
+std::vector<Point2> KnnMatcher::localize_batch(std::span<const Vector> rss_batch) const {
+  std::vector<Point2> out(rss_batch.size());
+  // One query per chunk: each output slot is written by exactly one
+  // lane, and the inner column scan runs inline inside pool tasks.
+  ThreadPool::global().parallel_for(0, rss_batch.size(), 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t i = b0; i < b1; ++i) out[i] = localize(rss_batch[i]);
+  });
+  return out;
 }
 
 // ---------------- BayesMatcher ----------------

@@ -69,6 +69,12 @@ struct LoliIrResult {
   bool converged = false;
   double objective = 0.0;
   std::vector<double> objective_trace;  ///< objective after each outer iteration.
+  /// Workspace-arena diagnostics: total buffer allocations over the
+  /// whole solve, and the portion after the first outer iteration.
+  /// The steady count being 0 is the zero-allocation guarantee of the
+  /// iteration loop (every later iteration reuses warm-up buffers).
+  std::size_t workspace_allocations = 0;
+  std::size_t workspace_allocations_steady = 0;
 };
 
 /// Run the solver.  Throws std::invalid_argument on inconsistent shapes

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "tafloc/exec/thread_pool.h"
+#include "tafloc/exec/workspace.h"
 #include "tafloc/linalg/svd.h"
 #include "tafloc/util/check.h"
 
@@ -57,24 +60,104 @@ Matrix initial_estimate(const LoliIrProblem& p) {
   return x0;
 }
 
-Matrix reshape(const Vector& v, std::size_t rows, std::size_t cols) {
-  Matrix m(rows, cols);
-  std::copy(v.begin(), v.end(), m.data().begin());
-  return m;
+/// Pairwise-term grain: one chunk per pool lane once the scatter work is
+/// big enough to beat fork-join overhead; otherwise one chunk (inline).
+std::size_t pairwise_grain(std::size_t target_rows, std::size_t pairs, std::size_t rank) {
+  const std::size_t lanes = ThreadPool::global().size();
+  if (lanes <= 1 || pairs * rank < (std::size_t{1} << 14)) return target_rows;
+  return std::max<std::size_t>(1, (target_rows + lanes - 1) / lanes);
 }
 
-Vector flatten(const Matrix& m) { return Vector(m.data().begin(), m.data().end()); }
-
-/// Rows of R at the reference grid indices (n x rank).
-Matrix reference_rows(const Matrix& r, const std::vector<std::size_t>& idx) {
-  return r.select_rows(idx);
+/// G/H accumulation of the L-step matvec: each lane owns a disjoint
+/// range of y's rows (links) and applies exactly the contributions
+/// landing there, scanning the shared term lists.  Per-row contribution
+/// order equals the sequential loop's (continuity first, then
+/// similarity, each in term order), so results are bit-identical at any
+/// thread count.
+void accumulate_pairwise_l(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& lw,
+                           const Matrix& r, Matrix& y) {
+  const bool has_cont = c.continuity_weight > 0.0 && !p.continuity.empty();
+  const bool has_sim = c.similarity_weight > 0.0 && !p.similarity.empty();
+  if (!has_cont && !has_sim) return;
+  const std::size_t rank = lw.cols();
+  const std::size_t grain =
+      pairwise_grain(y.rows(), p.continuity.size() + p.similarity.size(), rank);
+  ThreadPool::global().parallel_for(0, y.rows(), grain, [&](std::size_t r0, std::size_t r1) {
+    if (has_cont) {
+      for (const PairwiseTerm& t : p.continuity) {
+        // rows equal for continuity pairs (same link).
+        if (t.row1 < r0 || t.row1 >= r1) continue;
+        double s = 0.0;
+        for (std::size_t k = 0; k < rank; ++k)
+          s += lw(t.row1, k) * (r(t.col1, k) - r(t.col2, k));
+        s *= c.continuity_weight;
+        for (std::size_t k = 0; k < rank; ++k)
+          y(t.row1, k) += s * (r(t.col1, k) - r(t.col2, k));
+      }
+    }
+    if (has_sim) {
+      for (const PairwiseTerm& t : p.similarity) {
+        // cols equal for similarity pairs (same grid); the two link
+        // rows may fall in different lanes, each applying its own half.
+        const bool in1 = t.row1 >= r0 && t.row1 < r1;
+        const bool in2 = t.row2 >= r0 && t.row2 < r1;
+        if (!in1 && !in2) continue;
+        double s = 0.0;
+        for (std::size_t k = 0; k < rank; ++k)
+          s += (lw(t.row1, k) - lw(t.row2, k)) * r(t.col1, k);
+        s *= c.similarity_weight;
+        for (std::size_t k = 0; k < rank; ++k) {
+          if (in1) y(t.row1, k) += s * r(t.col1, k);
+          if (in2) y(t.row2, k) -= s * r(t.col1, k);
+        }
+      }
+    }
+  });
 }
 
-}  // namespace
+/// R-step counterpart: lanes own ranges of y's rows (grids).
+void accumulate_pairwise_r(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& l,
+                           const Matrix& rw, Matrix& y) {
+  const bool has_cont = c.continuity_weight > 0.0 && !p.continuity.empty();
+  const bool has_sim = c.similarity_weight > 0.0 && !p.similarity.empty();
+  if (!has_cont && !has_sim) return;
+  const std::size_t rank = rw.cols();
+  const std::size_t grain =
+      pairwise_grain(y.rows(), p.continuity.size() + p.similarity.size(), rank);
+  ThreadPool::global().parallel_for(0, y.rows(), grain, [&](std::size_t g0, std::size_t g1) {
+    if (has_cont) {
+      for (const PairwiseTerm& t : p.continuity) {
+        const bool in1 = t.col1 >= g0 && t.col1 < g1;
+        const bool in2 = t.col2 >= g0 && t.col2 < g1;
+        if (!in1 && !in2) continue;
+        double s = 0.0;
+        for (std::size_t k = 0; k < rank; ++k)
+          s += l(t.row1, k) * (rw(t.col1, k) - rw(t.col2, k));
+        s *= c.continuity_weight;
+        for (std::size_t k = 0; k < rank; ++k) {
+          if (in1) y(t.col1, k) += s * l(t.row1, k);
+          if (in2) y(t.col2, k) -= s * l(t.row1, k);
+        }
+      }
+    }
+    if (has_sim) {
+      for (const PairwiseTerm& t : p.similarity) {
+        if (t.col1 < g0 || t.col1 >= g1) continue;
+        double s = 0.0;
+        for (std::size_t k = 0; k < rank; ++k)
+          s += (l(t.row1, k) - l(t.row2, k)) * rw(t.col1, k);
+        s *= c.similarity_weight;
+        for (std::size_t k = 0; k < rank; ++k)
+          y(t.col1, k) += s * (l(t.row1, k) - l(t.row2, k));
+      }
+    }
+  });
+}
 
-double loli_ir_objective(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& l,
-                         const Matrix& r) {
-  const Matrix x = outer_product(l, r);  // L R^T
+/// Objective evaluated against a precomputed X = L R^T (so the solver's
+/// bookkeeping step reuses its workspace copy instead of re-forming it).
+double objective_given_x(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& l,
+                         const Matrix& r, const Matrix& x) {
   double f = c.lambda * (l.frobenius_norm() * l.frobenius_norm() +
                          r.frobenius_norm() * r.frobenius_norm());
   if (c.data_weight > 0.0) {
@@ -88,8 +171,8 @@ double loli_ir_objective(const LoliIrProblem& p, const LoliIrConfig& c, const Ma
     f += c.data_weight * s;
   }
   if (c.lrr_weight > 0.0) {
-    const Matrix d = x - p.prediction;
-    f += c.lrr_weight * d.frobenius_norm() * d.frobenius_norm();
+    const double nrm = frobenius_diff_norm(x, p.prediction);
+    f += c.lrr_weight * nrm * nrm;
   }
   if (c.reference_weight > 0.0) {
     double s = 0.0;
@@ -111,12 +194,21 @@ double loli_ir_objective(const LoliIrProblem& p, const LoliIrConfig& c, const Ma
   return f;
 }
 
+}  // namespace
+
+double loli_ir_objective(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& l,
+                         const Matrix& r) {
+  const Matrix x = outer_product(l, r);  // L R^T
+  return objective_given_x(p, c, l, r, x);
+}
+
 LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) {
   validate(p);
   validate(c);
 
   const std::size_t m = p.known.rows();
   const std::size_t n = p.known.cols();
+  const std::size_t nref = p.reference_indices.size();
 
   // ---- initialization: truncated SVD of the patched prediction ----
   const Matrix x0 = initial_estimate(p);
@@ -133,63 +225,135 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
     for (std::size_t j = 0; j < n; ++j) r(j, t) = svd.v(j, t) * root;
   }
 
-  // ---- precomputed right-hand-side building blocks ----
-  const Matrix known_masked = p.mask_undistorted.hadamard(p.known);  // B o X_I
+  // ---- workspace: every per-iteration temporary is leased once here
+  // and reused across all outer iterations and CG matvecs; the arena
+  // counter proves the steady-state loop performs no heap allocation.
+  Workspace ws;
+  auto known_masked_lease = ws.matrix(m, n);  // B o X_I
+  Matrix& known_masked = *known_masked_lease;
+  hadamard_into(p.mask_undistorted, p.known, known_masked);
+
+  auto lw_lease = ws.matrix(m, rank);   // CG iterate, reshaped (L-step)
+  auto yl_lease = ws.matrix(m, rank);   // L-step matvec output
+  auto rw_lease = ws.matrix(n, rank);   // CG iterate, reshaped (R-step)
+  auto yr_lease = ws.matrix(n, rank);   // R-step matvec output
+  auto xw_lease = ws.matrix(m, n);      // current L R^T inside matvecs
+  auto w_lease = ws.matrix(m, n);       // B o (L R^T)
+  auto tmp_l_lease = ws.matrix(m, rank);
+  auto tmp_r_lease = ws.matrix(n, rank);
+  auto rtr_lease = ws.matrix(rank, rank);
+  auto ltl_lease = ws.matrix(rank, rank);
+  auto rhs_l_lease = ws.matrix(m, rank);
+  auto rhs_r_lease = ws.matrix(n, rank);
+  auto x_now_lease = ws.matrix(m, n);
+  auto x_prev_lease = ws.matrix(m, n);
+  std::optional<Workspace::MatrixLease> r_ref_lease;
+  std::optional<Workspace::MatrixLease> x_ref_lease;
+  if (nref > 0) {
+    r_ref_lease.emplace(ws.matrix(nref, rank));
+    x_ref_lease.emplace(ws.matrix(m, nref));
+  }
+  Matrix& lw = *lw_lease;
+  Matrix& yl = *yl_lease;
+  Matrix& rw = *rw_lease;
+  Matrix& yr = *yr_lease;
+  Matrix& xw = *xw_lease;
+  Matrix& w = *w_lease;
+  Matrix& tmp_l = *tmp_l_lease;
+  Matrix& tmp_r = *tmp_r_lease;
+  Matrix& rtr = *rtr_lease;
+  Matrix& ltl = *ltl_lease;
+  Matrix& rhs_l = *rhs_l_lease;
+  Matrix& rhs_r = *rhs_r_lease;
+  Matrix& x_now = *x_now_lease;
+  Matrix& x_prev = *x_prev_lease;
+  CgScratch cg_scratch;  // capacity settles after the first iteration
 
   LoliIrResult out;
-  Matrix x_prev = outer_product(l, r);
+  outer_product_into(l, r, x_prev);
+
+  // Both CG operators capture only stable references (lease-backed
+  // buffers and the factors), so one std::function apiece serves every
+  // outer iteration -- the loop body itself never heap-allocates.
+  const LinearOperatorInto apply_l = [&](std::span<const double> v, std::span<double> y_out) {
+    std::copy(v.begin(), v.end(), lw.data().begin());
+    for (std::size_t i = 0; i < yl.size(); ++i)
+      yl.data()[i] = lw.data()[i] * c.lambda;
+    outer_product_into(lw, r, xw);
+    if (c.data_weight > 0.0) {
+      hadamard_into(p.mask_undistorted, xw, w);
+      multiply_into(w, r, tmp_l);
+      add_scaled_into(tmp_l, c.data_weight, yl);
+    }
+    if (c.lrr_weight > 0.0) {
+      multiply_into(lw, rtr, tmp_l);
+      add_scaled_into(tmp_l, c.lrr_weight, yl);
+    }
+    if (c.reference_weight > 0.0 && nref > 0) {
+      Matrix& r_ref = **r_ref_lease;
+      Matrix& x_ref = **x_ref_lease;
+      outer_product_into(lw, r_ref, x_ref);  // m x nref
+      multiply_into(x_ref, r_ref, tmp_l);
+      add_scaled_into(tmp_l, c.reference_weight, yl);
+    }
+    accumulate_pairwise_l(p, c, lw, r, yl);
+    std::copy(yl.data().begin(), yl.data().end(), y_out.begin());
+  };
+  const LinearOperatorInto apply_r = [&](std::span<const double> v, std::span<double> y_out) {
+    std::copy(v.begin(), v.end(), rw.data().begin());
+    for (std::size_t i = 0; i < yr.size(); ++i)
+      yr.data()[i] = rw.data()[i] * c.lambda;
+    outer_product_into(l, rw, xw);  // m x n
+    if (c.data_weight > 0.0) {
+      hadamard_into(p.mask_undistorted, xw, w);
+      gram_product_into(w, l, tmp_r);  // W^T L
+      add_scaled_into(tmp_r, c.data_weight, yr);
+    }
+    if (c.lrr_weight > 0.0) {
+      multiply_into(rw, ltl, tmp_r);
+      add_scaled_into(tmp_r, c.lrr_weight, yr);
+    }
+    if (c.reference_weight > 0.0) {
+      for (std::size_t k = 0; k < nref; ++k) {
+        const std::size_t g = p.reference_indices[k];
+        // contribution nu * L^T (L R_g^T) to row g of the normal matvec
+        for (std::size_t t = 0; t < rank; ++t) {
+          double acc = 0.0;
+          for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * xw(i, g);
+          yr(g, t) += c.reference_weight * acc;
+        }
+      }
+    }
+    accumulate_pairwise_r(p, c, l, rw, yr);
+    std::copy(yr.data().begin(), yr.data().end(), y_out.begin());
+  };
+
+  std::size_t warmup_allocations = ws.allocations();
 
   for (std::size_t outer = 0; outer < c.max_outer_iterations; ++outer) {
     // ================= L-step: fix R, solve for L =================
     {
-      const Matrix rtr = gram_product(r, r);  // rank x rank
-      const Matrix r_ref = reference_rows(r, p.reference_indices);
+      gram_product_into(r, r, rtr);  // rank x rank
+      if (nref > 0) {
+        Matrix& r_ref = **r_ref_lease;
+        for (std::size_t k = 0; k < nref; ++k)
+          for (std::size_t t = 0; t < rank; ++t)
+            r_ref(k, t) = r(p.reference_indices[k], t);
+      }
 
-      auto apply = [&](const Vector& v) -> Vector {
-        const Matrix lw = reshape(v, m, rank);
-        Matrix y = lw * c.lambda;
-        const Matrix xw = outer_product(lw, r);
-        if (c.data_weight > 0.0) {
-          const Matrix w = p.mask_undistorted.hadamard(xw);
-          y += (w * r) * c.data_weight;
-        }
-        if (c.lrr_weight > 0.0) y += (lw * rtr) * c.lrr_weight;
-        if (c.reference_weight > 0.0 && !p.reference_indices.empty()) {
-          const Matrix x_ref = outer_product(lw, r_ref);  // m x nref
-          y += (x_ref * r_ref) * c.reference_weight;
-        }
-        if (c.continuity_weight > 0.0) {
-          for (const PairwiseTerm& t : p.continuity) {
-            // rows equal for continuity pairs (same link).
-            double s = 0.0;
-            for (std::size_t k = 0; k < rank; ++k)
-              s += lw(t.row1, k) * (r(t.col1, k) - r(t.col2, k));
-            s *= c.continuity_weight;
-            for (std::size_t k = 0; k < rank; ++k)
-              y(t.row1, k) += s * (r(t.col1, k) - r(t.col2, k));
-          }
-        }
-        if (c.similarity_weight > 0.0) {
-          for (const PairwiseTerm& t : p.similarity) {
-            // cols equal for similarity pairs (same grid).
-            double s = 0.0;
-            for (std::size_t k = 0; k < rank; ++k)
-              s += (lw(t.row1, k) - lw(t.row2, k)) * r(t.col1, k);
-            s *= c.similarity_weight;
-            for (std::size_t k = 0; k < rank; ++k) {
-              y(t.row1, k) += s * r(t.col1, k);
-              y(t.row2, k) -= s * r(t.col1, k);
-            }
-          }
-        }
-        return flatten(y);
-      };
-
-      Matrix rhs(m, rank);
-      if (c.data_weight > 0.0) rhs += (known_masked * r) * c.data_weight;
-      if (c.lrr_weight > 0.0) rhs += (p.prediction * r) * c.lrr_weight;
-      if (c.reference_weight > 0.0 && !p.reference_indices.empty())
-        rhs += (p.reference_columns * r_ref) * c.reference_weight;
+      rhs_l.fill(0.0);
+      if (c.data_weight > 0.0) {
+        multiply_into(known_masked, r, tmp_l);
+        add_scaled_into(tmp_l, c.data_weight, rhs_l);
+      }
+      if (c.lrr_weight > 0.0) {
+        multiply_into(p.prediction, r, tmp_l);
+        add_scaled_into(tmp_l, c.lrr_weight, rhs_l);
+      }
+      if (c.reference_weight > 0.0 && nref > 0) {
+        multiply_into(p.reference_columns, **r_ref_lease, tmp_l);
+        add_scaled_into(tmp_l, c.reference_weight, rhs_l);
+      }
       // Anchored pairwise terms penalize deviations of X^ differences
       // from the prediction's differences: the anchor contributes to
       // the RHS.  (Unanchored terms have a zero RHS.)
@@ -199,7 +363,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
                               (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
           if (coef == 0.0) continue;
           for (std::size_t k = 0; k < rank; ++k)
-            rhs(t.row1, k) += coef * (r(t.col1, k) - r(t.col2, k));
+            rhs_l(t.row1, k) += coef * (r(t.col1, k) - r(t.col2, k));
         }
       }
       if (c.anchor_pairwise_to_prediction && c.similarity_weight > 0.0) {
@@ -208,75 +372,35 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
                               (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
           if (coef == 0.0) continue;
           for (std::size_t k = 0; k < rank; ++k) {
-            rhs(t.row1, k) += coef * r(t.col1, k);
-            rhs(t.row2, k) -= coef * r(t.col1, k);
+            rhs_l(t.row1, k) += coef * r(t.col1, k);
+            rhs_l(t.row2, k) -= coef * r(t.col1, k);
           }
         }
       }
 
-      const CgResult cg = conjugate_gradient(apply, flatten(rhs), flatten(l), c.cg);
-      l = reshape(cg.x, m, rank);
+      conjugate_gradient_in_place(apply_l, rhs_l.data(), l.data(), cg_scratch, c.cg);
     }
 
     // ================= R-step: fix L, solve for R =================
     {
-      const Matrix ltl = gram_product(l, l);  // rank x rank
+      gram_product_into(l, l, ltl);  // rank x rank
 
-      auto apply = [&](const Vector& v) -> Vector {
-        const Matrix rw = reshape(v, n, rank);
-        Matrix y = rw * c.lambda;
-        const Matrix xw = outer_product(l, rw);  // m x n
-        if (c.data_weight > 0.0) {
-          const Matrix w = p.mask_undistorted.hadamard(xw);
-          y += gram_product(w, l) * c.data_weight;  // W^T L
-        }
-        if (c.lrr_weight > 0.0) y += (rw * ltl) * c.lrr_weight;
-        if (c.reference_weight > 0.0) {
-          for (std::size_t k = 0; k < p.reference_indices.size(); ++k) {
-            const std::size_t g = p.reference_indices[k];
-            // contribution nu * L^T (L R_g^T) to row g of the normal matvec
-            for (std::size_t t = 0; t < rank; ++t) {
-              double acc = 0.0;
-              for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * xw(i, g);
-              y(g, t) += c.reference_weight * acc;
-            }
-          }
-        }
-        if (c.continuity_weight > 0.0) {
-          for (const PairwiseTerm& t : p.continuity) {
-            double s = 0.0;
-            for (std::size_t k = 0; k < rank; ++k)
-              s += l(t.row1, k) * (rw(t.col1, k) - rw(t.col2, k));
-            s *= c.continuity_weight;
-            for (std::size_t k = 0; k < rank; ++k) {
-              y(t.col1, k) += s * l(t.row1, k);
-              y(t.col2, k) -= s * l(t.row1, k);
-            }
-          }
-        }
-        if (c.similarity_weight > 0.0) {
-          for (const PairwiseTerm& t : p.similarity) {
-            double s = 0.0;
-            for (std::size_t k = 0; k < rank; ++k)
-              s += (l(t.row1, k) - l(t.row2, k)) * rw(t.col1, k);
-            s *= c.similarity_weight;
-            for (std::size_t k = 0; k < rank; ++k)
-              y(t.col1, k) += s * (l(t.row1, k) - l(t.row2, k));
-          }
-        }
-        return flatten(y);
-      };
-
-      Matrix rhs(n, rank);
-      if (c.data_weight > 0.0) rhs += gram_product(known_masked, l) * c.data_weight;
-      if (c.lrr_weight > 0.0) rhs += gram_product(p.prediction, l) * c.lrr_weight;
+      rhs_r.fill(0.0);
+      if (c.data_weight > 0.0) {
+        gram_product_into(known_masked, l, tmp_r);
+        add_scaled_into(tmp_r, c.data_weight, rhs_r);
+      }
+      if (c.lrr_weight > 0.0) {
+        gram_product_into(p.prediction, l, tmp_r);
+        add_scaled_into(tmp_r, c.lrr_weight, rhs_r);
+      }
       if (c.reference_weight > 0.0) {
-        for (std::size_t k = 0; k < p.reference_indices.size(); ++k) {
+        for (std::size_t k = 0; k < nref; ++k) {
           const std::size_t g = p.reference_indices[k];
           for (std::size_t t = 0; t < rank; ++t) {
             double acc = 0.0;
             for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * p.reference_columns(i, k);
-            rhs(g, t) += c.reference_weight * acc;
+            rhs_r(g, t) += c.reference_weight * acc;
           }
         }
       }
@@ -286,8 +410,8 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
                               (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
           if (coef == 0.0) continue;
           for (std::size_t k = 0; k < rank; ++k) {
-            rhs(t.col1, k) += coef * l(t.row1, k);
-            rhs(t.col2, k) -= coef * l(t.row1, k);
+            rhs_r(t.col1, k) += coef * l(t.row1, k);
+            rhs_r(t.col2, k) -= coef * l(t.row1, k);
           }
         }
       }
@@ -297,32 +421,34 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
                               (p.prediction(t.row1, t.col1) - p.prediction(t.row2, t.col2));
           if (coef == 0.0) continue;
           for (std::size_t k = 0; k < rank; ++k)
-            rhs(t.col1, k) += coef * (l(t.row1, k) - l(t.row2, k));
+            rhs_r(t.col1, k) += coef * (l(t.row1, k) - l(t.row2, k));
         }
       }
 
-      const CgResult cg = conjugate_gradient(apply, flatten(rhs), flatten(r), c.cg);
-      r = reshape(cg.x, n, rank);
+      conjugate_gradient_in_place(apply_r, rhs_r.data(), r.data(), cg_scratch, c.cg);
     }
 
     // ================= convergence bookkeeping =================
-    const Matrix x_now = outer_product(l, r);
-    out.objective_trace.push_back(loli_ir_objective(p, c, l, r));
+    outer_product_into(l, r, x_now);
+    out.objective_trace.push_back(objective_given_x(p, c, l, r, x_now));
     out.outer_iterations = outer + 1;
     const double denom = std::max(x_prev.frobenius_norm(), 1e-12);
-    const double rel_change = (x_now - x_prev).frobenius_norm() / denom;
+    const double rel_change = frobenius_diff_norm(x_now, x_prev) / denom;
     x_prev = x_now;
+    if (outer == 0) warmup_allocations = ws.allocations();
     if (rel_change < c.outer_tolerance) {
       out.converged = true;
       break;
     }
   }
 
-  out.x = std::move(x_prev);
+  out.x = x_prev;
   out.l = std::move(l);
   out.r = std::move(r);
   out.rank = rank;
   out.objective = out.objective_trace.empty() ? 0.0 : out.objective_trace.back();
+  out.workspace_allocations = ws.allocations();
+  out.workspace_allocations_steady = ws.allocations() - warmup_allocations;
   return out;
 }
 

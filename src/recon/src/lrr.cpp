@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tafloc/exec/workspace.h"
 #include "tafloc/linalg/lsq.h"
 #include "tafloc/linalg/ops.h"
 #include "tafloc/linalg/svd.h"
@@ -68,13 +69,27 @@ void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
       z_ = solve_ridge_matrix(xr0, x0, 1e-6);
       const double z_scale = std::max(z_.frobenius_norm(), 1e-12);
 
+      // ISTA temporaries (residual, gradient, proximal point) are
+      // leased once from a workspace arena and reused every iteration.
+      Workspace ws;
+      auto resid_lease = ws.matrix(x0.rows(), x0.cols());
+      auto grad_lease = ws.matrix(z_.rows(), z_.cols());
+      auto next_lease = ws.matrix(z_.rows(), z_.cols());
+      Matrix& residual = *resid_lease;
+      Matrix& grad = *grad_lease;
+      Matrix& next = *next_lease;
+
       for (std::size_t it = 0; it < options.max_iterations; ++it) {
-        const Matrix residual = xr0 * z_ - x0;                                 // M x N
-        const Matrix grad = gram_product(xr0, residual) * (2.0 * options.nuclear_lambda);
-        Matrix next = z_ - grad * step;
+        multiply_into(xr0, z_, residual);  // XR0 Z
+        for (std::size_t i = 0; i < residual.size(); ++i)
+          residual.data()[i] -= x0.data()[i];
+        gram_product_into(xr0, residual, grad);
+        grad *= 2.0 * options.nuclear_lambda;
+        for (std::size_t i = 0; i < next.size(); ++i)
+          next.data()[i] = z_.data()[i] - grad.data()[i] * step;
         next = singular_value_shrink(next, step);
-        const double change = (next - z_).frobenius_norm() / z_scale;
-        z_ = std::move(next);
+        const double change = frobenius_diff_norm(next, z_) / z_scale;
+        z_ = next;
         solver_iterations_ = it + 1;
         if (change < options.tolerance) break;
       }

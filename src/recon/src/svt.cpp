@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tafloc/exec/workspace.h"
 #include "tafloc/linalg/ops.h"
 #include "tafloc/util/check.h"
 
@@ -30,7 +31,18 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   const double tau = options.tau > 0.0 ? options.tau : 20.0 * std::sqrt(m * n);
   const double delta = options.step > 0.0 ? options.step : 1.2 / observed_fraction;
 
-  const Matrix data = mask.hadamard(x_known);
+  // Per-iteration temporaries come from a workspace arena: the dual
+  // iterate, the observed-entry data, and the masked residual each get
+  // one buffer for the whole run.
+  Workspace ws;
+  auto data_lease = ws.matrix(x_known.rows(), x_known.cols());
+  auto y_lease = ws.matrix(x_known.rows(), x_known.cols());
+  auto resid_lease = ws.matrix(x_known.rows(), x_known.cols());
+  Matrix& data = *data_lease;
+  Matrix& y = *y_lease;
+  Matrix& resid = *resid_lease;
+
+  hadamard_into(mask, x_known, data);
   const double data_norm = data.frobenius_norm();
   TAFLOC_CHECK_ARG(data_norm > 0.0, "observed entries are all zero; nothing to complete");
 
@@ -38,7 +50,7 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   // (standard SVT warm start): Y0 = k0 * delta * data with k0 chosen so
   // ||Y0||_2 just exceeds tau.
   SvtResult out;
-  Matrix y = data;
+  y = data;
   {
     const double k0 = std::ceil(tau / (delta * data_norm));
     y *= std::max(k0, 1.0) * delta;
@@ -47,16 +59,16 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     out.x = singular_value_shrink(y, tau);
     // Residual on the observed entries only.
-    Matrix masked_residual = mask.hadamard(out.x) - data;
-    const double rel = masked_residual.frobenius_norm() / data_norm;
+    for (std::size_t i = 0; i < resid.size(); ++i)
+      resid.data()[i] = mask.data()[i] * out.x.data()[i] - data.data()[i];
+    const double rel = resid.frobenius_norm() / data_norm;
     out.iterations = it + 1;
     out.residual = rel;
     if (rel <= options.tolerance) {
       out.converged = true;
       return out;
     }
-    masked_residual *= -delta;
-    y += masked_residual;
+    add_scaled_into(resid, -delta, y);
   }
   return out;
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "tafloc/exec/exec_config.h"
 #include "tafloc/fingerprint/database.h"
 #include "tafloc/fingerprint/distortion.h"
 #include "tafloc/fingerprint/reference.h"
@@ -62,6 +63,10 @@ struct TafLocConfig {
   double lrr_ridge = 1e-6;
   std::size_t knn_k = 3;            ///< localization matcher neighbours.
   bool mask_pairwise = true;        ///< restrict G/H terms to the distorted support.
+  /// Execution-core settings: threads == 0 leaves the process-wide pool
+  /// alone (TAFLOC_THREADS env or hardware concurrency); threads == 1
+  /// forces the sequential legacy path.  Applied at system construction.
+  ExecConfig exec;
 };
 
 class TafLocSystem : public Localizer {
@@ -92,6 +97,9 @@ class TafLocSystem : public Localizer {
 
   // -- Localizer interface --
   Point2 localize(std::span<const double> rss) const override;
+  /// Batched localization through the matcher's parallel scan; results
+  /// match element-wise localize() calls exactly.
+  std::vector<Point2> localize_batch(std::span<const Vector> rss_batch) const override;
   std::string name() const override { return "TafLoc"; }
 
   /// True once calibrate() has run.

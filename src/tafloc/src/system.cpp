@@ -70,6 +70,7 @@ TafLocState TafLocState::load_file(const std::string& path) {
 TafLocSystem::TafLocSystem(const Deployment& deployment, const TafLocConfig& config)
     : deployment_(deployment), config_(config) {
   TAFLOC_CHECK_ARG(config.knn_k >= 1, "knn k must be at least 1");
+  if (config_.exec.threads != 0) set_global_threads(config_.exec.threads);
 }
 
 void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t_days) {
@@ -141,6 +142,11 @@ TafLocSystem::UpdateReport TafLocSystem::update_with_collector(
 Point2 TafLocSystem::localize(std::span<const double> rss) const {
   TAFLOC_CHECK_STATE(matcher_ != nullptr, "localize() requires a prior calibrate()");
   return matcher_->localize(rss);
+}
+
+std::vector<Point2> TafLocSystem::localize_batch(std::span<const Vector> rss_batch) const {
+  TAFLOC_CHECK_STATE(matcher_ != nullptr, "localize_batch() requires a prior calibrate()");
+  return matcher_->localize_batch(rss_batch);
 }
 
 const std::vector<std::size_t>& TafLocSystem::reference_locations() const {

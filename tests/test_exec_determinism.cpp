@@ -1,0 +1,193 @@
+// Thread-count determinism: every parallel kernel partitions work by
+// output element without changing any per-element accumulation order,
+// so the whole stack -- linalg kernels, SVT, LRR, LoLi-IR, the KNN
+// matcher -- must produce the same numbers at 1 thread and at 8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tafloc/exec/exec_config.h"
+#include "tafloc/exec/thread_pool.h"
+#include "tafloc/fingerprint/distortion.h"
+#include "tafloc/fingerprint/reference.h"
+#include "tafloc/linalg/matrix.h"
+#include "tafloc/loc/matcher.h"
+#include "tafloc/recon/loli_ir.h"
+#include "tafloc/recon/lrr.h"
+#include "tafloc/recon/svt.h"
+#include "tafloc/sim/scenario.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+namespace {
+
+/// RAII guard: set the global pool size, restore the old one on exit.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t threads) : previous_(global_thread_count()) {
+    set_global_threads(threads);
+  }
+  ~ThreadGuard() { set_global_threads(previous_); }
+
+ private:
+  std::size_t previous_;
+};
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.normal(0.0, 1.0);
+  return m;
+}
+
+template <class Fn>
+auto at_threads(std::size_t threads, Fn&& fn) {
+  ThreadGuard guard(threads);
+  return fn();
+}
+
+// ---------------- linalg kernels ----------------
+
+TEST(ExecDeterminism, IntoKernelsMatchValueApiBitwise) {
+  const Matrix a = random_matrix(37, 53, 11);
+  const Matrix b = random_matrix(53, 29, 12);
+  const Matrix c = random_matrix(29, 53, 13);
+
+  ThreadGuard guard(8);
+  Matrix prod(a.rows(), b.cols());
+  multiply_into(a, b, prod);
+  EXPECT_EQ(max_abs_diff(prod, a * b), 0.0);
+
+  Matrix gram(a.cols(), a.cols());
+  gram_product_into(a, a, gram);
+  EXPECT_EQ(max_abs_diff(gram, gram_product(a, a)), 0.0);
+
+  Matrix tr(a.cols(), a.rows());
+  transposed_into(a, tr);
+  EXPECT_EQ(max_abs_diff(tr, a.transposed()), 0.0);
+
+  Matrix outer(a.rows(), c.rows());
+  outer_product_into(a, c, outer);
+  EXPECT_EQ(max_abs_diff(outer, outer_product(a, c)), 0.0);
+}
+
+TEST(ExecDeterminism, GemmBitIdenticalAcrossThreadCounts) {
+  const Matrix a = random_matrix(96, 64, 21);
+  const Matrix b = random_matrix(64, 80, 22);
+  const Matrix p1 = at_threads(1, [&] { return a * b; });
+  const Matrix p8 = at_threads(8, [&] { return a * b; });
+  EXPECT_EQ(max_abs_diff(p1, p8), 0.0);
+}
+
+// ---------------- reconstruction solvers ----------------
+
+TEST(ExecDeterminism, SvtAgreesAcrossThreadCounts) {
+  // Low-rank ground truth with a random observation mask.
+  const Matrix u = random_matrix(24, 3, 31);
+  const Matrix v = random_matrix(20, 3, 32);
+  const Matrix truth = outer_product(u, v);
+  Rng rng(33);
+  Matrix mask(truth.rows(), truth.cols());
+  for (double& x : mask.data()) x = rng.uniform01() < 0.6 ? 1.0 : 0.0;
+  const Matrix known = mask.hadamard(truth);
+
+  const SvtResult r1 = at_threads(1, [&] { return svt_complete(known, mask); });
+  const SvtResult r8 = at_threads(8, [&] { return svt_complete(known, mask); });
+  EXPECT_EQ(r1.iterations, r8.iterations);
+  EXPECT_LE(max_abs_diff(r1.x, r8.x), 1e-12);
+}
+
+TEST(ExecDeterminism, LrrNuclearNormAgreesAcrossThreadCounts) {
+  const Matrix x0 = random_matrix(16, 40, 41);
+  const std::vector<std::size_t> refs = {0, 5, 11, 17, 23, 31};
+  LrrOptions opt;
+  opt.solver = LrrSolver::NuclearNorm;
+  opt.max_iterations = 60;
+
+  const Matrix z1 =
+      at_threads(1, [&] { return LrrModel(x0, refs, opt).correlation(); });
+  const Matrix z8 =
+      at_threads(8, [&] { return LrrModel(x0, refs, opt).correlation(); });
+  EXPECT_LE(max_abs_diff(z1, z8), 1e-12);
+}
+
+/// A ready-to-solve LoLi-IR instance from the simulated paper room
+/// (assembled the same way TafLocSystem does it).
+LoliIrProblem paper_room_problem(std::uint64_t seed, double t_days) {
+  Scenario scenario = Scenario::paper_room(seed);
+  Rng rng0(seed + 500);
+  const Matrix x0 = scenario.collector().survey_all(0.0, rng0);
+  Rng rng1(seed + 501);
+  const Vector ambient0 = scenario.collector().ambient_scan(0.0, rng1);
+  const DistortionMask mask = DistortionDetector().detect_from_data(x0, ambient0);
+  const std::vector<std::size_t> refs =
+      select_reference_locations(x0, 10, ReferencePolicy::QrPivot);
+  const LrrModel lrr(x0, refs);
+
+  Rng rng(seed + 1000);
+  const Matrix fresh_refs = scenario.collector().survey_grids(refs, t_days, rng);
+  const Vector fresh_ambient = scenario.collector().ambient_scan(t_days, rng);
+
+  LoliIrProblem problem;
+  problem.mask_undistorted = mask.undistorted;
+  problem.known = known_entry_matrix(mask, fresh_ambient);
+  problem.prediction = lrr.predict(fresh_refs);
+  problem.reference_columns = fresh_refs;
+  problem.reference_indices = refs;
+  problem.continuity = continuity_pairs(scenario.deployment(), &mask);
+  problem.similarity = similarity_pairs(scenario.deployment(), &mask);
+  return problem;
+}
+
+TEST(ExecDeterminism, LoliIrAgreesAcrossThreadCounts) {
+  const LoliIrProblem problem = paper_room_problem(7, 45.0);
+
+  const LoliIrResult r1 = at_threads(1, [&] { return loli_ir_reconstruct(problem); });
+  const LoliIrResult r8 = at_threads(8, [&] { return loli_ir_reconstruct(problem); });
+
+  EXPECT_EQ(r1.outer_iterations, r8.outer_iterations);
+  EXPECT_EQ(r1.converged, r8.converged);
+  EXPECT_LE(max_abs_diff(r1.x, r8.x), 1e-12);
+  ASSERT_EQ(r1.objective_trace.size(), r8.objective_trace.size());
+  for (std::size_t i = 0; i < r1.objective_trace.size(); ++i)
+    EXPECT_NEAR(r1.objective_trace[i], r8.objective_trace[i],
+                1e-12 * std::abs(r1.objective_trace[i]));
+}
+
+TEST(ExecDeterminism, LoliIrSteadyStateIsAllocationFree) {
+  const LoliIrProblem problem = paper_room_problem(8, 45.0);
+  const LoliIrResult res = loli_ir_reconstruct(problem);
+  ASSERT_GE(res.outer_iterations, 2u)
+      << "fixture must iterate at least twice to exercise the steady state";
+  EXPECT_GT(res.workspace_allocations, 0u);
+  EXPECT_EQ(res.workspace_allocations_steady, 0u)
+      << "iterations after warm-up must reuse every workspace buffer";
+}
+
+// ---------------- localization ----------------
+
+TEST(ExecDeterminism, LocalizeBatchMatchesSequentialCalls) {
+  Scenario scenario = Scenario::paper_room(9);
+  Rng rng(901);
+  const Matrix fingerprints = scenario.collector().survey_all(0.0, rng);
+  const KnnMatcher matcher(fingerprints, scenario.deployment().grid(), 3);
+
+  std::vector<Vector> batch;
+  for (std::size_t q = 0; q < 32; ++q) {
+    Vector rss(fingerprints.rows());
+    for (double& v : rss) v = rng.normal(-50.0, 5.0);
+    batch.push_back(std::move(rss));
+  }
+
+  ThreadGuard guard(8);
+  const std::vector<Point2> parallel = matcher.localize_batch(batch);
+  ASSERT_EQ(parallel.size(), batch.size());
+  for (std::size_t q = 0; q < batch.size(); ++q) {
+    const Point2 sequential = matcher.localize(batch[q]);
+    EXPECT_EQ(parallel[q].x, sequential.x) << "query " << q;
+    EXPECT_EQ(parallel[q].y, sequential.y) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace tafloc

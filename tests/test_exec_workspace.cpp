@@ -1,0 +1,80 @@
+#include "tafloc/exec/workspace.h"
+
+#include <gtest/gtest.h>
+
+namespace tafloc {
+namespace {
+
+TEST(Workspace, LeaseIsZeroFilledAndCorrectShape) {
+  Workspace ws;
+  auto m = ws.matrix(3, 4);
+  EXPECT_EQ(m->rows(), 3u);
+  EXPECT_EQ(m->cols(), 4u);
+  for (double v : m->data()) EXPECT_EQ(v, 0.0);
+  auto v = ws.vector(7);
+  EXPECT_EQ(v->size(), 7u);
+  for (double x : *v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(Workspace, ReleasedBufferIsReusedWithoutAllocation) {
+  Workspace ws;
+  {
+    auto m = ws.matrix(8, 8);
+    (*m)(0, 0) = 42.0;
+  }
+  EXPECT_EQ(ws.allocations(), 1u);
+  EXPECT_EQ(ws.outstanding(), 0u);
+  {
+    auto m = ws.matrix(8, 8);  // same size: must reuse the pooled buffer
+    EXPECT_EQ((*m)(0, 0), 0.0) << "re-leased buffer must be zero-filled";
+  }
+  EXPECT_EQ(ws.allocations(), 1u) << "re-lease of a fitting buffer must not allocate";
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+}
+
+TEST(Workspace, SmallerLeaseFitsInsideLargerFreeBuffer) {
+  Workspace ws;
+  { auto m = ws.matrix(10, 10); }
+  EXPECT_EQ(ws.allocations(), 1u);
+  { auto m = ws.matrix(4, 5); }  // 20 doubles fit in the 100-double buffer
+  EXPECT_EQ(ws.allocations(), 1u);
+}
+
+TEST(Workspace, SteadyStateLoopAllocatesOnlyOnWarmup) {
+  Workspace ws;
+  std::size_t after_warmup = 0;
+  for (int it = 0; it < 10; ++it) {
+    auto a = ws.matrix(16, 16);
+    auto b = ws.matrix(16, 4);
+    auto c = ws.vector(64);
+    (*a)(0, 0) = static_cast<double>(it);
+    if (it == 0) after_warmup = ws.allocations();
+  }
+  EXPECT_EQ(ws.allocations(), after_warmup)
+      << "iterations after the first must be allocation-free";
+  EXPECT_EQ(ws.outstanding(), 0u);
+}
+
+TEST(Workspace, ConcurrentLeasesGetDistinctBuffers) {
+  Workspace ws;
+  auto a = ws.matrix(4, 4);
+  auto b = ws.matrix(4, 4);
+  EXPECT_NE(&*a, &*b);
+  EXPECT_EQ(ws.outstanding(), 2u);
+  (*a)(1, 1) = 5.0;
+  EXPECT_EQ((*b)(1, 1), 0.0);
+}
+
+TEST(Workspace, LeaseAddressesSurvivePoolGrowth) {
+  Workspace ws;
+  auto a = ws.matrix(2, 2);
+  Matrix* pa = &*a;
+  std::vector<Workspace::MatrixLease> extra;
+  for (int i = 0; i < 50; ++i) extra.push_back(ws.matrix(2, 2));
+  (*a)(0, 1) = 9.0;
+  EXPECT_EQ(pa, &*a);
+  EXPECT_EQ((*pa)(0, 1), 9.0);
+}
+
+}  // namespace
+}  // namespace tafloc
