@@ -20,8 +20,8 @@ namespace {
 using namespace tafloc;
 using namespace tafloc::bench;
 
-constexpr int kSeeds = 3;
-constexpr std::size_t kTargets = 40;
+const int kSeeds = smoke_or(3, 1);
+const std::size_t kTargets = smoke_or(std::size_t{40}, std::size_t{4});
 
 struct Outcome {
   double err_day0 = 0.0;
@@ -104,7 +104,5 @@ BENCHMARK(BM_SurveyWithDiversity)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond)
 
 int main(int argc, char** argv) {
   run_experiment();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return tafloc::bench::finish_benchmarks(argc, argv);
 }

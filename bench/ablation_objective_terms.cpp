@@ -18,7 +18,7 @@ namespace {
 using namespace tafloc;
 using namespace tafloc::bench;
 
-constexpr int kSeeds = 3;
+const int kSeeds = smoke_or(3, 1);
 
 struct Variant {
   const char* name;
@@ -121,7 +121,5 @@ BENCHMARK(BM_LoliIrByRank)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMi
 
 int main(int argc, char** argv) {
   run_experiment();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return tafloc::bench::finish_benchmarks(argc, argv);
 }

@@ -23,7 +23,8 @@ using namespace tafloc::bench;
 
 constexpr std::size_t kCounts[] = {2, 4, 6, 8, 10, 14, 20};
 constexpr double kEvalDay = 45.0;
-constexpr int kSeeds = 3;
+const int kSeeds = smoke_or(3, 1);
+const std::size_t kNumCounts = smoke_or(std::size(kCounts), std::size_t{3});
 
 double error_for(std::size_t n_refs, ReferencePolicy policy) {
   double sum = 0.0;
@@ -53,7 +54,8 @@ void run_experiment() {
   const SurveyCostModel cost;
   AsciiTable table;
   table.set_header({"refs", "QR pivot", "random", "uniform grid", "update cost"});
-  for (std::size_t n : kCounts) {
+  for (std::size_t c = 0; c < kNumCounts; ++c) {
+    const std::size_t n = kCounts[c];
     const double qr = error_for(n, ReferencePolicy::QrPivot);
     const double random = error_for(n, ReferencePolicy::Random);
     const double uniform = error_for(n, ReferencePolicy::UniformGrid);
@@ -91,7 +93,5 @@ BENCHMARK(BM_LrrFit)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return tafloc::bench::finish_benchmarks(argc, argv);
 }

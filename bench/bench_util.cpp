@@ -1,6 +1,10 @@
 #include "bench_util.h"
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "tafloc/util/stats.h"
 #include "tafloc/util/table.h"
@@ -83,5 +87,24 @@ void print_cdf_summary(const std::string& label, const std::vector<double>& samp
 }
 
 std::string csv_path(const std::string& stem) { return stem + ".csv"; }
+
+bool smoke_mode() {
+  static const bool on = [] {
+    const char* v = std::getenv("TAFLOC_BENCH_SMOKE");
+    return v != nullptr && std::strcmp(v, "0") != 0;
+  }();
+  return on;
+}
+
+int finish_benchmarks(int argc, char** argv) {
+  if (smoke_mode()) {
+    std::printf("[smoke] TAFLOC_BENCH_SMOKE set: tables ran at tiny sizes, "
+                "micro timings skipped\n");
+    return 0;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
 
 }  // namespace tafloc::bench

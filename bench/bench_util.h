@@ -65,4 +65,20 @@ void print_cdf_summary(const std::string& label, const std::vector<double>& samp
 /// Directory-less CSV path helper (benches write CSVs into the CWD).
 std::string csv_path(const std::string& stem);
 
+/// True when the TAFLOC_BENCH_SMOKE environment variable is set to
+/// anything but "0": every bench shrinks its paper table to tiny sizes
+/// and skips the google-benchmark timings, so CI can exercise all the
+/// figure code in seconds.  Smoke output is for liveness, not numbers.
+bool smoke_mode();
+
+/// Pick the experiment size for the current mode.
+template <typename T>
+T smoke_or(T full, T smoke) {
+  return smoke_mode() ? smoke : full;
+}
+
+/// Shared main() tail: runs the google-benchmark micro timings (after
+/// `benchmark::Initialize`), or skips them entirely in smoke mode.
+int finish_benchmarks(int argc, char** argv);
+
 }  // namespace tafloc::bench

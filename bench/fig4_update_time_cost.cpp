@@ -26,6 +26,9 @@ using namespace tafloc;
 using namespace tafloc::bench;
 
 constexpr double kEdges[] = {6.0, 12.0, 18.0, 24.0, 30.0, 36.0};
+// Smoke mode measures only the two smallest areas (the 36 m rank
+// measurement is by far the slowest part of this bench).
+const std::size_t kNumEdges = smoke_or(std::size(kEdges), std::size_t{2});
 
 /// TafLoc's reference count for an area: the numeric rank of its
 /// (noise-free) fingerprint matrix, measured on the actual deployment.
@@ -59,7 +62,8 @@ void run_experiment() {
   table.set_header({"edge", "grids", "links", "refs (rank)", "existing systems", "TafLoc",
                     "speedup"});
 
-  for (double edge : kEdges) {
+  for (std::size_t e = 0; e < kNumEdges; ++e) {
+    const double edge = kEdges[e];
     const Deployment d = Deployment::square_area(edge);
     const std::size_t refs = measured_reference_count(edge);
     const double full = cost.full_survey_hours(edge);
@@ -132,7 +136,5 @@ BENCHMARK(BM_TafLocUpdateThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
 
 int main(int argc, char** argv) {
   run_experiment();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return tafloc::bench::finish_benchmarks(argc, argv);
 }

@@ -21,8 +21,8 @@ using namespace tafloc;
 using namespace tafloc::bench;
 
 constexpr double kEvalDay = 90.0;
-constexpr int kSeeds = 3;
-constexpr std::size_t kTargetsPerSeed = 60;
+const int kSeeds = smoke_or(3, 1);
+const std::size_t kTargetsPerSeed = smoke_or(std::size_t{60}, std::size_t{6});
 
 void run_experiment() {
   std::printf("=== Fig. 5: localization error CDF at 3 months ===\n");
@@ -124,7 +124,5 @@ BENCHMARK(BM_LocalizeRass);
 
 int main(int argc, char** argv) {
   run_experiment();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return tafloc::bench::finish_benchmarks(argc, argv);
 }

@@ -2,16 +2,18 @@
 // reconstruction and localization path runs on.  Sizes bracket the
 // paper room (10 x 96) and the Fig. 4 sweep endpoints.
 //
-// Before the google-benchmark suite runs, a thread-scaling experiment
-// times the destination-passing gemm at 1/2/4/8 threads and writes
-// BENCH_linalg.json (ops/sec per thread count) -- the CI artefact that
-// tracks the parallel speedup.
+// Before the google-benchmark suite runs, two experiments write
+// BENCH_linalg.json (the CI artefact): a thread-scaling sweep of the
+// destination-passing gemm at 1/2/4/8 threads, and copy-vs-view
+// comparisons of the strided-view kernels (column scan and gemm on a
+// column range) that track the zero-copy win of the view layer.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 
+#include "bench_util.h"
 #include "tafloc/exec/exec_config.h"
 #include "tafloc/exec/workspace.h"
 #include "tafloc/linalg/cg.h"
@@ -208,46 +210,165 @@ void BM_SingularValueShrink(benchmark::State& state) {
 }
 BENCHMARK(BM_SingularValueShrink)->Unit(benchmark::kMicrosecond);
 
-/// Time one 512 x 512 multiply_into at the given pool size; returns
-/// operations per second over ~0.5 s of repetitions.
-double gemm_ops_per_sec(std::size_t threads) {
-  set_global_threads(threads);
-  const Matrix a = fixture_matrix(512, 512, 1);
-  const Matrix b = fixture_matrix(512, 512, 2);
-  Matrix out(512, 512);
-  multiply_into(a, b, out);  // warm the pool and the caches
+void BM_ColumnScanCopy(benchmark::State& state) {
+  // Sum every column through Matrix::col (allocates + copies the
+  // column) -- the pre-view idiom of the matcher scan loops.
+  const Matrix m = fixture_matrix(96, 400, 10);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const Vector c = m.col(j);
+      for (double v : c) acc += v;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ColumnScanCopy);
 
+void BM_ColumnScanView(benchmark::State& state) {
+  // Same scan through col_view: strided reads, zero allocation.
+  const Matrix m = fixture_matrix(96, 400, 10);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const ConstVectorView c = m.col_view(j);
+      for (std::size_t i = 0; i < c.size(); ++i) acc += c[i];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ColumnScanView);
+
+void BM_GemmColumnRangeCopy(benchmark::State& state) {
+  const Matrix a = fixture_matrix(128, 256, 11);
+  const Matrix b = fixture_matrix(128, 128, 12);
+  Matrix out(128, 128);
+  for (auto _ : state) {
+    const Matrix mid(a.columns_view(64, 128));  // materialize the slice
+    multiply_into(mid, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_GemmColumnRangeCopy);
+
+void BM_GemmColumnRangeView(benchmark::State& state) {
+  const Matrix a = fixture_matrix(128, 256, 11);
+  const Matrix b = fixture_matrix(128, 128, 12);
+  Matrix out(128, 128);
+  for (auto _ : state) {
+    multiply_into(a.columns_view(64, 128), b.view(), out.view());
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_GemmColumnRangeView);
+
+// ---- BENCH_linalg.json: thread scaling + copy-vs-view ----
+
+/// Repeat `op` for ~`budget` and return operations per second.
+template <typename Op>
+double ops_per_sec(Op&& op, std::chrono::milliseconds budget) {
   using clock = std::chrono::steady_clock;
+  op();  // warm caches (and the pool, for threaded ops)
   const auto t0 = clock::now();
   std::size_t reps = 0;
-  while (clock::now() - t0 < std::chrono::milliseconds(500)) {
-    multiply_into(a, b, out);
-    benchmark::DoNotOptimize(out.data().data());
+  while (clock::now() - t0 < budget) {
+    op();
     ++reps;
   }
   const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
   return static_cast<double>(reps) / seconds;
 }
 
-void run_thread_scaling_experiment() {
-  std::printf("=== gemm thread scaling: 512 x 512 multiply_into ===\n");
+struct CopyVsView {
+  const char* name;
+  double copy_ops = 0.0;
+  double view_ops = 0.0;
+};
+
+void run_json_experiments() {
+  using tafloc::bench::smoke_or;
+  // Smoke mode shrinks problem sizes and timing budgets so CI's
+  // bench-smoke job still produces a (noisy) BENCH_linalg.json fast.
+  const std::size_t n = smoke_or<std::size_t>(512, 64);
+  const auto budget = std::chrono::milliseconds(smoke_or(500, 20));
+
+  // 1) gemm thread scaling.
+  std::printf("=== gemm thread scaling: %zu x %zu multiply_into ===\n", n, n);
   const std::size_t before = global_thread_count();
+  const Matrix a = fixture_matrix(n, n, 1);
+  const Matrix b = fixture_matrix(n, n, 2);
+  Matrix out(n, n);
   const std::size_t counts[] = {1, 2, 4, 8};
-  double results[4] = {};
+  double scaling[4] = {};
   for (std::size_t i = 0; i < 4; ++i) {
-    results[i] = gemm_ops_per_sec(counts[i]);
-    std::printf("  threads=%zu  %8.2f ops/s  (%.2fx vs 1 thread)\n", counts[i], results[i],
-                results[i] / results[0]);
+    set_global_threads(counts[i]);
+    scaling[i] = ops_per_sec([&] { multiply_into(a, b, out); }, budget);
+    std::printf("  threads=%zu  %8.2f ops/s  (%.2fx vs 1 thread)\n", counts[i], scaling[i],
+                scaling[i] / scaling[0]);
   }
   set_global_threads(before);
 
+  // 2) copy-vs-view on the strided-view kernels.
+  std::printf("=== copy vs view: strided column scan, gemm on a column range ===\n");
+  const std::size_t rows = smoke_or<std::size_t>(96, 24);
+  const std::size_t cols = smoke_or<std::size_t>(400, 40);
+  const Matrix fp = fixture_matrix(rows, cols, 10);
+  CopyVsView cases[2] = {{"column_scan"}, {"gemm_column_range"}};
+  cases[0].copy_ops = ops_per_sec(
+      [&] {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < fp.cols(); ++j) {
+          const Vector c = fp.col(j);
+          for (double v : c) acc += v;
+        }
+        benchmark::DoNotOptimize(acc);
+      },
+      budget);
+  cases[0].view_ops = ops_per_sec(
+      [&] {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < fp.cols(); ++j) {
+          const ConstVectorView c = fp.col_view(j);
+          for (std::size_t i = 0; i < c.size(); ++i) acc += c[i];
+        }
+        benchmark::DoNotOptimize(acc);
+      },
+      budget);
+  const std::size_t g = smoke_or<std::size_t>(128, 24);
+  const Matrix ga = fixture_matrix(g, 2 * g, 11);
+  const Matrix gb = fixture_matrix(g, g, 12);
+  Matrix gout(g, g);
+  cases[1].copy_ops = ops_per_sec(
+      [&] {
+        const Matrix mid(ga.columns_view(g / 2, g));
+        multiply_into(mid, gb, gout);
+      },
+      budget);
+  cases[1].view_ops =
+      ops_per_sec([&] { multiply_into(ga.columns_view(g / 2, g), gb.view(), gout.view()); },
+                  budget);
+  for (const CopyVsView& c : cases) {
+    std::printf("  %-18s copy %10.2f ops/s   view %10.2f ops/s   (view/copy %.2fx)\n",
+                c.name, c.copy_ops, c.view_ops, c.view_ops / c.copy_ops);
+  }
+
   std::ofstream json("BENCH_linalg.json");
-  json << "{\n  \"benchmark\": \"multiply_into_512x512\",\n  \"unit\": \"ops_per_sec\",\n"
-       << "  \"results\": [\n";
+  json << "{\n  \"unit\": \"ops_per_sec\",\n  \"smoke\": "
+       << (tafloc::bench::smoke_mode() ? "true" : "false") << ",\n";
+  json << "  \"thread_scaling\": {\n    \"benchmark\": \"multiply_into_" << n << "x" << n
+       << "\",\n    \"results\": [\n";
   for (std::size_t i = 0; i < 4; ++i) {
-    json << "    {\"threads\": " << counts[i] << ", \"ops_per_sec\": " << results[i]
-         << ", \"speedup\": " << results[i] / results[0] << "}" << (i + 1 < 4 ? "," : "")
+    json << "      {\"threads\": " << counts[i] << ", \"ops_per_sec\": " << scaling[i]
+         << ", \"speedup\": " << scaling[i] / scaling[0] << "}" << (i + 1 < 4 ? "," : "")
          << "\n";
+  }
+  json << "    ]\n  },\n  \"copy_vs_view\": [\n";
+  for (std::size_t i = 0; i < 2; ++i) {
+    json << "    {\"case\": \"" << cases[i].name
+         << "\", \"copy_ops_per_sec\": " << cases[i].copy_ops
+         << ", \"view_ops_per_sec\": " << cases[i].view_ops
+         << ", \"view_over_copy\": " << cases[i].view_ops / cases[i].copy_ops << "}"
+         << (i + 1 < 2 ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::printf("wrote BENCH_linalg.json\n\n");
@@ -256,8 +377,6 @@ void run_thread_scaling_experiment() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_thread_scaling_experiment();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  run_json_experiments();
+  return tafloc::bench::finish_benchmarks(argc, argv);
 }

@@ -18,7 +18,7 @@ using namespace tafloc;
 using namespace tafloc::bench;
 
 constexpr double kElapsedDays[] = {3.0, 5.0, 15.0, 45.0, 90.0};
-constexpr int kSeeds = 5;
+const int kSeeds = smoke_or(5, 1);
 
 void run_experiment() {
   std::printf("=== Section 1 inline numbers: ambient RSS drift over time ===\n");
@@ -85,7 +85,5 @@ BENCHMARK(BM_FullSurvey)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return tafloc::bench::finish_benchmarks(argc, argv);
 }

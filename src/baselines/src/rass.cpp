@@ -67,9 +67,10 @@ Point2 RassLocalizer::localize(std::span<const double> rss) const {
 
   std::vector<double> dist(candidates.size());
   for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const ConstVectorView col = fingerprints_.col_view(candidates[c]);
     double s = 0.0;
-    for (std::size_t i = 0; i < fingerprints_.rows(); ++i) {
-      const double d = rss[i] - fingerprints_(i, candidates[c]);
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      const double d = rss[i] - col[i];
       s += d * d;
     }
     dist[c] = std::sqrt(s);

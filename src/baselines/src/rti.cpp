@@ -42,7 +42,8 @@ RtiLocalizer::RtiLocalizer(const Deployment& deployment, Vector ambient, const R
     // Regularized normal matrix Q = W^T W + alpha * Laplacian + eps I,
     // where the Laplacian sums (e_a - e_b)(e_a - e_b)^T over 4-neighbour
     // grid pairs (the Dx^T Dx + Dy^T Dy 'difference image' prior).
-    Matrix q = gram_product(w_dense_, w_dense_);
+    Matrix q(n, n);
+    gram_product_into(w_dense_.view(), w_dense_.view(), q.view());
     for (std::size_t j = 0; j < n; ++j) {
       for (std::size_t nb : grid_.neighbors4(j)) {
         if (nb < j) continue;  // count each pair once

@@ -26,8 +26,17 @@ class FingerprintDatabase {
   const Vector& ambient() const noexcept { return ambient_; }
   double surveyed_at_days() const noexcept { return surveyed_at_; }
 
+  /// Non-owning view of the fingerprint matrix.  Valid until the next
+  /// update() that reallocates the storage (see view.h); consumers that
+  /// hold it across updates must be re-pointed afterwards.
+  ConstMatrixView fingerprints_view() const noexcept { return fingerprints_.view(); }
+
   /// Fingerprint column of grid j.
   Vector fingerprint_of(std::size_t grid) const;
+
+  /// Fingerprint column of grid j as a strided view (zero-copy; same
+  /// lifetime caveat as fingerprints_view()).
+  ConstVectorView col_view(std::size_t grid) const { return fingerprints_.col_view(grid); }
 
   /// Replace the fingerprint matrix (e.g. with a reconstruction) and
   /// advance the survey timestamp.  Shape must be unchanged.

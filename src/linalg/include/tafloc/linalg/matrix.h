@@ -15,15 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "tafloc/linalg/view.h"
 #include "tafloc/util/check.h"
-
-// Element access is unchecked (and noexcept) in release builds; debug
-// builds bounds-check, which throws.
-#ifdef NDEBUG
-#define TAFLOC_MATRIX_ACCESS_NOEXCEPT noexcept
-#else
-#define TAFLOC_MATRIX_ACCESS_NOEXCEPT noexcept(false)
-#endif
 
 namespace tafloc {
 
@@ -49,6 +42,9 @@ class Matrix {
 
   /// Column matrix (n x 1) from a vector.
   static Matrix column(std::span<const double> v);
+
+  /// Owning copy of a (possibly strided) view.
+  explicit Matrix(ConstMatrixView v);
 
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
@@ -83,15 +79,56 @@ class Matrix {
   /// Overwrite row r / column c.  Span length must match.
   void set_row(std::size_t r, std::span<const double> values);
   void set_col(std::size_t c, std::span<const double> values);
+  /// Overwrite column c from a (possibly strided) view -- the zero-copy
+  /// column-to-column transfer.
+  void set_col(std::size_t c, ConstVectorView values);
 
   /// Contiguous storage (row-major).
   std::span<double> data() noexcept { return data_; }
   std::span<const double> data() const noexcept { return data_; }
 
-  /// Reshape in place to rows x cols.  Element values are unspecified
-  /// afterwards (pair with fill()); no allocation happens while
+  // -- non-owning views (valid while this matrix is alive and its
+  // storage unreallocated; see view.h for the lifetime contract) --
+
+  /// View of the whole matrix (row_stride == cols).
+  ConstMatrixView view() const noexcept { return {data_.data(), rows_, cols_, cols_}; }
+  MatrixView view() noexcept { return {data_.data(), rows_, cols_, cols_}; }
+
+  /// Implicit conversion so view-based kernels accept a Matrix directly.
+  operator ConstMatrixView() const noexcept { return view(); }
+  operator MatrixView() noexcept { return view(); }
+
+  /// Column c as a strided vector view (no copy, unlike col()).
+  ConstVectorView col_view(std::size_t c) const { return view().col_view(c); }
+  VectorView col_view(std::size_t c) { return view().col_view(c); }
+
+  /// Row r as a contiguous span (rows of a row-major matrix are dense).
+  std::span<const double> row_span(std::size_t r) const { return view().row_span(r); }
+  std::span<double> row_span(std::size_t r) { return view().row_span(r); }
+
+  /// The (nr x nc) block starting at (r0, c0), sharing this storage
+  /// (no copy, unlike submatrix()).
+  ConstMatrixView block_view(std::size_t r0, std::size_t c0, std::size_t nr,
+                             std::size_t nc) const {
+    return view().block_view(r0, c0, nr, nc);
+  }
+  MatrixView block_view(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) {
+    return view().block_view(r0, c0, nr, nc);
+  }
+
+  /// The contiguous column range [c0, c0 + nc), all rows.
+  ConstMatrixView columns_view(std::size_t c0, std::size_t nc) const {
+    return view().columns_view(c0, nc);
+  }
+  MatrixView columns_view(std::size_t c0, std::size_t nc) { return view().columns_view(c0, nc); }
+
+  /// Reshape in place to rows x cols.  Contents are reinterpreted in
+  /// flattened row-major order: the first min(old, new) elements keep
+  /// their values and any tail beyond the old size is zero
+  /// (std::vector::resize value-initializes) -- pair with fill() when
+  /// fresh contents are needed.  No allocation happens while
   /// rows * cols stays within capacity() -- the property Workspace
-  /// leasing relies on.
+  /// leasing (and view stability) relies on.
   void resize(std::size_t rows, std::size_t cols) {
     TAFLOC_CHECK_ARG((rows == 0) == (cols == 0),
                      "a matrix must have both dimensions zero or both positive");
@@ -189,40 +226,73 @@ double max_abs_diff(const Matrix& a, const Matrix& b);
 
 // -- destination-passing kernels --
 //
-// The in-place counterparts of the value-returning operations above:
-// each writes into a caller-provided `out` (resized as needed, so a
-// Workspace-leased buffer is reused without allocation) and runs
-// blocked/tiled with the outer loop parallelized on the global
-// ThreadPool.  Work is partitioned by *output rows*, and each output
-// element's floating-point accumulation order is identical to the
-// sequential kernel's, so results are bit-identical at every thread
-// count.  The value-returning API is a thin wrapper over these.
+// The in-place counterparts of the value-returning operations above.
+// The fundamental forms operate on *views*: inputs are ConstMatrixView
+// (a Matrix converts implicitly; a block/column-range view plugs in
+// with zero copies) and the output is a pre-shaped MatrixView --
+// shapes are checked, never resized, so a kernel can write straight
+// into a block of a larger matrix.  The owning-Matrix overloads below
+// them are one-line wrappers that resize `out` (so a Workspace-leased
+// buffer is reused without allocation) and forward to the view form.
+//
+// Each kernel runs blocked/tiled with the outer loop parallelized on
+// the global ThreadPool.  Work is partitioned by *output rows*, and
+// each output element's floating-point accumulation order is identical
+// to the sequential kernel's, so results are bit-identical at every
+// thread count -- and identical whether operands are owning matrices,
+// views of them, or views into larger strided storage.
+//
+// Aliasing: where "out must not alias an input" is stated, debug
+// builds verify it (std::invalid_argument on overlap of the viewed
+// storage ranges); release builds trust the caller.
 
-/// out = a * b (blocked gemm; out must not alias a or b).
-void multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a * b (blocked gemm; out pre-shaped a.rows() x b.cols(); out
+/// must not alias a or b).
+void multiply_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
-/// y = a * x (parallel over rows; y resized to a.rows()).
-void multiply_into(const Matrix& a, std::span<const double> x, Vector& y);
+/// out = a^T * b without forming transposes (out pre-shaped
+/// a.cols() x b.cols(); out must not alias a or b).
+void gram_product_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
-/// y = a^T x (parallel over output entries; y resized to a.cols()).
-void multiply_transposed_into(const Matrix& a, std::span<const double> x, Vector& y);
+/// out = a * b^T without forming transposes (out pre-shaped
+/// a.rows() x b.rows(); out must not alias a or b).
+void outer_product_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
-/// out = a^T * b without forming transposes (out must not alias a or b).
-void gram_product_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a^T (out pre-shaped a.cols() x a.rows(); must not alias a).
+void transposed_into(ConstMatrixView a, MatrixView out);
 
-/// out = a * b^T without forming transposes (out must not alias a or b).
-void outer_product_into(const Matrix& a, const Matrix& b, Matrix& out);
-
-/// out = a^T (out must not alias a).
-void transposed_into(const Matrix& a, Matrix& out);
-
-/// out = a o b element-wise (out may alias a or b).
-void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a o b element-wise (out pre-shaped; may alias a or b when the
+/// strides line up, e.g. all three are views of equal shape).
+void hadamard_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
 /// y += s * x element-wise (the matrix axpy; shapes must match).
-void add_scaled_into(const Matrix& x, double s, Matrix& y);
+void add_scaled_into(ConstMatrixView x, double s, MatrixView y);
+
+/// Copy src into dst (shapes must match; strided-to-strided).
+void copy_into(ConstMatrixView src, MatrixView dst);
+
+/// Gather arbitrary columns of src (in index order, duplicates
+/// allowed) into the pre-shaped dst (src.rows() x indices.size()) --
+/// the no-allocation replacement for select_columns() when the
+/// destination is leased.
+void gather_columns_into(ConstMatrixView src, std::span<const std::size_t> indices,
+                         MatrixView dst);
+
+// Owning-Matrix overloads: resize `out` and forward to the view form.
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+void gram_product_into(const Matrix& a, const Matrix& b, Matrix& out);
+void outer_product_into(const Matrix& a, const Matrix& b, Matrix& out);
+void transposed_into(const Matrix& a, Matrix& out);
+void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out);
+void gather_columns_into(const Matrix& src, std::span<const std::size_t> indices, Matrix& dst);
+
+/// y = a * x (parallel over rows; y resized to a.rows()).
+void multiply_into(ConstMatrixView a, std::span<const double> x, Vector& y);
+
+/// y = a^T x (parallel over output entries; y resized to a.cols()).
+void multiply_transposed_into(ConstMatrixView a, std::span<const double> x, Vector& y);
 
 /// Frobenius norm of (a - b) without forming the difference.
-double frobenius_diff_norm(const Matrix& a, const Matrix& b);
+double frobenius_diff_norm(ConstMatrixView a, ConstMatrixView b);
 
 }  // namespace tafloc

@@ -18,6 +18,11 @@ double soft_threshold(double x, double tau) noexcept;
 /// norm): U * max(Sigma - tau, 0) * V^T.  tau must be >= 0.
 Matrix singular_value_shrink(const Matrix& a, double tau);
 
+/// Destination-passing shrink: writes into `out` (resized; reuses the
+/// buffer across solver iterations).  `out` must not alias `a`.
+/// Identical arithmetic to singular_value_shrink.
+void singular_value_shrink_into(const Matrix& a, double tau, Matrix& out);
+
 /// First-difference operator D (size (n-1) x n): (D x)_i = x_{i+1} - x_i.
 /// Requires n >= 2.  Left-multiplying by D differences the rows of a
 /// matrix (the paper's H); right-multiplying by D^T differences its

@@ -23,6 +23,11 @@ struct SvdResult {
   /// singular triplets (rank = 0 means use all of them).
   Matrix reconstruct(std::size_t rank = 0) const;
 
+  /// Destination-passing reconstruct: resizes `out` (no allocation
+  /// within capacity) and writes the same result, same accumulation
+  /// order, as reconstruct().
+  void reconstruct_into(Matrix& out, std::size_t rank = 0) const;
+
   /// Number of singular values > rel_tol * sigma[0] (0 if sigma[0] == 0).
   std::size_t numeric_rank(double rel_tol = 1e-10) const;
 

@@ -1,0 +1,236 @@
+// Non-owning strided views over dense row-major storage.
+//
+// The fingerprint pipeline is dominated by repeated sub-matrix slicing
+// of one large RSS matrix (column scans in the matchers, reference
+// sub-blocks in the solvers).  These views make every such slice
+// zero-copy: a view is a (pointer, shape, row-stride) triple into
+// storage owned by someone else -- the same tensor-view discipline a
+// training stack uses.
+//
+// Lifetime contract: a view is valid only while the viewed storage is
+// alive AND unreallocated.  Matrix::resize() within capacity keeps
+// views alive; growing past capacity, move-assignment and destruction
+// invalidate them.  Views are cheap value types -- pass them by value.
+//
+// Stride contract: rows are `row_stride` elements apart; elements
+// within a row are contiguous.  A full row-major matrix has
+// row_stride == cols; a block or column-range view of it has
+// row_stride == the parent's cols.  Vector views carry their own
+// element stride so a matrix column (stride == row_stride) is a view,
+// not a copy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tafloc/util/check.h"
+
+// Element access is unchecked (and noexcept) in release builds; debug
+// builds bounds-check, which throws.
+#ifdef NDEBUG
+#define TAFLOC_MATRIX_ACCESS_NOEXCEPT noexcept
+#else
+#define TAFLOC_MATRIX_ACCESS_NOEXCEPT noexcept(false)
+#endif
+
+namespace tafloc {
+
+/// Read-only strided vector view: `size` elements, `stride` apart.
+class ConstVectorView {
+ public:
+  ConstVectorView() = default;
+  ConstVectorView(const double* data, std::size_t size, std::size_t stride = 1) noexcept
+      : data_(data), size_(size), stride_(stride) {}
+  /// Contiguous storage (spans, Vector via span) views with stride 1.
+  ConstVectorView(std::span<const double> s) noexcept : data_(s.data()), size_(s.size()) {}
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t stride() const noexcept { return stride_; }
+  const double* data() const noexcept { return data_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool contiguous() const noexcept { return stride_ == 1 || size_ <= 1; }
+
+  double operator[](std::size_t i) const TAFLOC_MATRIX_ACCESS_NOEXCEPT {
+#ifndef NDEBUG
+    TAFLOC_CHECK_BOUNDS(i, size_, "VectorView index");
+#endif
+    return data_[i * stride_];
+  }
+
+  /// Owning copy (the explicit "I need a contiguous buffer" escape).
+  std::vector<double> to_vector() const {
+    std::vector<double> v(size_);
+    for (std::size_t i = 0; i < size_; ++i) v[i] = data_[i * stride_];
+    return v;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t stride_ = 1;
+};
+
+/// Mutable strided vector view.
+class VectorView {
+ public:
+  VectorView() = default;
+  VectorView(double* data, std::size_t size, std::size_t stride = 1) noexcept
+      : data_(data), size_(size), stride_(stride) {}
+  VectorView(std::span<double> s) noexcept : data_(s.data()), size_(s.size()) {}
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t stride() const noexcept { return stride_; }
+  double* data() const noexcept { return data_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool contiguous() const noexcept { return stride_ == 1 || size_ <= 1; }
+
+  double& operator[](std::size_t i) const TAFLOC_MATRIX_ACCESS_NOEXCEPT {
+#ifndef NDEBUG
+    TAFLOC_CHECK_BOUNDS(i, size_, "VectorView index");
+#endif
+    return data_[i * stride_];
+  }
+
+  void fill(double value) const noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i * stride_] = value;
+  }
+
+  operator ConstVectorView() const noexcept { return {data_, size_, stride_}; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t stride_ = 1;
+};
+
+/// Read-only view of a row-major matrix (or a block of one): rows are
+/// `row_stride` elements apart, each row contiguous.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t row_stride) noexcept
+      : data_(data), rows_(rows), cols_(cols), row_stride_(row_stride) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t row_stride() const noexcept { return row_stride_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  const double* data() const noexcept { return data_; }
+  /// True when the viewed elements form one contiguous range.
+  bool contiguous() const noexcept { return row_stride_ == cols_ || rows_ <= 1; }
+
+  double operator()(std::size_t r, std::size_t c) const TAFLOC_MATRIX_ACCESS_NOEXCEPT {
+#ifndef NDEBUG
+    TAFLOC_CHECK_BOUNDS(r, rows_, "MatrixView row");
+    TAFLOC_CHECK_BOUNDS(c, cols_, "MatrixView col");
+#endif
+    return data_[r * row_stride_ + c];
+  }
+
+  /// Pointer to the start of row r (rows are contiguous).
+  const double* row_ptr(std::size_t r) const noexcept { return data_ + r * row_stride_; }
+  /// Row r as a contiguous span.
+  std::span<const double> row_span(std::size_t r) const {
+    TAFLOC_CHECK_BOUNDS(r, rows_, "MatrixView row");
+    return {row_ptr(r), cols_};
+  }
+  /// Column j as a strided vector view (stride == row_stride).
+  ConstVectorView col_view(std::size_t j) const {
+    TAFLOC_CHECK_BOUNDS(j, cols_, "MatrixView col");
+    return {data_ + j, rows_, row_stride_};
+  }
+  /// The (nr x nc) block starting at (r0, c0), sharing this storage.
+  ConstMatrixView block_view(std::size_t r0, std::size_t c0, std::size_t nr,
+                             std::size_t nc) const {
+    TAFLOC_CHECK_ARG(r0 + nr <= rows_ && c0 + nc <= cols_, "block view exceeds matrix bounds");
+    return {data_ + r0 * row_stride_ + c0, nr, nc, row_stride_};
+  }
+  /// The contiguous column range [c0, c0 + nc), all rows.
+  ConstMatrixView columns_view(std::size_t c0, std::size_t nc) const {
+    return block_view(0, c0, rows_, nc);
+  }
+
+  bool same_shape(const ConstMatrixView& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// One-past-the-end of the viewed storage (for aliasing checks).
+  const double* storage_end() const noexcept {
+    return empty() ? data_ : data_ + (rows_ - 1) * row_stride_ + cols_;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t row_stride_ = 0;
+};
+
+/// Mutable view of a row-major matrix (or a block of one).
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, std::size_t rows, std::size_t cols, std::size_t row_stride) noexcept
+      : data_(data), rows_(rows), cols_(cols), row_stride_(row_stride) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t row_stride() const noexcept { return row_stride_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  double* data() const noexcept { return data_; }
+  bool contiguous() const noexcept { return row_stride_ == cols_ || rows_ <= 1; }
+
+  double& operator()(std::size_t r, std::size_t c) const TAFLOC_MATRIX_ACCESS_NOEXCEPT {
+#ifndef NDEBUG
+    TAFLOC_CHECK_BOUNDS(r, rows_, "MatrixView row");
+    TAFLOC_CHECK_BOUNDS(c, cols_, "MatrixView col");
+#endif
+    return data_[r * row_stride_ + c];
+  }
+
+  double* row_ptr(std::size_t r) const noexcept { return data_ + r * row_stride_; }
+  std::span<double> row_span(std::size_t r) const {
+    TAFLOC_CHECK_BOUNDS(r, rows_, "MatrixView row");
+    return {row_ptr(r), cols_};
+  }
+  VectorView col_view(std::size_t j) const {
+    TAFLOC_CHECK_BOUNDS(j, cols_, "MatrixView col");
+    return {data_ + j, rows_, row_stride_};
+  }
+  MatrixView block_view(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const {
+    TAFLOC_CHECK_ARG(r0 + nr <= rows_ && c0 + nc <= cols_, "block view exceeds matrix bounds");
+    return {data_ + r0 * row_stride_ + c0, nr, nc, row_stride_};
+  }
+  MatrixView columns_view(std::size_t c0, std::size_t nc) const {
+    return block_view(0, c0, rows_, nc);
+  }
+
+  void fill(double value) const noexcept {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      double* p = row_ptr(r);
+      for (std::size_t c = 0; c < cols_; ++c) p[c] = value;
+    }
+  }
+
+  bool same_shape(const ConstMatrixView& other) const noexcept {
+    return rows_ == other.rows() && cols_ == other.cols();
+  }
+
+  double* storage_end() const noexcept {
+    return empty() ? data_ : data_ + (rows_ - 1) * row_stride_ + cols_;
+  }
+
+  operator ConstMatrixView() const noexcept { return {data_, rows_, cols_, row_stride_}; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t row_stride_ = 0;
+};
+
+}  // namespace tafloc

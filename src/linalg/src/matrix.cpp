@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <iomanip>
 #include <sstream>
 
@@ -20,7 +21,28 @@ std::size_t row_grain(std::size_t flops_per_row) {
   return std::max<std::size_t>(1, kKernelGrainFlops / std::max<std::size_t>(flops_per_row, 1));
 }
 
+#ifndef NDEBUG
+/// True when the storage ranges of two views overlap.  Conservative:
+/// compares the [data, storage_end) envelopes, so two interleaved
+/// column views of one matrix count as overlapping -- exactly the
+/// situation the "must not alias" kernels cannot handle.
+bool views_overlap(ConstMatrixView a, ConstMatrixView b) {
+  if (a.empty() || b.empty()) return false;
+  const std::less<const double*> lt;
+  return lt(a.data(), b.storage_end()) && lt(b.data(), a.storage_end());
+}
+#endif
+
 }  // namespace
+
+Matrix::Matrix(ConstMatrixView v)
+    : rows_(v.empty() ? 0 : v.rows()),
+      cols_(v.empty() ? 0 : v.cols()),
+      data_(v.empty() ? 0 : v.rows() * v.cols()) {
+  for (std::size_t r = 0; r < rows_; ++r)
+    std::copy(v.row_ptr(r), v.row_ptr(r) + cols_,
+              data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {
@@ -97,6 +119,14 @@ void Matrix::set_col(std::size_t c, std::span<const double> values) {
   TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
   TAFLOC_CHECK_ARG(values.size() == rows_, "column length mismatch");
   for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+void Matrix::set_col(std::size_t c, ConstVectorView values) {
+  TAFLOC_CHECK_BOUNDS(c, cols_, "Matrix col");
+  TAFLOC_CHECK_ARG(values.size() == rows_, "column length mismatch");
+  const double* p = values.data();
+  const std::size_t st = values.stride();
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = p[r * st];
 }
 
 Matrix Matrix::transposed() const {
@@ -258,16 +288,25 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
 }
 
 // ---------------- destination-passing kernels ----------------
+//
+// The view forms below are the real kernels; the owning-Matrix
+// overloads resize the destination and forward.  Strided access goes
+// through row_ptr() (rows are contiguous within a view), so the inner
+// loops and the per-output-element accumulation order are exactly the
+// contiguous kernels' -- bit-identity holds across thread counts AND
+// across owning-vs-view operands.
 
-void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+void multiply_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   TAFLOC_CHECK_ARG(a.cols() == b.rows(), "matrix product inner dimensions must agree");
-  TAFLOC_CHECK_ARG(&out != &a && &out != &b, "multiply_into destination must not alias an input");
-  out.resize(a.rows(), b.cols());
+  TAFLOC_CHECK_ARG(out.rows() == a.rows() && out.cols() == b.cols(),
+                   "multiply_into destination shape mismatch");
+#ifndef NDEBUG
+  TAFLOC_CHECK_ARG(!views_overlap(out, a) && !views_overlap(out, b),
+                   "multiply_into destination must not alias an input");
+#endif
   out.fill(0.0);
   const std::size_t kk = a.cols();
   const std::size_t nc = b.cols();
-  const double* bp = b.data().data();
-  double* cp = out.data().data();
   // Row-panel blocking: within a panel of kPanel output rows the k loop
   // is outermost, so each B row is streamed once per panel instead of
   // once per output row.  Per output element the accumulation still
@@ -280,11 +319,11 @@ void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
         for (std::size_t i0 = r0; i0 < r1; i0 += kPanel) {
           const std::size_t ilim = std::min(i0 + kPanel, r1);
           for (std::size_t k = 0; k < kk; ++k) {
-            const double* brow = bp + k * nc;
+            const double* brow = b.row_ptr(k);
             for (std::size_t i = i0; i < ilim; ++i) {
-              const double aik = a(i, k);
+              const double aik = a.row_ptr(i)[k];
               if (aik == 0.0) continue;
-              double* crow = cp + i * nc;
+              double* crow = out.row_ptr(i);
               for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
             }
           }
@@ -292,20 +331,21 @@ void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
       });
 }
 
-void multiply_into(const Matrix& a, std::span<const double> x, Vector& y) {
+void multiply_into(ConstMatrixView a, std::span<const double> x, Vector& y) {
   TAFLOC_CHECK_ARG(a.cols() == x.size(), "matrix-vector product dimension mismatch");
   y.assign(a.rows(), 0.0);
   ThreadPool::global().parallel_for(
       0, a.rows(), row_grain(a.cols()), [&](std::size_t r0, std::size_t r1) {
         for (std::size_t i = r0; i < r1; ++i) {
+          const double* arow = a.row_ptr(i);
           double s = 0.0;
-          for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+          for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
           y[i] = s;
         }
       });
 }
 
-void multiply_transposed_into(const Matrix& a, std::span<const double> x, Vector& y) {
+void multiply_transposed_into(ConstMatrixView a, std::span<const double> x, Vector& y) {
   TAFLOC_CHECK_ARG(a.rows() == x.size(), "transposed matrix-vector product dimension mismatch");
   y.assign(a.cols(), 0.0);
   // Partitioned over *output* entries: every lane scans all rows but
@@ -316,9 +356,150 @@ void multiply_transposed_into(const Matrix& a, std::span<const double> x, Vector
         for (std::size_t i = 0; i < a.rows(); ++i) {
           const double xi = x[i];
           if (xi == 0.0) continue;
-          for (std::size_t j = c0; j < c1; ++j) y[j] += a(i, j) * xi;
+          const double* arow = a.row_ptr(i);
+          for (std::size_t j = c0; j < c1; ++j) y[j] += arow[j] * xi;
         }
       });
+}
+
+void gram_product_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  TAFLOC_CHECK_ARG(a.rows() == b.rows(), "gram_product requires equal row counts");
+  TAFLOC_CHECK_ARG(out.rows() == a.cols() && out.cols() == b.cols(),
+                   "gram_product_into destination shape mismatch");
+#ifndef NDEBUG
+  TAFLOC_CHECK_ARG(!views_overlap(out, a) && !views_overlap(out, b),
+                   "gram_product_into destination must not alias an input");
+#endif
+  out.fill(0.0);
+  const std::size_t kk = a.rows();
+  const std::size_t nc = b.cols();
+  ThreadPool::global().parallel_for(
+      0, a.cols(), row_grain(kk * nc), [&](std::size_t r0, std::size_t r1) {
+        // k outermost (as in the sequential kernel) keeps per-element
+        // accumulation order identical; the i loop covers only this
+        // lane's output rows.
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double* arow = a.row_ptr(k);
+          const double* brow = b.row_ptr(k);
+          for (std::size_t i = r0; i < r1; ++i) {
+            const double aki = arow[i];
+            if (aki == 0.0) continue;
+            double* crow = out.row_ptr(i);
+            for (std::size_t j = 0; j < nc; ++j) crow[j] += aki * brow[j];
+          }
+        }
+      });
+}
+
+void outer_product_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  TAFLOC_CHECK_ARG(a.cols() == b.cols(), "outer_product requires equal column counts");
+  TAFLOC_CHECK_ARG(out.rows() == a.rows() && out.cols() == b.rows(),
+                   "outer_product_into destination shape mismatch");
+#ifndef NDEBUG
+  TAFLOC_CHECK_ARG(!views_overlap(out, a) && !views_overlap(out, b),
+                   "outer_product_into destination must not alias an input");
+#endif
+  const std::size_t kk = a.cols();
+  ThreadPool::global().parallel_for(
+      0, a.rows(), row_grain(kk * b.rows()), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const double* arow = a.row_ptr(i);
+          double* crow = out.row_ptr(i);
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            const double* brow = b.row_ptr(j);
+            double s = 0.0;
+            for (std::size_t k = 0; k < kk; ++k) s += arow[k] * brow[k];
+            crow[j] = s;
+          }
+        }
+      });
+}
+
+void transposed_into(ConstMatrixView a, MatrixView out) {
+  TAFLOC_CHECK_ARG(out.rows() == a.cols() && out.cols() == a.rows(),
+                   "transposed_into destination shape mismatch");
+#ifndef NDEBUG
+  TAFLOC_CHECK_ARG(!views_overlap(out, a),
+                   "transposed_into destination must not alias the input");
+#endif
+  ThreadPool::global().parallel_for(
+      0, a.cols(), row_grain(a.rows()), [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          double* orow = out.row_ptr(c);
+          for (std::size_t r = 0; r < a.rows(); ++r) orow[r] = a.row_ptr(r)[c];
+        }
+      });
+}
+
+void hadamard_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  TAFLOC_CHECK_ARG(a.same_shape(b), "Hadamard product requires equal shapes");
+  TAFLOC_CHECK_ARG(out.same_shape(a), "hadamard_into destination shape mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ap = a.row_ptr(r);
+    const double* bp = b.row_ptr(r);
+    double* op = out.row_ptr(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) op[c] = ap[c] * bp[c];
+  }
+}
+
+void add_scaled_into(ConstMatrixView x, double s, MatrixView y) {
+  TAFLOC_CHECK_ARG(y.same_shape(x), "add_scaled_into requires equal shapes");
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* xp = x.row_ptr(r);
+    double* yp = y.row_ptr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) yp[c] += s * xp[c];
+  }
+}
+
+void copy_into(ConstMatrixView src, MatrixView dst) {
+  TAFLOC_CHECK_ARG(dst.same_shape(src), "copy_into requires equal shapes");
+#ifndef NDEBUG
+  TAFLOC_CHECK_ARG(dst.data() == src.data() || !views_overlap(dst, src),
+                   "copy_into source and destination must not partially overlap");
+#endif
+  for (std::size_t r = 0; r < src.rows(); ++r)
+    std::copy(src.row_ptr(r), src.row_ptr(r) + src.cols(), dst.row_ptr(r));
+}
+
+void gather_columns_into(ConstMatrixView src, std::span<const std::size_t> indices,
+                         MatrixView dst) {
+  TAFLOC_CHECK_ARG(!indices.empty(), "gather_columns_into needs at least one index");
+  TAFLOC_CHECK_ARG(dst.rows() == src.rows() && dst.cols() == indices.size(),
+                   "gather_columns_into destination shape mismatch");
+#ifndef NDEBUG
+  TAFLOC_CHECK_ARG(!views_overlap(dst, src),
+                   "gather_columns_into destination must not alias the source");
+#endif
+  // Same k-outer / r-inner order as Matrix::select_columns.
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    TAFLOC_CHECK_BOUNDS(indices[k], src.cols(), "gather_columns_into index");
+    for (std::size_t r = 0; r < src.rows(); ++r) dst.row_ptr(r)[k] = src.row_ptr(r)[indices[k]];
+  }
+}
+
+double frobenius_diff_norm(ConstMatrixView a, ConstMatrixView b) {
+  TAFLOC_CHECK_ARG(a.same_shape(b), "frobenius_diff_norm requires equal shapes");
+  // Row-major traversal, so the accumulation order matches the flat
+  // loop over contiguous storage exactly.
+  double s = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ap = a.row_ptr(r);
+    const double* bp = b.row_ptr(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double d = ap[c] - bp[c];
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+// Owning-Matrix wrappers: resize the destination, then forward.
+
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  TAFLOC_CHECK_ARG(a.cols() == b.rows(), "matrix product inner dimensions must agree");
+  TAFLOC_CHECK_ARG(&out != &a && &out != &b, "multiply_into destination must not alias an input");
+  out.resize(a.rows(), b.cols());
+  multiply_into(a.view(), b.view(), out.view());
 }
 
 void gram_product_into(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -326,26 +507,7 @@ void gram_product_into(const Matrix& a, const Matrix& b, Matrix& out) {
   TAFLOC_CHECK_ARG(&out != &a && &out != &b,
                    "gram_product_into destination must not alias an input");
   out.resize(a.cols(), b.cols());
-  out.fill(0.0);
-  const std::size_t kk = a.rows();
-  const std::size_t nc = b.cols();
-  const double* bp = b.data().data();
-  double* cp = out.data().data();
-  ThreadPool::global().parallel_for(
-      0, a.cols(), row_grain(kk * nc), [&](std::size_t r0, std::size_t r1) {
-        // k outermost (as in the sequential kernel) keeps per-element
-        // accumulation order identical; the i loop covers only this
-        // lane's output rows.
-        for (std::size_t k = 0; k < kk; ++k) {
-          const double* brow = bp + k * nc;
-          for (std::size_t i = r0; i < r1; ++i) {
-            const double aki = a(k, i);
-            if (aki == 0.0) continue;
-            double* crow = cp + i * nc;
-            for (std::size_t j = 0; j < nc; ++j) crow[j] += aki * brow[j];
-          }
-        }
-      });
+  gram_product_into(a.view(), b.view(), out.view());
 }
 
 void outer_product_into(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -353,53 +515,26 @@ void outer_product_into(const Matrix& a, const Matrix& b, Matrix& out) {
   TAFLOC_CHECK_ARG(&out != &a && &out != &b,
                    "outer_product_into destination must not alias an input");
   out.resize(a.rows(), b.rows());
-  const std::size_t kk = a.cols();
-  ThreadPool::global().parallel_for(
-      0, a.rows(), row_grain(kk * b.rows()), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-          for (std::size_t j = 0; j < b.rows(); ++j) {
-            double s = 0.0;
-            for (std::size_t k = 0; k < kk; ++k) s += a(i, k) * b(j, k);
-            out(i, j) = s;
-          }
-        }
-      });
+  outer_product_into(a.view(), b.view(), out.view());
 }
 
 void transposed_into(const Matrix& a, Matrix& out) {
   TAFLOC_CHECK_ARG(&out != &a, "transposed_into destination must not alias the input");
   out.resize(a.cols(), a.rows());
-  ThreadPool::global().parallel_for(
-      0, a.cols(), row_grain(a.rows()), [&](std::size_t c0, std::size_t c1) {
-        for (std::size_t c = c0; c < c1; ++c)
-          for (std::size_t r = 0; r < a.rows(); ++r) out(c, r) = a(r, c);
-      });
+  transposed_into(a.view(), out.view());
 }
 
 void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out) {
   TAFLOC_CHECK_ARG(a.same_shape(b), "Hadamard product requires equal shapes");
   out.resize(a.rows(), a.cols());
-  const std::span<const double> ap = a.data();
-  const std::span<const double> bp = b.data();
-  const std::span<double> op = out.data();
-  for (std::size_t i = 0; i < ap.size(); ++i) op[i] = ap[i] * bp[i];
+  hadamard_into(a.view(), b.view(), out.view());
 }
 
-void add_scaled_into(const Matrix& x, double s, Matrix& y) {
-  TAFLOC_CHECK_ARG(x.same_shape(y), "add_scaled_into requires equal shapes");
-  const std::span<const double> xp = x.data();
-  const std::span<double> yp = y.data();
-  for (std::size_t i = 0; i < xp.size(); ++i) yp[i] += s * xp[i];
-}
-
-double frobenius_diff_norm(const Matrix& a, const Matrix& b) {
-  TAFLOC_CHECK_ARG(a.same_shape(b), "frobenius_diff_norm requires equal shapes");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.data().size(); ++i) {
-    const double d = a.data()[i] - b.data()[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+void gather_columns_into(const Matrix& src, std::span<const std::size_t> indices, Matrix& dst) {
+  TAFLOC_CHECK_ARG(!indices.empty(), "gather_columns_into needs at least one index");
+  TAFLOC_CHECK_ARG(&dst != &src, "gather_columns_into destination must not alias the source");
+  dst.resize(src.rows(), indices.size());
+  gather_columns_into(src.view(), indices, dst.view());
 }
 
 }  // namespace tafloc

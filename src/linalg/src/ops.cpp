@@ -16,10 +16,17 @@ double soft_threshold(double x, double tau) noexcept {
 }
 
 Matrix singular_value_shrink(const Matrix& a, double tau) {
+  Matrix out;
+  singular_value_shrink_into(a, tau, out);
+  return out;
+}
+
+void singular_value_shrink_into(const Matrix& a, double tau, Matrix& out) {
   TAFLOC_CHECK_ARG(tau >= 0.0, "shrinkage threshold must be non-negative");
+  TAFLOC_CHECK_ARG(&out != &a, "singular_value_shrink_into destination must not alias the input");
   SvdResult svd = svd_decompose(a);
   for (double& s : svd.sigma) s = std::max(s - tau, 0.0);
-  return svd.reconstruct();
+  svd.reconstruct_into(out);
 }
 
 Matrix first_difference_operator(std::size_t n) {

@@ -167,9 +167,16 @@ SvdResult svd_decompose(const Matrix& a, const SvdOptions& options) {
 }
 
 Matrix SvdResult::reconstruct(std::size_t rank) const {
+  Matrix out;
+  reconstruct_into(out, rank);
+  return out;
+}
+
+void SvdResult::reconstruct_into(Matrix& out, std::size_t rank) const {
   const std::size_t k = sigma.size();
   const std::size_t use = (rank == 0 || rank > k) ? k : rank;
-  Matrix out(u.rows(), v.rows());
+  out.resize(u.rows(), v.rows());
+  out.fill(0.0);
   for (std::size_t t = 0; t < use; ++t) {
     const double s = sigma[t];
     if (s == 0.0) continue;
@@ -179,7 +186,6 @@ Matrix SvdResult::reconstruct(std::size_t rank) const {
       for (std::size_t j = 0; j < v.rows(); ++j) out(i, j) += uis * v(j, t);
     }
   }
-  return out;
 }
 
 std::size_t SvdResult::numeric_rank(double rel_tol) const {

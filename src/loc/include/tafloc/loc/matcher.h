@@ -7,9 +7,15 @@
 //  - KnnMatcher: inverse-distance weighted centroid of the k nearest
 //    grids -- sub-grid ("fine-grained") estimates; TafLoc's default.
 //  - BayesMatcher: Gaussian-likelihood posterior mean over all grids.
+//
+// Each matcher reads fingerprints through a ConstMatrixView, so it can
+// either own its matrix (the Matrix constructors move one in) or
+// borrow the caller's storage zero-copy (the view constructors; the
+// caller must keep that storage alive and unreallocated -- see view.h).
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "tafloc/linalg/matrix.h"
 #include "tafloc/loc/localizer.h"
@@ -17,11 +23,43 @@
 
 namespace tafloc {
 
+/// Owning-or-borrowed fingerprint matrix: adopts a Matrix, or borrows a
+/// caller-owned view.  Copies re-point the view at the copied storage;
+/// moves keep it valid because std::vector moves preserve the heap
+/// pointer.
+class FingerprintRef {
+ public:
+  FingerprintRef() = default;
+  explicit FingerprintRef(Matrix owned) : storage_(std::move(owned)), view_(storage_.view()) {}
+  explicit FingerprintRef(ConstMatrixView borrowed) noexcept : view_(borrowed) {}
+
+  FingerprintRef(const FingerprintRef& other)
+      : storage_(other.storage_), view_(other.owning() ? storage_.view() : other.view_) {}
+  FingerprintRef& operator=(const FingerprintRef& other) {
+    if (this != &other) {
+      storage_ = other.storage_;
+      view_ = other.owning() ? storage_.view() : other.view_;
+    }
+    return *this;
+  }
+  FingerprintRef(FingerprintRef&&) noexcept = default;
+  FingerprintRef& operator=(FingerprintRef&&) noexcept = default;
+
+  ConstMatrixView view() const noexcept { return view_; }
+  bool owning() const noexcept { return !storage_.empty(); }
+
+ private:
+  Matrix storage_;
+  ConstMatrixView view_;
+};
+
 /// Nearest-neighbour matcher.
 class NnMatcher : public Localizer {
  public:
   /// `fingerprints` is M x N with one column per grid of `grid`.
   NnMatcher(Matrix fingerprints, GridMap grid);
+  /// Borrowing variant: the viewed storage must outlive the matcher.
+  NnMatcher(ConstMatrixView fingerprints, GridMap grid);
 
   Point2 localize(std::span<const double> rss) const override;
   std::string name() const override { return "NN"; }
@@ -30,7 +68,7 @@ class NnMatcher : public Localizer {
   std::size_t nearest_grid(std::span<const double> rss) const;
 
  private:
-  Matrix fingerprints_;
+  FingerprintRef fingerprints_;
   GridMap grid_;
 };
 
@@ -46,6 +84,9 @@ class KnnMatcher : public Localizer {
   /// disables the gate.
   KnnMatcher(Matrix fingerprints, GridMap grid, std::size_t k, bool weighted = true,
              double spatial_gate_m = 1.0);
+  /// Borrowing variant: the viewed storage must outlive the matcher.
+  KnnMatcher(ConstMatrixView fingerprints, GridMap grid, std::size_t k, bool weighted = true,
+             double spatial_gate_m = 1.0);
 
   Point2 localize(std::span<const double> rss) const override;
   /// Parallelizes over queries (and the per-query column scan when the
@@ -56,8 +97,19 @@ class KnnMatcher : public Localizer {
   /// Indices of the k best-matching grids, best first (for tests).
   std::vector<std::size_t> nearest_grids(std::span<const double> rss) const;
 
+  /// Process-wide count of per-query scratch (re)allocations: the
+  /// distance/order buffers are thread_local and grow monotonically, so
+  /// after a warm-up query this counter stays flat -- the Workspace-
+  /// style proof that localize() performs zero heap allocations.
+  static std::size_t scratch_allocations() noexcept;
+
  private:
-  Matrix fingerprints_;
+  /// Column scan + partial sort into the thread-local scratch; returns
+  /// the k best indices (a span into that scratch, valid until the next
+  /// call on this thread).
+  std::span<const std::size_t> nearest_in_scratch(std::span<const double> rss) const;
+
+  FingerprintRef fingerprints_;
   GridMap grid_;
   std::size_t k_;
   bool weighted_;
@@ -70,6 +122,8 @@ class KnnMatcher : public Localizer {
 class BayesMatcher : public Localizer {
  public:
   BayesMatcher(Matrix fingerprints, GridMap grid, double sigma_db = 2.0);
+  /// Borrowing variant: the viewed storage must outlive the matcher.
+  BayesMatcher(ConstMatrixView fingerprints, GridMap grid, double sigma_db = 2.0);
 
   Point2 localize(std::span<const double> rss) const override;
   std::string name() const override { return "Bayes"; }
@@ -78,7 +132,7 @@ class BayesMatcher : public Localizer {
   Vector posterior(std::span<const double> rss) const;
 
  private:
-  Matrix fingerprints_;
+  FingerprintRef fingerprints_;
   GridMap grid_;
   double sigma_;
 };

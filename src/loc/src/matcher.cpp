@@ -1,6 +1,7 @@
 #include "tafloc/loc/matcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
@@ -12,21 +13,40 @@ namespace tafloc {
 
 namespace {
 
-void validate_shapes(const Matrix& fingerprints, const GridMap& grid) {
+void validate_shapes(ConstMatrixView fingerprints, const GridMap& grid) {
   TAFLOC_CHECK_ARG(!fingerprints.empty(), "fingerprint matrix must be non-empty");
   TAFLOC_CHECK_ARG(fingerprints.cols() == grid.num_cells(),
                    "fingerprint matrix must have one column per grid cell");
 }
 
-/// Squared Euclidean distance between the observation and column j.
-double column_distance_sq(const Matrix& fp, std::span<const double> rss, std::size_t j) {
+/// Squared Euclidean distance between the observation and a fingerprint
+/// column (a strided view into the matrix -- no copy).
+double column_distance_sq(ConstVectorView col, std::span<const double> rss) {
+  const double* p = col.data();
+  const std::size_t st = col.stride();
   double s = 0.0;
-  for (std::size_t i = 0; i < fp.rows(); ++i) {
-    const double d = rss[i] - fp(i, j);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    const double d = rss[i] - p[i * st];
     s += d * d;
   }
   return s;
 }
+
+/// Per-thread KNN scratch: the distance and candidate-order buffers of
+/// the column scan.  thread_local so concurrent localize_batch lanes
+/// never contend; grows monotonically, so queries after the first on a
+/// thread allocate nothing.
+struct KnnScratch {
+  std::vector<double> dist;
+  std::vector<std::size_t> order;
+};
+
+KnnScratch& knn_scratch() {
+  thread_local KnnScratch s;
+  return s;
+}
+
+std::atomic<std::size_t> g_knn_scratch_allocations{0};
 
 }  // namespace
 
@@ -34,16 +54,22 @@ double column_distance_sq(const Matrix& fp, std::span<const double> rss, std::si
 
 NnMatcher::NnMatcher(Matrix fingerprints, GridMap grid)
     : fingerprints_(std::move(fingerprints)), grid_(std::move(grid)) {
-  validate_shapes(fingerprints_, grid_);
+  validate_shapes(fingerprints_.view(), grid_);
+}
+
+NnMatcher::NnMatcher(ConstMatrixView fingerprints, GridMap grid)
+    : fingerprints_(fingerprints), grid_(std::move(grid)) {
+  validate_shapes(fingerprints_.view(), grid_);
 }
 
 std::size_t NnMatcher::nearest_grid(std::span<const double> rss) const {
-  TAFLOC_CHECK_ARG(rss.size() == fingerprints_.rows(), "observation length mismatch");
+  const ConstMatrixView fp = fingerprints_.view();
+  TAFLOC_CHECK_ARG(rss.size() == fp.rows(), "observation length mismatch");
   TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
   std::size_t best = 0;
-  double best_d = column_distance_sq(fingerprints_, rss, 0);
-  for (std::size_t j = 1; j < fingerprints_.cols(); ++j) {
-    const double d = column_distance_sq(fingerprints_, rss, j);
+  double best_d = column_distance_sq(fp.col_view(0), rss);
+  for (std::size_t j = 1; j < fp.cols(); ++j) {
+    const double d = column_distance_sq(fp.col_view(j), rss);
     if (d < best_d) {
       best_d = d;
       best = j;
@@ -65,36 +91,64 @@ KnnMatcher::KnnMatcher(Matrix fingerprints, GridMap grid, std::size_t k, bool we
       k_(k),
       weighted_(weighted),
       spatial_gate_m_(spatial_gate_m) {
-  validate_shapes(fingerprints_, grid_);
-  TAFLOC_CHECK_ARG(k_ >= 1 && k_ <= fingerprints_.cols(), "k must be in [1, number of grids]");
+  validate_shapes(fingerprints_.view(), grid_);
+  TAFLOC_CHECK_ARG(k_ >= 1 && k_ <= fingerprints_.view().cols(),
+                   "k must be in [1, number of grids]");
+}
+
+KnnMatcher::KnnMatcher(ConstMatrixView fingerprints, GridMap grid, std::size_t k, bool weighted,
+                       double spatial_gate_m)
+    : fingerprints_(fingerprints),
+      grid_(std::move(grid)),
+      k_(k),
+      weighted_(weighted),
+      spatial_gate_m_(spatial_gate_m) {
+  validate_shapes(fingerprints_.view(), grid_);
+  TAFLOC_CHECK_ARG(k_ >= 1 && k_ <= fingerprints_.view().cols(),
+                   "k must be in [1, number of grids]");
 }
 
 std::string KnnMatcher::name() const {
   return (weighted_ ? "WKNN-k" : "KNN-k") + std::to_string(k_);
 }
 
-std::vector<std::size_t> KnnMatcher::nearest_grids(std::span<const double> rss) const {
-  TAFLOC_CHECK_ARG(rss.size() == fingerprints_.rows(), "observation length mismatch");
+std::size_t KnnMatcher::scratch_allocations() noexcept {
+  return g_knn_scratch_allocations.load(std::memory_order_relaxed);
+}
+
+std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const double> rss) const {
+  const ConstMatrixView fp = fingerprints_.view();
+  TAFLOC_CHECK_ARG(rss.size() == fp.rows(), "observation length mismatch");
   TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
-  const std::size_t n = fingerprints_.cols();
-  std::vector<double> dist(n);
+  const std::size_t n = fp.cols();
+  KnnScratch& s = knn_scratch();
+  if (s.dist.capacity() < n || s.order.capacity() < n)
+    g_knn_scratch_allocations.fetch_add(1, std::memory_order_relaxed);
+  s.dist.resize(n);
+  s.order.resize(n);
+  std::vector<double>& dist = s.dist;
   // Each distance is an independent scalar: the scan parallelizes over
   // columns without changing any accumulation order.
   const std::size_t grain =
-      std::max<std::size_t>(1, (std::size_t{1} << 14) / std::max<std::size_t>(fingerprints_.rows(), 1));
+      std::max<std::size_t>(1, (std::size_t{1} << 14) / std::max<std::size_t>(fp.rows(), 1));
   ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
-    for (std::size_t j = j0; j < j1; ++j) dist[j] = column_distance_sq(fingerprints_, rss, j);
+    for (std::size_t j = j0; j < j1; ++j) dist[j] = column_distance_sq(fp.col_view(j), rss);
   });
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k_), order.end(),
+  std::iota(s.order.begin(), s.order.end(), 0);
+  std::partial_sort(s.order.begin(), s.order.begin() + static_cast<std::ptrdiff_t>(k_),
+                    s.order.end(),
                     [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
-  order.resize(k_);
-  return order;
+  return {s.order.data(), k_};
+}
+
+std::vector<std::size_t> KnnMatcher::nearest_grids(std::span<const double> rss) const {
+  const std::span<const std::size_t> nearest = nearest_in_scratch(rss);
+  return {nearest.begin(), nearest.end()};
 }
 
 Point2 KnnMatcher::localize(std::span<const double> rss) const {
-  const std::vector<std::size_t> nearest = nearest_grids(rss);
+  const std::span<const std::size_t> nearest = nearest_in_scratch(rss);
+  const std::vector<double>& dist = knn_scratch().dist;
   const Point2 anchor = grid_.center(nearest.front());
   double wx = 0.0, wy = 0.0, wsum = 0.0;
   for (std::size_t j : nearest) {
@@ -104,7 +158,9 @@ Point2 KnnMatcher::localize(std::span<const double> rss) const {
     if (spatial_gate_m_ > 0.0 && distance(c, anchor) > spatial_gate_m_) continue;
     double w = 1.0;
     if (weighted_) {
-      const double d = std::sqrt(column_distance_sq(fingerprints_, rss, j));
+      // Reuse the scan's stored distance: sqrt of the same double is
+      // bit-identical to recomputing the column scan.
+      const double d = std::sqrt(dist[j]);
       w = 1.0 / (d + 1e-6);
     }
     wx += w * c.x;
@@ -117,7 +173,8 @@ Point2 KnnMatcher::localize(std::span<const double> rss) const {
 std::vector<Point2> KnnMatcher::localize_batch(std::span<const Vector> rss_batch) const {
   std::vector<Point2> out(rss_batch.size());
   // One query per chunk: each output slot is written by exactly one
-  // lane, and the inner column scan runs inline inside pool tasks.
+  // lane, and the inner column scan runs inline inside pool tasks (each
+  // lane on its own thread-local scratch).
   ThreadPool::global().parallel_for(0, rss_batch.size(), 1, [&](std::size_t b0, std::size_t b1) {
     for (std::size_t i = b0; i < b1; ++i) out[i] = localize(rss_batch[i]);
   });
@@ -128,19 +185,26 @@ std::vector<Point2> KnnMatcher::localize_batch(std::span<const Vector> rss_batch
 
 BayesMatcher::BayesMatcher(Matrix fingerprints, GridMap grid, double sigma_db)
     : fingerprints_(std::move(fingerprints)), grid_(std::move(grid)), sigma_(sigma_db) {
-  validate_shapes(fingerprints_, grid_);
+  validate_shapes(fingerprints_.view(), grid_);
+  TAFLOC_CHECK_ARG(sigma_ > 0.0, "likelihood sigma must be positive");
+}
+
+BayesMatcher::BayesMatcher(ConstMatrixView fingerprints, GridMap grid, double sigma_db)
+    : fingerprints_(fingerprints), grid_(std::move(grid)), sigma_(sigma_db) {
+  validate_shapes(fingerprints_.view(), grid_);
   TAFLOC_CHECK_ARG(sigma_ > 0.0, "likelihood sigma must be positive");
 }
 
 Vector BayesMatcher::posterior(std::span<const double> rss) const {
-  TAFLOC_CHECK_ARG(rss.size() == fingerprints_.rows(), "observation length mismatch");
+  const ConstMatrixView fp = fingerprints_.view();
+  TAFLOC_CHECK_ARG(rss.size() == fp.rows(), "observation length mismatch");
   TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
-  const std::size_t n = fingerprints_.cols();
-  const double m = static_cast<double>(fingerprints_.rows());
+  const std::size_t n = fp.cols();
+  const double m = static_cast<double>(fp.rows());
   Vector log_lik(n);
   double max_ll = -std::numeric_limits<double>::infinity();
   for (std::size_t j = 0; j < n; ++j) {
-    log_lik[j] = -column_distance_sq(fingerprints_, rss, j) / (2.0 * sigma_ * sigma_ * m);
+    log_lik[j] = -column_distance_sq(fp.col_view(j), rss) / (2.0 * sigma_ * sigma_ * m);
     max_ll = std::max(max_ll, log_lik[j]);
   }
   double z = 0.0;

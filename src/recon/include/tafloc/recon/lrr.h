@@ -60,6 +60,15 @@ class LrrModel {
   /// Iterations the solver used (1 for the closed-form ridge).
   std::size_t solver_iterations() const noexcept { return solver_iterations_; }
 
+  /// Workspace arena allocations during fit: total, and those after the
+  /// first ISTA iteration (steady state).  With every buffer leased
+  /// before the loop the steady count is 0 -- the zero-allocation
+  /// verification hook for the NuclearNorm solver.
+  std::size_t workspace_allocations() const noexcept { return workspace_allocations_; }
+  std::size_t workspace_allocations_steady() const noexcept {
+    return workspace_allocations_steady_;
+  }
+
   const Matrix& correlation() const noexcept { return z_; }
   const std::vector<std::size_t>& reference_indices() const noexcept {
     return reference_indices_;
@@ -76,6 +85,8 @@ class LrrModel {
   Matrix z_;  ///< n x N.
   double training_residual_ = 0.0;
   std::size_t solver_iterations_ = 1;
+  std::size_t workspace_allocations_ = 0;
+  std::size_t workspace_allocations_steady_ = 0;
 };
 
 }  // namespace tafloc

@@ -56,7 +56,7 @@ Matrix initial_estimate(const LoliIrProblem& p) {
     for (std::size_t j = 0; j < x0.cols(); ++j)
       if (p.mask_undistorted(i, j) == 1.0) x0(i, j) = p.known(i, j);
   for (std::size_t k = 0; k < p.reference_indices.size(); ++k)
-    x0.set_col(p.reference_indices[k], p.reference_columns.col(k));
+    x0.set_col(p.reference_indices[k], p.reference_columns.col_view(k));
   return x0;
 }
 
@@ -337,8 +337,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
       if (nref > 0) {
         Matrix& r_ref = **r_ref_lease;
         for (std::size_t k = 0; k < nref; ++k)
-          for (std::size_t t = 0; t < rank; ++t)
-            r_ref(k, t) = r(p.reference_indices[k], t);
+          r_ref.set_row(k, r.row_span(p.reference_indices[k]));
       }
 
       rhs_l.fill(0.0);

@@ -42,7 +42,13 @@ LrrModel LrrModel::from_correlation(Matrix z, std::vector<std::size_t> reference
 }
 
 void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
-  const Matrix xr0 = x0.select_columns(reference_indices_);
+  // Every fit-scoped buffer -- including the gathered reference block
+  // XR0 -- comes from one workspace arena, so the ISTA loop below runs
+  // allocation-free after its first iteration (the counters verify it).
+  Workspace ws;
+  auto xr0_lease = ws.matrix(x0.rows(), reference_indices_.size());
+  Matrix& xr0 = *xr0_lease;
+  gather_columns_into(x0.view(), reference_indices_, xr0.view());
 
   switch (options.solver) {
     case LrrSolver::Ridge: {
@@ -69,16 +75,19 @@ void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
       z_ = solve_ridge_matrix(xr0, x0, 1e-6);
       const double z_scale = std::max(z_.frobenius_norm(), 1e-12);
 
-      // ISTA temporaries (residual, gradient, proximal point) are
-      // leased once from a workspace arena and reused every iteration.
-      Workspace ws;
+      // ISTA temporaries (residual, gradient, proximal point and the
+      // shrink destination) are leased once from the workspace arena
+      // and reused every iteration.
       auto resid_lease = ws.matrix(x0.rows(), x0.cols());
       auto grad_lease = ws.matrix(z_.rows(), z_.cols());
       auto next_lease = ws.matrix(z_.rows(), z_.cols());
+      auto shrunk_lease = ws.matrix(z_.rows(), z_.cols());
       Matrix& residual = *resid_lease;
       Matrix& grad = *grad_lease;
       Matrix& next = *next_lease;
+      Matrix& shrunk = *shrunk_lease;
 
+      std::size_t warmup_allocations = ws.allocations();
       for (std::size_t it = 0; it < options.max_iterations; ++it) {
         multiply_into(xr0, z_, residual);  // XR0 Z
         for (std::size_t i = 0; i < residual.size(); ++i)
@@ -87,12 +96,14 @@ void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
         grad *= 2.0 * options.nuclear_lambda;
         for (std::size_t i = 0; i < next.size(); ++i)
           next.data()[i] = z_.data()[i] - grad.data()[i] * step;
-        next = singular_value_shrink(next, step);
-        const double change = frobenius_diff_norm(next, z_) / z_scale;
-        z_ = next;
+        singular_value_shrink_into(next, step, shrunk);
+        const double change = frobenius_diff_norm(shrunk, z_) / z_scale;
+        z_ = shrunk;
         solver_iterations_ = it + 1;
+        if (it == 0) warmup_allocations = ws.allocations();
         if (change < options.tolerance) break;
       }
+      workspace_allocations_steady_ = ws.allocations() - warmup_allocations;
       break;
     }
   }
@@ -100,6 +111,7 @@ void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
   const Matrix fit_matrix = xr0 * z_;
   const double denom = x0.frobenius_norm();
   training_residual_ = denom > 0.0 ? (fit_matrix - x0).frobenius_norm() / denom : 0.0;
+  workspace_allocations_ = ws.allocations();
 }
 
 Matrix LrrModel::predict(const Matrix& fresh_reference_columns) const {

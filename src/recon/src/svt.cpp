@@ -57,7 +57,9 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   }
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    out.x = singular_value_shrink(y, tau);
+    // Destination-passing shrink: out.x's buffer is reused every
+    // iteration once its capacity settles.
+    singular_value_shrink_into(y, tau, out.x);
     // Residual on the observed entries only.
     for (std::size_t i = 0; i < resid.size(); ++i)
       resid.data()[i] = mask.data()[i] * out.x.data()[i] - data.data()[i];

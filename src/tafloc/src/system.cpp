@@ -214,7 +214,11 @@ void TafLocSystem::import_state(const TafLocState& state) {
 }
 
 void TafLocSystem::rebuild_matcher() {
-  matcher_ = std::make_unique<KnnMatcher>(database_->fingerprints(), deployment_.grid(),
+  // Borrowing matcher: it scans the database's fingerprint storage
+  // directly (zero-copy).  Safe because every database_->update() /
+  // emplace() is immediately followed by this rebuild, so the view
+  // never outlives the storage it points at.
+  matcher_ = std::make_unique<KnnMatcher>(database_->fingerprints_view(), deployment_.grid(),
                                           std::min(config_.knn_k, deployment_.num_grids()),
                                           /*weighted=*/true);
 }

@@ -79,6 +79,51 @@ TEST(ExecDeterminism, GemmBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(max_abs_diff(p1, p8), 0.0);
 }
 
+TEST(ExecDeterminism, ViewKernelsBitIdenticalToCopyPathsAcrossThreads) {
+  // Property: running a kernel on a col_view/block_view/columns_view of
+  // a larger matrix gives bitwise the same result as first copying the
+  // slice out -- at 1 thread and at 8.
+  const Matrix big = random_matrix(48, 72, 61);
+  const Matrix b = random_matrix(24, 33, 62);
+
+  const Matrix slice_copy(big.block_view(8, 16, 40, 24));  // owning copy
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadGuard guard(threads);
+    // gemm on the strided block view vs on the copy.
+    Matrix from_view(40, 33);
+    multiply_into(big.block_view(8, 16, 40, 24), b.view(), from_view.view());
+    Matrix from_copy;
+    multiply_into(slice_copy, b, from_copy);
+    EXPECT_EQ(from_view, from_copy) << "threads=" << threads;
+
+    // gram product on a contiguous column-range view vs on the copy.
+    const Matrix cols_copy(big.columns_view(10, 20));
+    Matrix gram_view(20, 20);
+    gram_product_into(big.columns_view(10, 20), big.columns_view(10, 20), gram_view.view());
+    Matrix gram_copy;
+    gram_product_into(cols_copy, cols_copy, gram_copy);
+    EXPECT_EQ(gram_view, gram_copy) << "threads=" << threads;
+
+    // transpose of a strided block.
+    Matrix tr_view(24, 40);
+    transposed_into(big.block_view(8, 16, 40, 24), tr_view.view());
+    Matrix tr_copy;
+    transposed_into(slice_copy, tr_copy);
+    EXPECT_EQ(tr_view, tr_copy) << "threads=" << threads;
+  }
+}
+
+TEST(ExecDeterminism, GatherColumnsMatchesSelectColumnsAcrossThreads) {
+  const Matrix x = random_matrix(32, 50, 63);
+  const std::vector<std::size_t> idx = {0, 7, 7, 49, 13};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadGuard guard(threads);
+    Matrix gathered;
+    gather_columns_into(x, idx, gathered);
+    EXPECT_EQ(gathered, x.select_columns(idx)) << "threads=" << threads;
+  }
+}
+
 // ---------------- reconstruction solvers ----------------
 
 TEST(ExecDeterminism, SvtAgreesAcrossThreadCounts) {
@@ -164,7 +209,43 @@ TEST(ExecDeterminism, LoliIrSteadyStateIsAllocationFree) {
       << "iterations after warm-up must reuse every workspace buffer";
 }
 
+TEST(ExecDeterminism, LrrIstaSteadyStateIsAllocationFree) {
+  const Matrix x0 = random_matrix(16, 40, 42);
+  const std::vector<std::size_t> refs = {0, 5, 11, 17, 23, 31};
+  LrrOptions opt;
+  opt.solver = LrrSolver::NuclearNorm;
+  opt.max_iterations = 60;
+  const LrrModel model(x0, refs, opt);
+  ASSERT_GE(model.solver_iterations(), 2u)
+      << "fixture must iterate at least twice to exercise the steady state";
+  EXPECT_GT(model.workspace_allocations(), 0u);
+  EXPECT_EQ(model.workspace_allocations_steady(), 0u)
+      << "ISTA iterations after warm-up must reuse every workspace buffer";
+}
+
 // ---------------- localization ----------------
+
+TEST(ExecDeterminism, KnnPerQueryPathIsAllocationFree) {
+  // The Fig. 5 per-query loop: after one warm-up query per thread, the
+  // KNN scratch counter must stay flat no matter how many queries run.
+  Scenario scenario = Scenario::paper_room(10);
+  Rng rng(1001);
+  const Matrix fingerprints = scenario.collector().survey_all(0.0, rng);
+  const KnnMatcher matcher(fingerprints, scenario.deployment().grid(), 3);
+
+  Vector rss(fingerprints.rows());
+  for (double& v : rss) v = rng.normal(-50.0, 5.0);
+
+  ThreadGuard guard(1);  // single lane -> one thread_local scratch
+  (void)matcher.localize(rss);  // warm up the scratch
+  const std::size_t before = KnnMatcher::scratch_allocations();
+  for (std::size_t q = 0; q < 200; ++q) {
+    for (double& v : rss) v = rng.normal(-50.0, 5.0);
+    (void)matcher.localize(rss);
+  }
+  EXPECT_EQ(KnnMatcher::scratch_allocations(), before)
+      << "localize() must not grow its scratch after the first query";
+}
 
 TEST(ExecDeterminism, LocalizeBatchMatchesSequentialCalls) {
   Scenario scenario = Scenario::paper_room(9);

@@ -31,6 +31,19 @@ TEST(FingerprintDatabase, FingerprintOfRejectsBadIndex) {
   EXPECT_THROW(db.fingerprint_of(3), std::out_of_range);
 }
 
+TEST(FingerprintDatabase, ViewAccessorsAliasStoredMatrix) {
+  const FingerprintDatabase db = make_db();
+  const ConstMatrixView fp = db.fingerprints_view();
+  EXPECT_EQ(fp.data(), db.fingerprints().data().data());
+  EXPECT_EQ(fp.rows(), 2u);
+  EXPECT_EQ(fp.cols(), 3u);
+  const ConstVectorView col = db.col_view(1);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[1], 5.0);
+  EXPECT_EQ(col.to_vector(), db.fingerprint_of(1));
+  EXPECT_THROW(db.col_view(3), std::out_of_range);
+}
+
 TEST(FingerprintDatabase, RejectsInconsistentConstruction) {
   const Matrix fp(2, 3, 1.0);
   EXPECT_THROW(FingerprintDatabase(fp, Vector{1.0}, 0.0), std::invalid_argument);

@@ -248,5 +248,69 @@ TEST(Matrix, ToStringContainsShape) {
   EXPECT_NE(m.to_string().find("2x3"), std::string::npos);
 }
 
+TEST(Matrix, ResizePreservesPrefixAndZeroesTail) {
+  // Pins the documented semantics: elements are reinterpreted in
+  // flattened row-major order, the surviving prefix keeps its values
+  // and any tail beyond the old size is zero.
+  Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  m.resize(3, 2);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 0.0);
+}
+
+TEST(Matrix, ResizeWithinCapacityDoesNotReallocate) {
+  // The property Workspace leasing and view stability rely on: shrink
+  // then regrow within capacity must leave the storage in place.
+  Matrix m(6, 8, 1.0);
+  const std::size_t cap = m.capacity();
+  const double* p = m.data().data();
+  m.resize(2, 3);
+  EXPECT_EQ(m.data().data(), p);
+  m.resize(6, 8);
+  EXPECT_EQ(m.data().data(), p);
+  EXPECT_EQ(m.capacity(), cap);
+  // Views taken before an in-capacity resize still point at live storage.
+  ConstMatrixView v = m.view();
+  m.resize(3, 4);
+  EXPECT_EQ(v.data(), m.data().data());
+}
+
+#ifndef NDEBUG
+// Debug-build aliasing assertions: the _into kernels verify that the
+// destination does not overlap an input and throw std::invalid_argument
+// when it does.  (Release builds trust the caller; these tests run in
+// the CI debug job.)
+TEST(MatrixAliasingDeathTest, MultiplyIntoRejectsOverlappingDestination) {
+  Matrix a(4, 4, 1.0);
+  Matrix b(4, 4, 2.0);
+  EXPECT_THROW(multiply_into(a.view(), b.view(), a.view()), std::invalid_argument);
+  EXPECT_THROW(multiply_into(a.view(), b.view(), b.view()), std::invalid_argument);
+  // The check is conservative over storage envelopes: two blocks with
+  // disjoint elements but interleaved rows still count as overlapping.
+  Matrix big(8, 8, 1.0);
+  EXPECT_THROW(
+      multiply_into(big.block_view(0, 0, 4, 4), b.view(), big.block_view(2, 4, 4, 4)),
+      std::invalid_argument);
+}
+
+TEST(MatrixAliasingDeathTest, GramOuterTransposeRejectOverlap) {
+  Matrix a(4, 4, 1.0);
+  EXPECT_THROW(gram_product_into(a.view(), a.view(), a.view()), std::invalid_argument);
+  EXPECT_THROW(outer_product_into(a.view(), a.view(), a.view()), std::invalid_argument);
+  EXPECT_THROW(transposed_into(a.view(), a.view()), std::invalid_argument);
+}
+
+TEST(MatrixAliasingDeathTest, GatherColumnsRejectsOverlap) {
+  Matrix a(3, 4, 1.0);
+  const std::vector<std::size_t> idx = {0, 2};
+  EXPECT_THROW(gather_columns_into(a.view(), idx, a.block_view(0, 0, 3, 2)),
+               std::invalid_argument);
+}
+#endif  // !NDEBUG
+
 }  // namespace
 }  // namespace tafloc

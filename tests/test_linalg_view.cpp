@@ -1,0 +1,176 @@
+// Non-owning view layer: construction, slicing, and the view-based
+// destination-passing kernels.  Bit-identity across thread counts is
+// covered in test_exec_determinism.cpp; this file pins shapes, strides,
+// values and the copy/gather utilities.
+//
+// Dangling safety is a contract, not a runtime check: a view is valid
+// only while the viewed storage is alive and unreallocated (view.h).
+// Tests here therefore only take views of matrices that outlive them.
+#include "tafloc/linalg/view.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+namespace {
+
+Matrix iota_matrix(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = static_cast<double>(r * cols + c);
+  return m;
+}
+
+TEST(MatrixView, WholeMatrixViewSharesStorage) {
+  Matrix m = iota_matrix(3, 4);
+  ConstMatrixView v = m.view();
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 4u);
+  EXPECT_EQ(v.row_stride(), 4u);
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_EQ(v.data(), m.data().data());
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(v(r, c), m(r, c));
+}
+
+TEST(MatrixView, MutableViewWritesThrough) {
+  Matrix m(2, 2, 0.0);
+  MatrixView v = m.view();
+  v(1, 0) = 7.0;
+  v.fill(3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+}
+
+TEST(MatrixView, BlockViewIsStrided) {
+  const Matrix m = iota_matrix(4, 5);
+  ConstMatrixView b = m.block_view(1, 2, 2, 3);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 3u);
+  EXPECT_EQ(b.row_stride(), 5u);
+  EXPECT_FALSE(b.contiguous());
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(b(r, c), m(1 + r, 2 + c));
+  EXPECT_THROW(m.block_view(1, 2, 4, 3), std::invalid_argument);
+}
+
+TEST(MatrixView, ColumnsViewCoversContiguousRange) {
+  const Matrix m = iota_matrix(3, 6);
+  ConstMatrixView v = m.columns_view(2, 3);
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 3u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(v(r, c), m(r, 2 + c));
+}
+
+TEST(MatrixView, ColViewStridesDownTheColumn) {
+  const Matrix m = iota_matrix(4, 3);
+  ConstVectorView col = m.col_view(1);
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.stride(), 3u);
+  EXPECT_FALSE(col.contiguous());
+  const Vector copy = m.col(1);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(col[i], copy[i]);
+  EXPECT_EQ(col.to_vector(), copy);
+}
+
+TEST(MatrixView, RowSpanIsContiguous) {
+  const Matrix m = iota_matrix(3, 4);
+  const std::span<const double> row = m.row_span(2);
+  ASSERT_EQ(row.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(row[c], m(2, c));
+}
+
+TEST(MatrixView, OwningCopyFromStridedView) {
+  const Matrix m = iota_matrix(4, 5);
+  const Matrix copy(m.block_view(1, 1, 2, 3));
+  EXPECT_EQ(copy, m.submatrix(1, 1, 2, 3));
+}
+
+TEST(MatrixView, SetColFromStridedView) {
+  const Matrix src = iota_matrix(3, 4);
+  Matrix dst(3, 2, 0.0);
+  dst.set_col(1, src.col_view(2));
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(dst(r, 1), src(r, 2));
+}
+
+TEST(MatrixView, VectorViewFromSpanAndFill) {
+  std::vector<double> buf = {1.0, 2.0, 3.0};
+  VectorView v{std::span<double>(buf)};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.stride(), 1u);
+  v.fill(9.0);
+  EXPECT_DOUBLE_EQ(buf[2], 9.0);
+  ConstVectorView cv = v;
+  EXPECT_DOUBLE_EQ(cv[0], 9.0);
+}
+
+TEST(ViewKernels, CopyIntoHandlesStridedBothSides) {
+  const Matrix src = iota_matrix(5, 6);
+  Matrix dst(5, 6, -1.0);
+  copy_into(src.block_view(1, 1, 3, 4), dst.block_view(2, 0, 3, 4));
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(dst(2 + r, c), src(1 + r, 1 + c));
+  EXPECT_DOUBLE_EQ(dst(0, 0), -1.0);  // untouched outside the block
+  Matrix wrong(2, 2);
+  EXPECT_THROW(copy_into(src.view(), wrong.view()), std::invalid_argument);
+}
+
+TEST(ViewKernels, GatherColumnsMatchesSelectColumns) {
+  const Matrix src = iota_matrix(4, 7);
+  const std::vector<std::size_t> idx = {6, 0, 3, 3};
+  Matrix gathered;
+  gather_columns_into(src, idx, gathered);
+  EXPECT_EQ(gathered, src.select_columns(idx));
+  EXPECT_THROW(gather_columns_into(src, std::vector<std::size_t>{9}, gathered),
+               std::out_of_range);
+}
+
+TEST(ViewKernels, MultiplyOnColumnRangeViewMatchesCopyPath) {
+  const Matrix a = iota_matrix(4, 6);
+  const Matrix b = iota_matrix(3, 5);
+  // a's middle 3 columns times b, through views -- vs the copy route.
+  const Matrix a_mid(a.columns_view(2, 3));
+  Matrix via_copy;
+  multiply_into(a_mid, b, via_copy);
+  Matrix via_view(4, 5);
+  multiply_into(a.columns_view(2, 3), b.view(), via_view.view());
+  EXPECT_EQ(via_copy, via_view);  // bitwise, not approximate
+}
+
+TEST(ViewKernels, GemmCanWriteIntoBlockOfLargerMatrix) {
+  const Matrix a = iota_matrix(2, 3);
+  const Matrix b = iota_matrix(3, 2);
+  Matrix big(4, 4, -5.0);
+  multiply_into(a.view(), b.view(), big.block_view(1, 1, 2, 2));
+  Matrix direct;
+  multiply_into(a, b, direct);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(big(1 + r, 1 + c), direct(r, c));
+  EXPECT_DOUBLE_EQ(big(0, 0), -5.0);
+  EXPECT_DOUBLE_EQ(big(3, 3), -5.0);
+}
+
+TEST(ViewKernels, ShapeMismatchedDestinationThrows) {
+  const Matrix a = iota_matrix(2, 3);
+  const Matrix b = iota_matrix(3, 2);
+  Matrix wrong(3, 3);
+  EXPECT_THROW(multiply_into(a.view(), b.view(), wrong.view()), std::invalid_argument);
+  EXPECT_THROW(transposed_into(a.view(), wrong.view()), std::invalid_argument);
+}
+
+TEST(ViewKernels, FrobeniusDiffNormOnViewsMatchesMatrices) {
+  const Matrix a = iota_matrix(4, 4);
+  Matrix b = iota_matrix(4, 4);
+  b(2, 2) += 0.5;
+  const double whole = frobenius_diff_norm(a, b);
+  const double via_view = frobenius_diff_norm(a.view(), b.view());
+  EXPECT_EQ(whole, via_view);  // same accumulation order -> bitwise equal
+}
+
+}  // namespace
+}  // namespace tafloc

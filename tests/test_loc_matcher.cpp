@@ -162,6 +162,28 @@ TEST(Matchers, LocalizeFreshFingerprintsAccurately) {
   }
 }
 
+TEST(Matchers, BorrowingCtorMatchesOwningCtor) {
+  // A matcher built over a borrowed view of the fingerprints must
+  // behave exactly like one that copied them (toy.fp outlives both).
+  Toy toy;
+  const NnMatcher nn_own(toy.fp, toy.grid);
+  const NnMatcher nn_borrow(toy.fp.view(), toy.grid);
+  const KnnMatcher knn_own(toy.fp, toy.grid, 2);
+  const KnnMatcher knn_borrow(toy.fp.view(), toy.grid, 2);
+  const std::vector<double> y{-37.0};
+  EXPECT_EQ(nn_borrow.nearest_grid(y), nn_own.nearest_grid(y));
+  const Point2 a = knn_own.localize(y);
+  const Point2 b = knn_borrow.localize(y);
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.y, b.y);
+  // Copying a borrowing matcher keeps borrowing; copying an owning one
+  // re-points the view at the copied storage.
+  const KnnMatcher copy = knn_own;
+  const Point2 c = copy.localize(y);
+  EXPECT_DOUBLE_EQ(c.x, a.x);
+  EXPECT_DOUBLE_EQ(c.y, a.y);
+}
+
 TEST(Matchers, KnnIsFineGrained) {
   // For an off-centre target, weighted KNN should usually beat plain NN
   // (which is quantized to grid centres).  Check on aggregate error.
