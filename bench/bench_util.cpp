@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/stats.h"
 #include "tafloc/util/table.h"
 
@@ -94,6 +95,38 @@ bool smoke_mode() {
     return v != nullptr && std::strcmp(v, "0") != 0;
   }();
   return on;
+}
+
+bool telemetry_mode() {
+  static const bool on = [] {
+    const char* v = std::getenv("TAFLOC_BENCH_TELEMETRY");
+    return v != nullptr && std::strcmp(v, "0") != 0;
+  }();
+  return on;
+}
+
+std::string telemetry_json_array(const MetricRegistry& registry, int indent) {
+  // snapshot_json() is JSONL -- every line a standalone object -- so the
+  // array is just the lines joined with commas.
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string snapshot = registry.snapshot_json();
+  std::string out = "[";
+  bool first = true;
+  std::size_t begin = 0;
+  while (begin < snapshot.size()) {
+    std::size_t end = snapshot.find('\n', begin);
+    if (end == std::string::npos) end = snapshot.size();
+    if (end > begin) {
+      out += first ? "\n" : ",\n";
+      out += pad;
+      out += "  ";
+      out.append(snapshot, begin, end - begin);
+      first = false;
+    }
+    begin = end + 1;
+  }
+  out += first ? "]" : "\n" + pad + "]";
+  return out;
 }
 
 int finish_benchmarks(int argc, char** argv) {

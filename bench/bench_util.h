@@ -71,6 +71,17 @@ std::string csv_path(const std::string& stem);
 /// figure code in seconds.  Smoke output is for liveness, not numbers.
 bool smoke_mode();
 
+/// True when TAFLOC_BENCH_TELEMETRY is set to anything but "0": benches
+/// that own a MetricRegistry embed its snapshot into their BENCH_*.json
+/// record (via telemetry_json_array), so a CI artefact carries the
+/// solver/workspace counters behind each timing.
+bool telemetry_mode();
+
+/// Re-shape a registry's JSONL snapshot (one object per line) into a
+/// single JSON array literal, indented for embedding as a value inside
+/// a BENCH_*.json record.
+std::string telemetry_json_array(const MetricRegistry& registry, int indent = 2);
+
 /// Pick the experiment size for the current mode.
 template <typename T>
 T smoke_or(T full, T smoke) {

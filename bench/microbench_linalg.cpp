@@ -2,11 +2,15 @@
 // reconstruction and localization path runs on.  Sizes bracket the
 // paper room (10 x 96) and the Fig. 4 sweep endpoints.
 //
-// Before the google-benchmark suite runs, two experiments write
+// Before the google-benchmark suite runs, three experiments write
 // BENCH_linalg.json (the CI artefact): a thread-scaling sweep of the
-// destination-passing gemm at 1/2/4/8 threads, and copy-vs-view
+// destination-passing gemm at 1/2/4/8 threads, copy-vs-view
 // comparisons of the strided-view kernels (column scan and gemm on a
-// column range) that track the zero-copy win of the view layer.
+// column range) that track the zero-copy win of the view layer, and a
+// KNN per-query latency comparison with telemetry absent / disabled /
+// enabled that keeps the "disabled telemetry is free" claim honest.
+// With TAFLOC_BENCH_TELEMETRY set, the enabled run's registry snapshot
+// is embedded in the JSON record.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -16,6 +20,7 @@
 #include "bench_util.h"
 #include "tafloc/exec/exec_config.h"
 #include "tafloc/exec/workspace.h"
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/linalg/cg.h"
 #include "tafloc/linalg/cholesky.h"
 #include "tafloc/linalg/eig.h"
@@ -352,6 +357,45 @@ void run_json_experiments() {
                 c.name, c.copy_ops, c.view_ops, c.view_ops / c.copy_ops);
   }
 
+  // 3) KNN per-query latency with telemetry absent / disabled / enabled.
+  //    The acceptance bar is disabled-vs-none within noise (< 5%): a
+  //    detached matcher and one attached to a disabled registry run the
+  //    same null-pointer branch per query.
+  std::printf("=== knn localize: telemetry absent / disabled / enabled ===\n");
+  const Scenario scenario = Scenario::paper_room(42);
+  Rng rng(99);
+  const Matrix fingerprints = scenario.collector().survey_all(0.0, rng);
+  const std::size_t n_queries = 16;
+  std::vector<Vector> queries;
+  queries.reserve(n_queries);
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    queries.push_back(fingerprints.col((q * 37) % fingerprints.cols()));
+  }
+  KnnMatcher knn_none(fingerprints, scenario.deployment().grid(), 4);
+  KnnMatcher knn_disabled(fingerprints, scenario.deployment().grid(), 4);
+  MetricRegistry disabled_registry(TelemetryConfig{.enabled = false});
+  knn_disabled.attach_telemetry(&disabled_registry);
+  KnnMatcher knn_enabled(fingerprints, scenario.deployment().grid(), 4);
+  MetricRegistry enabled_registry;
+  knn_enabled.attach_telemetry(&enabled_registry);
+
+  const auto localize_all = [&](const KnnMatcher& m) {
+    for (const Vector& q : queries) benchmark::DoNotOptimize(m.localize(q));
+  };
+  const double reps_per_query = static_cast<double>(n_queries);
+  const double ns_none =
+      1e9 / (ops_per_sec([&] { localize_all(knn_none); }, budget) * reps_per_query);
+  const double ns_disabled =
+      1e9 / (ops_per_sec([&] { localize_all(knn_disabled); }, budget) * reps_per_query);
+  const double ns_enabled =
+      1e9 / (ops_per_sec([&] { localize_all(knn_enabled); }, budget) * reps_per_query);
+  const double disabled_overhead = ns_disabled / ns_none - 1.0;
+  const double enabled_overhead = ns_enabled / ns_none - 1.0;
+  std::printf("  none %9.1f ns/query   disabled %9.1f ns/query (%+.1f%%)   enabled %9.1f "
+              "ns/query (%+.1f%%)\n",
+              ns_none, ns_disabled, 100.0 * disabled_overhead, ns_enabled,
+              100.0 * enabled_overhead);
+
   std::ofstream json("BENCH_linalg.json");
   json << "{\n  \"unit\": \"ops_per_sec\",\n  \"smoke\": "
        << (tafloc::bench::smoke_mode() ? "true" : "false") << ",\n";
@@ -370,7 +414,18 @@ void run_json_experiments() {
          << ", \"view_over_copy\": " << cases[i].view_ops / cases[i].copy_ops << "}"
          << (i + 1 < 2 ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"knn_telemetry\": {\n"
+       << "    \"queries\": " << n_queries << ",\n"
+       << "    \"per_query_ns\": {\"none\": " << ns_none << ", \"disabled\": " << ns_disabled
+       << ", \"enabled\": " << ns_enabled << "},\n"
+       << "    \"disabled_overhead\": " << disabled_overhead
+       << ",\n    \"enabled_overhead\": " << enabled_overhead << "\n  }";
+  if (tafloc::bench::telemetry_mode()) {
+    // The enabled run's registry, embedded so the artefact records the
+    // query counters and latency histogram behind the timings above.
+    json << ",\n  \"telemetry\": " << tafloc::bench::telemetry_json_array(enabled_registry);
+  }
+  json << "\n}\n";
   std::printf("wrote BENCH_linalg.json\n\n");
 }
 

@@ -6,8 +6,15 @@
 //      reference locations (plus one target-free ambient scan),
 //   4. localize a device-free target from real-time RSS.
 //
-// Run:  ./quickstart [--seed=N] [--days=T]
+// Run:  ./quickstart [--seed=N] [--days=T] [--telemetry=PATH]
+//
+// With --telemetry=PATH the system's metric registry -- stage spans,
+// solver iteration counters, scheduler staleness, per-query latency --
+// is exported as JSONL (one JSON object per line) to PATH after the
+// lifecycle completes ("-" prints it to stdout).
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "tafloc/tafloc.h"
 #include "tafloc/util/cli.h"
@@ -17,6 +24,7 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   const double days = args.get_double("days", 45.0);
+  const std::string telemetry_path = args.get_string("telemetry", "");
 
   // 1. Deployment + simulated radio environment (stands in for real
   //    WiFi hardware; swap Channel/FingerprintCollector for your own
@@ -38,12 +46,27 @@ int main(int argc, char** argv) {
               100.0 * static_cast<double>(tafloc.reference_locations().size()) /
                   static_cast<double>(room.num_grids()));
 
-  // 3. `days` later the fingerprints have drifted; refresh cheaply.
-  const auto report = tafloc.update_with_collector(scenario.collector(), days, rng);
+  // 3. `days` later the fingerprints have drifted.  The scheduler
+  //    watches free ambient scans and decides when the drift warrants a
+  //    refresh (here we scan every 5 simulated days until it triggers).
+  UpdateScheduler scheduler(tafloc.database().ambient(), 0.0);
+  scheduler.attach_telemetry(&tafloc.telemetry());
+  double update_day = days;
+  for (double t = 5.0; t <= days; t += 5.0) {
+    const Vector scan = scenario.collector().ambient_scan(t, rng);
+    if (scheduler.observe_ambient(scan, t)) {
+      update_day = t;
+      break;
+    }
+  }
+  std::printf("scheduler: staleness %.2f dB -> update at day %.0f\n",
+              scheduler.estimated_staleness_db(), update_day);
+  const auto report = tafloc.update_with_collector(scenario.collector(), update_day, rng);
+  scheduler.notify_updated(tafloc.database().ambient(), update_day);
   const SurveyCostModel cost;
   std::printf("day %.0f update: surveyed %zu grids (%.2f h) instead of %zu (%.2f h); "
               "solver: %zu outer iterations, converged=%s\n",
-              days, report.references_surveyed,
+              update_day, report.references_surveyed,
               cost.reference_survey_hours(report.references_surveyed), room.num_grids(),
               cost.hours_for_grids(room.num_grids()), report.solver.outer_iterations,
               report.solver.converged ? "yes" : "no");
@@ -54,5 +77,22 @@ int main(int argc, char** argv) {
   const Point2 estimate = tafloc.localize(rss);
   std::printf("target at (%.2f, %.2f) -> estimate (%.2f, %.2f), error %.2f m\n", truth.x,
               truth.y, estimate.x, estimate.y, distance(estimate, truth));
+
+  // 5. Optional: export this run's telemetry as JSONL.
+  if (!telemetry_path.empty()) {
+    const std::string snapshot = tafloc.telemetry_snapshot_json();
+    if (telemetry_path == "-") {
+      std::fputs(snapshot.c_str(), stdout);
+    } else {
+      std::ofstream out(telemetry_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n", telemetry_path.c_str());
+        return 1;
+      }
+      out << snapshot;
+      std::printf("telemetry: %zu metrics -> %s\n", tafloc.telemetry().size(),
+                  telemetry_path.c_str());
+    }
+  }
   return 0;
 }

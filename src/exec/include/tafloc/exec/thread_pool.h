@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -29,6 +30,8 @@
 #include <vector>
 
 namespace tafloc {
+
+class MetricRegistry;
 
 class ThreadPool {
  public:
@@ -89,6 +92,22 @@ class ThreadPool {
   /// parallel_for / parallel_reduce, exposed for irregular workloads.
   void run_chunks(std::size_t count, const std::function<void(std::size_t)>& task);
 
+  /// Point-in-time execution statistics.  Kept as relaxed atomics the
+  /// pool updates once per batch (two adds + one high-water CAS), so
+  /// the counts are exact and the hot loops pay nothing per chunk.
+  struct Stats {
+    std::uint64_t batches = 0;           ///< run_chunks() calls (inline ones included).
+    std::uint64_t chunks_run = 0;        ///< total chunks dispatched over all batches.
+    std::uint64_t max_batch_chunks = 0;  ///< deepest chunk queue a batch ever posted.
+  };
+  Stats stats() const noexcept;
+
+  /// Copy stats() into `registry` as exec.pool.* gauges.  Telemetry is
+  /// per-TafLocSystem while the pool is process-wide, so systems sample
+  /// the shared pool at snapshot time instead of the pool pushing into
+  /// any registry.
+  void sample_into(MetricRegistry& registry) const;
+
  private:
   void worker_loop();
   /// Pull and run chunks of the current batch until none remain.
@@ -110,6 +129,10 @@ class ThreadPool {
   std::size_t next_chunk_ = 0;
   std::size_t finished_ = 0;
   std::exception_ptr error_;
+
+  std::atomic<std::uint64_t> stat_batches_{0};
+  std::atomic<std::uint64_t> stat_chunks_run_{0};
+  std::atomic<std::uint64_t> stat_max_batch_chunks_{0};
 };
 
 }  // namespace tafloc

@@ -27,9 +27,18 @@
 
 namespace tafloc {
 
+class Counter;
+class Gauge;
+class MetricRegistry;
+
 class Workspace {
  public:
-  Workspace() = default;
+  /// With a non-null, enabled `telemetry`, the arena mirrors its
+  /// activity into exec.workspace.* metrics (allocations and lease
+  /// counters, pooled-bytes high-water gauge).  The registry handles
+  /// are resolved once here, so instrumented leases cost one pointer
+  /// test plus a relaxed add.
+  explicit Workspace(MetricRegistry* telemetry = nullptr);
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
@@ -86,6 +95,10 @@ class Workspace {
     return matrix_slots_.size() + vector_slots_.size();
   }
 
+  /// Heap bytes currently backing the pool's buffers (capacity, not
+  /// live size) -- the value the bytes high-water gauge tracks.
+  std::size_t pooled_bytes() const noexcept { return pooled_bytes_; }
+
  private:
   template <class T>
   struct Slot {
@@ -96,11 +109,20 @@ class Workspace {
   void release(const MatrixLease& lease);
   void release(const VectorLease& lease);
 
+  /// Account a capacity change of a pool buffer and refresh the gauge.
+  void track_capacity(std::size_t before_elems, std::size_t after_elems);
+
   // unique_ptr slots keep leased addresses stable while the pool grows.
   std::vector<std::unique_ptr<Slot<Matrix>>> matrix_slots_;
   std::vector<std::unique_ptr<Slot<Vector>>> vector_slots_;
   std::size_t allocations_ = 0;
   std::size_t outstanding_ = 0;
+  std::size_t pooled_bytes_ = 0;
+
+  // Telemetry mirrors (null when detached or disabled).
+  Counter* allocations_counter_ = nullptr;
+  Counter* leases_counter_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
 };
 
 }  // namespace tafloc

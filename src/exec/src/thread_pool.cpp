@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "tafloc/exec/exec_config.h"
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -81,6 +82,12 @@ void ThreadPool::drain_batch(std::unique_lock<std::mutex>& lock) {
 void ThreadPool::run_chunks(std::size_t count, const std::function<void(std::size_t)>& task) {
   TAFLOC_CHECK_ARG(static_cast<bool>(task), "run_chunks needs a task");
   if (count == 0) return;
+  stat_batches_.fetch_add(1, std::memory_order_relaxed);
+  stat_chunks_run_.fetch_add(count, std::memory_order_relaxed);
+  std::uint64_t seen_max = stat_max_batch_chunks_.load(std::memory_order_relaxed);
+  while (seen_max < count && !stat_max_batch_chunks_.compare_exchange_weak(
+                                 seen_max, count, std::memory_order_relaxed)) {
+  }
   // Sequential modes: a size-1 pool, a single chunk, or a call from
   // inside a pool task (nested loops run inline -- same results, since
   // every kernel's output is range-partitioned).
@@ -125,6 +132,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
     const std::size_t hi = lo + std::min(per, end - lo);
     body(lo, hi);
   });
+}
+
+ThreadPool::Stats ThreadPool::stats() const noexcept {
+  return {stat_batches_.load(std::memory_order_relaxed),
+          stat_chunks_run_.load(std::memory_order_relaxed),
+          stat_max_batch_chunks_.load(std::memory_order_relaxed)};
+}
+
+void ThreadPool::sample_into(MetricRegistry& registry) const {
+  if (!registry.enabled()) return;
+  const Stats s = stats();
+  registry.gauge("exec.pool.threads").set(static_cast<double>(size()));
+  registry.gauge("exec.pool.batches").set(static_cast<double>(s.batches));
+  registry.gauge("exec.pool.chunks_run").set(static_cast<double>(s.chunks_run));
+  registry.gauge("exec.pool.max_batch_chunks").set(static_cast<double>(s.max_batch_chunks));
 }
 
 ThreadPool& ThreadPool::global() {

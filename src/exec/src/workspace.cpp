@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -28,6 +29,16 @@ std::size_t find_best_fit(const Slots& slots, std::size_t needed, const Capacity
 
 }  // namespace
 
+Workspace::Workspace(MetricRegistry* telemetry)
+    : allocations_counter_(registry_counter(telemetry, "exec.workspace.allocations")),
+      leases_counter_(registry_counter(telemetry, "exec.workspace.leases")),
+      bytes_gauge_(registry_gauge(telemetry, "exec.workspace.bytes_highwater")) {}
+
+void Workspace::track_capacity(std::size_t before_elems, std::size_t after_elems) {
+  if (after_elems > before_elems) pooled_bytes_ += (after_elems - before_elems) * sizeof(double);
+  if (bytes_gauge_ != nullptr) bytes_gauge_->set_max(static_cast<double>(pooled_bytes_));
+}
+
 Workspace::MatrixLease Workspace::matrix(std::size_t rows, std::size_t cols) {
   TAFLOC_CHECK_ARG(rows > 0 && cols > 0, "workspace matrices must be non-empty");
   const std::size_t needed = rows * cols;
@@ -49,12 +60,16 @@ Workspace::MatrixLease Workspace::matrix(std::size_t rows, std::size_t cols) {
     }
     slot = grow;
     ++allocations_;
+    if (allocations_counter_ != nullptr) allocations_counter_->add();
   }
   Slot<Matrix>& s = *matrix_slots_[slot];
+  const std::size_t before = s.value.capacity();
   s.value.resize(rows, cols);
   s.value.fill(0.0);
+  track_capacity(before, s.value.capacity());
   s.in_use = true;
   ++outstanding_;
+  if (leases_counter_ != nullptr) leases_counter_->add();
   return MatrixLease(this, slot, &s.value);
 }
 
@@ -76,11 +91,15 @@ Workspace::VectorLease Workspace::vector(std::size_t n) {
     }
     slot = grow;
     ++allocations_;
+    if (allocations_counter_ != nullptr) allocations_counter_->add();
   }
   Slot<Vector>& s = *vector_slots_[slot];
+  const std::size_t before = s.value.capacity();
   s.value.assign(n, 0.0);
+  track_capacity(before, s.value.capacity());
   s.in_use = true;
   ++outstanding_;
+  if (leases_counter_ != nullptr) leases_counter_->add();
   return VectorLease(this, slot, &s.value);
 }
 

@@ -23,6 +23,10 @@
 
 namespace tafloc {
 
+class Counter;
+class Histogram;
+class MetricRegistry;
+
 /// Owning-or-borrowed fingerprint matrix: adopts a Matrix, or borrows a
 /// caller-owned view.  Copies re-point the view at the copied storage;
 /// moves keep it valid because std::vector moves preserve the heap
@@ -103,6 +107,13 @@ class KnnMatcher : public Localizer {
   /// style proof that localize() performs zero heap allocations.
   static std::size_t scratch_allocations() noexcept;
 
+  /// Point loc.knn.* metrics at `registry` (per-query latency
+  /// histogram, query/batch counters, scratch-allocation mirror).  The
+  /// metric handles are resolved once here -- the per-query path does a
+  /// clock read plus relaxed atomics, never a registry lookup.  nullptr
+  /// or a disabled registry detaches (zero overhead, same results).
+  void attach_telemetry(MetricRegistry* registry);
+
  private:
   /// Column scan + partial sort into the thread-local scratch; returns
   /// the k best indices (a span into that scratch, valid until the next
@@ -114,6 +125,14 @@ class KnnMatcher : public Localizer {
   std::size_t k_;
   bool weighted_;
   double spatial_gate_m_;
+
+  // Telemetry handles (all null when detached; see attach_telemetry).
+  MetricRegistry* telemetry_ = nullptr;
+  Histogram* query_hist_ = nullptr;
+  Counter* query_counter_ = nullptr;
+  Histogram* batch_hist_ = nullptr;
+  Counter* batch_query_counter_ = nullptr;
+  Counter* scratch_alloc_counter_ = nullptr;
 };
 
 /// Gaussian-likelihood matcher: p(Y | grid j) ~ exp(-||Y - x_j||^2 /

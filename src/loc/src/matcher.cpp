@@ -1,12 +1,13 @@
 #include "tafloc/loc/matcher.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "tafloc/exec/thread_pool.h"
 #include "tafloc/linalg/vector_ops.h"
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -46,7 +47,14 @@ KnnScratch& knn_scratch() {
   return s;
 }
 
-std::atomic<std::size_t> g_knn_scratch_allocations{0};
+/// Process-wide scratch-allocation count.  A telemetry Counter rather
+/// than a raw atomic: the static accessor stays a thin value() read,
+/// and attached per-matcher registries mirror the same increments into
+/// their own loc.knn.scratch_allocations series.
+Counter& knn_scratch_allocation_counter() {
+  static Counter counter;
+  return counter;
+}
 
 }  // namespace
 
@@ -113,7 +121,16 @@ std::string KnnMatcher::name() const {
 }
 
 std::size_t KnnMatcher::scratch_allocations() noexcept {
-  return g_knn_scratch_allocations.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(knn_scratch_allocation_counter().value());
+}
+
+void KnnMatcher::attach_telemetry(MetricRegistry* registry) {
+  telemetry_ = (registry != nullptr && registry->enabled()) ? registry : nullptr;
+  query_hist_ = registry_histogram(telemetry_, "loc.knn.query_seconds");
+  query_counter_ = registry_counter(telemetry_, "loc.knn.queries");
+  batch_hist_ = registry_histogram(telemetry_, "loc.knn.batch_seconds");
+  batch_query_counter_ = registry_counter(telemetry_, "loc.knn.batch_queries");
+  scratch_alloc_counter_ = registry_counter(telemetry_, "loc.knn.scratch_allocations");
 }
 
 std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const double> rss) const {
@@ -122,8 +139,10 @@ std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const doub
   TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
   const std::size_t n = fp.cols();
   KnnScratch& s = knn_scratch();
-  if (s.dist.capacity() < n || s.order.capacity() < n)
-    g_knn_scratch_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (s.dist.capacity() < n || s.order.capacity() < n) {
+    knn_scratch_allocation_counter().add();
+    if (scratch_alloc_counter_ != nullptr) scratch_alloc_counter_->add();
+  }
   s.dist.resize(n);
   s.order.resize(n);
   std::vector<double>& dist = s.dist;
@@ -147,6 +166,10 @@ std::vector<std::size_t> KnnMatcher::nearest_grids(std::span<const double> rss) 
 }
 
 Point2 KnnMatcher::localize(std::span<const double> rss) const {
+  // Cached-handle timing, not a ScopedSpan: per-query overhead while
+  // attached is two clock reads plus relaxed atomics, no registry
+  // lookup; while detached, a single null test.
+  const std::uint64_t t0 = telemetry_ != nullptr ? telemetry_->now_ns() : 0;
   const std::span<const std::size_t> nearest = nearest_in_scratch(rss);
   const std::vector<double>& dist = knn_scratch().dist;
   const Point2 anchor = grid_.center(nearest.front());
@@ -167,10 +190,15 @@ Point2 KnnMatcher::localize(std::span<const double> rss) const {
     wy += w * c.y;
     wsum += w;
   }
+  if (telemetry_ != nullptr) {
+    query_hist_->observe(static_cast<double>(telemetry_->now_ns() - t0) * 1e-9);
+    query_counter_->add();
+  }
   return {wx / wsum, wy / wsum};
 }
 
 std::vector<Point2> KnnMatcher::localize_batch(std::span<const Vector> rss_batch) const {
+  const std::uint64_t t0 = telemetry_ != nullptr ? telemetry_->now_ns() : 0;
   std::vector<Point2> out(rss_batch.size());
   // One query per chunk: each output slot is written by exactly one
   // lane, and the inner column scan runs inline inside pool tasks (each
@@ -178,6 +206,10 @@ std::vector<Point2> KnnMatcher::localize_batch(std::span<const Vector> rss_batch
   ThreadPool::global().parallel_for(0, rss_batch.size(), 1, [&](std::size_t b0, std::size_t b1) {
     for (std::size_t i = b0; i < b1; ++i) out[i] = localize(rss_batch[i]);
   });
+  if (telemetry_ != nullptr) {
+    batch_hist_->observe(static_cast<double>(telemetry_->now_ns() - t0) * 1e-9);
+    batch_query_counter_->add(rss_batch.size());
+  }
   return out;
 }
 

@@ -27,6 +27,8 @@
 
 namespace tafloc {
 
+class MetricRegistry;
+
 /// Solver weights and iteration controls.  Defaults are the values used
 /// throughout the evaluation (see DESIGN.md).
 struct LoliIrConfig {
@@ -47,6 +49,12 @@ struct LoliIrConfig {
   /// prediction's spatial gradient (useful when the prediction is clean
   /// but incomplete; see the objective-terms ablation bench).
   bool anchor_pairwise_to_prediction = false;
+  /// Optional metrics sink (recon.loli_ir.* series: solve/init-SVD
+  /// spans, outer/CG iteration counters, per-sweep relative-change
+  /// histogram, workspace-allocation counters).  Not owned; nullptr
+  /// or a disabled registry means zero instrumentation overhead.
+  /// Telemetry only observes -- results are bit-identical either way.
+  MetricRegistry* telemetry = nullptr;
 };
 
 /// Everything the solver needs about one reconstruction instance.

@@ -25,6 +25,8 @@
 
 namespace tafloc {
 
+class MetricRegistry;
+
 enum class LrrSolver { Ridge, NuclearNorm };
 
 struct LrrOptions {
@@ -33,6 +35,10 @@ struct LrrOptions {
   double nuclear_lambda = 20.0;  ///< NuclearNorm solver: data-fit weight.
   std::size_t max_iterations = 300;  ///< NuclearNorm solver: ISTA cap.
   double tolerance = 1e-6;       ///< NuclearNorm: relative change stop.
+  /// Optional metrics sink (recon.lrr.* series: fit span, fit/ISTA
+  /// iteration counters, training-residual gauge).  Not owned; nullptr
+  /// or disabled = no overhead, identical results.
+  MetricRegistry* telemetry = nullptr;
 };
 
 class LrrModel {

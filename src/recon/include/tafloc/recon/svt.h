@@ -15,11 +15,17 @@
 
 namespace tafloc {
 
+class MetricRegistry;
+
 struct SvtOptions {
   double tau = 0.0;           ///< shrinkage threshold; 0 = 5 * sqrt(m * n).
   double step = 0.0;          ///< gradient step delta; 0 = 1.2 / observed fraction.
   double tolerance = 1e-4;    ///< stop when ||B o (X - X_I)||_F <= tol * ||X_I||_F.
   std::size_t max_iterations = 2000;
+  /// Optional metrics sink (recon.svt.* series: solve span, per-iteration
+  /// SVD-shrink time histogram, iteration counter, residual gauge).
+  /// Not owned; nullptr or disabled = no overhead, identical results.
+  MetricRegistry* telemetry = nullptr;
 };
 
 struct SvtResult {

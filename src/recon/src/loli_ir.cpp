@@ -7,6 +7,8 @@
 #include "tafloc/exec/thread_pool.h"
 #include "tafloc/exec/workspace.h"
 #include "tafloc/linalg/svd.h"
+#include "tafloc/telemetry/metrics.h"
+#include "tafloc/telemetry/span.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -205,6 +207,9 @@ double loli_ir_objective(const LoliIrProblem& p, const LoliIrConfig& c, const Ma
 LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) {
   validate(p);
   validate(c);
+  ScopedSpan solve_span(c.telemetry, "recon.loli_ir.solve_seconds");
+  Counter* tel_cg_iters = registry_counter(c.telemetry, "recon.loli_ir.cg_iterations");
+  Histogram* tel_sweep = registry_histogram(c.telemetry, "recon.loli_ir.sweep_rel_change");
 
   const std::size_t m = p.known.rows();
   const std::size_t n = p.known.cols();
@@ -212,7 +217,11 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
 
   // ---- initialization: truncated SVD of the patched prediction ----
   const Matrix x0 = initial_estimate(p);
-  const SvdResult svd = svd_decompose(x0);
+  SvdResult svd;
+  {
+    ScopedSpan svd_span(c.telemetry, "recon.loli_ir.init_svd_seconds");
+    svd = svd_decompose(x0);
+  }
   std::size_t rank = c.rank;
   if (rank == 0) rank = std::max<std::size_t>(svd.numeric_rank(1e-3), 1);
   rank = std::min({rank, c.max_rank, m, n});
@@ -228,7 +237,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
   // ---- workspace: every per-iteration temporary is leased once here
   // and reused across all outer iterations and CG matvecs; the arena
   // counter proves the steady-state loop performs no heap allocation.
-  Workspace ws;
+  Workspace ws(c.telemetry);
   auto known_masked_lease = ws.matrix(m, n);  // B o X_I
   Matrix& known_masked = *known_masked_lease;
   hadamard_into(p.mask_undistorted, p.known, known_masked);
@@ -377,7 +386,9 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
         }
       }
 
-      conjugate_gradient_in_place(apply_l, rhs_l.data(), l.data(), cg_scratch, c.cg);
+      const CgSummary cg = conjugate_gradient_in_place(apply_l, rhs_l.data(), l.data(),
+                                                       cg_scratch, c.cg);
+      if (tel_cg_iters != nullptr) tel_cg_iters->add(cg.iterations);
     }
 
     // ================= R-step: fix L, solve for R =================
@@ -424,7 +435,9 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
         }
       }
 
-      conjugate_gradient_in_place(apply_r, rhs_r.data(), r.data(), cg_scratch, c.cg);
+      const CgSummary cg = conjugate_gradient_in_place(apply_r, rhs_r.data(), r.data(),
+                                                       cg_scratch, c.cg);
+      if (tel_cg_iters != nullptr) tel_cg_iters->add(cg.iterations);
     }
 
     // ================= convergence bookkeeping =================
@@ -433,6 +446,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
     out.outer_iterations = outer + 1;
     const double denom = std::max(x_prev.frobenius_norm(), 1e-12);
     const double rel_change = frobenius_diff_norm(x_now, x_prev) / denom;
+    if (tel_sweep != nullptr) tel_sweep->observe(rel_change);
     x_prev = x_now;
     if (outer == 0) warmup_allocations = ws.allocations();
     if (rel_change < c.outer_tolerance) {
@@ -448,6 +462,15 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
   out.objective = out.objective_trace.empty() ? 0.0 : out.objective_trace.back();
   out.workspace_allocations = ws.allocations();
   out.workspace_allocations_steady = ws.allocations() - warmup_allocations;
+  if (c.telemetry != nullptr && c.telemetry->enabled()) {
+    c.telemetry->counter("recon.loli_ir.solves").add();
+    c.telemetry->counter("recon.loli_ir.outer_iterations").add(out.outer_iterations);
+    c.telemetry->counter("recon.loli_ir.workspace_allocations").add(out.workspace_allocations);
+    c.telemetry->counter("recon.loli_ir.workspace_allocations_steady")
+        .add(out.workspace_allocations_steady);
+    c.telemetry->gauge("recon.loli_ir.rank").set(static_cast<double>(out.rank));
+    c.telemetry->gauge("recon.loli_ir.last_objective").set(out.objective);
+  }
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include "tafloc/linalg/lsq.h"
 #include "tafloc/linalg/ops.h"
 #include "tafloc/linalg/svd.h"
+#include "tafloc/telemetry/metrics.h"
+#include "tafloc/telemetry/span.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -42,10 +44,11 @@ LrrModel LrrModel::from_correlation(Matrix z, std::vector<std::size_t> reference
 }
 
 void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
+  ScopedSpan fit_span(options.telemetry, "recon.lrr.fit_seconds");
   // Every fit-scoped buffer -- including the gathered reference block
   // XR0 -- comes from one workspace arena, so the ISTA loop below runs
   // allocation-free after its first iteration (the counters verify it).
-  Workspace ws;
+  Workspace ws(options.telemetry);
   auto xr0_lease = ws.matrix(x0.rows(), reference_indices_.size());
   Matrix& xr0 = *xr0_lease;
   gather_columns_into(x0.view(), reference_indices_, xr0.view());
@@ -112,6 +115,11 @@ void LrrModel::fit(const Matrix& x0, const LrrOptions& options) {
   const double denom = x0.frobenius_norm();
   training_residual_ = denom > 0.0 ? (fit_matrix - x0).frobenius_norm() / denom : 0.0;
   workspace_allocations_ = ws.allocations();
+  if (options.telemetry != nullptr && options.telemetry->enabled()) {
+    options.telemetry->counter("recon.lrr.fits").add();
+    options.telemetry->counter("recon.lrr.ista_iterations").add(solver_iterations_);
+    options.telemetry->gauge("recon.lrr.training_residual").set(training_residual_);
+  }
 }
 
 Matrix LrrModel::predict(const Matrix& fresh_reference_columns) const {

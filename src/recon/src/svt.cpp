@@ -4,6 +4,8 @@
 
 #include "tafloc/exec/workspace.h"
 #include "tafloc/linalg/ops.h"
+#include "tafloc/telemetry/metrics.h"
+#include "tafloc/telemetry/span.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -13,6 +15,15 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   TAFLOC_CHECK_ARG(mask.same_shape(x_known), "mask shape must match the data");
   TAFLOC_CHECK_ARG(options.tolerance > 0.0, "SVT tolerance must be positive");
   TAFLOC_CHECK_ARG(options.max_iterations > 0, "SVT iteration cap must be positive");
+
+  ScopedSpan solve_span(options.telemetry, "recon.svt.solve_seconds");
+  Histogram* tel_shrink = registry_histogram(options.telemetry, "recon.svt.shrink_seconds");
+  const auto record_outcome = [&](const SvtResult& r) {
+    if (options.telemetry == nullptr || !options.telemetry->enabled()) return;
+    options.telemetry->counter("recon.svt.solves").add();
+    options.telemetry->counter("recon.svt.iterations").add(r.iterations);
+    options.telemetry->gauge("recon.svt.last_residual").set(r.residual);
+  };
 
   std::size_t observed = 0;
   for (double v : mask.data()) {
@@ -34,7 +45,7 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   // Per-iteration temporaries come from a workspace arena: the dual
   // iterate, the observed-entry data, and the masked residual each get
   // one buffer for the whole run.
-  Workspace ws;
+  Workspace ws(options.telemetry);
   auto data_lease = ws.matrix(x_known.rows(), x_known.cols());
   auto y_lease = ws.matrix(x_known.rows(), x_known.cols());
   auto resid_lease = ws.matrix(x_known.rows(), x_known.cols());
@@ -59,7 +70,13 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     // Destination-passing shrink: out.x's buffer is reused every
     // iteration once its capacity settles.
-    singular_value_shrink_into(y, tau, out.x);
+    if (tel_shrink != nullptr) {
+      const std::uint64_t t0 = options.telemetry->now_ns();
+      singular_value_shrink_into(y, tau, out.x);
+      tel_shrink->observe(static_cast<double>(options.telemetry->now_ns() - t0) * 1e-9);
+    } else {
+      singular_value_shrink_into(y, tau, out.x);
+    }
     // Residual on the observed entries only.
     for (std::size_t i = 0; i < resid.size(); ++i)
       resid.data()[i] = mask.data()[i] * out.x.data()[i] - data.data()[i];
@@ -68,10 +85,12 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
     out.residual = rel;
     if (rel <= options.tolerance) {
       out.converged = true;
+      record_outcome(out);
       return out;
     }
     add_scaled_into(resid, -delta, y);
   }
+  record_outcome(out);
   return out;
 }
 

@@ -18,6 +18,10 @@
 
 namespace tafloc {
 
+class Counter;
+class Gauge;
+class MetricRegistry;
+
 struct SchedulerConfig {
   double staleness_threshold_db = 3.0;  ///< trigger level for the mean ambient drift.
   double min_interval_days = 1.0;       ///< never update more often than this.
@@ -44,12 +48,26 @@ class UpdateScheduler {
   double last_update_days() const noexcept { return updated_at_; }
   const SchedulerConfig& config() const noexcept { return config_; }
 
+  /// Point scheduler.* metrics at `registry` (typically the owning
+  /// TafLocSystem's): staleness gauge in dB, observation / trigger
+  /// counters, last-trigger-time gauge, and one timestamped
+  /// "scheduler.update_trigger" event in the span trace per trigger.
+  /// nullptr or a disabled registry detaches.
+  void attach_telemetry(MetricRegistry* registry);
+
  private:
   Vector baseline_;
   double updated_at_;
   double last_observation_ = 0.0;
   double staleness_ = 0.0;
   SchedulerConfig config_;
+
+  // Telemetry handles (all null when detached; see attach_telemetry).
+  MetricRegistry* telemetry_ = nullptr;
+  Gauge* staleness_gauge_ = nullptr;
+  Gauge* last_trigger_gauge_ = nullptr;
+  Counter* observation_counter_ = nullptr;
+  Counter* trigger_counter_ = nullptr;
 };
 
 }  // namespace tafloc

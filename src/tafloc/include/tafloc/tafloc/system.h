@@ -33,6 +33,7 @@
 #include "tafloc/recon/lrr.h"
 #include "tafloc/sim/collector.h"
 #include "tafloc/sim/deployment.h"
+#include "tafloc/telemetry/metrics.h"
 
 namespace tafloc {
 
@@ -67,6 +68,12 @@ struct TafLocConfig {
   /// alone (TAFLOC_THREADS env or hardware concurrency); threads == 1
   /// forces the sequential legacy path.  Applied at system construction.
   ExecConfig exec;
+  /// Observability settings.  Each system owns its own MetricRegistry
+  /// (no process-wide telemetry state); with enabled == false the
+  /// registry stays inert and every instrumented path short-circuits.
+  /// Telemetry never changes results -- localization and reconstruction
+  /// are bit-identical with it on or off, at any thread count.
+  TelemetryConfig telemetry;
 };
 
 class TafLocSystem : public Localizer {
@@ -128,6 +135,18 @@ class TafLocSystem : public Localizer {
   const TafLocConfig& config() const noexcept { return config_; }
   const Deployment& deployment() const noexcept { return deployment_; }
 
+  /// This system's metric registry: solver iteration counters, stage
+  /// spans, per-query latency histograms, scheduler gauges (when an
+  /// UpdateScheduler is attached to it) all land here.
+  MetricRegistry& telemetry() noexcept { return *telemetry_; }
+  const MetricRegistry& telemetry() const noexcept { return *telemetry_; }
+
+  /// JSONL snapshot of every metric plus the recent span trace; samples
+  /// the shared thread pool's exec.pool.* gauges first so the export is
+  /// self-contained.  One JSON object per line (see MetricRegistry::
+  /// snapshot_json for the schema).
+  std::string telemetry_snapshot_json() const;
+
  private:
   void rebuild_matcher();
 
@@ -140,6 +159,7 @@ class TafLocSystem : public Localizer {
   std::vector<PairwiseTerm> continuity_;
   std::vector<PairwiseTerm> similarity_;
   std::unique_ptr<KnnMatcher> matcher_;
+  std::unique_ptr<MetricRegistry> telemetry_;  ///< per-system, never global.
 };
 
 }  // namespace tafloc

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -20,6 +21,14 @@ UpdateScheduler::UpdateScheduler(Vector ambient_at_update, double updated_at_day
                    "max interval must exceed min interval");
 }
 
+void UpdateScheduler::attach_telemetry(MetricRegistry* registry) {
+  telemetry_ = (registry != nullptr && registry->enabled()) ? registry : nullptr;
+  staleness_gauge_ = registry_gauge(telemetry_, "scheduler.staleness_db");
+  last_trigger_gauge_ = registry_gauge(telemetry_, "scheduler.last_trigger_days");
+  observation_counter_ = registry_counter(telemetry_, "scheduler.observations");
+  trigger_counter_ = registry_counter(telemetry_, "scheduler.update_triggers");
+}
+
 bool UpdateScheduler::observe_ambient(std::span<const double> ambient, double t_days) {
   TAFLOC_CHECK_ARG(ambient.size() == baseline_.size(), "ambient vector size mismatch");
   TAFLOC_CHECK_ARG(t_days >= last_observation_, "observations must not go back in time");
@@ -30,9 +39,26 @@ bool UpdateScheduler::observe_ambient(std::span<const double> ambient, double t_
   staleness_ = sum / static_cast<double>(ambient.size());
 
   const double age = t_days - updated_at_;
-  if (age < config_.min_interval_days) return false;
-  if (age >= config_.max_interval_days) return true;
-  return staleness_ > config_.staleness_threshold_db;
+  bool trigger;
+  if (age < config_.min_interval_days) {
+    trigger = false;
+  } else if (age >= config_.max_interval_days) {
+    trigger = true;
+  } else {
+    trigger = staleness_ > config_.staleness_threshold_db;
+  }
+  if (telemetry_ != nullptr) {
+    observation_counter_->add();
+    staleness_gauge_->set(staleness_);
+    if (trigger) {
+      trigger_counter_->add();
+      last_trigger_gauge_->set(t_days);
+      // A zero-duration span: the timestamped update-trigger event in
+      // the exported trace.
+      telemetry_->record_span("scheduler.update_trigger", 0, telemetry_->now_ns(), 0);
+    }
+  }
+  return trigger;
 }
 
 void UpdateScheduler::notify_updated(Vector fresh_ambient, double t_days) {
@@ -42,6 +68,7 @@ void UpdateScheduler::notify_updated(Vector fresh_ambient, double t_days) {
   updated_at_ = t_days;
   last_observation_ = t_days;
   staleness_ = 0.0;
+  if (staleness_gauge_ != nullptr) staleness_gauge_->set(0.0);
 }
 
 }  // namespace tafloc

@@ -5,8 +5,10 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "tafloc/exec/thread_pool.h"
 #include "tafloc/linalg/io.h"
 #include "tafloc/recon/operators.h"
+#include "tafloc/telemetry/span.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -68,9 +70,14 @@ TafLocState TafLocState::load_file(const std::string& path) {
 }
 
 TafLocSystem::TafLocSystem(const Deployment& deployment, const TafLocConfig& config)
-    : deployment_(deployment), config_(config) {
+    : deployment_(deployment),
+      config_(config),
+      telemetry_(std::make_unique<MetricRegistry>(config.telemetry)) {
   TAFLOC_CHECK_ARG(config.knn_k >= 1, "knn k must be at least 1");
   if (config_.exec.threads != 0) set_global_threads(config_.exec.threads);
+  // Route the solver's recon.* metrics into this system's registry.
+  // The pointer is stable for the system's lifetime (unique_ptr owner).
+  config_.solver.telemetry = telemetry_.get();
 }
 
 void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t_days) {
@@ -78,6 +85,7 @@ void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t
                    "survey must have one row per link");
   TAFLOC_CHECK_ARG(full_survey.cols() == deployment_.num_grids(),
                    "survey must have one column per grid");
+  ScopedSpan span(telemetry_.get(), "system.calibrate_seconds");
 
   // Distortion structure, learned from the data (no geometry needed).
   const DistortionDetector detector(config_.distortion);
@@ -91,7 +99,10 @@ void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t
       select_reference_locations(full_survey, count, config_.reference_policy, nullptr);
 
   // LRR correlation matrix from the initial survey.
-  lrr_.emplace(full_survey, reference_indices_, config_.lrr_ridge);
+  LrrOptions lrr_options;
+  lrr_options.ridge = config_.lrr_ridge;
+  lrr_options.telemetry = telemetry_.get();
+  lrr_.emplace(full_survey, reference_indices_, lrr_options);
 
   // Property-iii pair sets, fixed by the learned distortion structure.
   const DistortionMask* mask_ptr = config_.mask_pairwise ? &*mask_ : nullptr;
@@ -100,6 +111,10 @@ void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t
 
   database_.emplace(full_survey, std::move(ambient), t_days);
   rebuild_matcher();
+  if (telemetry_->enabled()) {
+    telemetry_->counter("system.calibrations").add();
+    telemetry_->gauge("system.last_survey_days").set(t_days);
+  }
 }
 
 TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_columns,
@@ -111,6 +126,7 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
                    "reference column count must match the calibrated reference set");
   TAFLOC_CHECK_ARG(fresh_ambient.size() == deployment_.num_links(),
                    "ambient vector must have one entry per link");
+  ScopedSpan span(telemetry_.get(), "system.update_seconds");
 
   LoliIrProblem problem;
   problem.mask_undistorted = mask_->undistorted;
@@ -128,6 +144,13 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
 
   database_->update(report.solver.x, std::move(fresh_ambient), t_days);
   rebuild_matcher();
+  if (telemetry_->enabled()) {
+    telemetry_->counter("system.updates").add();
+    telemetry_->gauge("system.last_update_days").set(t_days);
+    // Post-update reconstruction quality: the solver objective at the
+    // accepted iterate (lower is better; see loli_ir.h for the terms).
+    telemetry_->gauge("system.post_update_objective").set(report.solver.objective);
+  }
   return report;
 }
 
@@ -221,6 +244,12 @@ void TafLocSystem::rebuild_matcher() {
   matcher_ = std::make_unique<KnnMatcher>(database_->fingerprints_view(), deployment_.grid(),
                                           std::min(config_.knn_k, deployment_.num_grids()),
                                           /*weighted=*/true);
+  matcher_->attach_telemetry(telemetry_.get());
+}
+
+std::string TafLocSystem::telemetry_snapshot_json() const {
+  ThreadPool::global().sample_into(*telemetry_);
+  return telemetry_->snapshot_json();
 }
 
 }  // namespace tafloc

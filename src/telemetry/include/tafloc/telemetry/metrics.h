@@ -1,0 +1,205 @@
+// Telemetry substrate: a thread-safe MetricRegistry of counters, gauges
+// and fixed-bucket histograms, with human-readable and JSONL exporters.
+//
+// Ownership model (mirrors the logger's no-env-coupling rule): there is
+// NO process-global registry.  Each TafLocSystem owns one; library code
+// receives a `MetricRegistry*` through its config struct and treats
+// nullptr as "telemetry off".  Hot paths cache the Counter* / Histogram*
+// handles once (registry lookups take a mutex; metric operations do
+// not), so the steady-state cost of an enabled counter is one relaxed
+// atomic add and of a disabled one a single branch on a null pointer.
+//
+// Determinism contract: metrics only *observe* -- no instrumented kernel
+// may branch on a metric value, so localization and reconstruction
+// outputs are bit-identical with telemetry enabled or disabled at any
+// thread count (asserted in test_exec_determinism).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tafloc {
+
+namespace detail {
+
+/// CAS helpers for atomic doubles (portable stand-ins for the C++20
+/// floating fetch_add/fetch_max, which libstdc++ lowers to the same
+/// loop).
+void atomic_add(std::atomic<double>& target, double delta) noexcept;
+void atomic_max(std::atomic<double>& target, double value) noexcept;
+void atomic_min(std::atomic<double>& target, double value) noexcept;
+
+}  // namespace detail
+
+/// Monotonic event counter.  All operations are relaxed atomics:
+/// concurrent adds never lose increments (totals are exact) and cost no
+/// fences on the hot path.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value (or high-water) instrument for point-in-time readings:
+/// staleness in dB, arena bytes, queue depths.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Raise-only update (high-water marks).
+  void set_max(double v) noexcept { detail::atomic_max(value_, v); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: values land in the first bucket whose upper
+/// bound is >= the value (one overflow bucket past the last bound).
+/// Counts, sum and min/max are exact under concurrency; quantiles are
+/// interpolated within a bucket, so they are accurate to one bucket
+/// width (the percentile test bounds them against a sorted reference).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Log-spaced bounds 1e-9 .. 1e3 in sub-decade (1, 1.5, 2, 3, 5, 7)
+  /// steps -- wide enough for latencies in seconds and dimensionless
+  /// residuals alike.
+  static std::vector<double> default_bounds();
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest observed value (0 when empty).
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+  /// Interpolated quantile, q in [0, 1]; 0 when empty.
+  double quantile(double q) const noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// bounds().size() + 1 (the overflow bucket).
+  std::size_t num_buckets() const noexcept { return bounds_.size() + 1; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// One completed ScopedSpan, kept in the registry's bounded trace ring.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t depth = 0;       ///< nesting level on the recording thread.
+  std::uint64_t thread = 0;      ///< hashed std::thread::id.
+  std::uint64_t start_ns = 0;    ///< relative to registry creation.
+  std::uint64_t duration_ns = 0;
+};
+
+struct TelemetryConfig {
+  /// false: the registry stays empty -- metric lookups return inert
+  /// instances, spans short-circuit before reading the clock, snapshots
+  /// are empty.  The instrumented hot paths then cost one null/flag
+  /// branch each (the KNN overhead microbench keeps this honest).
+  bool enabled = true;
+  /// Completed spans retained in the stage-trace ring (oldest evicted).
+  std::size_t trace_capacity = 1024;
+};
+
+/// Named metric store.  Lookup creates on first use and returns a
+/// reference that stays valid for the registry's lifetime (metrics are
+/// node-allocated), so callers cache the pointer outside their loops.
+/// Metric names follow the `layer.component.op` convention (DESIGN.md
+/// section 8); latency histograms carry a `_seconds` suffix.
+class MetricRegistry {
+ public:
+  explicit MetricRegistry(const TelemetryConfig& config = {});
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  bool enabled() const noexcept { return config_.enabled; }
+  const TelemetryConfig& config() const noexcept { return config_; }
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Histogram with default_bounds().
+  Histogram& histogram(std::string_view name);
+  /// Histogram with explicit bounds; the bounds of an existing name win.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  /// Number of registered metrics (0 while disabled).
+  std::size_t size() const;
+
+  // -- stage trace (fed by ScopedSpan) --
+  void record_span(std::string_view name, std::uint32_t depth, std::uint64_t start_ns,
+                   std::uint64_t duration_ns);
+  /// Total spans ever recorded (monotonic; the ring only keeps the tail).
+  std::uint64_t spans_recorded() const noexcept {
+    return spans_recorded_.load(std::memory_order_relaxed);
+  }
+  /// Retained trace tail, oldest first.
+  std::vector<SpanRecord> trace() const;
+
+  /// Nanoseconds of monotonic clock since the registry was created
+  /// (the time base of every SpanRecord).
+  std::uint64_t now_ns() const noexcept;
+
+  // -- exporters --
+  /// Aligned human-readable dump (one metric per line).
+  std::string text_dump() const;
+  /// JSONL: one self-describing JSON object per line -- a snapshot
+  /// header, then every counter/gauge/histogram (sorted by name), then
+  /// the retained spans.  Each line parses standalone, so snapshots
+  /// diff cleanly across runs.
+  std::string snapshot_json() const;
+  void snapshot_json(std::ostream& out) const;
+
+ private:
+  template <class T, class Make>
+  T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics,
+                    std::string_view name, const Make& make);
+
+  TelemetryConfig config_;
+  std::uint64_t epoch_ns_;  ///< steady_clock at construction.
+
+  mutable std::mutex mu_;  ///< guards the maps and the trace ring.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+
+  std::vector<SpanRecord> trace_;  ///< ring buffer of size <= trace_capacity.
+  std::size_t trace_head_ = 0;     ///< next eviction slot once full.
+  std::atomic<std::uint64_t> spans_recorded_{0};
+
+  // Inert instances handed out while disabled, so callers never branch
+  // on registry state and the maps never grow.
+  Counter noop_counter_;
+  Gauge noop_gauge_;
+  std::unique_ptr<Histogram> noop_histogram_;
+};
+
+/// Lookup helpers for optional registries: nullptr (or a disabled
+/// registry) yields nullptr, so hot paths guard with one pointer test.
+Counter* registry_counter(MetricRegistry* registry, std::string_view name);
+Gauge* registry_gauge(MetricRegistry* registry, std::string_view name);
+Histogram* registry_histogram(MetricRegistry* registry, std::string_view name);
+
+}  // namespace tafloc

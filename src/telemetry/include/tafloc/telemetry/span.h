@@ -1,0 +1,53 @@
+// ScopedSpan -- RAII stage timer.
+//
+//   void TafLocSystem::update(...) {
+//     ScopedSpan span(telemetry_ptr(), "system.update_seconds");
+//     ...
+//   }
+//
+// On destruction the elapsed wall time lands in the histogram of the
+// same name AND in the registry's per-thread-nested stage trace: each
+// thread carries a nesting depth, so a trace dump reconstructs the
+// call-stage tree (system.update_seconds at depth 0 containing
+// recon.loli_ir.solve_seconds at depth 1, ...).
+//
+// A null or disabled registry short-circuits before the first clock
+// read -- a disabled span is two branches, no timing, no allocation.
+//
+// ScopedSpan resolves its histogram by name (one registry mutex hop per
+// span).  That is fine for stage-level spans; per-query paths (the KNN
+// matcher) cache a Histogram* at attach time and time themselves.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "tafloc/telemetry/metrics.h"
+
+namespace tafloc {
+
+class ScopedSpan {
+ public:
+  /// `name` must outlive the span (string literals in practice).
+  ScopedSpan(MetricRegistry* registry, std::string_view name) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when this span is live (registry present and enabled).
+  bool active() const noexcept { return registry_ != nullptr; }
+
+  /// Nesting depth of the innermost active span on this thread (the
+  /// depth the NEXT span would record); exposed for tests.
+  static std::uint32_t current_depth() noexcept;
+
+ private:
+  MetricRegistry* registry_ = nullptr;  ///< null when short-circuited.
+  Histogram* histogram_ = nullptr;
+  std::string_view name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace tafloc

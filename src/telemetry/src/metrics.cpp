@@ -1,0 +1,297 @@
+#include "tafloc/telemetry/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+namespace detail {
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur > value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// JSON string escaping for metric/span names.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip double for JSON; non-finite values become null
+/// (strict parsers reject bare NaN/Infinity tokens).
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------- Histogram ----------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  TAFLOC_CHECK_ARG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i)
+    TAFLOC_CHECK_ARG(bounds_[i] < bounds_[i + 1],
+                     "histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+std::vector<double> Histogram::default_bounds() {
+  // Sub-decade steps (1, 1.5, 2, 3, 5, 7) x 10^e across 1e-9 .. 1e3:
+  // fine enough that an interpolated p99 of a microsecond-scale latency
+  // is meaningful, wide enough for residuals and second-scale solves.
+  static const double steps[] = {1.0, 1.5, 2.0, 3.0, 5.0, 7.0};
+  std::vector<double> bounds;
+  for (int e = -9; e <= 2; ++e) {
+    const double decade = std::pow(10.0, e);
+    for (const double s : steps) bounds.push_back(s * decade);
+  }
+  bounds.push_back(1e3);
+  return bounds;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  detail::atomic_min(min_, v);
+  detail::atomic_max(max_, v);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t c = count();
+  return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum_before = 0;
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum_before + in_bucket) >= rank) {
+      // Interpolate within the bucket, entries spread uniformly.
+      const double lower = i == 0 ? min() : bounds_[i - 1];
+      const double upper = i < bounds_.size() ? bounds_[i] : max();
+      const double frac =
+          (rank - static_cast<double>(cum_before)) / static_cast<double>(in_bucket);
+      const double v = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min(), max());
+    }
+    cum_before += in_bucket;
+  }
+  return max();
+}
+
+// ---------------- MetricRegistry ----------------
+
+MetricRegistry::MetricRegistry(const TelemetryConfig& config)
+    : config_(config), epoch_ns_(steady_now_ns()) {
+  noop_histogram_ = std::make_unique<Histogram>(std::vector<double>{1.0});
+}
+
+template <class T, class Make>
+T& MetricRegistry::find_or_create(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics, std::string_view name,
+    const Make& make) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics.find(name);
+  if (it != metrics.end()) return *it->second;
+  return *metrics.emplace(std::string(name), make()).first->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  if (!enabled()) return noop_counter_;
+  return find_or_create(counters_, name, [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  if (!enabled()) return noop_gauge_;
+  return find_or_create(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  if (!enabled()) return *noop_histogram_;
+  return find_or_create(histograms_, name,
+                        [] { return std::make_unique<Histogram>(Histogram::default_bounds()); });
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name, std::vector<double> upper_bounds) {
+  if (!enabled()) return *noop_histogram_;
+  return find_or_create(histograms_, name, [&] {
+    return std::make_unique<Histogram>(std::move(upper_bounds));
+  });
+}
+
+std::size_t MetricRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::uint64_t MetricRegistry::now_ns() const noexcept { return steady_now_ns() - epoch_ns_; }
+
+void MetricRegistry::record_span(std::string_view name, std::uint32_t depth,
+                                 std::uint64_t start_ns, std::uint64_t duration_ns) {
+  if (!enabled() || config_.trace_capacity == 0) return;
+  SpanRecord record{std::string(name), depth,
+                    std::hash<std::thread::id>{}(std::this_thread::get_id()), start_ns,
+                    duration_ns};
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_.size() < config_.trace_capacity) {
+    trace_.push_back(std::move(record));
+  } else {
+    trace_[trace_head_] = std::move(record);
+    trace_head_ = (trace_head_ + 1) % trace_.size();
+  }
+}
+
+std::vector<SpanRecord> MetricRegistry::trace() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(trace_.size());
+  for (std::size_t i = 0; i < trace_.size(); ++i)
+    out.push_back(trace_[(trace_head_ + i) % trace_.size()]);
+  return out;
+}
+
+std::string MetricRegistry::text_dump() const {
+  std::ostringstream out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  out << "telemetry: " << (enabled() ? "enabled" : "disabled") << ", "
+      << counters_.size() + gauges_.size() + histograms_.size() << " metrics, "
+      << spans_recorded() << " spans recorded\n";
+  for (const auto& [name, c] : counters_)
+    out << "  counter    " << name << " = " << c->value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    out << "  gauge      " << name << " = " << g->value() << '\n';
+  for (const auto& [name, h] : histograms_) {
+    out << "  histogram  " << name << "  count=" << h->count() << " mean=" << h->mean()
+        << " min=" << h->min() << " max=" << h->max() << " p50=" << h->quantile(0.5)
+        << " p95=" << h->quantile(0.95) << " p99=" << h->quantile(0.99) << '\n';
+  }
+  return out.str();
+}
+
+void MetricRegistry::snapshot_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"type\":\"snapshot\",\"enabled\":" << (enabled() ? "true" : "false")
+      << ",\"metrics\":" << counters_.size() + gauges_.size() + histograms_.size()
+      << ",\"spans_recorded\":" << spans_recorded() << ",\"uptime_ns\":" << now_ns() << "}\n";
+  for (const auto& [name, c] : counters_) {
+    out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << c->value() << "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << json_double(g->value()) << "}\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(name)
+        << "\",\"count\":" << h->count() << ",\"sum\":" << json_double(h->sum())
+        << ",\"min\":" << json_double(h->min()) << ",\"max\":" << json_double(h->max())
+        << ",\"mean\":" << json_double(h->mean())
+        << ",\"p50\":" << json_double(h->quantile(0.5))
+        << ",\"p95\":" << json_double(h->quantile(0.95))
+        << ",\"p99\":" << json_double(h->quantile(0.99)) << "}\n";
+  }
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    const SpanRecord& s = trace_[(trace_head_ + i) % trace_.size()];
+    out << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
+        << "\",\"depth\":" << s.depth << ",\"thread\":" << s.thread
+        << ",\"start_ns\":" << s.start_ns << ",\"duration_ns\":" << s.duration_ns << "}\n";
+  }
+}
+
+std::string MetricRegistry::snapshot_json() const {
+  std::ostringstream out;
+  snapshot_json(out);
+  return out.str();
+}
+
+// ---------------- optional-registry helpers ----------------
+
+Counter* registry_counter(MetricRegistry* registry, std::string_view name) {
+  return registry != nullptr && registry->enabled() ? &registry->counter(name) : nullptr;
+}
+
+Gauge* registry_gauge(MetricRegistry* registry, std::string_view name) {
+  return registry != nullptr && registry->enabled() ? &registry->gauge(name) : nullptr;
+}
+
+Histogram* registry_histogram(MetricRegistry* registry, std::string_view name) {
+  return registry != nullptr && registry->enabled() ? &registry->histogram(name) : nullptr;
+}
+
+}  // namespace tafloc

@@ -1,0 +1,33 @@
+#include "tafloc/telemetry/span.h"
+
+namespace tafloc {
+
+namespace {
+
+/// Per-thread nesting level of live spans; spans from pool workers each
+/// get their own depth chain (the trace records the thread hash, so a
+/// dump can separate the chains).
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+std::uint32_t ScopedSpan::current_depth() noexcept { return t_span_depth; }
+
+ScopedSpan::ScopedSpan(MetricRegistry* registry, std::string_view name) noexcept
+    : name_(name) {
+  if (registry == nullptr || !registry->enabled()) return;  // two branches, no clock read
+  registry_ = registry;
+  histogram_ = &registry->histogram(name);
+  depth_ = t_span_depth++;
+  start_ns_ = registry->now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (registry_ == nullptr) return;
+  const std::uint64_t duration_ns = registry_->now_ns() - start_ns_;
+  histogram_->observe(static_cast<double>(duration_ns) * 1e-9);
+  registry_->record_span(name_, depth_, start_ns_, duration_ns);
+  --t_span_depth;
+}
+
+}  // namespace tafloc

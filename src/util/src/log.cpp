@@ -1,19 +1,14 @@
 #include "tafloc/util/log.h"
 
 #include <atomic>
-#include <iostream>
-#include <mutex>
+#include <chrono>
+#include <cstdio>
 
 namespace tafloc {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
-
-std::mutex& sink_mutex() {
-  static std::mutex m;
-  return m;
-}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +21,13 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 
+/// Seconds of monotonic clock since the first log call -- a drift-free
+/// relative timestamp that lines up with telemetry span timestamps.
+double elapsed_seconds() {
+  static const std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
@@ -34,8 +36,20 @@ LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); 
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  const std::lock_guard<std::mutex> lock(sink_mutex());
-  std::cerr << "[tafloc " << level_name(level) << "] " << message << '\n';
+  // The whole line -- prefix, message, newline -- is formatted first and
+  // emitted with a single fwrite: stdio locks the stream per call, so
+  // concurrent loggers never interleave within a line and need no
+  // additional mutex.
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[tafloc %s +%.3fs] ", level_name(level),
+                elapsed_seconds());
+  std::string line;
+  line.reserve(sizeof(prefix) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace tafloc

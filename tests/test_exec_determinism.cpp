@@ -16,6 +16,7 @@
 #include "tafloc/recon/lrr.h"
 #include "tafloc/recon/svt.h"
 #include "tafloc/sim/scenario.h"
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/rng.h"
 
 namespace tafloc {
@@ -221,6 +222,63 @@ TEST(ExecDeterminism, LrrIstaSteadyStateIsAllocationFree) {
   EXPECT_GT(model.workspace_allocations(), 0u);
   EXPECT_EQ(model.workspace_allocations_steady(), 0u)
       << "ISTA iterations after warm-up must reuse every workspace buffer";
+}
+
+// ---------------- telemetry neutrality ----------------
+
+TEST(ExecDeterminism, LoliIrBitIdenticalWithTelemetryOnOffAcrossThreadCounts) {
+  // The determinism contract of the telemetry layer: metrics observe,
+  // never steer, so an attached registry changes no output bit at any
+  // thread count.
+  const LoliIrProblem problem = paper_room_problem(11, 45.0);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadGuard guard(threads);
+    MetricRegistry registry;
+    LoliIrConfig with_telemetry;
+    with_telemetry.telemetry = &registry;
+    const LoliIrResult on = loli_ir_reconstruct(problem, with_telemetry);
+    const LoliIrResult off = loli_ir_reconstruct(problem, LoliIrConfig{});
+
+    EXPECT_EQ(max_abs_diff(on.x, off.x), 0.0) << "threads=" << threads;
+    EXPECT_EQ(on.outer_iterations, off.outer_iterations) << "threads=" << threads;
+    EXPECT_EQ(on.converged, off.converged) << "threads=" << threads;
+    ASSERT_EQ(on.objective_trace.size(), off.objective_trace.size());
+    for (std::size_t i = 0; i < on.objective_trace.size(); ++i)
+      EXPECT_EQ(on.objective_trace[i], off.objective_trace[i])
+          << "threads=" << threads << " sweep " << i;
+    EXPECT_GT(registry.counter("recon.loli_ir.outer_iterations").value(), 0u)
+        << "the instrumented run must actually have recorded metrics";
+  }
+}
+
+TEST(ExecDeterminism, KnnBitIdenticalWithTelemetryAttachedAcrossThreadCounts) {
+  Scenario scenario = Scenario::paper_room(12);
+  Rng rng(1201);
+  const Matrix fingerprints = scenario.collector().survey_all(0.0, rng);
+  KnnMatcher plain(fingerprints, scenario.deployment().grid(), 3);
+  KnnMatcher instrumented(fingerprints, scenario.deployment().grid(), 3);
+  MetricRegistry registry;
+  instrumented.attach_telemetry(&registry);
+
+  std::vector<Vector> batch;
+  for (std::size_t q = 0; q < 24; ++q) {
+    Vector rss(fingerprints.rows());
+    for (double& v : rss) v = rng.normal(-50.0, 5.0);
+    batch.push_back(std::move(rss));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadGuard guard(threads);
+    const std::vector<Point2> expected = plain.localize_batch(batch);
+    const std::vector<Point2> observed = instrumented.localize_batch(batch);
+    ASSERT_EQ(expected.size(), observed.size());
+    for (std::size_t q = 0; q < expected.size(); ++q) {
+      EXPECT_EQ(expected[q].x, observed[q].x) << "threads=" << threads << " query " << q;
+      EXPECT_EQ(expected[q].y, observed[q].y) << "threads=" << threads << " query " << q;
+    }
+  }
+  EXPECT_EQ(registry.counter("loc.knn.batch_queries").value(), 2u * 24u);
+  EXPECT_EQ(registry.histogram("loc.knn.query_seconds").count(), 2u * 24u);
 }
 
 // ---------------- localization ----------------
