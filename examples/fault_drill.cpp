@@ -1,0 +1,99 @@
+// Fault drill: measure how TafLoc degrades as links die.
+//
+// Calibrates a clean system, then serves a stream of real-time queries
+// whose readings pass through a seeded FaultInjector (dead links, NaN
+// bursts, stuck radios, RSS spikes).  Every query goes through the
+// fault-tolerant localize_degraded() path, so the drill also proves the
+// serving process survives the whole schedule without aborting.
+//
+// Run:  ./fault_drill [--seed=N] [--dead-fraction=F] [--stuck-fraction=F]
+//                     [--nan-burst-rate=F] [--spike-rate=F] [--queries=N]
+//                     [--telemetry=PATH] [--max-median-error=M]
+//
+// With --max-median-error > 0 the drill exits non-zero when the median
+// localization error exceeds that bound -- the CI smoke job uses this
+// to pin the degradation envelope.  --telemetry exports the run's
+// metric registry (system.degraded_* series included) as JSONL.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tafloc/sim/fault.h"
+#include "tafloc/tafloc.h"
+#include "tafloc/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tafloc;
+  const ArgParser args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  FaultConfig faults;
+  faults.dead_fraction = args.get_double("dead-fraction", 0.3);
+  faults.stuck_fraction = args.get_double("stuck-fraction", 0.0);
+  faults.nan_burst_rate = args.get_double("nan-burst-rate", 0.0);
+  faults.spike_rate = args.get_double("spike-rate", 0.0);
+  const auto queries = static_cast<std::size_t>(args.get_long("queries", 200));
+  const std::string telemetry_path = args.get_string("telemetry", "");
+  const double max_median_error = args.get_double("max-median-error", 0.0);
+
+  const Scenario scenario = Scenario::paper_room(seed);
+  const Deployment& room = scenario.deployment();
+  Rng rng(seed);
+  TafLocSystem tafloc(room);
+  tafloc.calibrate(scenario.collector().survey_all(0.0, rng),
+                   scenario.collector().ambient_scan(0.0, rng), 0.0);
+
+  FaultInjector injector(room.num_links(), faults, seed + 1);
+  std::printf("drill: %zu links, %zu dead, %zu stuck; %zu queries\n", room.num_links(),
+              injector.dead_links().size(), injector.stuck_links().size(), queries);
+
+  Rng target_rng = rng.fork();
+  std::vector<double> errors;
+  std::size_t unservable = 0;
+  errors.reserve(queries);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const Point2 truth{target_rng.uniform(0.0, room.grid().width()),
+                       target_rng.uniform(0.0, room.grid().height())};
+    Vector rss = scenario.collector().observe(truth, 0.0, rng);
+    injector.apply(rss);
+    const auto result = tafloc.localize_degraded(rss);
+    if (!result.served) {
+      ++unservable;
+      continue;
+    }
+    errors.push_back(distance(result.point, truth));
+  }
+
+  double median = 0.0;
+  if (!errors.empty()) {
+    std::sort(errors.begin(), errors.end());
+    median = errors[errors.size() / 2];
+  }
+  const LinkHealth& health = tafloc.link_health();
+  std::printf("served %zu/%zu queries (%zu unservable); %zu/%zu links dead at end; "
+              "median error %.3f m\n",
+              errors.size(), queries, unservable, health.dead_count(), health.num_links(),
+              median);
+
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", telemetry_path.c_str());
+      return 1;
+    }
+    out << tafloc.telemetry_snapshot_json();
+    std::printf("telemetry -> %s\n", telemetry_path.c_str());
+  }
+
+  if (errors.empty()) {
+    std::fprintf(stderr, "FAIL: no query was servable\n");
+    return 1;
+  }
+  if (max_median_error > 0.0 && median > max_median_error) {
+    std::fprintf(stderr, "FAIL: median error %.3f m exceeds bound %.3f m\n", median,
+                 max_median_error);
+    return 1;
+  }
+  return 0;
+}

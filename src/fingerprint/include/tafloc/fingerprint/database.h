@@ -9,6 +9,7 @@
 
 #include <cstddef>
 
+#include "tafloc/fingerprint/link_health.h"
 #include "tafloc/linalg/matrix.h"
 
 namespace tafloc {
@@ -39,16 +40,29 @@ class FingerprintDatabase {
   ConstVectorView col_view(std::size_t grid) const { return fingerprints_.col_view(grid); }
 
   /// Replace the fingerprint matrix (e.g. with a reconstruction) and
-  /// advance the survey timestamp.  Shape must be unchanged.
+  /// advance the survey timestamp.  Shape must be unchanged.  A
+  /// timestamp slightly behind the current one (clock skew between the
+  /// surveyor and the serving host) is clamped to the current stamp
+  /// with a warning; only negative absolute times are rejected.
   void update(Matrix fingerprints, Vector ambient, double surveyed_at_days);
 
-  /// Age of the database relative to `now_days` (>= surveyed_at_days).
+  /// Age of the database relative to `now_days`.  `now_days` slightly
+  /// behind the survey stamp (clock skew) clamps to age 0 with a
+  /// warning; only negative absolute times are rejected.
   double age_days(double now_days) const;
+
+  /// Per-link serving mask, persisted across update() calls: the
+  /// fingerprints are refreshed, but a dead transceiver stays dead.
+  /// Mask-aware consumers (matchers, LoLi-IR via row_observed) read
+  /// this one instance so the whole serving path agrees on it.
+  LinkHealth& link_health() noexcept { return link_health_; }
+  const LinkHealth& link_health() const noexcept { return link_health_; }
 
  private:
   Matrix fingerprints_;
   Vector ambient_;
   double surveyed_at_;
+  LinkHealth link_health_;
 };
 
 }  // namespace tafloc

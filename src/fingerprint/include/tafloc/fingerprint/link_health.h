@@ -1,0 +1,107 @@
+// LinkHealth -- per-link alive/dead/suspect state for the serving path.
+//
+// Real deployments decay: a transceiver reboots and its links report
+// NaN for a while, a stuck driver repeats the same RSS sample forever,
+// a node dies outright.  The paper's premise is that the environment
+// drifts (section 1); this mask is the corresponding premise for the
+// *hardware*.  Every fault-tolerant consumer (matchers, LoLi-IR/SVT,
+// TafLocSystem::localize_degraded) reads the same mask, so "which links
+// do we trust right now" has exactly one answer in the process.
+//
+// State machine (per link):
+//
+//   Healthy --non-finite reading--------------------> Dead
+//   Healthy --reading repeats exactly `stuck_after`--> Suspect
+//   Suspect --keeps repeating to `stuck_dead_after`--> Dead
+//   Suspect/Dead --`revive_after` good readings-----> Healthy
+//   any --mark_dead()/mark_suspect() (pinned)-------> stays until revive()
+//
+// A *good* reading is finite and differs from the previous sample (RSS
+// carries noise, so an exact repeat is a symptom, not physics).  Links
+// pinned through the explicit API never auto-recover; links the state
+// machine marked on its own do, because NaN bursts and reboots end.
+//
+// Matching semantics: Dead links are excluded from every distance scan
+// (renormalized by the surviving link count); Suspect links still serve
+// but are reported, so operators can drain them.  usable() == !dead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tafloc {
+
+enum class LinkState : std::uint8_t { Healthy = 0, Suspect = 1, Dead = 2 };
+
+struct LinkHealthConfig {
+  /// Exact-repeat count after which a link turns Suspect.
+  std::size_t stuck_after = 8;
+  /// Exact-repeat count after which a stuck link turns Dead.
+  std::size_t stuck_dead_after = 16;
+  /// Consecutive good readings that heal an auto-flagged link.
+  std::size_t revive_after = 3;
+};
+
+class LinkHealth {
+ public:
+  LinkHealth() = default;
+  explicit LinkHealth(std::size_t num_links, const LinkHealthConfig& config = {});
+
+  std::size_t num_links() const noexcept { return states_.size(); }
+  LinkState state(std::size_t link) const;
+  bool usable(std::size_t link) const;  ///< true unless Dead.
+
+  std::size_t dead_count() const noexcept { return dead_count_; }
+  std::size_t suspect_count() const noexcept { return suspect_count_; }
+  std::size_t usable_count() const noexcept { return states_.size() - dead_count_; }
+  /// O(1); the matchers' fast-path test for "mask changes nothing".
+  bool all_usable() const noexcept { return dead_count_ == 0; }
+  bool all_healthy() const noexcept { return dead_count_ == 0 && suspect_count_ == 0; }
+
+  /// Flat 0/1 byte per link (1 = usable), stable storage for the
+  /// duration of the object -- the matchers' hot loop reads this
+  /// directly instead of calling state() per element.
+  std::span<const std::uint8_t> usable_bytes() const noexcept { return usable_; }
+
+  /// Indices of Dead links, ascending (allocates; diagnostics only).
+  std::vector<std::size_t> dead_links() const;
+
+  /// What one observe() call changed.
+  struct ObserveReport {
+    std::size_t newly_dead = 0;
+    std::size_t newly_suspect = 0;
+    std::size_t revived = 0;
+  };
+
+  /// Feed one real-time reading (one entry per link) through the state
+  /// machine described above.  Non-finite entries kill their link
+  /// immediately -- a link whose current sample is NaN cannot serve this
+  /// query no matter what its history says.
+  ObserveReport observe(std::span<const double> rss);
+
+  /// Pin a link Dead/Suspect (operator action; observe() won't heal it).
+  void mark_dead(std::size_t link);
+  void mark_suspect(std::size_t link);
+  /// Clear a pin and restore the link to Healthy.
+  void revive(std::size_t link);
+
+  const LinkHealthConfig& config() const noexcept { return config_; }
+
+ private:
+  void set_state(std::size_t link, LinkState next);
+
+  LinkHealthConfig config_;
+  std::vector<LinkState> states_;
+  std::vector<std::uint8_t> usable_;   ///< 1 unless Dead (hot-path mirror).
+  std::vector<std::uint8_t> pinned_;   ///< set by mark_*, cleared by revive().
+  std::vector<double> last_value_;
+  std::vector<std::uint8_t> has_last_;
+  std::vector<std::size_t> stuck_streak_;
+  std::vector<std::size_t> good_streak_;
+  std::size_t dead_count_ = 0;
+  std::size_t suspect_count_ = 0;
+};
+
+}  // namespace tafloc

@@ -1,6 +1,7 @@
 #include "tafloc/fingerprint/database.h"
 
 #include "tafloc/util/check.h"
+#include "tafloc/util/log.h"
 
 namespace tafloc {
 
@@ -8,7 +9,8 @@ FingerprintDatabase::FingerprintDatabase(Matrix fingerprints, Vector ambient,
                                          double surveyed_at_days)
     : fingerprints_(std::move(fingerprints)),
       ambient_(std::move(ambient)),
-      surveyed_at_(surveyed_at_days) {
+      surveyed_at_(surveyed_at_days),
+      link_health_(fingerprints_.rows()) {
   TAFLOC_CHECK_ARG(!fingerprints_.empty(), "fingerprint matrix must be non-empty");
   TAFLOC_CHECK_ARG(ambient_.size() == fingerprints_.rows(),
                    "ambient vector must have one entry per link");
@@ -24,14 +26,26 @@ void FingerprintDatabase::update(Matrix fingerprints, Vector ambient, double sur
   TAFLOC_CHECK_ARG(fingerprints.same_shape(fingerprints_),
                    "updated fingerprint matrix must keep its shape");
   TAFLOC_CHECK_ARG(ambient.size() == ambient_.size(), "updated ambient vector must keep its size");
-  TAFLOC_CHECK_ARG(surveyed_at_days >= surveyed_at_, "survey timestamps must be non-decreasing");
+  TAFLOC_CHECK_ARG(surveyed_at_days >= 0.0, "survey timestamp must be non-negative");
+  if (surveyed_at_days < surveyed_at_) {
+    // Clock skew between the surveying host and this one: keep the
+    // monotone stamp rather than killing the update.
+    TAFLOC_LOG_WARN << "fingerprint update stamped " << surveyed_at_ - surveyed_at_days
+                    << " days behind the current survey time; clamping to day " << surveyed_at_;
+    surveyed_at_days = surveyed_at_;
+  }
   fingerprints_ = std::move(fingerprints);
   ambient_ = std::move(ambient);
   surveyed_at_ = surveyed_at_days;
 }
 
 double FingerprintDatabase::age_days(double now_days) const {
-  TAFLOC_CHECK_ARG(now_days >= surveyed_at_, "now must not precede the survey time");
+  TAFLOC_CHECK_ARG(now_days >= 0.0, "now must be a non-negative absolute time");
+  if (now_days < surveyed_at_) {
+    TAFLOC_LOG_WARN << "age query at day " << now_days << " precedes the survey stamp "
+                    << surveyed_at_ << " (clock skew); clamping age to 0";
+    return 0.0;
+  }
   return now_days - surveyed_at_;
 }
 

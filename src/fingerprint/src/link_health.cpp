@@ -1,0 +1,123 @@
+#include "tafloc/fingerprint/link_health.h"
+
+#include <cmath>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+LinkHealth::LinkHealth(std::size_t num_links, const LinkHealthConfig& config)
+    : config_(config),
+      states_(num_links, LinkState::Healthy),
+      usable_(num_links, 1),
+      pinned_(num_links, 0),
+      last_value_(num_links, 0.0),
+      has_last_(num_links, 0),
+      stuck_streak_(num_links, 0),
+      good_streak_(num_links, 0) {
+  TAFLOC_CHECK_ARG(num_links > 0, "link health needs at least one link");
+  TAFLOC_CHECK_ARG(config.stuck_after > 0, "stuck threshold must be positive");
+  TAFLOC_CHECK_ARG(config.stuck_dead_after > config.stuck_after,
+                   "stuck-to-dead threshold must exceed the suspect threshold");
+  TAFLOC_CHECK_ARG(config.revive_after > 0, "revive threshold must be positive");
+}
+
+LinkState LinkHealth::state(std::size_t link) const {
+  TAFLOC_CHECK_BOUNDS(link, states_.size(), "link index");
+  return states_[link];
+}
+
+bool LinkHealth::usable(std::size_t link) const {
+  TAFLOC_CHECK_BOUNDS(link, states_.size(), "link index");
+  return usable_[link] != 0;
+}
+
+std::vector<std::size_t> LinkHealth::dead_links() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    if (states_[i] == LinkState::Dead) out.push_back(i);
+  return out;
+}
+
+void LinkHealth::set_state(std::size_t link, LinkState next) {
+  const LinkState prev = states_[link];
+  if (prev == next) return;
+  if (prev == LinkState::Dead) --dead_count_;
+  if (prev == LinkState::Suspect) --suspect_count_;
+  if (next == LinkState::Dead) ++dead_count_;
+  if (next == LinkState::Suspect) ++suspect_count_;
+  states_[link] = next;
+  usable_[link] = next == LinkState::Dead ? 0 : 1;
+}
+
+LinkHealth::ObserveReport LinkHealth::observe(std::span<const double> rss) {
+  TAFLOC_CHECK_ARG(rss.size() == states_.size(), "observation must have one entry per link");
+  ObserveReport report;
+  for (std::size_t i = 0; i < rss.size(); ++i) {
+    const double v = rss[i];
+    if (!std::isfinite(v)) {
+      // A NaN/inf sample means the link cannot serve *this* query,
+      // whatever its history: straight to Dead.
+      good_streak_[i] = 0;
+      stuck_streak_[i] = 0;
+      has_last_[i] = 0;
+      if (states_[i] != LinkState::Dead) {
+        set_state(i, LinkState::Dead);
+        ++report.newly_dead;
+      }
+      continue;
+    }
+    const bool repeat = has_last_[i] != 0 && v == last_value_[i];
+    last_value_[i] = v;
+    has_last_[i] = 1;
+    if (repeat) {
+      ++stuck_streak_[i];
+      good_streak_[i] = 0;
+      if (pinned_[i] != 0) continue;
+      if (stuck_streak_[i] >= config_.stuck_dead_after) {
+        if (states_[i] != LinkState::Dead) {
+          set_state(i, LinkState::Dead);
+          ++report.newly_dead;
+        }
+      } else if (stuck_streak_[i] >= config_.stuck_after) {
+        if (states_[i] == LinkState::Healthy) {
+          set_state(i, LinkState::Suspect);
+          ++report.newly_suspect;
+        }
+      }
+      continue;
+    }
+    // Finite and moving: a good reading.
+    stuck_streak_[i] = 0;
+    ++good_streak_[i];
+    if (pinned_[i] != 0 || states_[i] == LinkState::Healthy) continue;
+    if (good_streak_[i] >= config_.revive_after) {
+      set_state(i, LinkState::Healthy);
+      ++report.revived;
+    }
+  }
+  return report;
+}
+
+void LinkHealth::mark_dead(std::size_t link) {
+  TAFLOC_CHECK_BOUNDS(link, states_.size(), "link index");
+  pinned_[link] = 1;
+  set_state(link, LinkState::Dead);
+}
+
+void LinkHealth::mark_suspect(std::size_t link) {
+  TAFLOC_CHECK_BOUNDS(link, states_.size(), "link index");
+  pinned_[link] = 1;
+  set_state(link, LinkState::Suspect);
+}
+
+void LinkHealth::revive(std::size_t link) {
+  TAFLOC_CHECK_BOUNDS(link, states_.size(), "link index");
+  pinned_[link] = 0;
+  stuck_streak_[link] = 0;
+  good_streak_[link] = 0;
+  has_last_[link] = 0;
+  set_state(link, LinkState::Healthy);
+}
+
+}  // namespace tafloc

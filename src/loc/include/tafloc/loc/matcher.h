@@ -12,11 +12,22 @@
 // either own its matrix (the Matrix constructors move one in) or
 // borrow the caller's storage zero-copy (the view constructors; the
 // caller must keep that storage alive and unreallocated -- see view.h).
+// Fault tolerance: NnMatcher and KnnMatcher optionally consult a
+// LinkHealth mask (attach_link_health).  Dead links are excluded from
+// the distance scan and the remaining sum is renormalized by the
+// surviving link count, so distances stay on the full-deployment scale
+// and the match degrades instead of aborting on a NaN from a dead
+// link.  With no mask attached -- or a mask with every link usable --
+// the scan takes the exact pre-mask code path, so results are
+// bit-identical to a maskless build.  BayesMatcher keeps the strict
+// all-links contract (its posterior is calibrated against the full
+// link set); route degraded traffic through NN/KNN.
 #pragma once
 
 #include <cstddef>
 #include <span>
 
+#include "tafloc/fingerprint/link_health.h"
 #include "tafloc/linalg/matrix.h"
 #include "tafloc/loc/localizer.h"
 #include "tafloc/sim/grid.h"
@@ -26,6 +37,14 @@ namespace tafloc {
 class Counter;
 class Histogram;
 class MetricRegistry;
+
+/// Per-query diagnostics of one KNN match, filled by
+/// KnnMatcher::localize(rss, &stats) for the degraded serving path.
+struct MatchStats {
+  std::size_t links_used = 0;    ///< links contributing to the distance scan.
+  std::size_t gated_out = 0;     ///< neighbours dropped by the spatial gate.
+  bool centroid_fallback = false;  ///< weight sum degenerated; anchor returned.
+};
 
 /// Owning-or-borrowed fingerprint matrix: adopts a Matrix, or borrows a
 /// caller-owned view.  Copies re-point the view at the copied storage;
@@ -71,9 +90,15 @@ class NnMatcher : public Localizer {
   /// Index of the best-matching grid (exposed for tests).
   std::size_t nearest_grid(std::span<const double> rss) const;
 
+  /// Consult `health` (not owned; must outlive the matcher) when
+  /// scanning: dead links are skipped and the distance renormalized.
+  /// nullptr detaches (strict all-links contract, the default).
+  void attach_link_health(const LinkHealth* health) noexcept { health_ = health; }
+
  private:
   FingerprintRef fingerprints_;
   GridMap grid_;
+  const LinkHealth* health_ = nullptr;
 };
 
 /// k-nearest-neighbour matcher with inverse-distance weighting and a
@@ -93,10 +118,18 @@ class KnnMatcher : public Localizer {
              double spatial_gate_m = 1.0);
 
   Point2 localize(std::span<const double> rss) const override;
+  /// localize() that also reports per-query diagnostics (spatial-gate
+  /// drops, link count, centroid fallback); stats may be nullptr.
+  Point2 localize(std::span<const double> rss, MatchStats* stats) const;
   /// Parallelizes over queries (and the per-query column scan when the
   /// batch is small); same results as sequential localize() calls.
   std::vector<Point2> localize_batch(std::span<const Vector> rss_batch) const override;
   std::string name() const override;
+
+  /// Consult `health` (not owned; must outlive the matcher) when
+  /// scanning: dead links are skipped and the distance renormalized by
+  /// the surviving link count.  nullptr detaches (strict contract).
+  void attach_link_health(const LinkHealth* health) noexcept { health_ = health; }
 
   /// Indices of the k best-matching grids, best first (for tests).
   std::vector<std::size_t> nearest_grids(std::span<const double> rss) const;
@@ -125,6 +158,7 @@ class KnnMatcher : public Localizer {
   std::size_t k_;
   bool weighted_;
   double spatial_gate_m_;
+  const LinkHealth* health_ = nullptr;
 
   // Telemetry handles (all null when detached; see attach_telemetry).
   MetricRegistry* telemetry_ = nullptr;
@@ -133,6 +167,8 @@ class KnnMatcher : public Localizer {
   Histogram* batch_hist_ = nullptr;
   Counter* batch_query_counter_ = nullptr;
   Counter* scratch_alloc_counter_ = nullptr;
+  Counter* gated_counter_ = nullptr;
+  Counter* fallback_counter_ = nullptr;
 };
 
 /// Gaussian-likelihood matcher: p(Y | grid j) ~ exp(-||Y - x_j||^2 /

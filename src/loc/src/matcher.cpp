@@ -33,6 +33,42 @@ double column_distance_sq(ConstVectorView col, std::span<const double> rss) {
   return s;
 }
 
+/// Masked variant: only usable links contribute, and the partial sum is
+/// rescaled by `scale` = total / usable so distances stay on the same
+/// scale as a full scan (the inverse-distance weights and the spatial
+/// gate then behave consistently as links die).
+double column_distance_sq_masked(ConstVectorView col, std::span<const double> rss,
+                                 std::span<const std::uint8_t> usable, double scale) {
+  const double* p = col.data();
+  const std::size_t st = col.stride();
+  double s = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    if (usable[i] == 0) continue;
+    const double d = rss[i] - p[i * st];
+    s += d * d;
+  }
+  return s * scale;
+}
+
+/// Resolve the mask for one query: nullptr when the scan can take the
+/// exact unmasked code path (no health attached, or every link usable),
+/// so the all-healthy case stays bit-identical to a maskless build.
+const LinkHealth* active_mask(const LinkHealth* health, ConstMatrixView fp) {
+  if (health == nullptr || health->all_usable()) return nullptr;
+  TAFLOC_CHECK_ARG(health->num_links() == fp.rows(),
+                   "link health mask must have one entry per link");
+  TAFLOC_CHECK_ARG(health->usable_count() > 0, "no usable links left to match against");
+  return health;
+}
+
+/// Finite check restricted to usable links: a NaN parked on a dead link
+/// is exactly the fault the mask exists for, not a contract violation.
+bool usable_entries_finite(std::span<const double> rss, std::span<const std::uint8_t> usable) {
+  for (std::size_t i = 0; i < rss.size(); ++i)
+    if (usable[i] != 0 && !std::isfinite(rss[i])) return false;
+  return true;
+}
+
 /// Per-thread KNN scratch: the distance and candidate-order buffers of
 /// the column scan.  thread_local so concurrent localize_batch lanes
 /// never contend; grows monotonically, so queries after the first on a
@@ -73,11 +109,29 @@ NnMatcher::NnMatcher(ConstMatrixView fingerprints, GridMap grid)
 std::size_t NnMatcher::nearest_grid(std::span<const double> rss) const {
   const ConstMatrixView fp = fingerprints_.view();
   TAFLOC_CHECK_ARG(rss.size() == fp.rows(), "observation length mismatch");
-  TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
+  const LinkHealth* mask = active_mask(health_, fp);
+  if (mask == nullptr) {
+    TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
+    std::size_t best = 0;
+    double best_d = column_distance_sq(fp.col_view(0), rss);
+    for (std::size_t j = 1; j < fp.cols(); ++j) {
+      const double d = column_distance_sq(fp.col_view(j), rss);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    return best;
+  }
+  const std::span<const std::uint8_t> usable = mask->usable_bytes();
+  TAFLOC_CHECK_ARG(usable_entries_finite(rss, usable),
+                   "observation contains non-finite values on usable links");
+  const double scale =
+      static_cast<double>(fp.rows()) / static_cast<double>(mask->usable_count());
   std::size_t best = 0;
-  double best_d = column_distance_sq(fp.col_view(0), rss);
+  double best_d = column_distance_sq_masked(fp.col_view(0), rss, usable, scale);
   for (std::size_t j = 1; j < fp.cols(); ++j) {
-    const double d = column_distance_sq(fp.col_view(j), rss);
+    const double d = column_distance_sq_masked(fp.col_view(j), rss, usable, scale);
     if (d < best_d) {
       best_d = d;
       best = j;
@@ -131,12 +185,20 @@ void KnnMatcher::attach_telemetry(MetricRegistry* registry) {
   batch_hist_ = registry_histogram(telemetry_, "loc.knn.batch_seconds");
   batch_query_counter_ = registry_counter(telemetry_, "loc.knn.batch_queries");
   scratch_alloc_counter_ = registry_counter(telemetry_, "loc.knn.scratch_allocations");
+  gated_counter_ = registry_counter(telemetry_, "loc.knn.gated_neighbors");
+  fallback_counter_ = registry_counter(telemetry_, "loc.knn.centroid_fallbacks");
 }
 
 std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const double> rss) const {
   const ConstMatrixView fp = fingerprints_.view();
   TAFLOC_CHECK_ARG(rss.size() == fp.rows(), "observation length mismatch");
-  TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
+  const LinkHealth* mask = active_mask(health_, fp);
+  if (mask == nullptr) {
+    TAFLOC_CHECK_ARG(all_finite(rss), "observation contains non-finite values");
+  } else {
+    TAFLOC_CHECK_ARG(usable_entries_finite(rss, mask->usable_bytes()),
+                     "observation contains non-finite values on usable links");
+  }
   const std::size_t n = fp.cols();
   KnnScratch& s = knn_scratch();
   if (s.dist.capacity() < n || s.order.capacity() < n) {
@@ -150,13 +212,27 @@ std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const doub
   // columns without changing any accumulation order.
   const std::size_t grain =
       std::max<std::size_t>(1, (std::size_t{1} << 14) / std::max<std::size_t>(fp.rows(), 1));
-  ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
-    for (std::size_t j = j0; j < j1; ++j) dist[j] = column_distance_sq(fp.col_view(j), rss);
-  });
+  if (mask == nullptr) {
+    ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t j = j0; j < j1; ++j) dist[j] = column_distance_sq(fp.col_view(j), rss);
+    });
+  } else {
+    const std::span<const std::uint8_t> usable = mask->usable_bytes();
+    const double scale =
+        static_cast<double>(fp.rows()) / static_cast<double>(mask->usable_count());
+    ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t j = j0; j < j1; ++j)
+        dist[j] = column_distance_sq_masked(fp.col_view(j), rss, usable, scale);
+    });
+  }
   std::iota(s.order.begin(), s.order.end(), 0);
+  // Index tie-break: duplicate fingerprint columns produce exactly equal
+  // distances, and std::partial_sort is not stable -- without the tie
+  // rule the winning neighbour set would be implementation-defined.
   std::partial_sort(s.order.begin(), s.order.begin() + static_cast<std::ptrdiff_t>(k_),
-                    s.order.end(),
-                    [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
+                    s.order.end(), [&](std::size_t a, std::size_t b) {
+                      return dist[a] != dist[b] ? dist[a] < dist[b] : a < b;
+                    });
   return {s.order.data(), k_};
 }
 
@@ -166,6 +242,10 @@ std::vector<std::size_t> KnnMatcher::nearest_grids(std::span<const double> rss) 
 }
 
 Point2 KnnMatcher::localize(std::span<const double> rss) const {
+  return localize(rss, nullptr);
+}
+
+Point2 KnnMatcher::localize(std::span<const double> rss, MatchStats* stats) const {
   // Cached-handle timing, not a ScopedSpan: per-query overhead while
   // attached is two clock reads plus relaxed atomics, no registry
   // lookup; while detached, a single null test.
@@ -174,11 +254,15 @@ Point2 KnnMatcher::localize(std::span<const double> rss) const {
   const std::vector<double>& dist = knn_scratch().dist;
   const Point2 anchor = grid_.center(nearest.front());
   double wx = 0.0, wy = 0.0, wsum = 0.0;
+  std::size_t gated = 0;
   for (std::size_t j : nearest) {
     const Point2 c = grid_.center(j);
     // Gate out fingerprint collisions: neighbours in signal space that
     // are far from the best match in physical space.
-    if (spatial_gate_m_ > 0.0 && distance(c, anchor) > spatial_gate_m_) continue;
+    if (spatial_gate_m_ > 0.0 && distance(c, anchor) > spatial_gate_m_) {
+      ++gated;
+      continue;
+    }
     double w = 1.0;
     if (weighted_) {
       // Reuse the scan's stored distance: sqrt of the same double is
@@ -190,10 +274,24 @@ Point2 KnnMatcher::localize(std::span<const double> rss) const {
     wy += w * c.y;
     wsum += w;
   }
+  // wsum can degenerate even though the anchor always passes the gate:
+  // a finite-but-huge observation overflows the squared distance to
+  // +inf and every weight underflows to 0.  The weighted centroid would
+  // then be NaN/NaN -- fall back to the anchor instead.
+  const bool fallback = !(wsum > 0.0) || !std::isfinite(wsum);
+  if (stats != nullptr) {
+    const LinkHealth* mask = active_mask(health_, fingerprints_.view());
+    stats->links_used = mask == nullptr ? fingerprints_.view().rows() : mask->usable_count();
+    stats->gated_out = gated;
+    stats->centroid_fallback = fallback;
+  }
   if (telemetry_ != nullptr) {
     query_hist_->observe(static_cast<double>(telemetry_->now_ns() - t0) * 1e-9);
     query_counter_->add();
+    if (gated > 0) gated_counter_->add(gated);
+    if (fallback) fallback_counter_->add();
   }
+  if (fallback) return anchor;
   return {wx / wsum, wy / wsum};
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "tafloc/linalg/cg.h"
@@ -66,6 +67,17 @@ struct LoliIrProblem {
   std::vector<std::size_t> reference_indices;  ///< grid index of each X_R column.
   std::vector<PairwiseTerm> continuity;        ///< property-iii pairs along links.
   std::vector<PairwiseTerm> similarity;        ///< property-iii pairs across links.
+  /// Link-fault mask: one 0/1 entry per row (link); empty = all rows
+  /// observed.  Rows flagged 0 are treated as *unobserved* -- excluded
+  /// from the data term (their `mask_undistorted` row is ignored, and
+  /// any NaN parked in `known` there is harmless) and from the
+  /// reference anchors, so a dead link's garbage measurements never
+  /// anchor the reconstruction.  The LRR prediction term still spans
+  /// all rows: patch `prediction`'s dead rows with the best available
+  /// prior (e.g. the previous fingerprint rows) so those rows stay
+  /// well-posed and finite.  Empty or all-ones is bit-identical to the
+  /// maskless solve.
+  std::vector<std::uint8_t> row_observed;
 };
 
 struct LoliIrResult {

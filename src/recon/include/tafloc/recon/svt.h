@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "tafloc/linalg/matrix.h"
 
@@ -22,6 +24,13 @@ struct SvtOptions {
   double step = 0.0;          ///< gradient step delta; 0 = 1.2 / observed fraction.
   double tolerance = 1e-4;    ///< stop when ||B o (X - X_I)||_F <= tol * ||X_I||_F.
   std::size_t max_iterations = 2000;
+  /// Link-fault mask: one 0/1 entry per row (link); empty = all rows
+  /// observed.  Rows flagged 0 are treated as fully unobserved -- their
+  /// mask row is ignored (dead-link measurements, NaN included, never
+  /// anchor the completion) and the low-rank structure of the healthy
+  /// rows fills them in.  Empty or all-ones is bit-identical to the
+  /// unmasked solve.
+  std::vector<std::uint8_t> row_observed;
   /// Optional metrics sink (recon.svt.* series: solve span, per-iteration
   /// SVD-shrink time histogram, iteration counter, residual gauge).
   /// Not owned; nullptr or disabled = no overhead, identical results.

@@ -38,6 +38,25 @@ void validate(const LoliIrProblem& p) {
   };
   check_pairs(p.continuity);
   check_pairs(p.similarity);
+  if (!p.row_observed.empty()) {
+    TAFLOC_CHECK_ARG(p.row_observed.size() == p.known.rows(),
+                     "row_observed must have one entry per link");
+    bool any = false;
+    for (std::uint8_t v : p.row_observed) {
+      TAFLOC_CHECK_ARG(v == 0 || v == 1, "row_observed entries must be 0 or 1");
+      any = any || v == 1;
+    }
+    TAFLOC_CHECK_ARG(any, "row_observed must keep at least one link observed");
+  }
+}
+
+/// nullptr when every row is observed (the bit-identical fast path),
+/// else the per-row 0/1 flags.
+const std::uint8_t* observed_rows(const LoliIrProblem& p) {
+  if (p.row_observed.empty()) return nullptr;
+  for (std::uint8_t v : p.row_observed)
+    if (v == 0) return p.row_observed.data();
+  return nullptr;
 }
 
 void validate(const LoliIrConfig& c) {
@@ -51,14 +70,25 @@ void validate(const LoliIrConfig& c) {
 }
 
 /// The initialization matrix: LRR prediction, overwritten by the known
-/// undistorted entries and the freshly measured reference columns.
-Matrix initial_estimate(const LoliIrProblem& p) {
+/// undistorted entries and the freshly measured reference columns --
+/// except on unobserved (dead-link) rows, which keep the prediction:
+/// their measurements are by definition garbage.
+Matrix initial_estimate(const LoliIrProblem& p, const std::uint8_t* obs) {
   Matrix x0 = p.prediction;
-  for (std::size_t i = 0; i < x0.rows(); ++i)
+  for (std::size_t i = 0; i < x0.rows(); ++i) {
+    if (obs != nullptr && obs[i] == 0) continue;
     for (std::size_t j = 0; j < x0.cols(); ++j)
       if (p.mask_undistorted(i, j) == 1.0) x0(i, j) = p.known(i, j);
-  for (std::size_t k = 0; k < p.reference_indices.size(); ++k)
-    x0.set_col(p.reference_indices[k], p.reference_columns.col_view(k));
+  }
+  for (std::size_t k = 0; k < p.reference_indices.size(); ++k) {
+    const std::size_t g = p.reference_indices[k];
+    if (obs == nullptr) {
+      x0.set_col(g, p.reference_columns.col_view(k));
+    } else {
+      for (std::size_t i = 0; i < x0.rows(); ++i)
+        if (obs[i] != 0) x0(i, g) = p.reference_columns(i, k);
+    }
+  }
   return x0;
 }
 
@@ -158,18 +188,22 @@ void accumulate_pairwise_r(const LoliIrProblem& p, const LoliIrConfig& c, const 
 
 /// Objective evaluated against a precomputed X = L R^T (so the solver's
 /// bookkeeping step reuses its workspace copy instead of re-forming it).
+/// `obs` == nullptr means every row observed; unobserved rows are
+/// excluded from the data and reference terms (see row_observed).
 double objective_given_x(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& l,
-                         const Matrix& r, const Matrix& x) {
+                         const Matrix& r, const Matrix& x, const std::uint8_t* obs) {
   double f = c.lambda * (l.frobenius_norm() * l.frobenius_norm() +
                          r.frobenius_norm() * r.frobenius_norm());
   if (c.data_weight > 0.0) {
     double s = 0.0;
-    for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      if (obs != nullptr && obs[i] == 0) continue;
       for (std::size_t j = 0; j < x.cols(); ++j)
         if (p.mask_undistorted(i, j) == 1.0) {
           const double d = x(i, j) - p.known(i, j);
           s += d * d;
         }
+    }
     f += c.data_weight * s;
   }
   if (c.lrr_weight > 0.0) {
@@ -181,6 +215,7 @@ double objective_given_x(const LoliIrProblem& p, const LoliIrConfig& c, const Ma
     for (std::size_t k = 0; k < p.reference_indices.size(); ++k) {
       const std::size_t j = p.reference_indices[k];
       for (std::size_t i = 0; i < x.rows(); ++i) {
+        if (obs != nullptr && obs[i] == 0) continue;
         const double d = x(i, j) - p.reference_columns(i, k);
         s += d * d;
       }
@@ -201,7 +236,7 @@ double objective_given_x(const LoliIrProblem& p, const LoliIrConfig& c, const Ma
 double loli_ir_objective(const LoliIrProblem& p, const LoliIrConfig& c, const Matrix& l,
                          const Matrix& r) {
   const Matrix x = outer_product(l, r);  // L R^T
-  return objective_given_x(p, c, l, r, x);
+  return objective_given_x(p, c, l, r, x, observed_rows(p));
 }
 
 LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) {
@@ -214,9 +249,13 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
   const std::size_t m = p.known.rows();
   const std::size_t n = p.known.cols();
   const std::size_t nref = p.reference_indices.size();
+  // Non-null only when some link row is genuinely unobserved; every
+  // masked branch below keys off this, so the all-observed solve runs
+  // the exact pre-mask instruction sequence (bit-identity).
+  const std::uint8_t* obs = observed_rows(p);
 
   // ---- initialization: truncated SVD of the patched prediction ----
-  const Matrix x0 = initial_estimate(p);
+  const Matrix x0 = initial_estimate(p, obs);
   SvdResult svd;
   {
     ScopedSpan svd_span(c.telemetry, "recon.loli_ir.init_svd_seconds");
@@ -240,7 +279,35 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
   Workspace ws(c.telemetry);
   auto known_masked_lease = ws.matrix(m, n);  // B o X_I
   Matrix& known_masked = *known_masked_lease;
-  hadamard_into(p.mask_undistorted, p.known, known_masked);
+  // Effective data mask and reference anchors: with unobserved rows the
+  // solver reads row-zeroed copies, so dead-link measurements drop out
+  // of every term below without touching the caller's problem.
+  std::optional<Workspace::MatrixLease> bmask_lease;
+  std::optional<Workspace::MatrixLease> ref_eff_lease;
+  const Matrix* bmask = &p.mask_undistorted;
+  const Matrix* ref_cols = &p.reference_columns;
+  if (obs == nullptr) {
+    hadamard_into(p.mask_undistorted, p.known, known_masked);
+  } else {
+    bmask_lease.emplace(ws.matrix(m, n));
+    Matrix& bm = **bmask_lease;
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        bm(i, j) = obs[i] != 0 ? p.mask_undistorted(i, j) : 0.0;
+        // Explicit select, not a Hadamard product: `known` may carry
+        // NaN on dead rows, and 0 * NaN would poison the RHS.
+        known_masked(i, j) = bm(i, j) == 1.0 ? p.known(i, j) : 0.0;
+      }
+    bmask = &bm;
+    if (nref > 0) {
+      ref_eff_lease.emplace(ws.matrix(m, nref));
+      Matrix& re = **ref_eff_lease;
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t k = 0; k < nref; ++k)
+          re(i, k) = obs[i] != 0 ? p.reference_columns(i, k) : 0.0;
+      ref_cols = &re;
+    }
+  }
 
   auto lw_lease = ws.matrix(m, rank);   // CG iterate, reshaped (L-step)
   auto yl_lease = ws.matrix(m, rank);   // L-step matvec output
@@ -290,7 +357,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
       yl.data()[i] = lw.data()[i] * c.lambda;
     outer_product_into(lw, r, xw);
     if (c.data_weight > 0.0) {
-      hadamard_into(p.mask_undistorted, xw, w);
+      hadamard_into(*bmask, xw, w);
       multiply_into(w, r, tmp_l);
       add_scaled_into(tmp_l, c.data_weight, yl);
     }
@@ -302,6 +369,13 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
       Matrix& r_ref = **r_ref_lease;
       Matrix& x_ref = **x_ref_lease;
       outer_product_into(lw, r_ref, x_ref);  // m x nref
+      if (obs != nullptr) {
+        // Unobserved rows contribute nothing to the reference normal
+        // operator (matching their zeroed RHS).
+        for (std::size_t i = 0; i < m; ++i)
+          if (obs[i] == 0)
+            for (std::size_t kk = 0; kk < nref; ++kk) x_ref(i, kk) = 0.0;
+      }
       multiply_into(x_ref, r_ref, tmp_l);
       add_scaled_into(tmp_l, c.reference_weight, yl);
     }
@@ -314,7 +388,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
       yr.data()[i] = rw.data()[i] * c.lambda;
     outer_product_into(l, rw, xw);  // m x n
     if (c.data_weight > 0.0) {
-      hadamard_into(p.mask_undistorted, xw, w);
+      hadamard_into(*bmask, xw, w);
       gram_product_into(w, l, tmp_r);  // W^T L
       add_scaled_into(tmp_r, c.data_weight, yr);
     }
@@ -328,7 +402,12 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
         // contribution nu * L^T (L R_g^T) to row g of the normal matvec
         for (std::size_t t = 0; t < rank; ++t) {
           double acc = 0.0;
-          for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * xw(i, g);
+          if (obs == nullptr) {
+            for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * xw(i, g);
+          } else {
+            for (std::size_t i = 0; i < m; ++i)
+              if (obs[i] != 0) acc += l(i, t) * xw(i, g);
+          }
           yr(g, t) += c.reference_weight * acc;
         }
       }
@@ -359,7 +438,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
         add_scaled_into(tmp_l, c.lrr_weight, rhs_l);
       }
       if (c.reference_weight > 0.0 && nref > 0) {
-        multiply_into(p.reference_columns, **r_ref_lease, tmp_l);
+        multiply_into(*ref_cols, **r_ref_lease, tmp_l);
         add_scaled_into(tmp_l, c.reference_weight, rhs_l);
       }
       // Anchored pairwise terms penalize deviations of X^ differences
@@ -409,7 +488,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
           const std::size_t g = p.reference_indices[k];
           for (std::size_t t = 0; t < rank; ++t) {
             double acc = 0.0;
-            for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * p.reference_columns(i, k);
+            for (std::size_t i = 0; i < m; ++i) acc += l(i, t) * (*ref_cols)(i, k);
             rhs_r(g, t) += c.reference_weight * acc;
           }
         }
@@ -442,7 +521,7 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
 
     // ================= convergence bookkeeping =================
     outer_product_into(l, r, x_now);
-    out.objective_trace.push_back(objective_given_x(p, c, l, r, x_now));
+    out.objective_trace.push_back(objective_given_x(p, c, l, r, x_now, obs));
     out.outer_iterations = outer + 1;
     const double denom = std::max(x_prev.frobenius_norm(), 1e-12);
     const double rel_change = frobenius_diff_norm(x_now, x_prev) / denom;

@@ -25,11 +25,36 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
     options.telemetry->gauge("recon.svt.last_residual").set(r.residual);
   };
 
-  std::size_t observed = 0;
-  for (double v : mask.data()) {
-    TAFLOC_CHECK_ARG(v == 0.0 || v == 1.0, "mask entries must be 0 or 1");
-    if (v == 1.0) ++observed;
+  for (double v : mask.data()) TAFLOC_CHECK_ARG(v == 0.0 || v == 1.0, "mask entries must be 0 or 1");
+  // Link-fault masking: rows flagged unobserved drop out of the mask
+  // entirely, so their (possibly NaN) measurements never anchor the
+  // completion.  nullptr = all rows observed, the bit-identical path.
+  const std::uint8_t* obs = nullptr;
+  if (!options.row_observed.empty()) {
+    TAFLOC_CHECK_ARG(options.row_observed.size() == x_known.rows(),
+                     "row_observed must have one entry per link");
+    for (std::uint8_t v : options.row_observed)
+      TAFLOC_CHECK_ARG(v == 0 || v == 1, "row_observed entries must be 0 or 1");
+    for (std::uint8_t v : options.row_observed)
+      if (v == 0) {
+        obs = options.row_observed.data();
+        break;
+      }
   }
+  Matrix mask_eff_storage;
+  const Matrix* bmask = &mask;
+  if (obs != nullptr) {
+    mask_eff_storage = Matrix(x_known.rows(), x_known.cols(), 0.0);
+    for (std::size_t i = 0; i < x_known.rows(); ++i)
+      if (obs[i] != 0)
+        for (std::size_t j = 0; j < x_known.cols(); ++j)
+          mask_eff_storage(i, j) = mask(i, j);
+    bmask = &mask_eff_storage;
+  }
+
+  std::size_t observed = 0;
+  for (double v : bmask->data())
+    if (v == 1.0) ++observed;
   TAFLOC_CHECK_ARG(observed > 0, "SVT needs at least one observed entry");
 
   const double m = static_cast<double>(x_known.rows());
@@ -53,7 +78,14 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
   Matrix& y = *y_lease;
   Matrix& resid = *resid_lease;
 
-  hadamard_into(mask, x_known, data);
+  if (obs == nullptr) {
+    hadamard_into(mask, x_known, data);
+  } else {
+    // Explicit select, not a Hadamard product: dead-row entries of
+    // x_known may be NaN, and 0 * NaN would poison the data norm.
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data.data()[i] = bmask->data()[i] == 1.0 ? x_known.data()[i] : 0.0;
+  }
   const double data_norm = data.frobenius_norm();
   TAFLOC_CHECK_ARG(data_norm > 0.0, "observed entries are all zero; nothing to complete");
 
@@ -79,7 +111,7 @@ SvtResult svt_complete(const Matrix& x_known, const Matrix& mask, const SvtOptio
     }
     // Residual on the observed entries only.
     for (std::size_t i = 0; i < resid.size(); ++i)
-      resid.data()[i] = mask.data()[i] * out.x.data()[i] - data.data()[i];
+      resid.data()[i] = bmask->data()[i] * out.x.data()[i] - data.data()[i];
     const double rel = resid.frobenius_norm() / data_norm;
     out.iterations = it + 1;
     out.residual = rel;

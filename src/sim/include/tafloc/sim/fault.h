@@ -1,0 +1,72 @@
+// FaultInjector -- a seeded schedule of link faults for robustness
+// drills.  Models the ways a real low-cost radio deployment breaks:
+//
+//   - dead links:  a fixed random subset reports NaN on every query
+//                  (node powered off, antenna gone);
+//   - NaN bursts:  a healthy link starts emitting NaN for a stretch of
+//                  queries, then recovers (driver reboot, interference);
+//   - stuck links: a fixed random subset freezes at its first observed
+//                  reading and repeats it verbatim (firmware hang --
+//                  the symptom LinkHealth's exact-repeat detector
+//                  exists for);
+//   - RSS spikes:  occasional +-spike_db outliers on otherwise healthy
+//                  links (burst interference), finite so they must be
+//                  absorbed, not masked.
+//
+// Everything is driven by one seed, so a drill is exactly reproducible:
+// same seed + same query sequence = same corrupted readings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+struct FaultConfig {
+  double dead_fraction = 0.0;        ///< fraction of links dead outright (NaN forever).
+  double nan_burst_rate = 0.0;       ///< per-query chance a healthy link starts a NaN burst.
+  std::size_t nan_burst_length = 5;  ///< queries a burst lasts once started.
+  double stuck_fraction = 0.0;       ///< fraction of links frozen at their first reading.
+  double spike_rate = 0.0;           ///< per-link per-query chance of an RSS spike.
+  double spike_db = 20.0;            ///< spike magnitude in dB (sign is random).
+};
+
+class FaultInjector {
+ public:
+  /// Draws the dead and stuck subsets once, from `seed`.
+  FaultInjector(std::size_t num_links, const FaultConfig& config, std::uint64_t seed);
+
+  /// Corrupt one per-link reading in place according to the schedule.
+  /// `rss` must have one entry per link.
+  void apply(std::span<double> rss);
+
+  std::size_t num_links() const noexcept { return is_dead_.size(); }
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// The fixed fault subsets (ascending indices).
+  const std::vector<std::size_t>& dead_links() const noexcept { return dead_; }
+  const std::vector<std::size_t>& stuck_links() const noexcept { return stuck_; }
+
+  /// Totals across every apply() call so far.
+  std::size_t queries_seen() const noexcept { return queries_; }
+  std::size_t corrupted_entries() const noexcept { return corrupted_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  std::vector<std::uint8_t> is_dead_;
+  std::vector<std::uint8_t> is_stuck_;
+  std::vector<std::size_t> dead_;
+  std::vector<std::size_t> stuck_;
+  std::vector<double> stuck_value_;
+  std::vector<std::uint8_t> has_stuck_value_;
+  std::vector<std::size_t> burst_remaining_;
+  std::size_t queries_ = 0;
+  std::size_t corrupted_ = 0;
+};
+
+}  // namespace tafloc

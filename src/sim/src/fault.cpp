@@ -1,0 +1,93 @@
+#include "tafloc/sim/fault.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::size_t count_from_fraction(std::size_t n, double fraction) {
+  return static_cast<std::size_t>(fraction * static_cast<double>(n) + 0.5);
+}
+}  // namespace
+
+FaultInjector::FaultInjector(std::size_t num_links, const FaultConfig& config,
+                             std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      is_dead_(num_links, 0),
+      is_stuck_(num_links, 0),
+      stuck_value_(num_links, 0.0),
+      has_stuck_value_(num_links, 0),
+      burst_remaining_(num_links, 0) {
+  TAFLOC_CHECK_ARG(num_links > 0, "fault injector needs at least one link");
+  TAFLOC_CHECK_ARG(config.dead_fraction >= 0.0 && config.dead_fraction <= 1.0,
+                   "dead fraction must be in [0, 1]");
+  TAFLOC_CHECK_ARG(config.stuck_fraction >= 0.0 && config.stuck_fraction <= 1.0,
+                   "stuck fraction must be in [0, 1]");
+  TAFLOC_CHECK_ARG(config.nan_burst_rate >= 0.0 && config.nan_burst_rate <= 1.0,
+                   "NaN burst rate must be in [0, 1]");
+  TAFLOC_CHECK_ARG(config.spike_rate >= 0.0 && config.spike_rate <= 1.0,
+                   "spike rate must be in [0, 1]");
+
+  dead_ = rng_.sample_without_replacement(num_links, count_from_fraction(num_links, config.dead_fraction));
+  std::sort(dead_.begin(), dead_.end());
+  for (std::size_t i : dead_) is_dead_[i] = 1;
+
+  // Stuck links are drawn from the survivors so the two fault classes
+  // never overlap (a dead link's NaN hides any stuck behaviour anyway).
+  std::vector<std::size_t> alive;
+  alive.reserve(num_links - dead_.size());
+  for (std::size_t i = 0; i < num_links; ++i)
+    if (is_dead_[i] == 0) alive.push_back(i);
+  const std::size_t stuck_count =
+      std::min(alive.size(), count_from_fraction(num_links, config.stuck_fraction));
+  for (std::size_t pick : rng_.sample_without_replacement(alive.size(), stuck_count))
+    stuck_.push_back(alive[pick]);
+  std::sort(stuck_.begin(), stuck_.end());
+  for (std::size_t i : stuck_) is_stuck_[i] = 1;
+}
+
+void FaultInjector::apply(std::span<double> rss) {
+  TAFLOC_CHECK_ARG(rss.size() == is_dead_.size(), "reading must have one entry per link");
+  ++queries_;
+  for (std::size_t i = 0; i < rss.size(); ++i) {
+    if (is_dead_[i] != 0) {
+      rss[i] = kNan;
+      ++corrupted_;
+      continue;
+    }
+    if (burst_remaining_[i] > 0) {
+      --burst_remaining_[i];
+      rss[i] = kNan;
+      ++corrupted_;
+      continue;
+    }
+    if (config_.nan_burst_rate > 0.0 && rng_.bernoulli(config_.nan_burst_rate)) {
+      // Burst starts on this query and lasts nan_burst_length in total.
+      burst_remaining_[i] = config_.nan_burst_length > 0 ? config_.nan_burst_length - 1 : 0;
+      rss[i] = kNan;
+      ++corrupted_;
+      continue;
+    }
+    if (is_stuck_[i] != 0) {
+      if (has_stuck_value_[i] == 0) {
+        stuck_value_[i] = rss[i];
+        has_stuck_value_[i] = 1;
+      }
+      rss[i] = stuck_value_[i];
+      ++corrupted_;
+      continue;
+    }
+    if (config_.spike_rate > 0.0 && rng_.bernoulli(config_.spike_rate)) {
+      rss[i] += rng_.bernoulli(0.5) ? config_.spike_db : -config_.spike_db;
+      ++corrupted_;
+    }
+  }
+}
+
+}  // namespace tafloc

@@ -35,8 +35,17 @@ class UpdateScheduler {
                   const SchedulerConfig& config = {});
 
   /// Feed a cheap ambient scan at time `t_days`; returns true when an
-  /// update should run now.  Observations must not go back in time.
+  /// update should run now.  A sample timestamped before the latest one
+  /// (out-of-order telemetry delivery) is dropped -- warn log, a
+  /// scheduler.dropped_observations count, return false -- rather than
+  /// killing the serving process.  Non-finite per-link entries (dead
+  /// links) are excluded from the staleness mean; a scan with no finite
+  /// entry at all is dropped the same way.
   bool observe_ambient(std::span<const double> ambient, double t_days);
+
+  /// Out-of-order / unusable samples dropped so far (mirrors the
+  /// scheduler.dropped_observations counter when telemetry is attached).
+  std::size_t dropped_observations() const noexcept { return dropped_; }
 
   /// Mean absolute per-link ambient change since the last update, from
   /// the most recent observation (0 before any observation).
@@ -60,6 +69,7 @@ class UpdateScheduler {
   double updated_at_;
   double last_observation_ = 0.0;
   double staleness_ = 0.0;
+  std::size_t dropped_ = 0;
   SchedulerConfig config_;
 
   // Telemetry handles (all null when detached; see attach_telemetry).
@@ -68,6 +78,7 @@ class UpdateScheduler {
   Gauge* last_trigger_gauge_ = nullptr;
   Counter* observation_counter_ = nullptr;
   Counter* trigger_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
 };
 
 }  // namespace tafloc

@@ -93,7 +93,12 @@ class TafLocSystem : public Localizer {
   };
 
   /// Low-cost update from freshly surveyed reference columns (M x n, in
-  /// reference_locations() order) and a fresh ambient scan.
+  /// reference_locations() order) and a fresh ambient scan.  Rows of
+  /// links the LinkHealth mask marks dead -- or whose fresh readings are
+  /// non-finite, which marks them dead here -- are excluded from the
+  /// reconstruction's data/reference terms (LoLi-IR row_observed) and
+  /// patched from the current database, so an update with faulty links
+  /// degrades gracefully instead of aborting or poisoning the matrix.
   UpdateReport update(const Matrix& fresh_reference_columns, Vector fresh_ambient,
                       double t_days);
 
@@ -109,6 +114,30 @@ class TafLocSystem : public Localizer {
   std::vector<Point2> localize_batch(std::span<const Vector> rss_batch) const override;
   std::string name() const override { return "TafLoc"; }
 
+  /// One degraded-mode answer: the estimate plus how much of the
+  /// deployment actually produced it.
+  struct DegradedResult {
+    Point2 point{0.0, 0.0};
+    std::size_t links_used = 0;       ///< healthy links in the distance scan.
+    std::size_t links_total = 0;      ///< deployment link count.
+    std::size_t gated_neighbors = 0;  ///< KNN neighbours dropped by the spatial gate.
+    /// links_used / links_total; 0 when the query was unservable.
+    double confidence = 0.0;
+    bool degraded = false;            ///< at least one link was masked out.
+    bool served = false;              ///< false only when every link is dead.
+  };
+
+  /// Fault-tolerant serving path.  Feeds `rss` through the database's
+  /// LinkHealth state machine (NaN / stuck links transition to Dead),
+  /// then matches over the surviving links only.  Never throws on link
+  /// faults: with every link dead it returns the area centre with
+  /// confidence 0 and served == false instead of aborting the process.
+  /// Telemetry: system.degraded_queries / system.unservable_queries
+  /// counters, system.links_dead / system.links_alive gauges, and a
+  /// system.degraded_fraction gauge over this system's query history.
+  /// With all links healthy the estimate is bit-identical to localize().
+  DegradedResult localize_degraded(std::span<const double> rss);
+
   /// True once calibrate() has run.
   bool calibrated() const noexcept { return database_.has_value(); }
 
@@ -117,6 +146,13 @@ class TafLocSystem : public Localizer {
 
   /// Current fingerprint database (available after calibration).
   const FingerprintDatabase& database() const;
+
+  /// The per-link serving mask shared by the matcher, the reconstruction
+  /// (row_observed) and the degraded serving path.  Pin links dead here
+  /// (operator drain) or let localize_degraded()'s observe() calls drive
+  /// it.  Available after calibration.
+  LinkHealth& link_health();
+  const LinkHealth& link_health() const;
 
   /// The learned LRR model (available after calibration).
   const LrrModel& lrr() const;
@@ -160,6 +196,10 @@ class TafLocSystem : public Localizer {
   std::vector<PairwiseTerm> similarity_;
   std::unique_ptr<KnnMatcher> matcher_;
   std::unique_ptr<MetricRegistry> telemetry_;  ///< per-system, never global.
+
+  // Degraded-serving bookkeeping (mirrored into telemetry when attached).
+  std::size_t degraded_query_count_ = 0;
+  std::size_t total_degraded_calls_ = 0;
 };
 
 }  // namespace tafloc

@@ -4,6 +4,7 @@
 
 #include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/check.h"
+#include "tafloc/util/log.h"
 
 namespace tafloc {
 
@@ -27,16 +28,41 @@ void UpdateScheduler::attach_telemetry(MetricRegistry* registry) {
   last_trigger_gauge_ = registry_gauge(telemetry_, "scheduler.last_trigger_days");
   observation_counter_ = registry_counter(telemetry_, "scheduler.observations");
   trigger_counter_ = registry_counter(telemetry_, "scheduler.update_triggers");
+  dropped_counter_ = registry_counter(telemetry_, "scheduler.dropped_observations");
 }
 
 bool UpdateScheduler::observe_ambient(std::span<const double> ambient, double t_days) {
   TAFLOC_CHECK_ARG(ambient.size() == baseline_.size(), "ambient vector size mismatch");
-  TAFLOC_CHECK_ARG(t_days >= last_observation_, "observations must not go back in time");
-  last_observation_ = t_days;
+  if (t_days < last_observation_) {
+    // Out-of-order telemetry delivery is routine in a real deployment;
+    // a stale sample carries no scheduling information -- drop it.
+    TAFLOC_LOG_WARN << "scheduler: dropping out-of-order ambient sample at day " << t_days
+                    << " (latest observation is day " << last_observation_ << ")";
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
+    return false;
+  }
 
+  // Staleness over the finite entries only: a dead link parks NaN in
+  // the scan, and one NaN must not poison the mean into a permanent
+  // (or permanently suppressed) trigger.
   double sum = 0.0;
-  for (std::size_t i = 0; i < ambient.size(); ++i) sum += std::abs(ambient[i] - baseline_[i]);
-  staleness_ = sum / static_cast<double>(ambient.size());
+  std::size_t finite = 0;
+  for (std::size_t i = 0; i < ambient.size(); ++i) {
+    const double d = ambient[i] - baseline_[i];
+    if (!std::isfinite(d)) continue;
+    sum += std::abs(d);
+    ++finite;
+  }
+  if (finite == 0) {
+    TAFLOC_LOG_WARN << "scheduler: dropping ambient sample at day " << t_days
+                    << " with no finite entries";
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
+    return false;
+  }
+  last_observation_ = t_days;
+  staleness_ = sum / static_cast<double>(finite);
 
   const double age = t_days - updated_at_;
   bool trigger;

@@ -1,5 +1,6 @@
 #include "tafloc/tafloc/system.h"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -10,6 +11,7 @@
 #include "tafloc/recon/operators.h"
 #include "tafloc/telemetry/span.h"
 #include "tafloc/util/check.h"
+#include "tafloc/util/log.h"
 
 namespace tafloc {
 
@@ -128,14 +130,55 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
                    "ambient vector must have one entry per link");
   ScopedSpan span(telemetry_.get(), "system.update_seconds");
 
+  // Fault sanitization.  A dead link cannot survey anything: its rows in
+  // the fresh inputs are garbage (NaN from the radio, or stale).  First
+  // flag any link whose fresh readings are non-finite, then patch every
+  // dead row from the current database so the solver only ever sees
+  // finite numbers -- the reconstruction itself excludes those rows
+  // through row_observed below, so the patched values act purely as a
+  // stay-where-you-were prior, never as observations.
+  LinkHealth& health = database_->link_health();
+  Matrix ref_cols = fresh_reference_columns;
+  for (std::size_t i = 0; i < deployment_.num_links(); ++i) {
+    bool finite = std::isfinite(fresh_ambient[i]);
+    for (std::size_t j = 0; finite && j < ref_cols.cols(); ++j)
+      finite = std::isfinite(ref_cols(i, j));
+    if (!finite && health.usable(i)) {
+      TAFLOC_LOG_WARN << "update: link " << i
+                      << " reported non-finite survey data; marking dead";
+      health.mark_dead(i);
+    }
+  }
+  const std::span<const std::uint8_t> usable = health.usable_bytes();
+  if (!health.all_usable()) {
+    for (std::size_t i = 0; i < deployment_.num_links(); ++i) {
+      if (usable[i] != 0) continue;
+      fresh_ambient[i] = database_->ambient()[i];
+      for (std::size_t j = 0; j < ref_cols.cols(); ++j)
+        ref_cols(i, j) = database_->fingerprints()(i, reference_indices_[j]);
+    }
+  }
+
   LoliIrProblem problem;
   problem.mask_undistorted = mask_->undistorted;
   problem.known = known_entry_matrix(*mask_, fresh_ambient);
-  problem.prediction = lrr_->predict(fresh_reference_columns);
-  problem.reference_columns = fresh_reference_columns;
+  problem.prediction = lrr_->predict(ref_cols);
+  problem.reference_columns = ref_cols;
   problem.reference_indices = reference_indices_;
   problem.continuity = continuity_;
   problem.similarity = similarity_;
+  if (!health.all_usable()) {
+    // Dead rows leave the data and reference terms (see loli_ir.h); the
+    // LRR term still spans them, so give it the previous fingerprints as
+    // the prediction there -- the best available prior for a row with no
+    // fresh information.
+    problem.row_observed.assign(usable.begin(), usable.end());
+    for (std::size_t i = 0; i < deployment_.num_links(); ++i) {
+      if (usable[i] != 0) continue;
+      for (std::size_t j = 0; j < deployment_.num_grids(); ++j)
+        problem.prediction(i, j) = database_->fingerprints()(i, j);
+    }
+  }
 
   UpdateReport report;
   report.solver = loli_ir_reconstruct(problem, config_.solver);
@@ -172,6 +215,51 @@ std::vector<Point2> TafLocSystem::localize_batch(std::span<const Vector> rss_bat
   return matcher_->localize_batch(rss_batch);
 }
 
+TafLocSystem::DegradedResult TafLocSystem::localize_degraded(std::span<const double> rss) {
+  TAFLOC_CHECK_STATE(matcher_ != nullptr, "localize_degraded() requires a prior calibrate()");
+  TAFLOC_CHECK_ARG(rss.size() == deployment_.num_links(), "rss must have one entry per link");
+
+  // Every real-time reading drives the health state machine: NaNs kill
+  // their link for this query, stuck links accumulate towards Suspect /
+  // Dead, recovered links heal.
+  LinkHealth& health = database_->link_health();
+  health.observe(rss);
+
+  DegradedResult out;
+  out.links_total = health.num_links();
+  out.degraded = !health.all_usable();
+  ++total_degraded_calls_;
+  if (out.degraded) ++degraded_query_count_;
+
+  if (health.usable_count() == 0) {
+    // Nothing left to match against.  The least-wrong answer with zero
+    // information is the area centre; served == false tells the caller
+    // this estimate carries no signal.
+    TAFLOC_LOG_WARN << "localize_degraded: all " << out.links_total
+                    << " links dead; returning area centre";
+    out.point = {0.5 * deployment_.grid().width(), 0.5 * deployment_.grid().height()};
+  } else {
+    MatchStats stats;
+    out.point = matcher_->localize(rss, &stats);
+    out.links_used = stats.links_used;
+    out.gated_neighbors = stats.gated_out;
+    out.confidence =
+        static_cast<double>(out.links_used) / static_cast<double>(out.links_total);
+    out.served = true;
+  }
+
+  if (telemetry_->enabled()) {
+    if (out.degraded) telemetry_->counter("system.degraded_queries").add();
+    if (!out.served) telemetry_->counter("system.unservable_queries").add();
+    telemetry_->gauge("system.links_dead").set(static_cast<double>(health.dead_count()));
+    telemetry_->gauge("system.links_alive").set(static_cast<double>(health.usable_count()));
+    telemetry_->gauge("system.degraded_fraction")
+        .set(static_cast<double>(degraded_query_count_) /
+             static_cast<double>(total_degraded_calls_));
+  }
+  return out;
+}
+
 const std::vector<std::size_t>& TafLocSystem::reference_locations() const {
   TAFLOC_CHECK_STATE(calibrated(), "reference locations exist only after calibrate()");
   return reference_indices_;
@@ -180,6 +268,16 @@ const std::vector<std::size_t>& TafLocSystem::reference_locations() const {
 const FingerprintDatabase& TafLocSystem::database() const {
   TAFLOC_CHECK_STATE(calibrated(), "database exists only after calibrate()");
   return *database_;
+}
+
+LinkHealth& TafLocSystem::link_health() {
+  TAFLOC_CHECK_STATE(calibrated(), "link health exists only after calibrate()");
+  return database_->link_health();
+}
+
+const LinkHealth& TafLocSystem::link_health() const {
+  TAFLOC_CHECK_STATE(calibrated(), "link health exists only after calibrate()");
+  return database_->link_health();
 }
 
 const LrrModel& TafLocSystem::lrr() const {
@@ -245,6 +343,11 @@ void TafLocSystem::rebuild_matcher() {
                                           std::min(config_.knn_k, deployment_.num_grids()),
                                           /*weighted=*/true);
   matcher_->attach_telemetry(telemetry_.get());
+  // Same lifetime argument as the fingerprint view: the health mask
+  // lives inside database_, and every database_ re-emplace runs through
+  // this rebuild.  With all links usable the matcher takes its exact
+  // unmasked code path, so attaching here never changes healthy results.
+  matcher_->attach_link_health(&database_->link_health());
 }
 
 std::string TafLocSystem::telemetry_snapshot_json() const {

@@ -328,5 +328,88 @@ TEST(ExecDeterminism, LocalizeBatchMatchesSequentialCalls) {
   }
 }
 
+TEST(ExecDeterminism, KnnAllHealthyMaskBitIdenticalAcrossThreadCounts) {
+  // Attaching a LinkHealth mask with every link usable must leave the
+  // scan on its exact unmasked code path: same bits as no mask, at any
+  // thread count.
+  Scenario scenario = Scenario::paper_room(13);
+  Rng rng(1301);
+  const Matrix fingerprints = scenario.collector().survey_all(0.0, rng);
+  const LinkHealth health(fingerprints.rows());
+  KnnMatcher plain(fingerprints, scenario.deployment().grid(), 3);
+  KnnMatcher masked(fingerprints, scenario.deployment().grid(), 3);
+  masked.attach_link_health(&health);
+
+  std::vector<Vector> batch;
+  for (std::size_t q = 0; q < 24; ++q) {
+    Vector rss(fingerprints.rows());
+    for (double& v : rss) v = rng.normal(-50.0, 5.0);
+    batch.push_back(std::move(rss));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadGuard guard(threads);
+    const std::vector<Point2> expected = plain.localize_batch(batch);
+    const std::vector<Point2> observed = masked.localize_batch(batch);
+    ASSERT_EQ(expected.size(), observed.size());
+    for (std::size_t q = 0; q < expected.size(); ++q) {
+      EXPECT_EQ(expected[q].x, observed[q].x) << "threads=" << threads << " query " << q;
+      EXPECT_EQ(expected[q].y, observed[q].y) << "threads=" << threads << " query " << q;
+    }
+  }
+}
+
+TEST(ExecDeterminism, KnnMaskedScanBitIdenticalAcrossThreadCounts) {
+  Scenario scenario = Scenario::paper_room(14);
+  Rng rng(1401);
+  const Matrix fingerprints = scenario.collector().survey_all(0.0, rng);
+  LinkHealth health(fingerprints.rows());
+  health.mark_dead(0);
+  health.mark_dead(fingerprints.rows() / 2);
+  KnnMatcher matcher(fingerprints, scenario.deployment().grid(), 3);
+  matcher.attach_link_health(&health);
+
+  std::vector<Vector> batch;
+  for (std::size_t q = 0; q < 16; ++q) {
+    Vector rss(fingerprints.rows());
+    for (double& v : rss) v = rng.normal(-50.0, 5.0);
+    batch.push_back(std::move(rss));
+  }
+
+  const std::vector<Point2> reference =
+      at_threads(1, [&] { return matcher.localize_batch(batch); });
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const std::vector<Point2> observed =
+        at_threads(threads, [&] { return matcher.localize_batch(batch); });
+    ASSERT_EQ(reference.size(), observed.size());
+    for (std::size_t q = 0; q < reference.size(); ++q) {
+      EXPECT_EQ(reference[q].x, observed[q].x) << "threads=" << threads << " query " << q;
+      EXPECT_EQ(reference[q].y, observed[q].y) << "threads=" << threads << " query " << q;
+    }
+  }
+}
+
+TEST(ExecDeterminism, KnnTieBreakDeterministicWithDuplicateColumns) {
+  // Duplicate fingerprint columns give exactly equal distances; the
+  // index tie-break must pick the same (lowest-index) neighbours at
+  // every thread count instead of whatever partial_sort happens to do.
+  const GridMap grid(2.4, 0.6, 0.6);  // 4 cells in a row
+  Matrix fp(2, 4);
+  // Columns 1 and 2 are exact duplicates; column 0 is the best match.
+  const double cols[4][2] = {{-40.0, -40.0}, {-55.0, -55.0}, {-55.0, -55.0}, {-70.0, -70.0}};
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 2; ++i) fp(i, j) = cols[j][i];
+  const KnnMatcher matcher(fp, grid, 2, /*weighted=*/true, /*spatial_gate_m=*/0.0);
+  const std::vector<double> y{-41.0, -41.0};
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadGuard guard(threads);
+    const std::vector<std::size_t> nearest = matcher.nearest_grids(y);
+    ASSERT_EQ(nearest.size(), 2u);
+    EXPECT_EQ(nearest[0], 0u) << "threads=" << threads;
+    EXPECT_EQ(nearest[1], 1u) << "threads=" << threads;  // 1 beats its duplicate 2
+  }
+}
+
 }  // namespace
 }  // namespace tafloc

@@ -66,10 +66,16 @@ TEST(FingerprintDatabase, UpdateRejectsShapeChange) {
   EXPECT_THROW(db.update(Matrix(2, 3, 0.0), Vector{1.0}, 30.0), std::invalid_argument);
 }
 
-TEST(FingerprintDatabase, UpdateRejectsTimeTravel) {
+TEST(FingerprintDatabase, UpdateClampsClockSkewButRejectsNegativeTime) {
   FingerprintDatabase db = make_db();
   db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, 30.0);
-  EXPECT_THROW(db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, 10.0), std::invalid_argument);
+  // A surveyor whose clock runs slightly behind the serving host must
+  // not crash the update; the stamp clamps to the current one.
+  db.update(Matrix(2, 3, 2.0), Vector{3.0, 4.0}, 29.5);
+  EXPECT_DOUBLE_EQ(db.surveyed_at_days(), 30.0);
+  EXPECT_DOUBLE_EQ(db.fingerprints()(0, 0), 2.0);  // data still accepted
+  // Grossly invalid (negative absolute) time is a caller bug: rejected.
+  EXPECT_THROW(db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, -1.0), std::invalid_argument);
 }
 
 TEST(FingerprintDatabase, AgeComputation) {
@@ -77,7 +83,20 @@ TEST(FingerprintDatabase, AgeComputation) {
   EXPECT_DOUBLE_EQ(db.age_days(45.0), 45.0);
   db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, 40.0);
   EXPECT_DOUBLE_EQ(db.age_days(45.0), 5.0);
-  EXPECT_THROW(db.age_days(39.0), std::invalid_argument);
+  // Clock skew: "now" slightly behind the survey stamp clamps to 0.
+  EXPECT_DOUBLE_EQ(db.age_days(39.0), 0.0);
+  EXPECT_THROW(db.age_days(-1.0), std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, LinkHealthPersistsAcrossUpdates) {
+  FingerprintDatabase db = make_db();
+  EXPECT_TRUE(db.link_health().all_usable());
+  db.link_health().mark_dead(1);
+  EXPECT_EQ(db.link_health().dead_count(), 1u);
+  // A fingerprint refresh does not resurrect a dead transceiver.
+  db.update(Matrix(2, 3, 1.0), Vector{1.0, 2.0}, 30.0);
+  EXPECT_EQ(db.link_health().dead_count(), 1u);
+  EXPECT_FALSE(db.link_health().usable(1));
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+#include "tafloc/fingerprint/link_health.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace tafloc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> reading(double a, double b, double c) { return {a, b, c}; }
+
+TEST(LinkHealth, StartsAllHealthy) {
+  const LinkHealth h(4);
+  EXPECT_EQ(h.num_links(), 4u);
+  EXPECT_TRUE(h.all_healthy());
+  EXPECT_TRUE(h.all_usable());
+  EXPECT_EQ(h.usable_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(h.state(i), LinkState::Healthy);
+  EXPECT_EQ(h.usable_bytes().size(), 4u);
+}
+
+TEST(LinkHealth, NonFiniteReadingKillsLinkImmediately) {
+  LinkHealth h(3);
+  const auto report = h.observe(reading(-40.0, kNan, -42.0));
+  EXPECT_EQ(report.newly_dead, 1u);
+  EXPECT_EQ(h.state(1), LinkState::Dead);
+  EXPECT_FALSE(h.usable(1));
+  EXPECT_EQ(h.dead_count(), 1u);
+  EXPECT_EQ(h.usable_bytes()[1], 0);
+  EXPECT_EQ(h.dead_links(), std::vector<std::size_t>{1});
+}
+
+TEST(LinkHealth, StuckLinkDegradesToSuspectThenDead) {
+  LinkHealthConfig cfg;
+  cfg.stuck_after = 3;
+  cfg.stuck_dead_after = 6;
+  LinkHealth h(2, cfg);
+  // Link 0 varies; link 1 repeats the exact same value.
+  double wobble = -40.0;
+  for (int i = 0; i < 4; ++i) {
+    wobble += 0.1;
+    h.observe(std::vector<double>{wobble, -55.0});
+  }
+  EXPECT_EQ(h.state(0), LinkState::Healthy);
+  EXPECT_EQ(h.state(1), LinkState::Suspect);
+  EXPECT_TRUE(h.usable(1));  // Suspect still serves
+  EXPECT_EQ(h.suspect_count(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    wobble += 0.1;
+    h.observe(std::vector<double>{wobble, -55.0});
+  }
+  EXPECT_EQ(h.state(1), LinkState::Dead);
+  EXPECT_FALSE(h.usable(1));
+}
+
+TEST(LinkHealth, AutoFlaggedLinkRevivesOnGoodReadings) {
+  LinkHealthConfig cfg;
+  cfg.revive_after = 2;
+  LinkHealth h(1, cfg);
+  h.observe(std::vector<double>{kNan});
+  EXPECT_EQ(h.state(0), LinkState::Dead);
+  // Two distinct finite readings heal it.
+  h.observe(std::vector<double>{-41.0});
+  EXPECT_EQ(h.state(0), LinkState::Dead);  // streak 1 of 2
+  const auto report = h.observe(std::vector<double>{-41.5});
+  EXPECT_EQ(report.revived, 1u);
+  EXPECT_EQ(h.state(0), LinkState::Healthy);
+}
+
+TEST(LinkHealth, PinnedLinksNeverAutoRecover) {
+  LinkHealthConfig cfg;
+  cfg.revive_after = 1;
+  LinkHealth h(2, cfg);
+  h.mark_dead(0);
+  h.mark_suspect(1);
+  EXPECT_EQ(h.state(0), LinkState::Dead);
+  EXPECT_EQ(h.state(1), LinkState::Suspect);
+  for (int i = 0; i < 10; ++i) h.observe(std::vector<double>{-40.0 - i, -50.0 - i});
+  EXPECT_EQ(h.state(0), LinkState::Dead);
+  EXPECT_EQ(h.state(1), LinkState::Suspect);
+  // revive() clears the pin.
+  h.revive(0);
+  EXPECT_EQ(h.state(0), LinkState::Healthy);
+  EXPECT_TRUE(h.usable(0));
+}
+
+TEST(LinkHealth, RejectsBadArguments) {
+  LinkHealth h(2);
+  EXPECT_THROW(h.observe(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(h.mark_dead(2), std::out_of_range);
+  EXPECT_THROW(h.state(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tafloc

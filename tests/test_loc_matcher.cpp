@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tafloc/sim/scenario.h"
 #include "tafloc/sim/trace.h"
@@ -93,6 +94,51 @@ TEST(KnnMatcher, NearestGridsOrdered) {
   EXPECT_EQ(order[0], 2u);
   EXPECT_EQ(order[1], 1u);
   EXPECT_EQ(order[2], 0u);
+}
+
+TEST(KnnMatcher, TightGateDropsFarNeighboursAndReportsThem) {
+  // A strip long enough that the non-anchor neighbours sit beyond a
+  // tight spatial gate: the centroid must collapse to the anchor
+  // deliberately (guarded wsum), and the drop count must be visible.
+  const GridMap grid(3.0, 0.6, 0.6);  // 5 cells, centres 0.6 m apart
+  const Matrix fp = Matrix::from_rows({{-30.0, -60.0, -31.0, -60.0, -32.0}});
+  const KnnMatcher knn(fp, grid, 3, /*weighted=*/true, /*spatial_gate_m=*/0.5);
+  const std::vector<double> y{-30.4};  // neighbours: cells 0, 2, 4
+  MatchStats stats;
+  const Point2 est = knn.localize(y, &stats);
+  EXPECT_EQ(stats.gated_out, 2u);  // cells 2 and 4 are >= 1.2 m from cell 0
+  EXPECT_FALSE(stats.centroid_fallback);  // anchor weight keeps wsum > 0
+  EXPECT_DOUBLE_EQ(est.x, grid.center(0).x);
+  EXPECT_DOUBLE_EQ(est.y, grid.center(0).y);
+  EXPECT_TRUE(std::isfinite(est.x) && std::isfinite(est.y));
+}
+
+TEST(KnnMatcher, HugeObservationFallsBackToAnchorNotNan) {
+  // Finite-but-huge RSS overflows the squared distance to +inf, every
+  // inverse-distance weight underflows to 0, and the old code returned
+  // NaN/NaN.  The guarded path must return the anchor instead.
+  Toy toy;
+  const KnnMatcher knn(toy.fp, toy.grid, 2, /*weighted=*/true, /*spatial_gate_m=*/0.0);
+  const std::vector<double> y{1e200};
+  MatchStats stats;
+  const Point2 est = knn.localize(y, &stats);
+  EXPECT_TRUE(stats.centroid_fallback);
+  EXPECT_TRUE(std::isfinite(est.x) && std::isfinite(est.y));
+  EXPECT_DOUBLE_EQ(est.x, toy.grid.center(knn.nearest_grids(y).front()).x);
+}
+
+TEST(KnnMatcher, StatsReportLinksUsedUnderMask) {
+  const GridMap grid(1.8, 0.6, 0.6);
+  const Matrix fp =
+      Matrix::from_rows({{-30.0, -40.0, -50.0}, {-35.0, -45.0, -55.0}, {-20.0, -25.0, -30.0}});
+  LinkHealth health(3);
+  health.mark_dead(2);
+  KnnMatcher knn(fp, grid, 2);
+  knn.attach_link_health(&health);
+  const std::vector<double> y{-41.0, -46.0, std::numeric_limits<double>::quiet_NaN()};
+  MatchStats stats;
+  (void)knn.localize(y, &stats);
+  EXPECT_EQ(stats.links_used, 2u);
 }
 
 TEST(KnnMatcher, RejectsBadK) {

@@ -1,0 +1,104 @@
+#include "tafloc/sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tafloc {
+namespace {
+
+TEST(FaultInjector, DeadFractionSilencesTheRightNumberOfLinks) {
+  FaultConfig cfg;
+  cfg.dead_fraction = 0.3;
+  FaultInjector inj(10, cfg, 7);
+  EXPECT_EQ(inj.dead_links().size(), 3u);
+  std::vector<double> rss(10, -40.0);
+  inj.apply(rss);
+  std::size_t nans = 0;
+  for (double v : rss)
+    if (std::isnan(v)) ++nans;
+  EXPECT_EQ(nans, 3u);
+  for (std::size_t i : inj.dead_links()) EXPECT_TRUE(std::isnan(rss[i]));
+  EXPECT_EQ(inj.queries_seen(), 1u);
+  EXPECT_EQ(inj.corrupted_entries(), 3u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig cfg;
+  cfg.dead_fraction = 0.2;
+  cfg.nan_burst_rate = 0.1;
+  cfg.spike_rate = 0.1;
+  FaultInjector a(20, cfg, 99);
+  FaultInjector b(20, cfg, 99);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> ra(20, -40.0 - q), rb(20, -40.0 - q);
+    a.apply(ra);
+    b.apply(rb);
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (std::isnan(ra[i]))
+        EXPECT_TRUE(std::isnan(rb[i]));
+      else
+        EXPECT_DOUBLE_EQ(ra[i], rb[i]);
+    }
+  }
+}
+
+TEST(FaultInjector, StuckLinksRepeatTheirFirstReading) {
+  FaultConfig cfg;
+  cfg.stuck_fraction = 0.5;
+  FaultInjector inj(4, cfg, 3);
+  ASSERT_EQ(inj.stuck_links().size(), 2u);
+  std::vector<double> first(4);
+  for (std::size_t i = 0; i < 4; ++i) first[i] = -40.0 - static_cast<double>(i);
+  std::vector<double> rss = first;
+  inj.apply(rss);
+  // First reading passes through verbatim, later ones freeze at it.
+  for (std::size_t i : inj.stuck_links()) EXPECT_DOUBLE_EQ(rss[i], first[i]);
+  std::vector<double> later(4, -70.0);
+  inj.apply(later);
+  for (std::size_t i : inj.stuck_links()) EXPECT_DOUBLE_EQ(later[i], first[i]);
+}
+
+TEST(FaultInjector, NanBurstsEndAndDeadStuckSetsAreDisjoint) {
+  FaultConfig cfg;
+  cfg.dead_fraction = 0.25;
+  cfg.stuck_fraction = 0.25;
+  cfg.nan_burst_rate = 0.3;
+  cfg.nan_burst_length = 2;
+  FaultInjector inj(8, cfg, 11);
+  for (std::size_t d : inj.dead_links())
+    for (std::size_t s : inj.stuck_links()) EXPECT_NE(d, s);
+  // Over many queries, non-dead links must emit finite readings again
+  // after every burst (bursts have finite length).
+  std::vector<std::size_t> finite_seen(8, 0);
+  for (int q = 0; q < 200; ++q) {
+    std::vector<double> rss(8, -40.0 - 0.01 * q);
+    inj.apply(rss);
+    for (std::size_t i = 0; i < 8; ++i)
+      if (std::isfinite(rss[i])) ++finite_seen[i];
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    const bool dead = std::find(inj.dead_links().begin(), inj.dead_links().end(), i) !=
+                      inj.dead_links().end();
+    if (dead)
+      EXPECT_EQ(finite_seen[i], 0u);
+    else
+      EXPECT_GT(finite_seen[i], 50u);  // bursts at rate 0.3 x length 2 leave ~60% finite
+  }
+}
+
+TEST(FaultInjector, RejectsBadArguments) {
+  FaultConfig cfg;
+  cfg.dead_fraction = 1.5;
+  EXPECT_THROW(FaultInjector(4, cfg, 1), std::invalid_argument);
+  cfg = FaultConfig{};
+  EXPECT_THROW(FaultInjector(0, cfg, 1), std::invalid_argument);
+  FaultInjector inj(4, cfg, 1);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(inj.apply(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "tafloc/sim/scenario.h"
 #include "tafloc/tafloc/system.h"
 
@@ -66,10 +68,37 @@ TEST(UpdateScheduler, RejectsBadArguments) {
   EXPECT_THROW(UpdateScheduler(Vector{1.0}, 0.0, cfg), std::invalid_argument);
 
   UpdateScheduler sched(Vector{1.0}, 5.0);
-  const std::vector<double> a{1.0};
-  EXPECT_THROW(sched.observe_ambient(a, 4.0), std::invalid_argument);  // time travel
   const std::vector<double> wrong{1.0, 2.0};
   EXPECT_THROW(sched.observe_ambient(wrong, 6.0), std::invalid_argument);
+}
+
+TEST(UpdateScheduler, DropsOutOfOrderAndUnusableSamples) {
+  SchedulerConfig cfg;
+  cfg.staleness_threshold_db = 3.0;
+  UpdateScheduler sched(Vector{-30.0, -30.0}, 5.0, cfg);
+  const std::vector<double> drifted{-35.0, -35.0};
+  EXPECT_TRUE(sched.observe_ambient(drifted, 15.0));
+  const double staleness = sched.estimated_staleness_db();
+
+  // A late sample must not kill the process, advance the clock, or
+  // disturb the staleness estimate -- just be counted and dropped.
+  const std::vector<double> stale{-90.0, -90.0};
+  EXPECT_FALSE(sched.observe_ambient(stale, 4.0));
+  EXPECT_EQ(sched.dropped_observations(), 1u);
+  EXPECT_DOUBLE_EQ(sched.estimated_staleness_db(), staleness);
+  EXPECT_TRUE(sched.observe_ambient(drifted, 15.0));  // clock did not move back
+
+  // A scan with no finite entry carries no information: dropped too.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> all_bad{nan, nan};
+  EXPECT_FALSE(sched.observe_ambient(all_bad, 16.0));
+  EXPECT_EQ(sched.dropped_observations(), 2u);
+
+  // A partially-NaN scan averages over the finite links only: one link
+  // at 6 dB drift (NaN on the other) reads 6 dB, not 3.
+  const std::vector<double> half_bad{-36.0, nan};
+  EXPECT_TRUE(sched.observe_ambient(half_bad, 17.0));
+  EXPECT_DOUBLE_EQ(sched.estimated_staleness_db(), 6.0);
 }
 
 TEST(UpdateScheduler, AdaptiveBehaviourOnSimulatedDrift) {

@@ -271,6 +271,25 @@ TEST(Telemetry, HistogramEmptyAndSingleValueEdgeCases) {
   // Quantiles clamp to observed min/max, never outside.
   EXPECT_EQ(h.quantile(0.5), 0.0042);
   EXPECT_EQ(h.quantile(0.99), 0.0042);
+  // Extreme q on a single sample behaves like min/max too.
+  EXPECT_EQ(h.quantile(0.0), 0.0042);
+  EXPECT_EQ(h.quantile(1.0), 0.0042);
+}
+
+TEST(Telemetry, HistogramAllSamplesInOneBucketStayInsideObservedRange) {
+  // Every observation lands in the same bucket: the within-bucket
+  // interpolation must never extrapolate outside [min, max], at any q.
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("test.onebucket");
+  for (int i = 0; i < 1000; ++i) h.observe(0.00107);  // identical samples
+  EXPECT_EQ(h.count(), 1000u);
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, h.min()) << "q=" << q;
+    EXPECT_LE(est, h.max()) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(0.0), h.min());
+  EXPECT_EQ(h.quantile(1.0), h.max());
 }
 
 // ---------------- spans ----------------
