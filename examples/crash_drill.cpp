@@ -1,0 +1,384 @@
+// Crash drill: prove snapshot + WAL recovery is exact under violent
+// process death and on-disk corruption.
+//
+// Phase 1 (kill drill): fork a child that calibrates a durable zone,
+// attaches an UpdateScheduler, then runs a seeded stream of durable
+// events -- degraded queries (kWalObserve), scheduler ambient samples
+// (kWalAmbient), scheduler notifies (kWalNotify) and fingerprint
+// updates (kWalUpdate, each committing a snapshot).  A CrashInjector
+// arms one storage kill point, so the child _Exit()s (the in-process
+// equivalent of kill -9) in the middle of a snapshot commit or WAL
+// append.  The parent then recovers from the zone directory, derives
+// the durable event prefix from the recovered sequence number, replays
+// exactly those events on a fresh non-durable reference system, and
+// asserts the recovered database, link health, scheduler state and
+// localization answers are bit-identical to the reference.
+//
+// Phase 2 (corruption drill): builds a clean multi-generation zone,
+// then corrupts the newest snapshot (bit flip / truncation / zero
+// page) and asserts recovery NEVER loads corrupt bytes: it falls back
+// one generation and replays forward to the same bit-identical state.
+// With every snapshot corrupted it must report unrecoverable, not
+// fabricate a zone.  A torn WAL tail must be dropped and flagged.
+//
+// Run:  ./crash_drill [--seed=N] [--events=N] [--kill-point=NAME|random]
+//                     [--hits=N] [--dir=PATH] [--telemetry=PATH]
+//
+// Exits non-zero on the first violated invariant.  The CI smoke job
+// runs this over a fixed seed set so every kill point is exercised.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tafloc/sim/crash.h"
+#include "tafloc/storage/snapshot.h"
+#include "tafloc/tafloc.h"
+#include "tafloc/util/cli.h"
+
+namespace {
+
+using namespace tafloc;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  ok: %s\n", what.c_str());
+  } else {
+    std::fprintf(stderr, "  FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+// One durable event per sequence number; the schedule and every input
+// are pure functions of (seed, index), so the parent can regenerate
+// the exact prefix the child persisted before dying.
+enum class EventKind { kObserve, kAmbient, kNotify, kUpdate };
+
+EventKind event_kind(std::size_t i) {
+  if (i % 17 == 0) return EventKind::kUpdate;
+  if (i % 17 == 9) return EventKind::kNotify;
+  if (i % 3 == 0) return EventKind::kAmbient;
+  return EventKind::kObserve;
+}
+
+Rng event_rng(std::uint64_t seed, std::size_t i) {
+  return Rng(seed * 1000003ULL + static_cast<std::uint64_t>(i));
+}
+
+double event_time(std::size_t i) { return 0.05 * static_cast<double>(i); }
+
+// Apply event `i` to a system (+ scheduler).  Durable systems log it;
+// the non-durable reference applies it identically without logging.
+void apply_event(const Scenario& scenario, TafLocSystem& sys, UpdateScheduler& sched,
+                 std::uint64_t seed, std::size_t i) {
+  Rng rng = event_rng(seed, i);
+  const double t = event_time(i);
+  const Deployment& room = scenario.deployment();
+  switch (event_kind(i)) {
+    case EventKind::kObserve: {
+      const Point2 target{rng.uniform(0.0, room.grid().width()),
+                          rng.uniform(0.0, room.grid().height())};
+      Vector rss = scenario.collector().observe(target, t, rng);
+      if (i % 5 == 2) rss[i % rss.size()] = std::nan("");  // exercise health transitions.
+      sys.localize_degraded(rss);
+      break;
+    }
+    case EventKind::kAmbient:
+      sched.observe_ambient(scenario.collector().observe_ambient(t, rng), t);
+      break;
+    case EventKind::kNotify:
+      sched.notify_updated(scenario.collector().ambient_scan(t, rng), t);
+      break;
+    case EventKind::kUpdate:
+      sys.update_with_collector(scenario.collector(), t, rng);
+      break;
+  }
+}
+
+struct Zone {
+  TafLocSystem system;
+  UpdateScheduler scheduler;
+};
+
+Zone make_zone(const Scenario& scenario, std::uint64_t seed) {
+  Rng rng(seed);
+  TafLocSystem sys(scenario.deployment());
+  Vector ambient = scenario.collector().ambient_scan(0.0, rng);
+  UpdateScheduler sched(ambient, 0.0);
+  return Zone{std::move(sys), std::move(sched)};
+}
+
+void calibrate_zone(const Scenario& scenario, Zone& zone, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix survey = scenario.collector().survey_all(0.0, rng);
+  Vector ambient = scenario.collector().ambient_scan(0.0, rng);
+  zone.system.calibrate(survey, std::move(ambient), 0.0);
+}
+
+// The child half of the kill drill: build the durable zone, arm the
+// kill point, stream events.  Never returns on a fired kill point;
+// exits 0 when the armed point was never crossed often enough.
+[[noreturn]] void run_child(const Scenario& scenario, const std::string& dir,
+                            std::uint64_t seed, std::size_t events,
+                            storage::KillPoint point, std::size_t hits) {
+  Zone zone = make_zone(scenario, seed);
+  zone.system.attach_durability({dir});
+  zone.system.attach_scheduler(&zone.scheduler);
+  calibrate_zone(scenario, zone, seed);  // generation 1: the replay baseline.
+  storage::arm_kill_point(point, hits);
+  for (std::size_t i = 1; i <= events; ++i)
+    apply_event(scenario, zone.system, zone.scheduler, seed, i);
+  std::_Exit(0);
+}
+
+// Exact-equality probes: a recovered zone must answer like the
+// reference down to the bit on a fixed query set.
+bool same_answers(const Scenario& scenario, const TafLocSystem& a, const TafLocSystem& b,
+                  std::uint64_t seed) {
+  Rng rng(seed + 777);
+  const Deployment& room = scenario.deployment();
+  for (int q = 0; q < 16; ++q) {
+    const Point2 target{rng.uniform(0.0, room.grid().width()),
+                        rng.uniform(0.0, room.grid().height())};
+    const Vector rss = scenario.collector().observe(target, 99.0, rng);
+    const Point2 pa = a.localize(rss);
+    const Point2 pb = b.localize(rss);
+    if (pa.x != pb.x || pa.y != pb.y) return false;
+  }
+  return true;
+}
+
+int kill_drill(const Scenario& scenario, const std::string& dir, std::uint64_t seed,
+               std::size_t events, storage::KillPoint point, std::size_t hits,
+               const std::string& telemetry_path) {
+  std::filesystem::remove_all(dir);
+  std::printf("kill drill: point=%s hits=%zu events=%zu dir=%s\n",
+              storage::kill_point_name(point).c_str(), hits, events, dir.c_str());
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) run_child(scenario, dir, seed, events, point, hits);
+
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) {
+    std::perror("waitpid");
+    return 1;
+  }
+  const bool died = WIFEXITED(status) && WEXITSTATUS(status) == storage::kKillExitCode;
+  const bool finished = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  check(died || finished, "child died at the kill point or completed (status " +
+                              std::to_string(status) + ")");
+  std::printf("  child %s\n", died ? "killed at the armed point" : "completed all events");
+
+  // Recover in this process.
+  Zone zone = make_zone(scenario, seed);
+  zone.system.attach_durability({dir});
+  zone.system.attach_scheduler(&zone.scheduler);
+  const RecoveryReport report = zone.system.recover();
+  std::printf("  recovery: %s, snapshot gen %llu, replayed %zu, skipped %zu, seq %llu%s%s\n",
+              recovery_outcome_name(report.outcome),
+              static_cast<unsigned long long>(report.snapshot_generation),
+              report.replayed_records, report.skipped_records,
+              static_cast<unsigned long long>(report.sequence),
+              report.torn_wal_tail ? ", torn tail" : "",
+              report.detail.empty() ? "" : (", " + report.detail).c_str());
+  check(report.outcome != RecoveryReport::Outcome::kUnrecoverable,
+        "zone recovered (calibration snapshot always exists)");
+  check(zone.system.calibrated(), "recovered system is calibrated");
+  if (!zone.system.calibrated()) return 1;
+
+  // The durable prefix: event i carries WAL sequence i (calibration is
+  // sequence 0), so the recovered sequence IS the last durable event.
+  const auto durable_events = static_cast<std::size_t>(report.sequence);
+  check(durable_events <= events, "recovered sequence within the event stream");
+  Zone ref = make_zone(scenario, seed);
+  calibrate_zone(scenario, ref, seed);
+  for (std::size_t i = 1; i <= durable_events; ++i)
+    apply_event(scenario, ref.system, ref.scheduler, seed, i);
+
+  check(zone.system.database() == ref.system.database(),
+        "recovered database bit-identical to snapshot+replay reference");
+  check(zone.system.link_health() == ref.system.link_health(),
+        "recovered link health bit-identical");
+  check(zone.scheduler == ref.scheduler, "recovered scheduler state bit-identical");
+  check(same_answers(scenario, zone.system, ref.system, seed),
+        "recovered localization answers match the reference exactly");
+
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", telemetry_path.c_str());
+      return 1;
+    }
+    out << zone.system.telemetry_snapshot_json();
+    std::printf("  telemetry -> %s\n", telemetry_path.c_str());
+  }
+  return 0;
+}
+
+// Build a clean zone with a few generations + a short WAL tail on disk.
+void build_corruption_fixture(const Scenario& scenario, const std::string& dir,
+                              std::uint64_t seed, std::size_t events) {
+  std::filesystem::remove_all(dir);
+  Zone zone = make_zone(scenario, seed);
+  zone.system.attach_durability({dir});
+  zone.system.attach_scheduler(&zone.scheduler);
+  calibrate_zone(scenario, zone, seed);
+  for (std::size_t i = 1; i <= events; ++i)
+    apply_event(scenario, zone.system, zone.scheduler, seed, i);
+}
+
+std::string newest_snapshot_path(const std::string& dir) {
+  const storage::SnapshotStore store(dir);
+  const auto loaded = store.load_latest();
+  if (!loaded.snapshot.has_value()) return "";
+  return store.slot_path(static_cast<unsigned>(loaded.snapshot->generation % 2));
+}
+
+int corruption_drill(const Scenario& scenario, const std::string& dir, std::uint64_t seed,
+                     std::size_t events) {
+  struct Case {
+    const char* name;
+    bool (*corrupt)(const std::string& path);
+  };
+  const Case cases[] = {
+      {"bit flip", [](const std::string& p) { return CrashInjector::flip_bit(p, 64); }},
+      {"truncation",
+       [](const std::string& p) {
+         const auto size = std::filesystem::file_size(p);
+         return CrashInjector::truncate_file(p, size / 2);
+       }},
+      {"zero page",
+       [](const std::string& p) { return CrashInjector::zero_range(p, 32, 128); }},
+  };
+
+  for (const Case& c : cases) {
+    std::printf("corruption drill: %s on the newest snapshot\n", c.name);
+    build_corruption_fixture(scenario, dir, seed, events);
+
+    // Reference: recover the intact zone (exercises no fallback).
+    Zone ref = make_zone(scenario, seed);
+    ref.system.attach_durability({dir});
+    ref.system.attach_scheduler(&ref.scheduler);
+    const RecoveryReport ref_report = ref.system.recover();
+    std::printf("  ref recovery: %s, snapshot gen %llu, replayed %zu, skipped %zu, seq %llu, detail '%s'\n",
+                recovery_outcome_name(ref_report.outcome),
+                static_cast<unsigned long long>(ref_report.snapshot_generation),
+                ref_report.replayed_records, ref_report.skipped_records,
+                static_cast<unsigned long long>(ref_report.sequence), ref_report.detail.c_str());
+    check(ref_report.outcome != RecoveryReport::Outcome::kFellBack &&
+              ref_report.outcome != RecoveryReport::Outcome::kUnrecoverable,
+          "intact zone recovers without fallback");
+    // recover() committed a fresh newest generation; corrupt THAT.
+    const std::string victim = newest_snapshot_path(dir);
+    check(!victim.empty() && c.corrupt(victim), std::string("corrupted ") + victim);
+
+    Zone zone = make_zone(scenario, seed);
+    zone.system.attach_durability({dir});
+    zone.system.attach_scheduler(&zone.scheduler);
+    const RecoveryReport report = zone.system.recover();
+    std::printf("  recovery: %s, snapshot gen %llu, replayed %zu\n",
+                recovery_outcome_name(report.outcome),
+                static_cast<unsigned long long>(report.snapshot_generation),
+                report.replayed_records);
+    check(report.outcome == RecoveryReport::Outcome::kFellBack,
+          "corruption detected; fell back one generation");
+    check(zone.system.calibrated(), "fallback generation recovered");
+    if (!zone.system.calibrated()) continue;
+    check(zone.system.database() == ref.system.database(),
+          "fallback + WAL replay reaches the identical state");
+    check(zone.scheduler == ref.scheduler, "scheduler state identical after fallback");
+  }
+
+  // Every snapshot corrupted: recovery must refuse, not fabricate.
+  std::printf("corruption drill: every snapshot generation corrupted\n");
+  build_corruption_fixture(scenario, dir, seed, events);
+  const storage::SnapshotStore store(dir);
+  bool corrupted_all = true;
+  for (unsigned slot = 0; slot < 2; ++slot)
+    if (std::filesystem::exists(store.slot_path(slot)))
+      corrupted_all = CrashInjector::zero_range(store.slot_path(slot), 0, 64) && corrupted_all;
+  check(corrupted_all, "zeroed every snapshot slot");
+  {
+    Zone zone = make_zone(scenario, seed);
+    zone.system.attach_durability({dir});
+    const RecoveryReport report = zone.system.recover();
+    check(report.outcome == RecoveryReport::Outcome::kUnrecoverable,
+          "all-corrupt zone reported unrecoverable");
+    check(!zone.system.calibrated(), "nothing corrupt was ever loaded");
+  }
+
+  // Torn WAL tail: chop bytes off the live segment; the tail record is
+  // dropped and flagged, everything before it replays.
+  std::printf("corruption drill: torn WAL tail\n");
+  build_corruption_fixture(scenario, dir, seed, events);
+  std::string wal_path;
+  std::uintmax_t wal_size = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && entry.file_size() > wal_size) {
+      wal_path = entry.path().string();
+      wal_size = entry.file_size();
+    }
+  }
+  check(!wal_path.empty() && wal_size > 3, "found a WAL segment to tear");
+  if (!wal_path.empty() && wal_size > 3) {
+    check(CrashInjector::truncate_file(wal_path, static_cast<std::size_t>(wal_size) - 3),
+          "tore the WAL tail");
+    Zone zone = make_zone(scenario, seed);
+    zone.system.attach_durability({dir});
+    zone.system.attach_scheduler(&zone.scheduler);
+    const RecoveryReport report = zone.system.recover();
+    check(report.outcome != RecoveryReport::Outcome::kUnrecoverable,
+          "torn-tail zone still recovers");
+    check(report.torn_wal_tail, "torn tail detected and flagged");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tafloc;
+  const ArgParser args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  const auto events = static_cast<std::size_t>(args.get_long("events", 60));
+  const auto hits_arg = static_cast<std::size_t>(args.get_long("hits", 0));
+  const std::string point_name = args.get_string("kill-point", "random");
+  const std::string dir = args.get_string("dir", "crash_drill_zone");
+  const std::string telemetry_path = args.get_string("telemetry", "");
+
+  // Seeded scenario shared by child, recovery and reference.
+  const Scenario scenario = Scenario::paper_room(seed);
+
+  storage::KillPoint point;
+  std::size_t hits;
+  if (point_name == "random") {
+    const CrashInjector injector(seed);
+    point = injector.kill_point();
+    hits = hits_arg != 0 ? hits_arg : injector.hits();
+  } else {
+    point = storage::kill_point_from_name(point_name);
+    hits = hits_arg != 0 ? hits_arg : 1;
+  }
+
+  int rc = kill_drill(scenario, dir, seed, events, point, hits, telemetry_path);
+  if (rc == 0) rc = corruption_drill(scenario, dir + "-corrupt", seed, events);
+
+  if (g_failures > 0 || rc != 0) {
+    std::fprintf(stderr, "crash drill: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("crash drill: all invariants held\n");
+  return 0;
+}

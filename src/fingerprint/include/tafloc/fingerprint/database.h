@@ -58,6 +58,20 @@ class FingerprintDatabase {
   LinkHealth& link_health() noexcept { return link_health_; }
   const LinkHealth& link_health() const noexcept { return link_health_; }
 
+  /// Serialize the full database -- fingerprint matrix and ambient
+  /// vector bit-exact (binary linalg/io), survey timestamp, and the
+  /// complete LinkHealth state machine -- into a durability payload.
+  void save(storage::ByteWriter& out) const;
+  /// Inverse of save(); throws std::runtime_error on truncated,
+  /// garbage, or shape-inconsistent payloads.
+  static FingerprintDatabase load(storage::ByteReader& in);
+
+  /// Exact whole-state equality (the crash drill's bit-identity check).
+  friend bool operator==(const FingerprintDatabase& a, const FingerprintDatabase& b) noexcept {
+    return a.fingerprints_ == b.fingerprints_ && a.ambient_ == b.ambient_ &&
+           a.surveyed_at_ == b.surveyed_at_ && a.link_health_ == b.link_health_;
+  }
+
  private:
   Matrix fingerprints_;
   Vector ambient_;

@@ -31,6 +31,8 @@
 #include <span>
 #include <vector>
 
+#include "tafloc/storage/codec.h"
+
 namespace tafloc {
 
 enum class LinkState : std::uint8_t { Healthy = 0, Suspect = 1, Dead = 2 };
@@ -88,6 +90,18 @@ class LinkHealth {
   void revive(std::size_t link);
 
   const LinkHealthConfig& config() const noexcept { return config_; }
+
+  /// Serialize the complete state machine -- states, pins, repeat /
+  /// revive streaks, last-sample memory -- so a restored instance takes
+  /// exactly the same transitions on the same subsequent readings as
+  /// the original would have (asserted in test_fingerprint_link_health).
+  void save(storage::ByteWriter& out) const;
+  /// Inverse of save(); throws std::runtime_error on truncated or
+  /// inconsistent payloads (sizes disagreeing, unknown state bytes).
+  static LinkHealth load(storage::ByteReader& in);
+
+  /// Exact whole-state equality (persistence tests).
+  friend bool operator==(const LinkHealth& a, const LinkHealth& b) noexcept;
 
  private:
   void set_state(std::size_t link, LinkState next);

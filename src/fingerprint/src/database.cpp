@@ -1,5 +1,9 @@
 #include "tafloc/fingerprint/database.h"
 
+#include <stdexcept>
+#include <utility>
+
+#include "tafloc/linalg/io.h"
 #include "tafloc/util/check.h"
 #include "tafloc/util/log.h"
 
@@ -37,6 +41,28 @@ void FingerprintDatabase::update(Matrix fingerprints, Vector ambient, double sur
   fingerprints_ = std::move(fingerprints);
   ambient_ = std::move(ambient);
   surveyed_at_ = surveyed_at_days;
+}
+
+void FingerprintDatabase::save(storage::ByteWriter& out) const {
+  save_matrix_binary(fingerprints_, out);
+  save_vector_binary(ambient_, out);
+  out.put_f64(surveyed_at_);
+  link_health_.save(out);
+}
+
+FingerprintDatabase FingerprintDatabase::load(storage::ByteReader& in) {
+  Matrix fingerprints = load_matrix_binary(in);
+  Vector ambient = load_vector_binary(in);
+  const double surveyed_at = in.get_f64();
+  if (fingerprints.empty() || ambient.size() != fingerprints.rows() ||
+      !(surveyed_at >= 0.0))
+    throw std::runtime_error("FingerprintDatabase::load: inconsistent payload shapes");
+  FingerprintDatabase db(std::move(fingerprints), std::move(ambient), surveyed_at);
+  LinkHealth health = LinkHealth::load(in);
+  if (health.num_links() != db.num_links())
+    throw std::runtime_error("FingerprintDatabase::load: link-health size mismatch");
+  db.link_health_ = std::move(health);
+  return db;
 }
 
 double FingerprintDatabase::age_days(double now_days) const {

@@ -1,6 +1,7 @@
 #include "tafloc/fingerprint/link_health.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "tafloc/util/check.h"
 
@@ -109,6 +110,66 @@ void LinkHealth::mark_suspect(std::size_t link) {
   TAFLOC_CHECK_BOUNDS(link, states_.size(), "link index");
   pinned_[link] = 1;
   set_state(link, LinkState::Suspect);
+}
+
+void LinkHealth::save(storage::ByteWriter& out) const {
+  out.put_u64(config_.stuck_after);
+  out.put_u64(config_.stuck_dead_after);
+  out.put_u64(config_.revive_after);
+  std::vector<std::uint8_t> state_bytes(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    state_bytes[i] = static_cast<std::uint8_t>(states_[i]);
+  out.put_u8_span(state_bytes);
+  out.put_u8_span(pinned_);
+  out.put_f64_span(last_value_);
+  out.put_u8_span(has_last_);
+  out.put_size_span(stuck_streak_);
+  out.put_size_span(good_streak_);
+}
+
+LinkHealth LinkHealth::load(storage::ByteReader& in) {
+  LinkHealthConfig config;
+  config.stuck_after = static_cast<std::size_t>(in.get_u64());
+  config.stuck_dead_after = static_cast<std::size_t>(in.get_u64());
+  config.revive_after = static_cast<std::size_t>(in.get_u64());
+  const std::vector<std::uint8_t> state_bytes = in.get_u8_vector();
+  if (state_bytes.empty()) throw std::runtime_error("LinkHealth::load: empty state");
+  LinkHealth health(state_bytes.size(), config);  // validates the config thresholds.
+  for (std::size_t i = 0; i < state_bytes.size(); ++i) {
+    if (state_bytes[i] > static_cast<std::uint8_t>(LinkState::Dead))
+      throw std::runtime_error("LinkHealth::load: unknown link state byte");
+    health.set_state(i, static_cast<LinkState>(state_bytes[i]));
+  }
+  health.pinned_ = in.get_u8_vector();
+  health.last_value_ = in.get_f64_vector();
+  health.has_last_ = in.get_u8_vector();
+  health.stuck_streak_ = in.get_size_vector();
+  health.good_streak_ = in.get_size_vector();
+  const std::size_t n = state_bytes.size();
+  if (health.pinned_.size() != n || health.last_value_.size() != n ||
+      health.has_last_.size() != n || health.stuck_streak_.size() != n ||
+      health.good_streak_.size() != n)
+    throw std::runtime_error("LinkHealth::load: per-link array sizes disagree");
+  return health;
+}
+
+bool operator==(const LinkHealth& a, const LinkHealth& b) noexcept {
+  const auto eq_last_value = [&] {
+    // Exact bitwise sample memory: the stuck detector compares with ==,
+    // so the round trip must preserve the bits, but entries without a
+    // remembered sample (has_last == 0) are don't-cares.
+    for (std::size_t i = 0; i < a.last_value_.size(); ++i) {
+      if (a.has_last_[i] != 0 && a.last_value_[i] != b.last_value_[i]) return false;
+    }
+    return true;
+  };
+  return a.config_.stuck_after == b.config_.stuck_after &&
+         a.config_.stuck_dead_after == b.config_.stuck_dead_after &&
+         a.config_.revive_after == b.config_.revive_after && a.states_ == b.states_ &&
+         a.usable_ == b.usable_ && a.pinned_ == b.pinned_ && a.has_last_ == b.has_last_ &&
+         a.stuck_streak_ == b.stuck_streak_ && a.good_streak_ == b.good_streak_ &&
+         a.dead_count_ == b.dead_count_ && a.suspect_count_ == b.suspect_count_ &&
+         a.last_value_.size() == b.last_value_.size() && eq_last_value();
 }
 
 void LinkHealth::revive(std::size_t link) {

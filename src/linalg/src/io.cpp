@@ -19,6 +19,18 @@ void expect_tag(std::istream& in, const char* tag) {
   if (!(in >> got) || got != tag) malformed("expected tag '" + std::string(tag) + "'");
 }
 
+/// Reject dimension headers no real file could carry *before* any
+/// allocation happens: negative, or so large that resize() would throw
+/// bad_alloc (or overflow rows * cols) on a stream that is plainly
+/// garbage rather than big.
+void check_dimensions(long long rows, long long cols) {
+  if (rows < 0 || cols < 0) malformed("matrix dimensions");
+  const auto r = static_cast<std::uint64_t>(rows);
+  const auto c = static_cast<std::uint64_t>(cols);
+  if (r > kMaxLoadElements || c > kMaxLoadElements || (c != 0 && r > kMaxLoadElements / c))
+    malformed("absurd matrix dimensions");
+}
+
 }  // namespace
 
 void save_matrix(const Matrix& m, std::ostream& out) {
@@ -36,7 +48,8 @@ void save_matrix(const Matrix& m, std::ostream& out) {
 Matrix load_matrix(std::istream& in) {
   expect_tag(in, "matrix");
   long long rows = -1, cols = -1;
-  if (!(in >> rows >> cols) || rows < 0 || cols < 0) malformed("matrix dimensions");
+  if (!(in >> rows >> cols)) malformed("matrix dimensions");
+  check_dimensions(rows, cols);
   if ((rows == 0) != (cols == 0)) malformed("half-empty matrix shape");
   if (rows == 0) return Matrix();
   Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
@@ -60,6 +73,7 @@ Vector load_vector(std::istream& in) {
   expect_tag(in, "vector");
   long long size = -1;
   if (!(in >> size) || size < 0) malformed("vector size");
+  if (static_cast<std::uint64_t>(size) > kMaxLoadElements) malformed("absurd vector size");
   Vector v(static_cast<std::size_t>(size));
   for (double& x : v) {
     if (!(in >> x)) malformed("vector values (truncated?)");
@@ -79,5 +93,31 @@ Matrix load_matrix_file(const std::string& path) {
   if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
   return load_matrix(in);
 }
+
+void save_matrix_binary(const Matrix& m, storage::ByteWriter& out) {
+  out.put_u64(m.rows());
+  out.put_u64(m.cols());
+  for (const double x : m.data()) out.put_f64(x);
+}
+
+Matrix load_matrix_binary(storage::ByteReader& in) {
+  const std::uint64_t rows = in.get_u64();
+  const std::uint64_t cols = in.get_u64();
+  if (rows > kMaxLoadElements || cols > kMaxLoadElements ||
+      (cols != 0 && rows > kMaxLoadElements / cols))
+    malformed("absurd binary matrix dimensions");
+  if ((rows == 0) != (cols == 0)) malformed("half-empty binary matrix shape");
+  in.require_elements(rows * cols, 8, "binary matrix values");
+  if (rows == 0) return Matrix();
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (double& x : m.data()) x = in.get_f64();
+  return m;
+}
+
+void save_vector_binary(std::span<const double> v, storage::ByteWriter& out) {
+  out.put_f64_span(v);
+}
+
+Vector load_vector_binary(storage::ByteReader& in) { return in.get_f64_vector(); }
 
 }  // namespace tafloc

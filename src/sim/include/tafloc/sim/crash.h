@@ -1,0 +1,62 @@
+// CrashInjector -- seeded crash/corruption scenarios for durability
+// drills.  Two failure families, matching what actually kills zone
+// state in the field:
+//
+//   - process death: the process is killed at a storage kill point
+//     (mid-snapshot-commit, mid-WAL-append, ...).  The injector picks
+//     a kill point and a hit count from one seed and arms the
+//     storage-layer hook; the process then dies with
+//     storage::kKillExitCode the moment the durability path crosses
+//     that point for the chosen time.
+//
+//   - file corruption: bytes already on disk go bad (torn sector,
+//     bit rot, zero-page on a dying SSD).  Static helpers mutate a
+//     file in place -- truncate to a prefix, flip one bit, zero a
+//     page -- so tests can prove the checksums catch every variant.
+//
+// Everything derives from one seed: same seed = same kill point, same
+// hit count, same corrupted byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "tafloc/storage/kill_point.h"
+
+namespace tafloc {
+
+class CrashInjector {
+ public:
+  /// Draws a kill point and hit count (1..max_hits per point kind)
+  /// from `seed`.  Nothing is armed until arm() runs.
+  explicit CrashInjector(std::uint64_t seed, std::size_t max_hits = 3);
+
+  /// The scenario this seed drew.
+  storage::KillPoint kill_point() const noexcept { return point_; }
+  std::size_t hits() const noexcept { return hits_; }
+
+  /// Arm the storage-layer kill hook: the process _Exit()s with
+  /// storage::kKillExitCode when the drawn point fires for the
+  /// hits()-th time.
+  void arm() const;
+
+  /// Disarm any armed kill point (storage::disarm_kill_point).
+  static void disarm();
+
+  // -- on-disk corruption (return false when the file is missing or
+  //    too short to corrupt as asked; nothing is modified then) --
+
+  /// Truncate `path` to `keep_bytes` (torn write / lost tail).
+  static bool truncate_file(const std::string& path, std::size_t keep_bytes);
+  /// Flip one bit of the byte at `offset` (bit rot).
+  static bool flip_bit(const std::string& path, std::size_t offset);
+  /// Overwrite `length` bytes at `offset` with zeros (zero-page).
+  static bool zero_range(const std::string& path, std::size_t offset, std::size_t length);
+
+ private:
+  storage::KillPoint point_;
+  std::size_t hits_;
+};
+
+}  // namespace tafloc

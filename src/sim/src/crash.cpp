@@ -1,0 +1,78 @@
+#include "tafloc/sim/crash.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+namespace {
+
+constexpr storage::KillPoint kKillPoints[] = {
+    storage::KillPoint::kSnapshotTempWritten, storage::KillPoint::kSnapshotBeforeRename,
+    storage::KillPoint::kSnapshotAfterRename, storage::KillPoint::kWalMidAppend,
+    storage::KillPoint::kWalAfterAppend,
+};
+constexpr std::size_t kNumKillPoints = sizeof(kKillPoints) / sizeof(kKillPoints[0]);
+
+// Read-modify-write a whole file.  Returns false (file untouched) when
+// it is missing or shorter than the mutation needs.
+bool rewrite_file(const std::string& path, std::size_t min_bytes,
+                  void (*mutate)(std::vector<char>&, std::size_t, std::size_t),
+                  std::size_t offset, std::size_t length) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  if (bytes.size() < min_bytes) return false;
+  mutate(bytes, offset, length);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+}  // namespace
+
+CrashInjector::CrashInjector(std::uint64_t seed, std::size_t max_hits) {
+  SplitMix64 mix(seed);
+  point_ = kKillPoints[mix.next() % kNumKillPoints];
+  hits_ = max_hits == 0 ? 1 : 1 + mix.next() % max_hits;
+}
+
+void CrashInjector::arm() const { storage::arm_kill_point(point_, hits_); }
+
+void CrashInjector::disarm() { storage::disarm_kill_point(); }
+
+bool CrashInjector::truncate_file(const std::string& path, std::size_t keep_bytes) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size < keep_bytes) return false;
+  std::filesystem::resize_file(path, keep_bytes, ec);
+  return !ec;
+}
+
+bool CrashInjector::flip_bit(const std::string& path, std::size_t offset) {
+  return rewrite_file(
+      path, offset + 1,
+      [](std::vector<char>& bytes, std::size_t off, std::size_t) {
+        bytes[off] = static_cast<char>(bytes[off] ^ 0x10);
+      },
+      offset, 0);
+}
+
+bool CrashInjector::zero_range(const std::string& path, std::size_t offset,
+                               std::size_t length) {
+  return rewrite_file(
+      path, offset + length,
+      [](std::vector<char>& bytes, std::size_t off, std::size_t len) {
+        for (std::size_t i = 0; i < len; ++i) bytes[off + i] = 0;
+      },
+      offset, length);
+}
+
+}  // namespace tafloc

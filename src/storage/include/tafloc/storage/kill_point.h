@@ -1,0 +1,45 @@
+// Crash kill points -- the hooks the durability drill uses to die at
+// the worst possible moments.
+//
+// The commit protocol's crash-safety claims ("a kill -9 between the
+// temp write and the rename loses nothing", "a torn WAL tail is
+// dropped, never loaded") are only worth something if a test can
+// actually kill the process *inside* those windows.  The storage layer
+// threads `maybe_kill(point)` calls through every such window; in
+// production they are a disarmed counter test (one branch on a bool).
+// The CrashInjector (src/sim) arms one point with a hit count, and the
+// process exits via _Exit -- no destructors, no stream flushes, no
+// atexit -- which is as close to kill -9 as an in-process hook gets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tafloc::storage {
+
+enum class KillPoint : std::uint8_t {
+  kNone = 0,
+  kSnapshotTempWritten,   ///< temp file fully written, before fsync.
+  kSnapshotBeforeRename,  ///< temp fsynced, before rename into place.
+  kSnapshotAfterRename,   ///< renamed, before the directory fsync.
+  kWalMidAppend,          ///< half a WAL frame written (the torn record).
+  kWalAfterAppend,        ///< frame written, before its batched fsync.
+};
+
+/// Name for logs / CLI flags ("snapshot-temp-written", ...).
+std::string kill_point_name(KillPoint point);
+/// Inverse of kill_point_name; throws std::invalid_argument on unknown.
+KillPoint kill_point_from_name(const std::string& name);
+
+/// Arm: the `hits`-th maybe_kill(point) call terminates the process
+/// with _Exit(kKillExitCode).  Replaces any previous arming.
+void arm_kill_point(KillPoint point, std::uint64_t hits = 1);
+/// Disarm (tests that survive the drill).
+void disarm_kill_point();
+/// Called by the storage layer inside each commit window.
+void maybe_kill(KillPoint point);
+
+/// Exit code of an armed kill, distinguishable from assertion deaths.
+inline constexpr int kKillExitCode = 137;  // what kill -9 yields in a shell.
+
+}  // namespace tafloc::storage

@@ -1,0 +1,62 @@
+// SnapshotStore -- two-generation checksummed snapshot files with
+// atomic commit.
+//
+// A snapshot is one frame (record.h) wrapped in a magic header,
+// committed via write-temp / fsync / rename / dir-fsync, so a reader
+// only ever sees a complete old file or a complete new one.  Two slots
+// (`<base>-0.tfs`, `<base>-1.tfs`) alternate by generation parity:
+// committing generation G overwrites the *older* slot, so the previous
+// generation survives as the fallback when G's file fails its
+// checksum (bit flip, zero-page, torn rename on a dying disk).
+//
+// load_latest() reads both slots, rejects anything invalid with a
+// reason, and returns the valid snapshot with the highest generation --
+// flagging whether it had to fall back past a newer-but-corrupt slot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tafloc::storage {
+
+struct SnapshotData {
+  std::uint64_t generation = 0;  ///< monotonic commit count.
+  std::uint64_t sequence = 0;    ///< WAL sequence the payload covers.
+  std::string payload;           ///< opaque zone payload (see tafloc durability).
+};
+
+class SnapshotStore {
+ public:
+  /// `dir` must exist; files are `<dir>/<base>-{0,1}.tfs`.
+  explicit SnapshotStore(std::string dir, std::string base = "snap");
+
+  /// Atomically commit `snap` into the slot `generation % 2`.
+  /// Throws std::runtime_error on I/O failure.
+  void commit(const SnapshotData& snap) const;
+
+  struct LoadResult {
+    /// Highest-generation valid snapshot; nullopt when no slot is valid.
+    std::optional<SnapshotData> snapshot;
+    /// True when a present-but-invalid slot was newer than the one
+    /// returned (or newer than nothing): recovery degraded a generation.
+    bool fell_back = false;
+    /// Slots that existed but failed validation (checksum, torn, magic).
+    std::size_t slots_rejected = 0;
+    /// One human-readable reason per rejected slot.
+    std::vector<std::string> errors;
+  };
+
+  /// Never throws on corrupt contents -- corruption is data here, not
+  /// an exception; only unreadable-but-present files (I/O errors) throw.
+  LoadResult load_latest() const;
+
+  std::string slot_path(unsigned slot) const;
+
+ private:
+  std::string dir_;
+  std::string base_;
+};
+
+}  // namespace tafloc::storage

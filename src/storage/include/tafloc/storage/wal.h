@@ -1,0 +1,73 @@
+// Write-ahead log -- append-only checksummed record stream with
+// batched fsync and torn-tail-tolerant replay.
+//
+// The WAL captures the cheap, frequent zone mutations between
+// snapshots: ambient scheduler observations, link-health-driving
+// query readings, and update inputs.  Appends go straight to the file
+// descriptor (no stdio buffering -- a crash must leave exactly the
+// bytes that were written), with an fsync every `fsync_every` records
+// so the steady-state cost is amortized; sync() forces one, and the
+// durability layer calls it before anything irreversible (running an
+// update whose inputs must survive).
+//
+// Replay (read_wal) walks frames until the log ends: a torn final
+// record -- the signature of dying mid-append -- is dropped and
+// flagged, mid-file corruption (bit flip, zero-page) stops replay at
+// the last trustworthy record and is flagged separately.  Nothing
+// invalid is ever returned as a record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tafloc/storage/record.h"
+
+namespace tafloc::storage {
+
+class WalWriter {
+ public:
+  /// Opens `path` for append (creating it, with a magic header, when
+  /// absent or empty).  `next_seq` is the sequence number the first
+  /// append will carry.  Throws std::runtime_error on I/O failure.
+  WalWriter(std::string path, std::uint64_t next_seq, std::size_t fsync_every = 8);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Append one record; returns the sequence number it was assigned.
+  std::uint64_t append(std::uint32_t type, std::string_view payload);
+
+  /// Force the batched fsync now (no-op when nothing is pending).
+  void sync();
+
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+  const std::string& path() const noexcept { return path_; }
+  std::size_t records_appended() const noexcept { return appended_; }
+  std::size_t fsyncs() const noexcept { return fsyncs_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t next_seq_;
+  std::size_t fsync_every_;
+  std::size_t pending_ = 0;
+  std::size_t appended_ = 0;
+  std::size_t fsyncs_ = 0;
+};
+
+struct WalReadResult {
+  std::vector<Frame> records;  ///< every intact record, in file order.
+  bool torn_tail = false;      ///< final record incomplete (dropped).
+  bool corrupt = false;        ///< checksum/framing corruption (replay stopped there).
+  bool missing = false;        ///< file absent (an empty, clean log).
+  std::string error;           ///< reason for torn/corrupt, for logs.
+};
+
+/// Read every intact record of `path`.  Missing file is a clean empty
+/// log; corrupt contents are reported, never thrown and never loaded.
+WalReadResult read_wal(const std::string& path);
+
+}  // namespace tafloc::storage

@@ -1,0 +1,105 @@
+#include "tafloc/storage/codec.h"
+
+#include <stdexcept>
+
+namespace tafloc::storage {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("storage payload: malformed input: " + what);
+}
+
+}  // namespace
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void ByteWriter::put_f64_span(std::span<const double> values) {
+  put_u64(values.size());
+  for (const double v : values) put_f64(v);
+}
+
+void ByteWriter::put_size_span(std::span<const std::size_t> values) {
+  put_u64(values.size());
+  for (const std::size_t v : values) put_u64(v);
+}
+
+void ByteWriter::put_u8_span(std::span<const std::uint8_t> values) {
+  put_u64(values.size());
+  put_bytes(values);
+}
+
+void ByteReader::need(std::size_t n, const char* what) const {
+  if (data_.size() - pos_ < n) malformed(std::string(what) + " (truncated payload)");
+}
+
+std::uint8_t ByteReader::get_u8() {
+  need(1, "u8");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::get_u32() {
+  need(4, "u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  need(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+void ByteReader::require_elements(std::uint64_t count, std::size_t elem_size,
+                                  const char* what) const {
+  if (count > kMaxElements) malformed(std::string(what) + " (absurd element count)");
+  if (count * elem_size > data_.size() - pos_)
+    malformed(std::string(what) + " (declared size exceeds payload)");
+}
+
+std::vector<double> ByteReader::get_f64_vector() {
+  const std::uint64_t n = get_u64();
+  require_elements(n, 8, "f64 vector");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (double& v : out) v = get_f64();
+  return out;
+}
+
+std::vector<std::size_t> ByteReader::get_size_vector() {
+  const std::uint64_t n = get_u64();
+  require_elements(n, 8, "size vector");
+  std::vector<std::size_t> out(static_cast<std::size_t>(n));
+  for (std::size_t& v : out) v = static_cast<std::size_t>(get_u64());
+  return out;
+}
+
+std::vector<std::uint8_t> ByteReader::get_u8_vector() {
+  const std::uint64_t n = get_u64();
+  require_elements(n, 1, "u8 vector");
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(n));
+  for (std::uint8_t& v : out) v = get_u8();
+  return out;
+}
+
+void ByteReader::expect_exhausted(const char* what) const {
+  if (pos_ != data_.size())
+    malformed(std::string(what) + " (trailing bytes after payload)");
+}
+
+}  // namespace tafloc::storage

@@ -1,0 +1,56 @@
+#include "tafloc/storage/kill_point.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tafloc::storage {
+
+namespace {
+
+// Plain (non-atomic) state: arming happens before the traffic that
+// trips it, always from the drill's single thread.
+KillPoint armed_point = KillPoint::kNone;
+std::uint64_t armed_hits = 0;
+std::uint64_t hit_count = 0;
+
+}  // namespace
+
+std::string kill_point_name(KillPoint point) {
+  switch (point) {
+    case KillPoint::kNone: return "none";
+    case KillPoint::kSnapshotTempWritten: return "snapshot-temp-written";
+    case KillPoint::kSnapshotBeforeRename: return "snapshot-before-rename";
+    case KillPoint::kSnapshotAfterRename: return "snapshot-after-rename";
+    case KillPoint::kWalMidAppend: return "wal-mid-append";
+    case KillPoint::kWalAfterAppend: return "wal-after-append";
+  }
+  return "unknown";
+}
+
+KillPoint kill_point_from_name(const std::string& name) {
+  for (const KillPoint p :
+       {KillPoint::kNone, KillPoint::kSnapshotTempWritten, KillPoint::kSnapshotBeforeRename,
+        KillPoint::kSnapshotAfterRename, KillPoint::kWalMidAppend, KillPoint::kWalAfterAppend}) {
+    if (kill_point_name(p) == name) return p;
+  }
+  throw std::invalid_argument("unknown kill point '" + name + "'");
+}
+
+void arm_kill_point(KillPoint point, std::uint64_t hits) {
+  armed_point = point;
+  armed_hits = hits;
+  hit_count = 0;
+}
+
+void disarm_kill_point() {
+  armed_point = KillPoint::kNone;
+  armed_hits = 0;
+  hit_count = 0;
+}
+
+void maybe_kill(KillPoint point) {
+  if (armed_point != point) return;
+  if (++hit_count >= armed_hits) std::_Exit(kKillExitCode);
+}
+
+}  // namespace tafloc::storage

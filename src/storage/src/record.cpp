@@ -1,0 +1,152 @@
+#include "tafloc/storage/record.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tafloc/storage/kill_point.h"
+#include "tafloc/util/crc32c.h"
+
+namespace tafloc::storage {
+
+namespace {
+
+void put_u32_le(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u64_le(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+std::uint32_t get_u32_le(std::string_view buf, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[pos + i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64_le(std::string_view buf, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf[pos + i])) << (8 * i);
+  return v;
+}
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+}
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error("storage io: " + what + " '" + path + "': " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+const char* frame_status_name(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kEof: return "eof";
+    case FrameStatus::kTorn: return "torn";
+    case FrameStatus::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(std::uint32_t type, std::uint64_t seq, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes - 12)
+    throw std::invalid_argument("encode_frame: payload exceeds kMaxFrameBytes");
+  std::string body;
+  body.reserve(12 + payload.size());
+  put_u32_le(body, type);
+  put_u64_le(body, seq);
+  body.append(payload);
+
+  std::string out;
+  out.reserve(8 + body.size());
+  put_u32_le(out, static_cast<std::uint32_t>(body.size()));
+  put_u32_le(out, crc32c(body.data(), body.size()));
+  out.append(body);
+  return out;
+}
+
+FrameStatus decode_frame(std::string_view buf, std::size_t& pos, Frame& out,
+                         std::string* error) {
+  const std::size_t remaining = buf.size() - pos;
+  if (remaining == 0) return FrameStatus::kEof;
+  if (remaining < 8) {
+    set_error(error, "truncated frame prefix");
+    return FrameStatus::kTorn;
+  }
+  const std::uint32_t len = get_u32_le(buf, pos);
+  const std::uint32_t crc = get_u32_le(buf, pos + 4);
+  if (len < 12 || len > kMaxFrameBytes) {
+    set_error(error, "absurd frame length");
+    return FrameStatus::kCorrupt;
+  }
+  if (remaining - 8 < len) {
+    set_error(error, "truncated frame body");
+    return FrameStatus::kTorn;
+  }
+  const std::string_view body = buf.substr(pos + 8, len);
+  if (crc32c(body.data(), body.size()) != crc) {
+    set_error(error, "checksum mismatch");
+    return FrameStatus::kCorrupt;
+  }
+  out.type = get_u32_le(body, 0);
+  out.seq = get_u64_le(body, 4);
+  out.payload.assign(body.substr(12));
+  pos += 8 + len;
+  return FrameStatus::kOk;
+}
+
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("storage io: read of '" + path + "' failed");
+  out = std::move(bytes);
+  return true;
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_error("cannot create", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_error("write to", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  maybe_kill(KillPoint::kSnapshotTempWritten);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_error("fsync of", tmp);
+  }
+  if (::close(fd) != 0) io_error("close of", tmp);
+  maybe_kill(KillPoint::kSnapshotBeforeRename);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) io_error("rename to", path);
+  maybe_kill(KillPoint::kSnapshotAfterRename);
+
+  // The rename is only durable once the directory entry is: fsync the
+  // parent so a power cut after commit cannot resurrect the old file.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);  // best effort: some filesystems reject directory fsync.
+    ::close(dirfd);
+  }
+}
+
+}  // namespace tafloc::storage

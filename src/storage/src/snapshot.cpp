@@ -1,0 +1,99 @@
+#include "tafloc/storage/snapshot.h"
+
+#include <utility>
+
+#include "tafloc/storage/codec.h"
+#include "tafloc/storage/record.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc::storage {
+
+namespace {
+
+constexpr char kMagic[] = "TFLCSNP1";          // 8 bytes, file type + format version.
+constexpr std::size_t kMagicBytes = 8;
+constexpr std::uint32_t kSnapshotFrameType = 0x534e4150;  // "SNAP"
+
+/// Validate one slot file's bytes; returns nullopt with a reason on
+/// any deviation -- there is no "partially valid" snapshot.
+std::optional<SnapshotData> parse_snapshot(const std::string& bytes, std::string& why) {
+  if (bytes.size() < kMagicBytes || bytes.compare(0, kMagicBytes, kMagic) != 0) {
+    why = "bad magic";
+    return std::nullopt;
+  }
+  std::size_t pos = kMagicBytes;
+  Frame frame;
+  std::string frame_error;
+  const FrameStatus status = decode_frame(bytes, pos, frame, &frame_error);
+  if (status != FrameStatus::kOk) {
+    why = std::string(frame_status_name(status)) + " frame: " + frame_error;
+    return std::nullopt;
+  }
+  if (frame.type != kSnapshotFrameType) {
+    why = "unexpected frame type";
+    return std::nullopt;
+  }
+  if (pos != bytes.size()) {
+    why = "trailing bytes after snapshot frame";
+    return std::nullopt;
+  }
+  SnapshotData snap;
+  snap.sequence = frame.seq;
+  try {
+    ByteReader reader(frame.payload);
+    snap.generation = reader.get_u64();
+    snap.payload = frame.payload.substr(8);
+  } catch (const std::exception& e) {
+    why = e.what();
+    return std::nullopt;
+  }
+  return snap;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir, std::string base)
+    : dir_(std::move(dir)), base_(std::move(base)) {
+  TAFLOC_CHECK_ARG(!dir_.empty(), "snapshot directory must not be empty");
+  TAFLOC_CHECK_ARG(!base_.empty(), "snapshot basename must not be empty");
+}
+
+std::string SnapshotStore::slot_path(unsigned slot) const {
+  return dir_ + "/" + base_ + "-" + std::to_string(slot % 2) + ".tfs";
+}
+
+void SnapshotStore::commit(const SnapshotData& snap) const {
+  ByteWriter header;
+  header.put_u64(snap.generation);
+  std::string frame_payload = header.take();
+  frame_payload += snap.payload;
+
+  std::string bytes(kMagic, kMagicBytes);
+  bytes += encode_frame(kSnapshotFrameType, snap.sequence, frame_payload);
+  atomic_write_file(slot_path(static_cast<unsigned>(snap.generation % 2)), bytes);
+}
+
+SnapshotStore::LoadResult SnapshotStore::load_latest() const {
+  LoadResult result;
+  for (unsigned slot = 0; slot < 2; ++slot) {
+    const std::string path = slot_path(slot);
+    std::string bytes;
+    if (!read_file_bytes(path, bytes)) continue;  // missing slot: not an error.
+    std::string why;
+    std::optional<SnapshotData> snap = parse_snapshot(bytes, why);
+    if (!snap.has_value()) {
+      ++result.slots_rejected;
+      result.errors.push_back(path + ": " + why);
+      // A rejected slot is a generation we can no longer reach; if the
+      // other slot wins it will necessarily be older (the slots
+      // alternate), so any rejection means degraded recovery.
+      result.fell_back = true;
+      continue;
+    }
+    if (!result.snapshot.has_value() || snap->generation > result.snapshot->generation)
+      result.snapshot = std::move(*snap);
+  }
+  return result;
+}
+
+}  // namespace tafloc::storage

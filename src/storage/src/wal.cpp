@@ -1,0 +1,118 @@
+#include "tafloc/storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "tafloc/storage/kill_point.h"
+
+namespace tafloc::storage {
+
+namespace {
+
+constexpr char kMagic[] = "TFLCWAL1";  // 8 bytes, file type + format version.
+constexpr std::size_t kMagicBytes = 8;
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error("wal: " + what + " '" + path + "': " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t size, const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_error("write to", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+WalWriter::WalWriter(std::string path, std::uint64_t next_seq, std::size_t fsync_every)
+    : path_(std::move(path)), next_seq_(next_seq), fsync_every_(fsync_every == 0 ? 1 : fsync_every) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) io_error("cannot open", path_);
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) io_error("cannot stat", path_);
+  if (st.st_size == 0) {
+    write_all(fd_, kMagic, kMagicBytes, path_);
+    if (::fsync(fd_) != 0) io_error("fsync of", path_);
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    if (pending_ > 0) ::fsync(fd_);  // best effort; destructors must not throw.
+    ::close(fd_);
+  }
+}
+
+std::uint64_t WalWriter::append(std::uint32_t type, std::string_view payload) {
+  const std::uint64_t seq = next_seq_++;
+  const std::string frame = encode_frame(type, seq, payload);
+  // Two half-writes around the mid-append kill point: the drill's torn
+  // record is a *real* torn record, produced by the production write
+  // path itself, not synthesized by a test.
+  const std::size_t half = frame.size() / 2;
+  write_all(fd_, frame.data(), half, path_);
+  maybe_kill(KillPoint::kWalMidAppend);
+  write_all(fd_, frame.data() + half, frame.size() - half, path_);
+  maybe_kill(KillPoint::kWalAfterAppend);
+  ++appended_;
+  if (++pending_ >= fsync_every_) sync();
+  return seq;
+}
+
+void WalWriter::sync() {
+  if (pending_ == 0) return;
+  if (::fsync(fd_) != 0) io_error("fsync of", path_);
+  pending_ = 0;
+  ++fsyncs_;
+}
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult result;
+  std::string bytes;
+  if (!read_file_bytes(path, bytes)) {
+    result.missing = true;
+    return result;
+  }
+  if (bytes.size() < kMagicBytes || bytes.compare(0, kMagicBytes, kMagic) != 0) {
+    // An empty file (created but never even headered) reads as a clean
+    // empty log; anything else headerless is corruption.
+    if (!bytes.empty()) {
+      result.corrupt = true;
+      result.error = "bad magic";
+    }
+    return result;
+  }
+  std::size_t pos = kMagicBytes;
+  for (;;) {
+    Frame frame;
+    std::string why;
+    const FrameStatus status = decode_frame(bytes, pos, frame, &why);
+    if (status == FrameStatus::kEof) break;
+    if (status == FrameStatus::kTorn) {
+      result.torn_tail = true;
+      result.error = why;
+      break;
+    }
+    if (status == FrameStatus::kCorrupt) {
+      result.corrupt = true;
+      result.error = why;
+      break;
+    }
+    result.records.push_back(std::move(frame));
+  }
+  return result;
+}
+
+}  // namespace tafloc::storage

@@ -1,0 +1,92 @@
+// Zone durability -- the types shared by TafLocSystem's snapshot/WAL
+// commit path and the UpdateScheduler's ambient write-ahead logging.
+//
+// Persistence model (DESIGN.md section 10):
+//
+//   snapshot  = full zone state (fingerprint database + link health +
+//               LRR correlation + reference set + distortion mask +
+//               scheduler accumulators), committed atomically into two
+//               alternating generations (storage/snapshot.h);
+//   WAL       = the cheap mutations since the last snapshot: ambient
+//               scheduler samples, health-driving query readings, and
+//               the raw inputs of fingerprint updates (storage/wal.h).
+//
+// Recovery = newest valid snapshot + in-order replay of every intact
+// WAL record with a sequence number the snapshot does not already
+// cover.  Updates are replayed by re-running the (deterministic)
+// LoLi-IR reconstruction on the logged inputs, so the recovered
+// database is bit-identical to the pre-crash one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc {
+
+// -- WAL record types (the u32 `type` of each storage::Frame) --
+
+inline constexpr std::uint32_t kWalAmbient = 1;  ///< scheduler ambient sample.
+inline constexpr std::uint32_t kWalObserve = 2;  ///< localize_degraded() link readings.
+inline constexpr std::uint32_t kWalUpdate = 3;   ///< update() raw inputs.
+inline constexpr std::uint32_t kWalNotify = 4;   ///< scheduler notify_updated().
+
+/// kWalAmbient / kWalNotify payload: a timestamped per-link vector.
+struct AmbientRecord {
+  double t_days = 0.0;
+  Vector ambient;
+};
+std::string encode_ambient_record(double t_days, std::span<const double> ambient);
+AmbientRecord decode_ambient_record(std::string_view payload);
+
+/// kWalObserve payload: one query's per-link readings (NaN included --
+/// the bits drive the LinkHealth state machine on replay exactly as
+/// they did live).
+std::string encode_observe_record(std::span<const double> rss);
+Vector decode_observe_record(std::string_view payload);
+
+/// kWalUpdate payload: the update's raw inputs, pre-sanitization; the
+/// replay re-runs sanitization and the solver against the identically
+/// recovered link-health state.
+struct UpdateRecord {
+  double t_days = 0.0;
+  Matrix reference_columns;
+  Vector ambient;
+};
+std::string encode_update_record(double t_days, const Matrix& reference_columns,
+                                 std::span<const double> ambient);
+UpdateRecord decode_update_record(std::string_view payload);
+
+// -- system-facing configuration and recovery reporting --
+
+struct DurabilityConfig {
+  /// Zone state directory (created if absent): `snap-{0,1}.tfs`
+  /// snapshot generations plus `wal-<generation>.log` segments.
+  std::string dir;
+  /// WAL records per batched fsync (1 = sync every append).
+  std::size_t wal_fsync_every = 8;
+};
+
+struct RecoveryReport {
+  enum class Outcome {
+    kClean,          ///< snapshot loaded, empty WAL: nothing was in flight.
+    kReplayed,       ///< snapshot + K WAL records replayed.
+    kFellBack,       ///< newest snapshot rejected (checksum); older generation used.
+    kUnrecoverable,  ///< no valid snapshot; the zone needs a fresh survey.
+  };
+  Outcome outcome = Outcome::kUnrecoverable;
+  std::size_t replayed_records = 0;   ///< WAL records applied on top of the snapshot.
+  std::size_t skipped_records = 0;    ///< WAL records the snapshot already covered.
+  bool torn_wal_tail = false;         ///< the log died mid-append (tail dropped).
+  bool corrupt_wal = false;           ///< mid-log corruption (replay stopped there).
+  std::uint64_t snapshot_generation = 0;
+  std::uint64_t sequence = 0;         ///< zone sequence after recovery.
+  std::string detail;                 ///< human-readable reasons (logs / drill output).
+};
+
+const char* recovery_outcome_name(RecoveryReport::Outcome outcome);
+
+}  // namespace tafloc

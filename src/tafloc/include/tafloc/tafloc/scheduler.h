@@ -15,12 +15,17 @@
 #include <span>
 
 #include "tafloc/linalg/matrix.h"
+#include "tafloc/storage/codec.h"
 
 namespace tafloc {
 
 class Counter;
 class Gauge;
 class MetricRegistry;
+
+namespace storage {
+class WalWriter;
+}  // namespace storage
 
 struct SchedulerConfig {
   double staleness_threshold_db = 3.0;  ///< trigger level for the mean ambient drift.
@@ -46,6 +51,11 @@ class UpdateScheduler {
   /// Out-of-order / unusable samples dropped so far (mirrors the
   /// scheduler.dropped_observations counter when telemetry is attached).
   std::size_t dropped_observations() const noexcept { return dropped_; }
+  /// Per-reason drop counts (each also exported as its own counter --
+  /// scheduler.dropped_out_of_order / scheduler.dropped_nan -- so the
+  /// JSONL snapshot distinguishes clock problems from dead radios).
+  std::size_t dropped_out_of_order() const noexcept { return dropped_out_of_order_; }
+  std::size_t dropped_nan() const noexcept { return dropped_nan_; }
 
   /// Mean absolute per-link ambient change since the last update, from
   /// the most recent observation (0 before any observation).
@@ -64,12 +74,33 @@ class UpdateScheduler {
   /// nullptr or a disabled registry detaches.
   void attach_telemetry(MetricRegistry* registry);
 
+  /// Point the ambient write-ahead log at `wal` (typically the owning
+  /// TafLocSystem's): every observe_ambient() input is appended -- and
+  /// durable within the WAL's fsync batch -- *before* it mutates the
+  /// staleness accumulators, so replay after a crash reproduces this
+  /// scheduler's state exactly.  nullptr detaches (and during recovery
+  /// replay, so replayed samples are not re-logged).
+  void attach_wal(storage::WalWriter* wal) noexcept { wal_ = wal; }
+
+  /// Serialize the adaptive state -- baseline ambient (bit-exact),
+  /// last-update clock, staleness accumulator, drop counts, config.
+  void save(storage::ByteWriter& out) const;
+  /// Overwrite this scheduler's state from a payload written by save()
+  /// (in place: telemetry/WAL attachments survive).  Throws
+  /// std::runtime_error on truncated or inconsistent input.
+  void restore(storage::ByteReader& in);
+
+  /// Exact state equality, attachments excluded (persistence tests).
+  friend bool operator==(const UpdateScheduler& a, const UpdateScheduler& b) noexcept;
+
  private:
   Vector baseline_;
   double updated_at_;
   double last_observation_ = 0.0;
   double staleness_ = 0.0;
   std::size_t dropped_ = 0;
+  std::size_t dropped_out_of_order_ = 0;
+  std::size_t dropped_nan_ = 0;
   SchedulerConfig config_;
 
   // Telemetry handles (all null when detached; see attach_telemetry).
@@ -79,6 +110,10 @@ class UpdateScheduler {
   Counter* observation_counter_ = nullptr;
   Counter* trigger_counter_ = nullptr;
   Counter* dropped_counter_ = nullptr;
+  Counter* dropped_out_of_order_counter_ = nullptr;
+  Counter* dropped_nan_counter_ = nullptr;
+
+  storage::WalWriter* wal_ = nullptr;  ///< ambient WAL (null when not durable).
 };
 
 }  // namespace tafloc

@@ -33,9 +33,17 @@
 #include "tafloc/recon/lrr.h"
 #include "tafloc/sim/collector.h"
 #include "tafloc/sim/deployment.h"
+#include "tafloc/tafloc/durability.h"
 #include "tafloc/telemetry/metrics.h"
 
 namespace tafloc {
+
+class UpdateScheduler;
+
+namespace storage {
+class SnapshotStore;
+class WalWriter;
+}  // namespace storage
 
 /// Everything calibrate() (plus any later updates) learned -- enough to
 /// restore a working system in a fresh process without re-surveying.
@@ -80,6 +88,11 @@ class TafLocSystem : public Localizer {
  public:
   /// The deployment must outlive the system.
   explicit TafLocSystem(const Deployment& deployment, const TafLocConfig& config = {});
+  /// Movable (factory helpers / containers); re-points the matcher's
+  /// borrowed link-health reference at the moved-to database.
+  TafLocSystem(TafLocSystem&& other) noexcept;
+  TafLocSystem& operator=(TafLocSystem&&) = delete;
+  ~TafLocSystem() override;
 
   /// One-time calibration from a full survey (M x N) and the
   /// same-epoch ambient scan, at elapsed time `t_days`.
@@ -160,6 +173,40 @@ class TafLocSystem : public Localizer {
   /// The distortion mask learned at calibration.
   const DistortionMask& distortion_mask() const;
 
+  // -- durability (snapshot + WAL crash recovery; DESIGN.md section 10) --
+
+  /// Open (creating if needed) the zone state directory and arm the
+  /// durability path: calibrate()/update() commit checksummed snapshot
+  /// generations, and localize_degraded() / an attached scheduler
+  /// write-ahead-log their state-changing inputs between snapshots.
+  /// Call before calibrate() on a fresh zone, or before recover() on a
+  /// restarted one.
+  void attach_durability(const DurabilityConfig& config);
+
+  /// Include `scheduler` in snapshots and point its ambient WAL at
+  /// this system's log.  The scheduler must outlive the system (or be
+  /// detached with nullptr first).  Attach before save()/recover() so
+  /// the scheduler's accumulators ride the same recovery path.
+  void attach_scheduler(UpdateScheduler* scheduler);
+
+  bool durable() const noexcept { return store_ != nullptr; }
+
+  /// Commit a snapshot of the full zone state now and rotate the WAL.
+  /// Requires attach_durability() and a calibrated system.
+  void save();
+
+  /// Restore this system from the zone directory: newest valid
+  /// snapshot generation (falling back one generation when the newest
+  /// fails its checksum), then in-order replay of every intact WAL
+  /// record the snapshot does not cover; finishes by committing a
+  /// fresh snapshot of the recovered state.  On kUnrecoverable the
+  /// system is left uncalibrated (re-survey).  Outcome is mirrored
+  /// into the telemetry registry (durability.recovery.*).
+  RecoveryReport recover();
+
+  /// WAL sequence the next durable mutation will carry.
+  std::uint64_t durable_sequence() const noexcept;
+
   /// Snapshot of the learned state (requires a calibrated system).
   TafLocState export_state() const;
 
@@ -186,6 +233,13 @@ class TafLocSystem : public Localizer {
  private:
   void rebuild_matcher();
 
+  // -- durability internals (all no-ops until attach_durability) --
+  std::string wal_segment_path(std::uint64_t generation) const;
+  void rotate_wal(std::uint64_t generation);
+  std::string encode_zone_payload() const;
+  void install_zone_payload(std::string_view payload);
+  void replay_wal(std::uint64_t from_seq, RecoveryReport& report);
+
   const Deployment& deployment_;
   TafLocConfig config_;
   std::optional<FingerprintDatabase> database_;
@@ -200,6 +254,15 @@ class TafLocSystem : public Localizer {
   // Degraded-serving bookkeeping (mirrored into telemetry when attached).
   std::size_t degraded_query_count_ = 0;
   std::size_t total_degraded_calls_ = 0;
+
+  // Durability state (see attach_durability / save / recover).
+  DurabilityConfig durability_;
+  std::unique_ptr<storage::SnapshotStore> store_;
+  std::unique_ptr<storage::WalWriter> wal_;
+  UpdateScheduler* scheduler_ = nullptr;  ///< snapshotted + WAL-fed when set.
+  std::uint64_t generation_ = 0;          ///< last committed snapshot generation.
+  std::uint64_t next_seq_ = 1;            ///< next WAL sequence number.
+  bool replaying_ = false;                ///< recovery replay: no re-logging/snapshots.
 };
 
 }  // namespace tafloc

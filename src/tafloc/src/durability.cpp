@@ -1,0 +1,72 @@
+#include "tafloc/tafloc/durability.h"
+
+#include <stdexcept>
+
+#include "tafloc/linalg/io.h"
+#include "tafloc/storage/codec.h"
+
+namespace tafloc {
+
+std::string encode_ambient_record(double t_days, std::span<const double> ambient) {
+  storage::ByteWriter w;
+  w.put_f64(t_days);
+  w.put_f64_span(ambient);
+  return w.take();
+}
+
+AmbientRecord decode_ambient_record(std::string_view payload) {
+  storage::ByteReader r(payload);
+  AmbientRecord rec;
+  rec.t_days = r.get_f64();
+  rec.ambient = r.get_f64_vector();
+  r.expect_exhausted("ambient record");
+  if (rec.ambient.empty()) throw std::runtime_error("ambient record: empty vector");
+  return rec;
+}
+
+std::string encode_observe_record(std::span<const double> rss) {
+  storage::ByteWriter w;
+  w.put_f64_span(rss);
+  return w.take();
+}
+
+Vector decode_observe_record(std::string_view payload) {
+  storage::ByteReader r(payload);
+  Vector rss = r.get_f64_vector();
+  r.expect_exhausted("observe record");
+  if (rss.empty()) throw std::runtime_error("observe record: empty vector");
+  return rss;
+}
+
+std::string encode_update_record(double t_days, const Matrix& reference_columns,
+                                 std::span<const double> ambient) {
+  storage::ByteWriter w;
+  w.put_f64(t_days);
+  save_matrix_binary(reference_columns, w);
+  w.put_f64_span(ambient);
+  return w.take();
+}
+
+UpdateRecord decode_update_record(std::string_view payload) {
+  storage::ByteReader r(payload);
+  UpdateRecord rec;
+  rec.t_days = r.get_f64();
+  rec.reference_columns = load_matrix_binary(r);
+  rec.ambient = r.get_f64_vector();
+  r.expect_exhausted("update record");
+  if (rec.ambient.empty() || rec.reference_columns.rows() != rec.ambient.size())
+    throw std::runtime_error("update record: inconsistent shapes");
+  return rec;
+}
+
+const char* recovery_outcome_name(RecoveryReport::Outcome outcome) {
+  switch (outcome) {
+    case RecoveryReport::Outcome::kClean: return "clean";
+    case RecoveryReport::Outcome::kReplayed: return "replayed";
+    case RecoveryReport::Outcome::kFellBack: return "fell-back";
+    case RecoveryReport::Outcome::kUnrecoverable: return "unrecoverable";
+  }
+  return "unknown";
+}
+
+}  // namespace tafloc

@@ -1,7 +1,10 @@
 #include "tafloc/tafloc/scheduler.h"
 
 #include <cmath>
+#include <stdexcept>
 
+#include "tafloc/storage/wal.h"
+#include "tafloc/tafloc/durability.h"
 #include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/check.h"
 #include "tafloc/util/log.h"
@@ -29,17 +32,28 @@ void UpdateScheduler::attach_telemetry(MetricRegistry* registry) {
   observation_counter_ = registry_counter(telemetry_, "scheduler.observations");
   trigger_counter_ = registry_counter(telemetry_, "scheduler.update_triggers");
   dropped_counter_ = registry_counter(telemetry_, "scheduler.dropped_observations");
+  dropped_out_of_order_counter_ =
+      registry_counter(telemetry_, "scheduler.dropped_out_of_order");
+  dropped_nan_counter_ = registry_counter(telemetry_, "scheduler.dropped_nan");
 }
 
 bool UpdateScheduler::observe_ambient(std::span<const double> ambient, double t_days) {
   TAFLOC_CHECK_ARG(ambient.size() == baseline_.size(), "ambient vector size mismatch");
+  if (wal_ != nullptr) {
+    // Write-ahead: the raw sample is logged (dropped ones included, so
+    // replay reproduces the drop accounting too) before any state of
+    // this scheduler changes.
+    wal_->append(kWalAmbient, encode_ambient_record(t_days, ambient));
+  }
   if (t_days < last_observation_) {
     // Out-of-order telemetry delivery is routine in a real deployment;
     // a stale sample carries no scheduling information -- drop it.
     TAFLOC_LOG_WARN << "scheduler: dropping out-of-order ambient sample at day " << t_days
                     << " (latest observation is day " << last_observation_ << ")";
     ++dropped_;
+    ++dropped_out_of_order_;
     if (dropped_counter_ != nullptr) dropped_counter_->add();
+    if (dropped_out_of_order_counter_ != nullptr) dropped_out_of_order_counter_->add();
     return false;
   }
 
@@ -58,7 +72,9 @@ bool UpdateScheduler::observe_ambient(std::span<const double> ambient, double t_
     TAFLOC_LOG_WARN << "scheduler: dropping ambient sample at day " << t_days
                     << " with no finite entries";
     ++dropped_;
+    ++dropped_nan_;
     if (dropped_counter_ != nullptr) dropped_counter_->add();
+    if (dropped_nan_counter_ != nullptr) dropped_nan_counter_->add();
     return false;
   }
   last_observation_ = t_days;
@@ -90,11 +106,56 @@ bool UpdateScheduler::observe_ambient(std::span<const double> ambient, double t_
 void UpdateScheduler::notify_updated(Vector fresh_ambient, double t_days) {
   TAFLOC_CHECK_ARG(fresh_ambient.size() == baseline_.size(), "ambient vector size mismatch");
   TAFLOC_CHECK_ARG(t_days >= updated_at_, "update times must not go back in time");
+  if (wal_ != nullptr) wal_->append(kWalNotify, encode_ambient_record(t_days, fresh_ambient));
   baseline_ = std::move(fresh_ambient);
   updated_at_ = t_days;
   last_observation_ = t_days;
   staleness_ = 0.0;
   if (staleness_gauge_ != nullptr) staleness_gauge_->set(0.0);
+}
+
+void UpdateScheduler::save(storage::ByteWriter& out) const {
+  out.put_f64_span(baseline_);
+  out.put_f64(updated_at_);
+  out.put_f64(last_observation_);
+  out.put_f64(staleness_);
+  out.put_u64(dropped_);
+  out.put_u64(dropped_out_of_order_);
+  out.put_u64(dropped_nan_);
+  out.put_f64(config_.staleness_threshold_db);
+  out.put_f64(config_.min_interval_days);
+  out.put_f64(config_.max_interval_days);
+}
+
+void UpdateScheduler::restore(storage::ByteReader& in) {
+  Vector baseline = in.get_f64_vector();
+  if (baseline.empty())
+    throw std::runtime_error("UpdateScheduler::restore: empty baseline");
+  baseline_ = std::move(baseline);
+  updated_at_ = in.get_f64();
+  last_observation_ = in.get_f64();
+  staleness_ = in.get_f64();
+  dropped_ = static_cast<std::size_t>(in.get_u64());
+  dropped_out_of_order_ = static_cast<std::size_t>(in.get_u64());
+  dropped_nan_ = static_cast<std::size_t>(in.get_u64());
+  config_.staleness_threshold_db = in.get_f64();
+  config_.min_interval_days = in.get_f64();
+  config_.max_interval_days = in.get_f64();
+  if (!(updated_at_ >= 0.0) || !(config_.staleness_threshold_db > 0.0) ||
+      !(config_.min_interval_days >= 0.0) ||
+      !(config_.max_interval_days > config_.min_interval_days))
+    throw std::runtime_error("UpdateScheduler::restore: inconsistent payload values");
+  if (staleness_gauge_ != nullptr) staleness_gauge_->set(staleness_);
+}
+
+bool operator==(const UpdateScheduler& a, const UpdateScheduler& b) noexcept {
+  return a.baseline_ == b.baseline_ && a.updated_at_ == b.updated_at_ &&
+         a.last_observation_ == b.last_observation_ && a.staleness_ == b.staleness_ &&
+         a.dropped_ == b.dropped_ && a.dropped_out_of_order_ == b.dropped_out_of_order_ &&
+         a.dropped_nan_ == b.dropped_nan_ &&
+         a.config_.staleness_threshold_db == b.config_.staleness_threshold_db &&
+         a.config_.min_interval_days == b.config_.min_interval_days &&
+         a.config_.max_interval_days == b.config_.max_interval_days;
 }
 
 }  // namespace tafloc

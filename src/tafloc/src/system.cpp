@@ -1,14 +1,20 @@
 #include "tafloc/tafloc/system.h"
 
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "tafloc/exec/thread_pool.h"
 #include "tafloc/linalg/io.h"
 #include "tafloc/recon/operators.h"
+#include "tafloc/storage/snapshot.h"
+#include "tafloc/storage/wal.h"
+#include "tafloc/tafloc/scheduler.h"
 #include "tafloc/telemetry/span.h"
 #include "tafloc/util/check.h"
 #include "tafloc/util/log.h"
@@ -17,6 +23,7 @@ namespace tafloc {
 
 namespace {
 constexpr const char* kStateHeader = "tafloc-state-v1";
+constexpr std::uint32_t kZonePayloadVersion = 1;
 }  // namespace
 
 void TafLocState::save(std::ostream& out) const {
@@ -82,6 +89,43 @@ TafLocSystem::TafLocSystem(const Deployment& deployment, const TafLocConfig& con
   config_.solver.telemetry = telemetry_.get();
 }
 
+TafLocSystem::TafLocSystem(TafLocSystem&& other) noexcept
+    : deployment_(other.deployment_),
+      config_(std::move(other.config_)),
+      database_(std::move(other.database_)),
+      lrr_(std::move(other.lrr_)),
+      mask_(std::move(other.mask_)),
+      reference_indices_(std::move(other.reference_indices_)),
+      continuity_(std::move(other.continuity_)),
+      similarity_(std::move(other.similarity_)),
+      matcher_(std::move(other.matcher_)),
+      telemetry_(std::move(other.telemetry_)),
+      degraded_query_count_(other.degraded_query_count_),
+      total_degraded_calls_(other.total_degraded_calls_),
+      durability_(std::move(other.durability_)),
+      store_(std::move(other.store_)),
+      wal_(std::move(other.wal_)),
+      scheduler_(other.scheduler_),
+      generation_(other.generation_),
+      next_seq_(other.next_seq_),
+      replaying_(other.replaying_) {
+  // The moved-from shell must not detach our scheduler's WAL in its
+  // destructor, and both borrowed raw pointers must follow the move:
+  // the solver's telemetry sink, and the matcher's link-health mask
+  // (the LinkHealth object lives inline in the optional database).
+  other.scheduler_ = nullptr;
+  config_.solver.telemetry = telemetry_.get();
+  if (matcher_ != nullptr && database_.has_value())
+    matcher_->attach_link_health(&database_->link_health());
+}
+
+// Out of line: the durability members' types are incomplete in the header.
+TafLocSystem::~TafLocSystem() {
+  // The WAL holds a raw pointer into an externally owned scheduler;
+  // sever it so a longer-lived scheduler cannot append to a dead log.
+  if (scheduler_ != nullptr) scheduler_->attach_wal(nullptr);
+}
+
 void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t_days) {
   TAFLOC_CHECK_ARG(full_survey.rows() == deployment_.num_links(),
                    "survey must have one row per link");
@@ -117,6 +161,9 @@ void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t
     telemetry_->counter("system.calibrations").add();
     telemetry_->gauge("system.last_survey_days").set(t_days);
   }
+  // A calibrated zone is immediately durable: generation 1 is the
+  // baseline every later WAL record replays onto.
+  if (durable() && !replaying_) save();
 }
 
 TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_columns,
@@ -129,6 +176,15 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
   TAFLOC_CHECK_ARG(fresh_ambient.size() == deployment_.num_links(),
                    "ambient vector must have one entry per link");
   ScopedSpan span(telemetry_.get(), "system.update_seconds");
+
+  if (durable() && wal_ != nullptr && !replaying_) {
+    // Write-ahead: the raw survey inputs are durable before anything
+    // mutates, so a crash anywhere inside the (expensive) solver
+    // replays this update from the log and lands on the same matrix.
+    wal_->append(kWalUpdate, encode_update_record(t_days, fresh_reference_columns,
+                                                  fresh_ambient));
+    wal_->sync();
+  }
 
   // Fault sanitization.  A dead link cannot survey anything: its rows in
   // the fresh inputs are garbage (NaN from the radio, or stale).  First
@@ -194,6 +250,8 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
     // accepted iterate (lower is better; see loli_ir.h for the terms).
     telemetry_->gauge("system.post_update_objective").set(report.solver.objective);
   }
+  // The refreshed matrix supersedes the WAL: snapshot it and rotate.
+  if (durable() && !replaying_) save();
   return report;
 }
 
@@ -221,7 +279,11 @@ TafLocSystem::DegradedResult TafLocSystem::localize_degraded(std::span<const dou
 
   // Every real-time reading drives the health state machine: NaNs kill
   // their link for this query, stuck links accumulate towards Suspect /
-  // Dead, recovered links heal.
+  // Dead, recovered links heal.  Durable zones log the reading first --
+  // the mask a recovered process serves with must match the one the
+  // dead process was serving with.
+  if (durable() && wal_ != nullptr && !replaying_)
+    wal_->append(kWalObserve, encode_observe_record(rss));
   LinkHealth& health = database_->link_health();
   health.observe(rss);
 
@@ -348,6 +410,288 @@ void TafLocSystem::rebuild_matcher() {
   // this rebuild.  With all links usable the matcher takes its exact
   // unmasked code path, so attaching here never changes healthy results.
   matcher_->attach_link_health(&database_->link_health());
+}
+
+// -- durability (DESIGN.md section 10) --
+
+void TafLocSystem::attach_durability(const DurabilityConfig& config) {
+  TAFLOC_CHECK_ARG(!config.dir.empty(), "durability dir must not be empty");
+  TAFLOC_CHECK_ARG(config.wal_fsync_every >= 1, "wal_fsync_every must be >= 1");
+  std::filesystem::create_directories(config.dir);
+  durability_ = config;
+  store_ = std::make_unique<storage::SnapshotStore>(config.dir);
+  // Resume the counters from whatever is already on disk, so an
+  // attach-then-calibrate on a dirty directory commits a generation
+  // strictly newer than anything a later recover() could prefer.
+  const storage::SnapshotStore::LoadResult existing = store_->load_latest();
+  if (existing.snapshot.has_value()) {
+    generation_ = existing.snapshot->generation;
+    next_seq_ = existing.snapshot->sequence + 1;
+  }
+}
+
+void TafLocSystem::attach_scheduler(UpdateScheduler* scheduler) {
+  if (scheduler_ != nullptr && scheduler_ != scheduler) scheduler_->attach_wal(nullptr);
+  scheduler_ = scheduler;
+  if (scheduler_ != nullptr) scheduler_->attach_wal(wal_.get());
+}
+
+std::uint64_t TafLocSystem::durable_sequence() const noexcept {
+  return wal_ != nullptr ? wal_->next_seq() : next_seq_;
+}
+
+std::string TafLocSystem::wal_segment_path(std::uint64_t generation) const {
+  return durability_.dir + "/wal-" + std::to_string(generation) + ".log";
+}
+
+void TafLocSystem::rotate_wal(std::uint64_t generation) {
+  // Close (final fsync) the outgoing segment before opening the next.
+  wal_.reset();
+  // A stale segment with this generation's name can exist after a
+  // fallback recovery (the dead timeline's future); it must not be
+  // appended to, so start the segment from scratch.
+  std::error_code ec;
+  std::filesystem::remove(wal_segment_path(generation), ec);
+  wal_ = std::make_unique<storage::WalWriter>(wal_segment_path(generation), next_seq_,
+                                              durability_.wal_fsync_every);
+  if (scheduler_ != nullptr) scheduler_->attach_wal(wal_.get());
+  // Keep current + previous segments: falling back one snapshot
+  // generation must still find every record past that snapshot.
+  if (generation >= 3) std::filesystem::remove(wal_segment_path(generation - 2), ec);
+}
+
+std::string TafLocSystem::encode_zone_payload() const {
+  storage::ByteWriter w;
+  w.put_u32(kZonePayloadVersion);
+  database_->save(w);
+  save_matrix_binary(lrr_->correlation(), w);
+  w.put_size_span(reference_indices_);
+  save_matrix_binary(mask_->undistorted, w);
+  if (scheduler_ != nullptr) {
+    w.put_u8(1);
+    storage::ByteWriter sw;
+    scheduler_->save(sw);
+    const std::string blob = sw.take();
+    w.put_u8_span(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+  } else {
+    w.put_u8(0);
+  }
+  return w.take();
+}
+
+void TafLocSystem::install_zone_payload(std::string_view payload) {
+  storage::ByteReader r(payload);
+  const std::uint32_t version = r.get_u32();
+  if (version != kZonePayloadVersion)
+    throw std::runtime_error("zone payload: unsupported version " + std::to_string(version));
+  FingerprintDatabase db = FingerprintDatabase::load(r);
+  TafLocState state;
+  state.fingerprints = db.fingerprints();
+  state.ambient = db.ambient();
+  state.surveyed_at_days = db.surveyed_at_days();
+  state.correlation = load_matrix_binary(r);
+  state.reference_indices = r.get_size_vector();
+  state.mask_undistorted = load_matrix_binary(r);
+  const bool has_scheduler_blob = r.get_u8() != 0;
+  std::vector<std::uint8_t> scheduler_blob;
+  if (has_scheduler_blob) scheduler_blob = r.get_u8_vector();
+  r.expect_exhausted("zone payload");
+
+  // import_state runs the full shape/consistency validation and
+  // rebuilds every derived structure; the link-health state machine is
+  // the one piece it resets, so restore it on top (shape already
+  // verified against the deployment by the load above + import checks).
+  import_state(state);
+  database_->link_health() = db.link_health();
+
+  if (has_scheduler_blob) {
+    if (scheduler_ != nullptr) {
+      storage::ByteReader sr(std::string_view(
+          reinterpret_cast<const char*>(scheduler_blob.data()), scheduler_blob.size()));
+      scheduler_->restore(sr);
+      sr.expect_exhausted("scheduler blob");
+    } else {
+      TAFLOC_LOG_WARN << "snapshot carries scheduler state but no scheduler is "
+                         "attached; its accumulators are dropped";
+    }
+  }
+}
+
+void TafLocSystem::save() {
+  TAFLOC_CHECK_STATE(durable(), "save() requires attach_durability()");
+  TAFLOC_CHECK_STATE(calibrated(), "save() requires a calibrated system");
+  if (wal_ != nullptr) {
+    // Appends advance the writer's counter; resync ours so the
+    // snapshot's covered-sequence stamp and the next segment's first
+    // sequence line up with what is actually in the log.
+    wal_->sync();
+    next_seq_ = wal_->next_seq();
+  }
+  storage::SnapshotData snap;
+  snap.generation = generation_ + 1;
+  snap.sequence = next_seq_ - 1;  // every record up to here is in the payload.
+  snap.payload = encode_zone_payload();
+  store_->commit(snap);
+  generation_ = snap.generation;
+  rotate_wal(generation_);
+  if (telemetry_->enabled()) {
+    telemetry_->counter("durability.snapshots").add();
+    telemetry_->gauge("durability.generation").set(static_cast<double>(generation_));
+    telemetry_->gauge("durability.sequence").set(static_cast<double>(snap.sequence));
+  }
+}
+
+RecoveryReport TafLocSystem::recover() {
+  TAFLOC_CHECK_STATE(durable(), "recover() requires attach_durability()");
+  RecoveryReport report;
+  const storage::SnapshotStore::LoadResult loaded = store_->load_latest();
+  for (const std::string& err : loaded.errors) {
+    TAFLOC_LOG_WARN << "snapshot slot rejected: " << err;
+    if (!report.detail.empty()) report.detail += "; ";
+    report.detail += err;
+  }
+  if (!loaded.snapshot.has_value()) {
+    report.outcome = RecoveryReport::Outcome::kUnrecoverable;
+    if (!report.detail.empty()) report.detail += "; ";
+    report.detail += loaded.slots_rejected > 0 ? "every snapshot slot failed validation"
+                                               : "no snapshot present";
+    if (telemetry_->enabled())
+      telemetry_->counter("durability.recovery.unrecoverable").add();
+    return report;
+  }
+
+  const storage::SnapshotData& snap = *loaded.snapshot;
+  install_zone_payload(snap.payload);  // throws on malformed payload.
+  generation_ = snap.generation;
+  next_seq_ = snap.sequence + 1;
+  report.snapshot_generation = snap.generation;
+
+  // Replay with re-logging and re-snapshotting suppressed; the replay
+  // dispatches through the exact live entry points, so the recovered
+  // state is bit-identical to the pre-crash one.
+  if (scheduler_ != nullptr) scheduler_->attach_wal(nullptr);
+  replaying_ = true;
+  try {
+    replay_wal(snap.sequence, report);
+  } catch (...) {
+    replaying_ = false;
+    throw;
+  }
+  replaying_ = false;
+
+  report.sequence = next_seq_ - 1;
+  if (loaded.fell_back)
+    report.outcome = RecoveryReport::Outcome::kFellBack;
+  else if (report.replayed_records > 0)
+    report.outcome = RecoveryReport::Outcome::kReplayed;
+  else
+    report.outcome = RecoveryReport::Outcome::kClean;
+
+  // Epilogue: the recovered state becomes the newest generation, so the
+  // next crash recovers from here instead of re-replaying history.
+  save();
+
+  if (telemetry_->enabled()) {
+    telemetry_->counter(std::string("durability.recovery.") +
+                        recovery_outcome_name(report.outcome))
+        .add();
+    telemetry_->counter("durability.recovery.replayed_records")
+        .add(static_cast<std::uint64_t>(report.replayed_records));
+    if (report.torn_wal_tail) telemetry_->counter("durability.recovery.torn_tail").add();
+    if (report.corrupt_wal) telemetry_->counter("durability.recovery.corrupt_wal").add();
+  }
+  return report;
+}
+
+void TafLocSystem::replay_wal(std::uint64_t from_seq, RecoveryReport& report) {
+  namespace fs = std::filesystem;
+  // Collect records from every retained segment (current + previous
+  // generation; after a fallback also the dead timeline's segment --
+  // its records still carry valid sequence numbers past the snapshot).
+  std::vector<storage::Frame> records;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(durability_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0 || name.size() < 9 ||
+        name.compare(name.size() - 4, 4, ".log") != 0)
+      continue;
+    storage::WalReadResult segment = storage::read_wal(entry.path().string());
+    if (segment.torn_tail) {
+      report.torn_wal_tail = true;
+      TAFLOC_LOG_WARN << name << ": " << segment.error;
+    }
+    if (segment.corrupt) {
+      report.corrupt_wal = true;
+      TAFLOC_LOG_WARN << name << ": " << segment.error;
+      if (!report.detail.empty()) report.detail += "; ";
+      report.detail += name + ": " + segment.error;
+    }
+    for (storage::Frame& frame : segment.records) records.push_back(std::move(frame));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const storage::Frame& a, const storage::Frame& b) { return a.seq < b.seq; });
+
+  // Strictly sequential replay: a gap means the missing record's
+  // durability is unknown (mid-segment corruption, deleted segment), so
+  // nothing after it can be trusted either.
+  std::uint64_t expected = from_seq + 1;
+  for (const storage::Frame& frame : records) {
+    if (frame.seq <= from_seq) {
+      ++report.skipped_records;
+      continue;
+    }
+    if (frame.seq != expected) {
+      if (!report.detail.empty()) report.detail += "; ";
+      report.detail += "sequence gap: expected " + std::to_string(expected) + ", found " +
+                       std::to_string(frame.seq) + "; replay stopped";
+      TAFLOC_LOG_WARN << "WAL " << report.detail;
+      break;
+    }
+    switch (frame.type) {
+      case kWalAmbient: {
+        const AmbientRecord rec = decode_ambient_record(frame.payload);
+        if (scheduler_ != nullptr)
+          scheduler_->observe_ambient(rec.ambient, rec.t_days);
+        else
+          TAFLOC_LOG_WARN << "WAL ambient record " << frame.seq
+                          << " dropped: no scheduler attached";
+        break;
+      }
+      case kWalNotify: {
+        AmbientRecord rec = decode_ambient_record(frame.payload);
+        if (scheduler_ != nullptr)
+          scheduler_->notify_updated(std::move(rec.ambient), rec.t_days);
+        else
+          TAFLOC_LOG_WARN << "WAL notify record " << frame.seq
+                          << " dropped: no scheduler attached";
+        break;
+      }
+      case kWalObserve: {
+        const Vector rss = decode_observe_record(frame.payload);
+        if (rss.size() != deployment_.num_links())
+          throw std::runtime_error("WAL observe record: link count mismatch");
+        database_->link_health().observe(rss);
+        break;
+      }
+      case kWalUpdate: {
+        UpdateRecord rec = decode_update_record(frame.payload);
+        update(rec.reference_columns, std::move(rec.ambient), rec.t_days);
+        break;
+      }
+      default: {
+        if (!report.detail.empty()) report.detail += "; ";
+        report.detail += "unknown WAL record type " + std::to_string(frame.type) + " at seq " +
+                         std::to_string(frame.seq) + "; replay stopped";
+        TAFLOC_LOG_WARN << "WAL " << report.detail;
+        next_seq_ = expected;
+        return;
+      }
+    }
+    ++report.replayed_records;
+    ++expected;
+  }
+  next_seq_ = expected;
 }
 
 std::string TafLocSystem::telemetry_snapshot_json() const {

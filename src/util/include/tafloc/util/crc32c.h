@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) -- the checksum of the durability layer.
+//
+// Every persisted record (snapshot frames, WAL entries) carries a
+// CRC32C over its payload so torn writes, truncation and bit flips are
+// *detected* on read instead of silently corrupting a recovered zone.
+// CRC32C is chosen over plain CRC32 for its better error-detection
+// properties on short records and because it matches what storage
+// systems (ext4 metadata, iSCSI, LevelDB) use -- a hardware SSE4.2 path
+// can be dropped in later without changing any file format.
+//
+// This implementation is the portable slice-by-1 table variant: ~1
+// byte/cycle, far faster than the record sizes here need.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tafloc {
+
+/// CRC32C of `data`, continuing from `seed` (pass a previous crc32c()
+/// result to checksum split buffers as one stream; 0 starts fresh).
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed = 0) noexcept;
+
+/// Convenience over raw memory.
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed = 0) noexcept;
+
+}  // namespace tafloc

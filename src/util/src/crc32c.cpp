@@ -1,0 +1,37 @@
+#include "tafloc/util/crc32c.h"
+
+#include <array>
+
+namespace tafloc {
+
+namespace {
+
+// Castagnoli polynomial, reflected form.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xffu];
+  return ~crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) noexcept {
+  return crc32c({static_cast<const std::uint8_t*>(data), size}, seed);
+}
+
+}  // namespace tafloc

@@ -87,6 +87,105 @@ TEST(LinkHealth, PinnedLinksNeverAutoRecover) {
   EXPECT_TRUE(h.usable(0));
 }
 
+// -- persistence: a restored state machine must take the IDENTICAL
+//    subsequent transitions (the durability layer's recovery depends
+//    on it). --
+
+LinkHealth round_trip(const LinkHealth& health) {
+  storage::ByteWriter w;
+  health.save(w);
+  storage::ByteReader r(w.bytes());
+  LinkHealth back = LinkHealth::load(r);
+  EXPECT_TRUE(r.exhausted());
+  return back;
+}
+
+TEST(LinkHealthPersistence, RoundTripsEveryStateIncludingPins) {
+  LinkHealthConfig cfg;
+  cfg.stuck_after = 2;
+  cfg.stuck_dead_after = 4;
+  cfg.revive_after = 2;
+  LinkHealth health(6, cfg);
+  // Build a state zoo: auto-dead (NaN), auto-suspect (stuck), pinned
+  // dead, pinned suspect, mid-revive streak, untouched healthy.
+  health.observe(std::vector<double>{kNan, -40.0, -41.0, -42.0, -43.0, -44.0});
+  health.observe(std::vector<double>{kNan, -40.0, -41.0, -42.0, -43.0, -44.5});
+  health.observe(std::vector<double>{kNan, -40.0, -41.0, -42.0, -43.0, -44.0});
+  ASSERT_EQ(health.state(1), LinkState::Suspect);  // 3 exact repeats > stuck_after.
+  health.mark_dead(2);
+  health.mark_suspect(3);
+  ASSERT_EQ(health.state(0), LinkState::Dead);
+
+  const LinkHealth back = round_trip(health);
+  EXPECT_TRUE(back == health);
+  EXPECT_EQ(back.num_links(), 6u);
+  EXPECT_EQ(back.state(0), LinkState::Dead);
+  EXPECT_EQ(back.state(1), LinkState::Suspect);
+  EXPECT_EQ(back.state(2), LinkState::Dead);
+  EXPECT_EQ(back.state(3), LinkState::Suspect);
+  EXPECT_EQ(back.state(5), LinkState::Healthy);
+  EXPECT_EQ(back.dead_count(), health.dead_count());
+  EXPECT_EQ(back.suspect_count(), health.suspect_count());
+}
+
+TEST(LinkHealthPersistence, RestoredInstanceTakesIdenticalTransitions) {
+  LinkHealthConfig cfg;
+  cfg.stuck_after = 3;
+  cfg.stuck_dead_after = 5;
+  cfg.revive_after = 2;
+  LinkHealth live(3, cfg);
+  // Leave link 0 one repeat short of Suspect and link 1 mid-revive, so
+  // the streak counters (not just the states) decide what comes next.
+  live.observe(reading(-50.0, kNan, -52.0));
+  live.observe(reading(-50.0, -51.0, -52.5));
+  LinkHealth restored = round_trip(live);
+
+  const std::vector<double> next[] = {
+      reading(-50.0, -51.0, -52.0),  // link 0 hits stuck_after; link 1 heals further.
+      reading(-50.0, -51.5, -52.0),
+      reading(-50.0, -51.5, -52.0),
+  };
+  for (const auto& rss : next) {
+    const auto a = live.observe(rss);
+    const auto b = restored.observe(rss);
+    EXPECT_EQ(a.newly_dead, b.newly_dead);
+    EXPECT_EQ(a.newly_suspect, b.newly_suspect);
+    EXPECT_EQ(a.revived, b.revived);
+    EXPECT_TRUE(restored == live);
+  }
+}
+
+TEST(LinkHealthPersistence, PinnedLinksStayPinnedAcrossRestore) {
+  LinkHealth live(3);
+  live.mark_dead(0);
+  live.mark_suspect(1);
+  LinkHealth restored = round_trip(live);
+  // Good readings must not heal pinned links -- before or after restore.
+  for (int i = 0; i < 10; ++i)
+    restored.observe(reading(-40.0 - i, -41.0 - i, -42.0 - i));
+  EXPECT_EQ(restored.state(0), LinkState::Dead);
+  EXPECT_EQ(restored.state(1), LinkState::Suspect);
+  restored.revive(0);
+  EXPECT_EQ(restored.state(0), LinkState::Healthy);
+}
+
+TEST(LinkHealthPersistence, MalformedPayloadsRejected) {
+  LinkHealth health(4);
+  storage::ByteWriter w;
+  health.save(w);
+  const std::string bytes = w.take();
+  // Truncation at any 8-byte boundary throws, never crashes.
+  for (std::size_t keep = 0; keep < bytes.size(); keep += 8) {
+    storage::ByteReader r(std::string_view(bytes).substr(0, keep));
+    EXPECT_THROW(LinkHealth::load(r), std::runtime_error) << "keep=" << keep;
+  }
+  // An unknown state byte is data corruption, not a state.
+  std::string bad = bytes;
+  bad[3 * 8 + 8] = '\x7e';  // first state byte (after 3 config u64s + span length).
+  storage::ByteReader r(bad);
+  EXPECT_THROW(LinkHealth::load(r), std::runtime_error);
+}
+
 TEST(LinkHealth, RejectsBadArguments) {
   LinkHealth h(2);
   EXPECT_THROW(h.observe(std::vector<double>{1.0}), std::invalid_argument);

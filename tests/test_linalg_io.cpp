@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "tafloc/linalg/ops.h"
 #include "tafloc/util/rng.h"
@@ -92,6 +95,124 @@ TEST(LinalgIo, FileErrorsThrow) {
   EXPECT_THROW(save_matrix_file(Matrix(2, 2, 1.0), "/nonexistent_dir_xyz/m.mat"),
                std::runtime_error);
   EXPECT_THROW(load_matrix_file("/nonexistent_dir_xyz/m.mat"), std::runtime_error);
+}
+
+// -- hostile-input hardening: a loader fed garbage must throw
+//    std::runtime_error up front, never hand absurd sizes to the
+//    allocator (bad_alloc / OOM-kill) and never crash. --
+
+TEST(LinalgIo, AbsurdDimensionsRejectedBeforeAllocation) {
+  for (const char* hostile : {
+           "matrix 999999999999 999999999999\n",  // product overflows size_t.
+           "matrix 1152921504606846976 1\n",      // 2^60 rows.
+           "matrix 1 1152921504606846976\n",
+           "matrix -4 -4\n",
+           "vector 999999999999999999\n",
+           "vector -7\n",
+       }) {
+    std::stringstream ss(hostile);
+    if (std::string_view(hostile).rfind("vector", 0) == 0)
+      EXPECT_THROW(load_vector(ss), std::runtime_error) << hostile;
+    else
+      EXPECT_THROW(load_matrix(ss), std::runtime_error) << hostile;
+  }
+}
+
+TEST(LinalgIo, FuzzedHeadersNeverCrash) {
+  // Seeded garbage headers: every outcome must be a clean throw.
+  Rng rng(1234);
+  const std::string alphabet = "matrixvector 0123456789-+.e\n\t";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk;
+    const auto len = static_cast<std::size_t>(rng.uniform(1.0, 40.0));
+    for (std::size_t i = 0; i < len; ++i)
+      junk += alphabet[static_cast<std::size_t>(rng.uniform01() *
+                                                static_cast<double>(alphabet.size()))];
+    std::stringstream ss(junk);
+    try {
+      load_matrix(ss);
+    } catch (const std::runtime_error&) {
+      // expected for malformed input; anything else propagates and fails.
+    }
+  }
+}
+
+TEST(LinalgIo, TruncatedPayloadThrowsAtEveryCut) {
+  Rng rng(5);
+  const Matrix m = random_gaussian(3, 4, rng);
+  std::stringstream full;
+  save_matrix(m, full);
+  const std::string text = full.str();
+  // A cut inside the FINAL number's digits can leave a shorter but
+  // still-valid double, which text parsing legitimately cannot detect;
+  // only cut up to where the last value begins.
+  const std::size_t last_value = text.find_last_of(" \n", text.size() - 2) + 1;
+  for (std::size_t keep = 0; keep < last_value; keep += 7) {
+    std::stringstream cut(text.substr(0, keep));
+    EXPECT_THROW(load_matrix(cut), std::runtime_error) << "cut at " << keep;
+  }
+}
+
+// -- binary codec (the persistence payload format) --
+
+TEST(LinalgIo, BinaryMatrixRoundTripBitExact) {
+  Rng rng(6);
+  Matrix m = random_gaussian(4, 6, rng);
+  m(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  m(2, 0) = -0.0;
+  m(3, 5) = std::numeric_limits<double>::infinity();
+  storage::ByteWriter w;
+  save_matrix_binary(m, w);
+  storage::ByteReader r(w.bytes());
+  const Matrix back = load_matrix_binary(r);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  // operator== is exact; NaN != NaN, so compare bit patterns instead.
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const double want = m(i, j);
+      const double got = back(i, j);
+      std::uint64_t a, b;
+      std::memcpy(&a, &want, 8);
+      std::memcpy(&b, &got, 8);
+      EXPECT_EQ(a, b) << "(" << i << "," << j << ")";
+    }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(LinalgIo, BinaryVectorRoundTripBitExact) {
+  const Vector v{1.5, -0.0, std::numeric_limits<double>::quiet_NaN()};
+  storage::ByteWriter w;
+  save_vector_binary(v, w);
+  storage::ByteReader r(w.bytes());
+  const Vector back = load_vector_binary(r);
+  ASSERT_EQ(back.size(), 3u);
+  std::uint64_t a, b;
+  std::memcpy(&a, &v[2], 8);
+  std::memcpy(&b, &back[2], 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LinalgIo, BinaryLoadRejectsAbsurdOrTruncatedInput) {
+  // Claimed dimensions far beyond the payload must throw, not allocate.
+  storage::ByteWriter w;
+  w.put_u64(1ULL << 40);
+  w.put_u64(1ULL << 40);
+  storage::ByteReader r(w.bytes());
+  EXPECT_THROW(load_matrix_binary(r), std::runtime_error);
+
+  storage::ByteWriter w2;
+  save_matrix_binary(Matrix(2, 2, 1.0), w2);
+  const std::string bytes = w2.take();
+  storage::ByteReader r2(std::string_view(bytes).substr(0, bytes.size() - 8));
+  EXPECT_THROW(load_matrix_binary(r2), std::runtime_error);
+
+  // A half-empty shape (0 x n, n > 0) is inconsistent.
+  storage::ByteWriter w3;
+  w3.put_u64(0);
+  w3.put_u64(5);
+  storage::ByteReader r3(w3.bytes());
+  EXPECT_THROW(load_matrix_binary(r3), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,264 @@
+// TafLocSystem durability: save/recover round trips, WAL replay,
+// snapshot fallback, scheduler persistence and recovery telemetry.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "tafloc/storage/snapshot.h"
+#include "tafloc/tafloc.h"
+
+namespace tafloc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempZone {
+ public:
+  explicit TempZone(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("tafloc_zone_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+  }
+  ~TempZone() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+class SystemDurabilityTest : public ::testing::Test {
+ protected:
+  SystemDurabilityTest() : scenario_(Scenario::paper_room(4242)) {}
+
+  TafLocSystem fresh_system() const { return TafLocSystem(scenario_.deployment()); }
+
+  void calibrate(TafLocSystem& sys, Rng& rng) const {
+    sys.calibrate(scenario_.collector().survey_all(0.0, rng),
+                  scenario_.collector().ambient_scan(0.0, rng), 0.0);
+  }
+
+  Vector query(double t, Rng& rng) const {
+    return scenario_.collector().observe({2.0, 3.0}, t, rng);
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(SystemDurabilityTest, CalibrateCommitsRecoverableSnapshot) {
+  TempZone zone("calibrate");
+  Rng rng(1);
+  {
+    TafLocSystem sys = fresh_system();
+    sys.attach_durability({zone.str()});
+    calibrate(sys, rng);
+    EXPECT_TRUE(sys.durable());
+  }
+  TafLocSystem restored = fresh_system();
+  restored.attach_durability({zone.str()});
+  const RecoveryReport report = restored.recover();
+  EXPECT_EQ(report.outcome, RecoveryReport::Outcome::kClean);
+  EXPECT_EQ(report.replayed_records, 0u);
+  EXPECT_TRUE(restored.calibrated());
+}
+
+TEST_F(SystemDurabilityTest, RecoveredStateIsBitIdentical) {
+  TempZone zone("bitident");
+  Rng rng(2);
+  TafLocSystem live = fresh_system();
+  live.attach_durability({zone.str()});
+  calibrate(live, rng);
+  // Durable traffic: health-driving queries (one with a NaN link) and
+  // an update; the WAL + snapshots must capture all of it.
+  Vector bad = query(0.1, rng);
+  bad[3] = std::nan("");
+  live.localize_degraded(bad);
+  live.localize_degraded(query(0.2, rng));
+  live.update_with_collector(scenario_.collector(), 1.0, rng);
+  live.localize_degraded(query(1.1, rng));
+  live.save();
+
+  TafLocSystem restored = fresh_system();
+  restored.attach_durability({zone.str()});
+  const RecoveryReport report = restored.recover();
+  EXPECT_NE(report.outcome, RecoveryReport::Outcome::kUnrecoverable);
+  ASSERT_TRUE(restored.calibrated());
+  EXPECT_TRUE(restored.database() == live.database());
+  EXPECT_TRUE(restored.link_health() == live.link_health());
+
+  Rng probe(99);
+  const Vector rss = query(2.0, probe);
+  const Point2 a = live.localize(rss);
+  const Point2 b = restored.localize(rss);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST_F(SystemDurabilityTest, WalReplayReconstructsUncommittedTail) {
+  TempZone zone("replay");
+  Rng rng(3);
+  TafLocSystem live = fresh_system();
+  live.attach_durability({zone.str()});
+  calibrate(live, rng);
+  // WAL-only mutations after the last snapshot (no save() call): a
+  // recovery must replay them rather than lose them.
+  Vector bad = query(0.1, rng);
+  bad[1] = std::nan("");
+  live.localize_degraded(bad);
+  live.localize_degraded(query(0.2, rng));
+  live.localize_degraded(query(0.3, rng));
+
+  TafLocSystem restored = fresh_system();
+  restored.attach_durability({zone.str()});
+  const RecoveryReport report = restored.recover();
+  EXPECT_EQ(report.outcome, RecoveryReport::Outcome::kReplayed);
+  EXPECT_EQ(report.replayed_records, 3u);
+  EXPECT_EQ(report.sequence, 3u);
+  EXPECT_TRUE(restored.link_health() == live.link_health());
+  EXPECT_TRUE(restored.database() == live.database());
+}
+
+TEST_F(SystemDurabilityTest, SchedulerStateRidesSnapshotsAndWal) {
+  TempZone zone("sched");
+  Rng rng(4);
+  TafLocSystem live = fresh_system();
+  UpdateScheduler live_sched(scenario_.collector().ambient_scan(0.0, rng), 0.0);
+  live.attach_durability({zone.str()});
+  live.attach_scheduler(&live_sched);
+  calibrate(live, rng);
+  live_sched.observe_ambient(scenario_.collector().observe_ambient(0.5, rng), 0.5);
+  live_sched.observe_ambient(scenario_.collector().observe_ambient(0.2, rng), 0.2);  // dropped.
+  live_sched.notify_updated(scenario_.collector().ambient_scan(0.7, rng), 0.7);
+  live_sched.observe_ambient(scenario_.collector().observe_ambient(0.9, rng), 0.9);
+
+  TafLocSystem restored = fresh_system();
+  UpdateScheduler restored_sched(Vector(scenario_.deployment().num_links(), 0.0), 0.0);
+  restored.attach_durability({zone.str()});
+  restored.attach_scheduler(&restored_sched);
+  const RecoveryReport report = restored.recover();
+  EXPECT_EQ(report.outcome, RecoveryReport::Outcome::kReplayed);
+  EXPECT_EQ(report.replayed_records, 4u);  // 3 ambient samples + 1 notify.
+  EXPECT_TRUE(restored_sched == live_sched);
+  EXPECT_EQ(restored_sched.dropped_out_of_order(), 1u);
+  EXPECT_EQ(restored_sched.last_update_days(), 0.7);
+}
+
+TEST_F(SystemDurabilityTest, CorruptNewestSnapshotFallsBackAndReplays) {
+  TempZone zone("fallback");
+  Rng rng(5);
+  TafLocSystem live = fresh_system();
+  live.attach_durability({zone.str()});
+  calibrate(live, rng);                                          // generation 1.
+  live.localize_degraded(query(0.1, rng));                       // seq 1.
+  live.update_with_collector(scenario_.collector(), 1.0, rng);   // seq 2, generation 2.
+
+  // Corrupt the newest generation's file (gen 2 lives in slot 0).
+  const storage::SnapshotStore store(zone.str());
+  const auto before = store.load_latest();
+  ASSERT_TRUE(before.snapshot.has_value());
+  ASSERT_EQ(before.snapshot->generation, 2u);
+  const std::string victim = store.slot_path(0);
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.put('\x7f');
+  }
+
+  TafLocSystem restored = fresh_system();
+  restored.attach_durability({zone.str()});
+  const RecoveryReport report = restored.recover();
+  EXPECT_EQ(report.outcome, RecoveryReport::Outcome::kFellBack);
+  EXPECT_EQ(report.snapshot_generation, 1u);
+  // Replay carries the zone past the lost snapshot: the WAL still has
+  // the observe and the raw update inputs.
+  EXPECT_EQ(report.replayed_records, 2u);
+  ASSERT_TRUE(restored.calibrated());
+  EXPECT_TRUE(restored.database() == live.database());
+}
+
+TEST_F(SystemDurabilityTest, AllSnapshotsCorruptIsUnrecoverable) {
+  TempZone zone("unrecoverable");
+  Rng rng(6);
+  {
+    TafLocSystem live = fresh_system();
+    live.attach_durability({zone.str()});
+    calibrate(live, rng);
+    live.update_with_collector(scenario_.collector(), 1.0, rng);
+  }
+  const storage::SnapshotStore store(zone.str());
+  for (unsigned slot = 0; slot < 2; ++slot) {
+    std::ofstream f(store.slot_path(slot), std::ios::binary | std::ios::trunc);
+    f << std::string(128, '\0');
+  }
+  TafLocSystem restored = fresh_system();
+  restored.attach_durability({zone.str()});
+  const RecoveryReport report = restored.recover();
+  EXPECT_EQ(report.outcome, RecoveryReport::Outcome::kUnrecoverable);
+  EXPECT_FALSE(restored.calibrated());
+}
+
+TEST_F(SystemDurabilityTest, TornWalTailIsDroppedAndFlagged) {
+  TempZone zone("torn");
+  Rng rng(7);
+  TafLocSystem live = fresh_system();
+  live.attach_durability({zone.str()});
+  calibrate(live, rng);
+  live.localize_degraded(query(0.1, rng));
+  live.localize_degraded(query(0.2, rng));
+
+  // Tear the live segment's tail: the final record loses its last bytes.
+  const std::string wal_path = zone.str() + "/wal-1.log";
+  ASSERT_TRUE(fs::exists(wal_path));
+  fs::resize_file(wal_path, fs::file_size(wal_path) - 4);
+
+  TafLocSystem restored = fresh_system();
+  restored.attach_durability({zone.str()});
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.torn_wal_tail);
+  EXPECT_EQ(report.replayed_records, 1u);  // the intact prefix only.
+  EXPECT_TRUE(restored.calibrated());
+}
+
+TEST_F(SystemDurabilityTest, RecoveryOutcomeReachesTelemetry) {
+  TempZone zone("telemetry");
+  Rng rng(8);
+  {
+    TafLocSystem live = fresh_system();
+    live.attach_durability({zone.str()});
+    calibrate(live, rng);
+    live.localize_degraded(query(0.1, rng));
+  }
+  TafLocConfig config;
+  config.telemetry.enabled = true;
+  TafLocSystem restored(scenario_.deployment(), config);
+  restored.attach_durability({zone.str()});
+  restored.recover();
+  const std::string json = restored.telemetry_snapshot_json();
+  EXPECT_NE(json.find("durability.recovery.replayed"), std::string::npos);
+  EXPECT_NE(json.find("durability.recovery.replayed_records"), std::string::npos);
+  EXPECT_NE(json.find("durability.snapshots"), std::string::npos);
+}
+
+TEST_F(SystemDurabilityTest, SaveRequiresAttachAndCalibration) {
+  TafLocSystem sys = fresh_system();
+  EXPECT_THROW(sys.save(), std::logic_error);
+  TempZone zone("guards");
+  sys.attach_durability({zone.str()});
+  EXPECT_THROW(sys.save(), std::logic_error);  // not calibrated yet.
+  EXPECT_THROW(sys.attach_durability({""}), std::invalid_argument);
+}
+
+TEST_F(SystemDurabilityTest, NonDurableSystemIsUnaffected) {
+  Rng rng(9);
+  TafLocSystem sys = fresh_system();
+  EXPECT_FALSE(sys.durable());
+  calibrate(sys, rng);
+  sys.localize_degraded(query(0.1, rng));
+  EXPECT_THROW(sys.recover(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tafloc

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <string_view>
 
 #include "tafloc/sim/scenario.h"
+#include "tafloc/storage/codec.h"
+#include "tafloc/telemetry/metrics.h"
 #include "tafloc/tafloc/system.h"
 
 namespace tafloc {
@@ -99,6 +102,70 @@ TEST(UpdateScheduler, DropsOutOfOrderAndUnusableSamples) {
   const std::vector<double> half_bad{-36.0, nan};
   EXPECT_TRUE(sched.observe_ambient(half_bad, 17.0));
   EXPECT_DOUBLE_EQ(sched.estimated_staleness_db(), 6.0);
+}
+
+TEST(UpdateScheduler, SplitDropCountersDistinguishReasons) {
+  UpdateScheduler sched(Vector{-30.0, -30.0}, 5.0);
+  sched.observe_ambient(std::vector<double>{-31.0, -31.0}, 10.0);
+  // Two clock problems, one dead-radio scan.
+  sched.observe_ambient(std::vector<double>{-32.0, -32.0}, 7.0);
+  sched.observe_ambient(std::vector<double>{-32.0, -32.0}, 8.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  sched.observe_ambient(std::vector<double>{nan, nan}, 11.0);
+  EXPECT_EQ(sched.dropped_out_of_order(), 2u);
+  EXPECT_EQ(sched.dropped_nan(), 1u);
+  EXPECT_EQ(sched.dropped_observations(), 3u);  // total = sum of the reasons.
+}
+
+TEST(UpdateScheduler, SplitDropCountersReachTelemetrySnapshot) {
+  MetricRegistry registry({.enabled = true});
+  UpdateScheduler sched(Vector{-30.0, -30.0}, 5.0);
+  sched.attach_telemetry(&registry);
+  sched.observe_ambient(std::vector<double>{-31.0, -31.0}, 10.0);
+  sched.observe_ambient(std::vector<double>{-32.0, -32.0}, 7.0);  // out of order.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  sched.observe_ambient(std::vector<double>{nan, nan}, 11.0);  // no finite entry.
+
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"scheduler.dropped_out_of_order\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler.dropped_nan\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler.dropped_observations\""), std::string::npos);
+}
+
+TEST(UpdateScheduler, SaveRestoreRoundTripsAdaptiveState) {
+  SchedulerConfig cfg;
+  cfg.staleness_threshold_db = 2.5;
+  cfg.min_interval_days = 0.5;
+  cfg.max_interval_days = 60.0;
+  UpdateScheduler sched(Vector{-30.0, -31.0, -32.0}, 5.0, cfg);
+  sched.observe_ambient(std::vector<double>{-33.0, -33.0, -33.0}, 9.0);
+  sched.observe_ambient(std::vector<double>{-33.0, -33.0, -33.0}, 7.0);  // dropped.
+
+  storage::ByteWriter w;
+  sched.save(w);
+  UpdateScheduler restored(Vector{0.0}, 0.0);  // overwritten by restore().
+  storage::ByteReader r(w.bytes());
+  restored.restore(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_TRUE(restored == sched);
+  EXPECT_DOUBLE_EQ(restored.estimated_staleness_db(), sched.estimated_staleness_db());
+  EXPECT_EQ(restored.dropped_out_of_order(), 1u);
+  EXPECT_EQ(restored.config().max_interval_days, 60.0);
+
+  // The restored instance continues exactly where the original was.
+  const std::vector<double> next{-26.0, -26.0, -26.0};
+  EXPECT_EQ(restored.observe_ambient(next, 12.0), sched.observe_ambient(next, 12.0));
+  EXPECT_TRUE(restored == sched);
+}
+
+TEST(UpdateScheduler, RestoreRejectsMalformedPayload) {
+  UpdateScheduler sched(Vector{-30.0}, 0.0);
+  storage::ByteWriter w;
+  sched.save(w);
+  const std::string bytes = w.take();
+  UpdateScheduler victim(Vector{-40.0}, 1.0);
+  storage::ByteReader r(std::string_view(bytes).substr(0, bytes.size() / 2));
+  EXPECT_THROW(victim.restore(r), std::runtime_error);
 }
 
 TEST(UpdateScheduler, AdaptiveBehaviourOnSimulatedDrift) {
