@@ -1,0 +1,55 @@
+// taflocd configuration -- one daemon, many zones.
+//
+// The config file is a minimal INI dialect (comments with '#', blank
+// lines ignored):
+//
+//   # daemon-wide settings come before the first section
+//   socket = /run/tafloc/taflocd.sock
+//   telemetry_dir = /var/lib/tafloc/telemetry
+//
+//   [zone office]
+//   seed = 4242                 # scenario RNG seed (sim-backed zone)
+//   state_dir = /var/lib/tafloc/office   # empty = zone not durable
+//   staleness_threshold_db = 3.0
+//   min_interval_days = 1.0
+//   max_interval_days = 45.0
+//   telemetry = true
+//
+// Parsing is strict: unknown keys, duplicate zone names, a missing
+// socket path, or an unparsable number all throw std::runtime_error
+// with the offending line number -- a daemon must refuse a config it
+// does not fully understand rather than half-apply it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tafloc/tafloc/scheduler.h"
+
+namespace tafloc::daemon {
+
+struct ZoneConfig {
+  std::string name;
+  std::uint64_t seed = 1;     ///< Scenario::paper_room seed backing the zone.
+  std::string state_dir;      ///< durability directory; empty = in-memory only.
+  SchedulerConfig scheduler;  ///< time-adaptive update trigger tuning.
+  bool telemetry = true;      ///< per-zone MetricRegistry on/off.
+};
+
+struct DaemonConfig {
+  std::string socket_path;    ///< Unix domain socket taflocd listens on.
+  std::string telemetry_dir;  ///< per-zone JSONL exports on drain; empty = off.
+  std::vector<ZoneConfig> zones;
+
+  /// Parse from a stream / file.  Throws std::runtime_error with a
+  /// line-numbered message on any malformed or unknown input.
+  static DaemonConfig parse(std::istream& in);
+  static DaemonConfig load_file(const std::string& path);
+
+  /// The zone config of `name`, or nullptr.
+  const ZoneConfig* find_zone(const std::string& name) const;
+};
+
+}  // namespace tafloc::daemon

@@ -1,0 +1,8 @@
+// Umbrella header for the taflocd serving core.
+#pragma once
+
+#include "tafloc/daemon/config.h"
+#include "tafloc/daemon/event_loop.h"
+#include "tafloc/daemon/server.h"
+#include "tafloc/daemon/wire.h"
+#include "tafloc/daemon/zone.h"

@@ -1,0 +1,82 @@
+// EventLoop -- a poll(2)-based single-threaded reactor, the serving
+// thread of taflocd.
+//
+// Design (the classic self-pipe pattern, dinit/s6 style): the loop
+// owns a pipe whose read end is always polled.  post() -- callable
+// from ANY thread, including JobQueue workers and signal handlers via
+// post_from_signal() -- appends a task and writes one byte to the
+// pipe, so a sleeping poll() wakes immediately.  All registered fd
+// handlers and posted tasks run on the loop thread, which is what lets
+// Zone keep its single-threaded mutation discipline without locks on
+// the serving path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace tafloc::daemon {
+
+class EventLoop {
+ public:
+  /// `revents` is the poll(2) result mask for the fd.
+  using FdHandler = std::function<void(short revents)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watch `fd` for `events` (POLLIN etc.).  Loop-thread only.
+  void add_fd(int fd, short events, FdHandler handler);
+  /// Stop watching `fd` (no-op when unknown).  Safe from inside its own
+  /// handler; the removal takes effect before the next poll round.
+  void remove_fd(int fd);
+  std::size_t watched_fds() const noexcept;
+
+  /// Run `task` on the loop thread in the next iteration.  Thread-safe;
+  /// wakes a sleeping poll().
+  void post(std::function<void()> task);
+  /// Async-signal-safe wakeup: just the pipe write, no allocation.  The
+  /// loop thread then runs the idle hook, which can inspect
+  /// sig_atomic_t flags set by the handler.
+  void post_from_signal() noexcept;
+
+  /// Called once per loop iteration, after fd events and posted tasks.
+  /// taflocd uses it to poll() every zone for finished update jobs.
+  void set_idle_hook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+
+  /// Run until stop().  `timeout_ms` bounds each poll() sleep so the
+  /// idle hook runs at least that often (-1 = only on events).
+  void run(int timeout_ms = -1);
+  /// One poll round (tests); returns the number of fd events handled.
+  int run_once(int timeout_ms);
+  /// Thread-safe: the loop returns from run() after the current round.
+  void stop();
+  bool running() const noexcept { return running_; }
+
+ private:
+  void drain_wakeup_pipe();
+  void run_posted();
+
+  struct Watch {
+    int fd = -1;
+    short events = 0;
+    FdHandler handler;
+  };
+
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::vector<Watch> watches_;
+  bool running_ = false;
+  volatile bool stop_requested_ = false;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::function<void()> idle_hook_;
+};
+
+}  // namespace tafloc::daemon

@@ -1,0 +1,226 @@
+// taflocd wire protocol -- versioned, length-prefixed, checksummed
+// packets over a Unix domain socket.
+//
+// Every packet is one storage::Frame (record.h): the u32 `type` is the
+// PacketType, the u64 `seq` is a client-chosen request id echoed in the
+// response, and the payload begins with a u32 wire version followed by
+// the packet's fields in the bounds-checked ByteWriter/ByteReader
+// codec.  The frame CRC32C already rejects torn or bit-flipped packets,
+// so the daemon distinguishes exactly three receive outcomes:
+//
+//   kPacket   -- one complete, checksummed frame extracted;
+//   kNeedMore -- the buffer ends mid-frame (keep reading);
+//   kCorrupt  -- framing is lost on this connection (the server answers
+//                with one kError packet and closes it; other
+//                connections and zones are untouched).
+//
+// A version mismatch or malformed payload inside an intact frame throws
+// from decode; the server maps that to a kError response on the same
+// connection without crashing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tafloc/storage/record.h"
+
+namespace tafloc::daemon {
+
+/// Bumped on any incompatible payload change; packets carrying another
+/// version are rejected per-connection.
+inline constexpr std::uint32_t kWireVersion = 1;
+
+enum class PacketType : std::uint32_t {
+  kError = 0,  ///< server -> client: request rejected (status + message).
+  kLocalizeRequest = 1,
+  kLocalizeResponse = 2,
+  kAmbientRequest = 3,
+  kAmbientResponse = 4,
+  kResurveyRequest = 5,
+  kResurveyResponse = 6,
+  kStatusRequest = 7,
+  kStatusResponse = 8,
+  kAdminRequest = 9,
+  kAdminResponse = 10,
+  kProbeRequest = 11,
+  kProbeResponse = 12,
+};
+
+const char* packet_type_name(PacketType type);
+
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownZone = 1,   ///< no zone of that name in this daemon.
+  kNotServing = 2,    ///< zone is draining / stopped; admission refused.
+  kBadRequest = 3,    ///< malformed payload or unsupported version.
+  kInternalError = 4, ///< zone raised; details in `message`.
+};
+
+const char* wire_status_name(WireStatus status);
+
+// -- requests --
+
+struct LocalizeRequest {
+  std::string zone;
+  std::vector<double> rss;  ///< one reading per deployment link.
+
+  std::string encode(std::uint64_t seq) const;
+  static LocalizeRequest decode(const storage::Frame& frame);
+};
+
+/// Feed one ambient scan into the zone's update scheduler.
+struct AmbientRequest {
+  std::string zone;
+  std::vector<double> ambient;
+  double t_days = 0.0;
+
+  std::string encode(std::uint64_t seq) const;
+  static AmbientRequest decode(const storage::Frame& frame);
+};
+
+/// Explicitly kick a supervised reference re-survey (LoLi-IR update).
+struct ResurveyRequest {
+  std::string zone;
+  double t_days = 0.0;
+
+  std::string encode(std::uint64_t seq) const;
+  static ResurveyRequest decode(const storage::Frame& frame);
+};
+
+/// Zone status; empty `zone` means every zone.
+struct StatusRequest {
+  std::string zone;
+
+  std::string encode(std::uint64_t seq) const;
+  static StatusRequest decode(const storage::Frame& frame);
+};
+
+enum class AdminOp : std::uint8_t {
+  kDrain = 1,     ///< graceful stop of one zone (or all when zone == "").
+  kReload = 2,    ///< re-read the config file; apply scheduler changes.
+  kShutdown = 3,  ///< drain every zone, then stop the daemon.
+};
+
+const char* admin_op_name(AdminOp op);
+
+struct AdminRequest {
+  AdminOp op = AdminOp::kDrain;
+  std::string zone;  ///< empty = daemon-wide.
+
+  std::string encode(std::uint64_t seq) const;
+  static AdminRequest decode(const storage::Frame& frame);
+};
+
+/// Synthetic end-to-end check: the (sim-backed) zone generates one
+/// observation at a known location, serves it through the localization
+/// path, and reports truth vs. estimate.  Lets taflocctl and the CI
+/// smoke drive real traffic without shipping RSS vectors.
+struct ProbeRequest {
+  std::string zone;
+
+  std::string encode(std::uint64_t seq) const;
+  static ProbeRequest decode(const storage::Frame& frame);
+};
+
+// -- responses --
+
+struct ErrorResponse {
+  WireStatus status = WireStatus::kBadRequest;
+  std::string message;
+
+  std::string encode(std::uint64_t seq) const;
+  static ErrorResponse decode(const storage::Frame& frame);
+};
+
+struct LocalizeResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  double x = 0.0;
+  double y = 0.0;
+  double confidence = 0.0;
+  bool served = false;
+  bool degraded = false;
+  std::uint64_t links_used = 0;
+
+  std::string encode(std::uint64_t seq) const;
+  static LocalizeResponse decode(const storage::Frame& frame);
+};
+
+struct AmbientResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  bool accepted = false;   ///< scan admitted into the scheduler.
+  bool triggered = false;  ///< it crossed the staleness threshold.
+  double staleness_db = 0.0;
+
+  std::string encode(std::uint64_t seq) const;
+  static AmbientResponse decode(const storage::Frame& frame);
+};
+
+struct ResurveyResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  bool accepted = false;  ///< false: another update already in flight.
+
+  std::string encode(std::uint64_t seq) const;
+  static ResurveyResponse decode(const storage::Frame& frame);
+};
+
+struct ZoneStatus {
+  std::string zone;
+  std::string state;  ///< zone_state_name() of the lifecycle state.
+  std::uint64_t queries = 0;
+  std::uint64_t updates_committed = 0;
+  std::uint64_t updates_failed = 0;
+  bool update_in_flight = false;
+  double staleness_db = 0.0;
+  double clock_days = 0.0;
+  std::uint64_t wal_sequence = 0;  ///< 0 when the zone is not durable.
+  std::string last_error;
+};
+
+struct StatusResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  std::vector<ZoneStatus> zones;
+
+  std::string encode(std::uint64_t seq) const;
+  static StatusResponse decode(const storage::Frame& frame);
+};
+
+struct AdminResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+
+  std::string encode(std::uint64_t seq) const;
+  static AdminResponse decode(const storage::Frame& frame);
+};
+
+struct ProbeResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  double truth_x = 0.0;
+  double truth_y = 0.0;
+  double estimate_x = 0.0;
+  double estimate_y = 0.0;
+  double error_m = 0.0;
+  bool degraded = false;
+
+  std::string encode(std::uint64_t seq) const;
+  static ProbeResponse decode(const storage::Frame& frame);
+};
+
+// -- connection-buffer framing --
+
+enum class ExtractResult { kPacket, kNeedMore, kCorrupt };
+
+/// Pull the first complete frame out of `buffer` (consuming its bytes)
+/// into `out`.  kNeedMore leaves the buffer untouched; kCorrupt means
+/// this byte stream can no longer be trusted (close the connection) and
+/// `error`, when non-null, says why.
+ExtractResult extract_packet(std::string& buffer, storage::Frame& out,
+                             std::string* error = nullptr);
+
+}  // namespace tafloc::daemon

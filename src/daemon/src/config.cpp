@@ -1,0 +1,141 @@
+#include "tafloc/daemon/config.h"
+
+#include <cstddef>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tafloc::daemon {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("config line " + std::to_string(line_no) + ": " + what);
+}
+
+std::string strip(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' || s[end - 1] == '\r')) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+double parse_double(const std::string& value, std::size_t line_no, const std::string& key) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) fail(line_no, key + ": trailing garbage in '" + value + "'");
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, key + ": not a number: '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, key + ": out of range: '" + value + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& value, std::size_t line_no, const std::string& key) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long parsed = std::stoull(value, &consumed);
+    if (consumed != value.size()) fail(line_no, key + ": trailing garbage in '" + value + "'");
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, key + ": not an integer: '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, key + ": out of range: '" + value + "'");
+  }
+}
+
+bool parse_bool(const std::string& value, std::size_t line_no, const std::string& key) {
+  if (value == "true" || value == "1" || value == "on" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "off" || value == "no") return false;
+  fail(line_no, key + ": not a boolean: '" + value + "'");
+}
+
+}  // namespace
+
+DaemonConfig DaemonConfig::parse(std::istream& in) {
+  DaemonConfig config;
+  ZoneConfig* zone = nullptr;  // null while in the daemon-wide preamble.
+  std::string raw;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = strip(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header: '" + line + "'");
+      const std::string header = strip(line.substr(1, line.size() - 2));
+      if (header.rfind("zone ", 0) != 0) {
+        fail(line_no, "unknown section '" + header + "' (expected [zone <name>])");
+      }
+      const std::string name = strip(header.substr(5));
+      if (name.empty()) fail(line_no, "zone section needs a name");
+      if (config.find_zone(name) != nullptr) fail(line_no, "duplicate zone '" + name + "'");
+      config.zones.push_back(ZoneConfig{});
+      zone = &config.zones.back();
+      zone->name = name;
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value, got '" + line + "'");
+    const std::string key = strip(line.substr(0, eq));
+    const std::string value = strip(line.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+
+    if (zone == nullptr) {
+      if (key == "socket") {
+        config.socket_path = value;
+      } else if (key == "telemetry_dir") {
+        config.telemetry_dir = value;
+      } else {
+        fail(line_no, "unknown daemon key '" + key + "'");
+      }
+      continue;
+    }
+
+    if (key == "seed") {
+      zone->seed = parse_u64(value, line_no, key);
+    } else if (key == "state_dir") {
+      zone->state_dir = value;
+    } else if (key == "staleness_threshold_db") {
+      zone->scheduler.staleness_threshold_db = parse_double(value, line_no, key);
+    } else if (key == "min_interval_days") {
+      zone->scheduler.min_interval_days = parse_double(value, line_no, key);
+    } else if (key == "max_interval_days") {
+      zone->scheduler.max_interval_days = parse_double(value, line_no, key);
+    } else if (key == "telemetry") {
+      zone->telemetry = parse_bool(value, line_no, key);
+    } else {
+      fail(line_no, "unknown zone key '" + key + "'");
+    }
+  }
+
+  if (config.socket_path.empty()) {
+    throw std::runtime_error("config: missing required daemon key 'socket'");
+  }
+  if (config.zones.empty()) {
+    throw std::runtime_error("config: at least one [zone <name>] section is required");
+  }
+  return config;
+}
+
+DaemonConfig DaemonConfig::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open '" + path + "'");
+  return parse(in);
+}
+
+const ZoneConfig* DaemonConfig::find_zone(const std::string& name) const {
+  for (const ZoneConfig& z : zones) {
+    if (z.name == name) return &z;
+  }
+  return nullptr;
+}
+
+}  // namespace tafloc::daemon

@@ -1,0 +1,152 @@
+#include "tafloc/daemon/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc::daemon {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("event loop: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error(std::string("event loop: pipe() failed: ") + std::strerror(errno));
+  }
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void EventLoop::add_fd(int fd, short events, FdHandler handler) {
+  TAFLOC_CHECK_ARG(fd >= 0, "event loop: negative fd");
+  TAFLOC_CHECK_ARG(handler != nullptr, "event loop: null handler");
+  for (const Watch& w : watches_) {
+    TAFLOC_CHECK_ARG(w.fd != fd, "event loop: fd already watched");
+  }
+  watches_.push_back(Watch{fd, events, std::move(handler)});
+}
+
+void EventLoop::remove_fd(int fd) {
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    if (watches_[i].fd == fd) {
+      // Defuse rather than erase: a handler may remove its own (or a
+      // sibling's) watch mid-round while run_once still iterates.
+      watches_[i].fd = -1;
+      watches_[i].handler = nullptr;
+      return;
+    }
+  }
+}
+
+std::size_t EventLoop::watched_fds() const noexcept {
+  std::size_t n = 0;
+  for (const Watch& w : watches_) {
+    if (w.fd >= 0) ++n;
+  }
+  return n;
+}
+
+void EventLoop::post(std::function<void()> task) {
+  TAFLOC_CHECK_ARG(task != nullptr, "event loop: null task");
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(task));
+  }
+  post_from_signal();
+}
+
+void EventLoop::post_from_signal() noexcept {
+  const char byte = 1;
+  // EAGAIN means the pipe already holds unread wakeups -- the loop will
+  // wake regardless, so a dropped byte is harmless.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+}
+
+void EventLoop::drain_wakeup_pipe() {
+  char buf[64];
+  while (::read(wake_read_fd_, buf, sizeof buf) > 0) {
+  }
+}
+
+void EventLoop::run_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& task : batch) task();
+}
+
+int EventLoop::run_once(int timeout_ms) {
+  // Compact defused watches, then snapshot into pollfds.  Handlers may
+  // add watches mid-round (accept); those only join the NEXT round, so
+  // the handler loop below must iterate the snapshot's size, never the
+  // live watches_.size().
+  std::erase_if(watches_, [](const Watch& w) { return w.fd < 0; });
+  std::vector<struct pollfd> fds;
+  fds.reserve(watches_.size() + 1);
+  fds.push_back({wake_read_fd_, POLLIN, 0});
+  for (const Watch& w : watches_) fds.push_back({w.fd, w.events, 0});
+  const std::size_t snapshot = watches_.size();
+
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) ready = 0;  // signal: fall through to the hooks.
+    else throw std::runtime_error(std::string("event loop: poll() failed: ") +
+                                  std::strerror(errno));
+  }
+
+  int handled = 0;
+  if (fds[0].revents != 0) drain_wakeup_pipe();
+  for (std::size_t i = 0; i < snapshot; ++i) {
+    const short revents = fds[i + 1].revents;
+    if (revents == 0) continue;
+    // remove_fd during this round defuses the entry; skip it.
+    if (watches_[i].fd < 0 || !watches_[i].handler) continue;
+    ++handled;
+    watches_[i].handler(revents);
+  }
+  run_posted();
+  if (idle_hook_) idle_hook_();
+  return handled;
+}
+
+void EventLoop::run(int timeout_ms) {
+  TAFLOC_CHECK_STATE(!running_, "event loop: run() is not reentrant");
+  running_ = true;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    run_once(timeout_ms);
+  }
+  running_ = false;
+}
+
+void EventLoop::stop() {
+  stop_requested_ = true;
+  post_from_signal();
+}
+
+}  // namespace tafloc::daemon

@@ -1,0 +1,394 @@
+#include "tafloc/daemon/wire.h"
+
+#include <stdexcept>
+
+#include "tafloc/storage/codec.h"
+#include "tafloc/util/check.h"
+
+namespace tafloc::daemon {
+
+namespace {
+
+using storage::ByteReader;
+using storage::ByteWriter;
+
+void put_string(ByteWriter& out, std::string_view s) {
+  out.put_u8_span({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::string get_string(ByteReader& in) {
+  const std::vector<std::uint8_t> bytes = in.get_u8_vector();
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+/// Every payload opens with the wire version; decoding any packet from
+/// another protocol generation fails here, before a single field is
+/// trusted.
+ByteWriter begin_payload() {
+  ByteWriter out;
+  out.put_u32(kWireVersion);
+  return out;
+}
+
+ByteReader open_payload(const storage::Frame& frame, PacketType expected) {
+  if (frame.type != static_cast<std::uint32_t>(expected)) {
+    throw std::runtime_error(std::string("wire: expected ") + packet_type_name(expected) +
+                             ", got packet type " + std::to_string(frame.type));
+  }
+  ByteReader in(frame.payload);
+  const std::uint32_t version = in.get_u32();
+  if (version != kWireVersion) {
+    throw std::runtime_error("wire: version " + std::to_string(version) +
+                             " not supported (this daemon speaks version " +
+                             std::to_string(kWireVersion) + ")");
+  }
+  return in;
+}
+
+std::string finish(PacketType type, std::uint64_t seq, ByteWriter& out) {
+  return storage::encode_frame(static_cast<std::uint32_t>(type), seq, out.bytes());
+}
+
+WireStatus get_status(ByteReader& in) {
+  const std::uint8_t raw = in.get_u8();
+  if (raw > static_cast<std::uint8_t>(WireStatus::kInternalError)) {
+    throw std::runtime_error("wire: unknown status code " + std::to_string(raw));
+  }
+  return static_cast<WireStatus>(raw);
+}
+
+}  // namespace
+
+const char* packet_type_name(PacketType type) {
+  switch (type) {
+    case PacketType::kError: return "error";
+    case PacketType::kLocalizeRequest: return "localize-request";
+    case PacketType::kLocalizeResponse: return "localize-response";
+    case PacketType::kAmbientRequest: return "ambient-request";
+    case PacketType::kAmbientResponse: return "ambient-response";
+    case PacketType::kResurveyRequest: return "resurvey-request";
+    case PacketType::kResurveyResponse: return "resurvey-response";
+    case PacketType::kStatusRequest: return "status-request";
+    case PacketType::kStatusResponse: return "status-response";
+    case PacketType::kAdminRequest: return "admin-request";
+    case PacketType::kAdminResponse: return "admin-response";
+    case PacketType::kProbeRequest: return "probe-request";
+    case PacketType::kProbeResponse: return "probe-response";
+  }
+  return "unknown";
+}
+
+const char* wire_status_name(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kUnknownZone: return "unknown-zone";
+    case WireStatus::kNotServing: return "not-serving";
+    case WireStatus::kBadRequest: return "bad-request";
+    case WireStatus::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+const char* admin_op_name(AdminOp op) {
+  switch (op) {
+    case AdminOp::kDrain: return "drain";
+    case AdminOp::kReload: return "reload";
+    case AdminOp::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+// -- requests --
+
+std::string LocalizeRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  out.put_f64_span(rss);
+  return finish(PacketType::kLocalizeRequest, seq, out);
+}
+
+LocalizeRequest LocalizeRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kLocalizeRequest);
+  LocalizeRequest req;
+  req.zone = get_string(in);
+  req.rss = in.get_f64_vector();
+  in.expect_exhausted("localize request");
+  return req;
+}
+
+std::string AmbientRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  out.put_f64_span(ambient);
+  out.put_f64(t_days);
+  return finish(PacketType::kAmbientRequest, seq, out);
+}
+
+AmbientRequest AmbientRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kAmbientRequest);
+  AmbientRequest req;
+  req.zone = get_string(in);
+  req.ambient = in.get_f64_vector();
+  req.t_days = in.get_f64();
+  in.expect_exhausted("ambient request");
+  return req;
+}
+
+std::string ResurveyRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  out.put_f64(t_days);
+  return finish(PacketType::kResurveyRequest, seq, out);
+}
+
+ResurveyRequest ResurveyRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kResurveyRequest);
+  ResurveyRequest req;
+  req.zone = get_string(in);
+  req.t_days = in.get_f64();
+  in.expect_exhausted("resurvey request");
+  return req;
+}
+
+std::string StatusRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  return finish(PacketType::kStatusRequest, seq, out);
+}
+
+StatusRequest StatusRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kStatusRequest);
+  StatusRequest req;
+  req.zone = get_string(in);
+  in.expect_exhausted("status request");
+  return req;
+}
+
+std::string AdminRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(op));
+  put_string(out, zone);
+  return finish(PacketType::kAdminRequest, seq, out);
+}
+
+AdminRequest AdminRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kAdminRequest);
+  AdminRequest req;
+  const std::uint8_t raw = in.get_u8();
+  if (raw < static_cast<std::uint8_t>(AdminOp::kDrain) ||
+      raw > static_cast<std::uint8_t>(AdminOp::kShutdown)) {
+    throw std::runtime_error("wire: unknown admin op " + std::to_string(raw));
+  }
+  req.op = static_cast<AdminOp>(raw);
+  req.zone = get_string(in);
+  in.expect_exhausted("admin request");
+  return req;
+}
+
+std::string ProbeRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  return finish(PacketType::kProbeRequest, seq, out);
+}
+
+ProbeRequest ProbeRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kProbeRequest);
+  ProbeRequest req;
+  req.zone = get_string(in);
+  in.expect_exhausted("probe request");
+  return req;
+}
+
+// -- responses --
+
+std::string ErrorResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  return finish(PacketType::kError, seq, out);
+}
+
+ErrorResponse ErrorResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kError);
+  ErrorResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  in.expect_exhausted("error response");
+  return res;
+}
+
+std::string LocalizeResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  out.put_f64(x);
+  out.put_f64(y);
+  out.put_f64(confidence);
+  out.put_u8(served ? 1 : 0);
+  out.put_u8(degraded ? 1 : 0);
+  out.put_u64(links_used);
+  return finish(PacketType::kLocalizeResponse, seq, out);
+}
+
+LocalizeResponse LocalizeResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kLocalizeResponse);
+  LocalizeResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  res.x = in.get_f64();
+  res.y = in.get_f64();
+  res.confidence = in.get_f64();
+  res.served = in.get_u8() != 0;
+  res.degraded = in.get_u8() != 0;
+  res.links_used = in.get_u64();
+  in.expect_exhausted("localize response");
+  return res;
+}
+
+std::string AmbientResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  out.put_u8(accepted ? 1 : 0);
+  out.put_u8(triggered ? 1 : 0);
+  out.put_f64(staleness_db);
+  return finish(PacketType::kAmbientResponse, seq, out);
+}
+
+AmbientResponse AmbientResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kAmbientResponse);
+  AmbientResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  res.accepted = in.get_u8() != 0;
+  res.triggered = in.get_u8() != 0;
+  res.staleness_db = in.get_f64();
+  in.expect_exhausted("ambient response");
+  return res;
+}
+
+std::string ResurveyResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  out.put_u8(accepted ? 1 : 0);
+  return finish(PacketType::kResurveyResponse, seq, out);
+}
+
+ResurveyResponse ResurveyResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kResurveyResponse);
+  ResurveyResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  res.accepted = in.get_u8() != 0;
+  in.expect_exhausted("resurvey response");
+  return res;
+}
+
+std::string StatusResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  out.put_u64(zones.size());
+  for (const ZoneStatus& z : zones) {
+    put_string(out, z.zone);
+    put_string(out, z.state);
+    out.put_u64(z.queries);
+    out.put_u64(z.updates_committed);
+    out.put_u64(z.updates_failed);
+    out.put_u8(z.update_in_flight ? 1 : 0);
+    out.put_f64(z.staleness_db);
+    out.put_f64(z.clock_days);
+    out.put_u64(z.wal_sequence);
+    put_string(out, z.last_error);
+  }
+  return finish(PacketType::kStatusResponse, seq, out);
+}
+
+StatusResponse StatusResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kStatusResponse);
+  StatusResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  const std::uint64_t count = in.get_u64();
+  in.require_elements(count, 8, "status zone entries");
+  res.zones.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ZoneStatus z;
+    z.zone = get_string(in);
+    z.state = get_string(in);
+    z.queries = in.get_u64();
+    z.updates_committed = in.get_u64();
+    z.updates_failed = in.get_u64();
+    z.update_in_flight = in.get_u8() != 0;
+    z.staleness_db = in.get_f64();
+    z.clock_days = in.get_f64();
+    z.wal_sequence = in.get_u64();
+    z.last_error = get_string(in);
+    res.zones.push_back(std::move(z));
+  }
+  in.expect_exhausted("status response");
+  return res;
+}
+
+std::string AdminResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  return finish(PacketType::kAdminResponse, seq, out);
+}
+
+AdminResponse AdminResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kAdminResponse);
+  AdminResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  in.expect_exhausted("admin response");
+  return res;
+}
+
+std::string ProbeResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  out.put_f64(truth_x);
+  out.put_f64(truth_y);
+  out.put_f64(estimate_x);
+  out.put_f64(estimate_y);
+  out.put_f64(error_m);
+  out.put_u8(degraded ? 1 : 0);
+  return finish(PacketType::kProbeResponse, seq, out);
+}
+
+ProbeResponse ProbeResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kProbeResponse);
+  ProbeResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  res.truth_x = in.get_f64();
+  res.truth_y = in.get_f64();
+  res.estimate_x = in.get_f64();
+  res.estimate_y = in.get_f64();
+  res.error_m = in.get_f64();
+  res.degraded = in.get_u8() != 0;
+  in.expect_exhausted("probe response");
+  return res;
+}
+
+ExtractResult extract_packet(std::string& buffer, storage::Frame& out, std::string* error) {
+  std::size_t pos = 0;
+  const storage::FrameStatus status = storage::decode_frame(buffer, pos, out, error);
+  switch (status) {
+    case storage::FrameStatus::kOk:
+      buffer.erase(0, pos);
+      return ExtractResult::kPacket;
+    case storage::FrameStatus::kEof:
+    case storage::FrameStatus::kTorn:
+      return ExtractResult::kNeedMore;
+    case storage::FrameStatus::kCorrupt:
+      return ExtractResult::kCorrupt;
+  }
+  return ExtractResult::kCorrupt;
+}
+
+}  // namespace tafloc::daemon

@@ -1,0 +1,310 @@
+#include "tafloc/daemon/zone.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "tafloc/util/check.h"
+#include "tafloc/util/log.h"
+
+namespace tafloc::daemon {
+
+namespace {
+
+TafLocConfig make_system_config(const ZoneConfig& config) {
+  TafLocConfig cfg;
+  cfg.telemetry.enabled = config.telemetry;
+  cfg.telemetry.zone = config.name;
+  return cfg;
+}
+
+}  // namespace
+
+const char* zone_state_name(ZoneState state) {
+  switch (state) {
+    case ZoneState::kLoading: return "loading";
+    case ZoneState::kCalibrating: return "calibrating";
+    case ZoneState::kServing: return "serving";
+    case ZoneState::kDegraded: return "degraded";
+    case ZoneState::kResurveying: return "resurveying";
+    case ZoneState::kDraining: return "draining";
+    case ZoneState::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+bool zone_transition_legal(ZoneState from, ZoneState to) noexcept {
+  if (from == to) return false;
+  switch (from) {
+    case ZoneState::kLoading:
+      return to == ZoneState::kCalibrating || to == ZoneState::kStopped;
+    case ZoneState::kCalibrating:
+      return to == ZoneState::kServing || to == ZoneState::kDraining ||
+             to == ZoneState::kStopped;
+    case ZoneState::kServing:
+    case ZoneState::kDegraded:
+      return to == ZoneState::kDegraded || to == ZoneState::kServing ||
+             to == ZoneState::kResurveying || to == ZoneState::kDraining;
+    case ZoneState::kResurveying:
+      return to == ZoneState::kServing || to == ZoneState::kDegraded ||
+             to == ZoneState::kDraining;
+    case ZoneState::kDraining:
+      return to == ZoneState::kStopped;
+    case ZoneState::kStopped:
+      return false;
+  }
+  return false;
+}
+
+Zone::Zone(ZoneConfig config, JobQueue* jobs)
+    : config_(std::move(config)),
+      jobs_(jobs),
+      scenario_(Scenario::paper_room(config_.seed)),
+      system_(scenario_.deployment(), make_system_config(config_)),
+      rng_(config_.seed ^ 0x5a11ull) {
+  TAFLOC_CHECK_ARG(!config_.name.empty(), "zone needs a name");
+}
+
+Zone::~Zone() {
+  // The solve job captures `this`; never destroy underneath it.
+  while (job_phase_.load(std::memory_order_acquire) == JobPhase::kSolving) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool Zone::admissible() const noexcept {
+  return state_ == ZoneState::kServing || state_ == ZoneState::kDegraded ||
+         state_ == ZoneState::kResurveying;
+}
+
+void Zone::transition(ZoneState to) {
+  TAFLOC_CHECK_STATE(zone_transition_legal(state_, to),
+                     "zone '" + config_.name + "': illegal transition " +
+                         zone_state_name(state_) + " -> " + zone_state_name(to));
+  TAFLOC_LOG_INFO << "zone '" << config_.name << "': " << zone_state_name(state_) << " -> "
+                  << zone_state_name(to);
+  state_ = to;
+  MetricRegistry& reg = system_.telemetry();
+  if (reg.enabled()) {
+    reg.counter("zone.transitions").add(1);
+    reg.gauge("zone.state").set(static_cast<double>(to));
+    reg.record_span(std::string("zone.state.") + zone_state_name(to), 0, reg.now_ns(), 0);
+  }
+}
+
+void Zone::start() {
+  TAFLOC_CHECK_STATE(state_ == ZoneState::kLoading,
+                     "zone '" + config_.name + "': start() from " + zone_state_name(state_));
+  transition(ZoneState::kCalibrating);
+
+  scheduler_.emplace(Vector(scenario_.deployment().num_links(), 0.0), 0.0, config_.scheduler);
+  scheduler_->attach_telemetry(&system_.telemetry());
+
+  bool recovered = false;
+  if (!config_.state_dir.empty()) {
+    system_.attach_durability({config_.state_dir});
+    system_.attach_scheduler(&*scheduler_);
+    const RecoveryReport report = system_.recover();
+    if (report.outcome != RecoveryReport::Outcome::kUnrecoverable) {
+      recovered = true;
+      clock_days_ = scheduler_->last_update_days();
+      TAFLOC_LOG_INFO << "zone '" << config_.name << "': recovered ("
+                      << recovery_outcome_name(report.outcome) << ", " << report.replayed_records
+                      << " records replayed)";
+    } else {
+      TAFLOC_LOG_WARN << "zone '" << config_.name
+                      << "': no recoverable state, running a full calibration survey";
+    }
+  }
+  if (!recovered) {
+    Vector ambient = scenario_.collector().ambient_scan(0.0, rng_);
+    system_.calibrate(scenario_.collector().survey_all(0.0, rng_), ambient, 0.0);
+    scheduler_->notify_updated(std::move(ambient), 0.0);
+    clock_days_ = 0.0;
+  }
+  transition(ZoneState::kServing);
+}
+
+TafLocSystem::DegradedResult Zone::localize(std::span<const double> rss) {
+  TAFLOC_CHECK_STATE(admissible(), "zone '" + config_.name + "' not admitting queries (" +
+                                       zone_state_name(state_) + ")");
+  const TafLocSystem::DegradedResult result = system_.localize_degraded(rss);
+  ++queries_;
+  // The link-health verdict drives the serving <-> degraded edge; a
+  // resurveying zone reports through its own state until the commit.
+  if (state_ == ZoneState::kServing && result.degraded) {
+    transition(ZoneState::kDegraded);
+  } else if (state_ == ZoneState::kDegraded && result.served && !result.degraded) {
+    transition(ZoneState::kServing);
+  }
+  return result;
+}
+
+Zone::AmbientResult Zone::observe_ambient(std::span<const double> ambient, double t_days) {
+  AmbientResult out;
+  if (!admissible()) return out;
+  out.accepted = true;
+  if (t_days > clock_days_) clock_days_ = t_days;
+  out.triggered = scheduler_->observe_ambient(ambient, t_days);
+  out.staleness_db = scheduler_->estimated_staleness_db();
+  if (out.triggered) out.resurvey_started = request_resurvey(t_days);
+  return out;
+}
+
+bool Zone::request_resurvey(double t_days) {
+  if (state_ != ZoneState::kServing && state_ != ZoneState::kDegraded) return false;
+  if (update_in_flight()) return false;
+
+  // Admission (cheap, serving thread): survey the reference grids
+  // through the collector, WAL the raw inputs, build the problem.
+  const Matrix cols =
+      scenario_.collector().survey_grids(system_.reference_locations(), t_days, rng_);
+  Vector ambient = scenario_.collector().ambient_scan(t_days, rng_);
+  pending_ambient_ = ambient;
+  pending_t_days_ = t_days;
+  resume_state_ = state_;
+  transition(ZoneState::kResurveying);
+  try {
+    inflight_ = std::make_unique<TafLocSystem::StagedUpdate>(
+        system_.stage_update(cols, std::move(ambient), t_days));
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu_);
+      last_error_ = std::string("stage_update: ") + e.what();
+    }
+    TAFLOC_LOG_ERROR << "zone '" << config_.name << "': stage_update failed: " << e.what();
+    transition(resume_state_);
+    return false;
+  }
+  if (t_days > clock_days_) clock_days_ = t_days;
+  job_phase_.store(JobPhase::kSolving, std::memory_order_release);
+
+  auto solve = [this] {
+    try {
+      system_.solve_staged_update(*inflight_);
+      job_phase_.store(JobPhase::kSolved, std::memory_order_release);
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu_);
+        last_error_ = std::string("solve: ") + e.what();
+      }
+      job_phase_.store(JobPhase::kFailed, std::memory_order_release);
+    }
+    if (wakeup_) wakeup_();
+  };
+  if (jobs_ == nullptr) {
+    solve();
+    finish_update();
+  } else {
+    jobs_->submit(std::move(solve));
+  }
+  return true;
+}
+
+Zone::ProbeResult Zone::probe() {
+  TAFLOC_CHECK_STATE(admissible(), "zone '" + config_.name + "' not admitting probes (" +
+                                       zone_state_name(state_) + ")");
+  const GridMap& grid = scenario_.deployment().grid();
+  const std::size_t cell = (probes_ * 17 + 5) % grid.num_cells();
+  ++probes_;
+  ProbeResult out;
+  out.truth = grid.center(cell);
+  const Vector rss = scenario_.collector().observe(out.truth, clock_days_, rng_);
+  const TafLocSystem::DegradedResult result = localize(rss);
+  out.estimate = result.point;
+  out.error_m = std::hypot(result.point.x - out.truth.x, result.point.y - out.truth.y);
+  out.degraded = result.degraded;
+  return out;
+}
+
+void Zone::poll() {
+  const JobPhase phase = job_phase_.load(std::memory_order_acquire);
+  if (phase == JobPhase::kSolved || phase == JobPhase::kFailed) finish_update();
+}
+
+void Zone::finish_update() {
+  const JobPhase phase = job_phase_.load(std::memory_order_acquire);
+  if (inflight_ == nullptr) return;
+  if (phase == JobPhase::kSolved) {
+    try {
+      system_.commit_update(std::move(*inflight_));
+      scheduler_->notify_updated(std::move(pending_ambient_), pending_t_days_);
+      ++updates_committed_;
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu_);
+        last_error_ = std::string("commit_update: ") + e.what();
+      }
+      TAFLOC_LOG_ERROR << "zone '" << config_.name << "': commit failed: " << e.what();
+      ++updates_failed_;
+    }
+  } else if (phase == JobPhase::kFailed) {
+    system_.abandon_staged_update(*inflight_);
+    ++updates_failed_;
+    TAFLOC_LOG_WARN << "zone '" << config_.name
+                    << "': update abandoned (solver failed); serving continues on the old matrix";
+  } else {
+    return;  // still solving; the next poll() will land it.
+  }
+  inflight_.reset();
+  pending_ambient_ = Vector();
+  job_phase_.store(JobPhase::kIdle, std::memory_order_release);
+  // A drain that arrived mid-solve keeps the zone in kDraining; only a
+  // still-resurveying zone takes the return edge.
+  if (state_ == ZoneState::kResurveying) transition(resume_state_);
+}
+
+void Zone::drain() {
+  if (state_ == ZoneState::kStopped) return;
+  if (state_ == ZoneState::kLoading) {
+    transition(ZoneState::kStopped);
+    return;
+  }
+  if (state_ != ZoneState::kDraining) transition(ZoneState::kDraining);
+  // Finish in-flight work: wait out the solve, then commit (or abandon)
+  // on this thread.
+  while (job_phase_.load(std::memory_order_acquire) == JobPhase::kSolving) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  finish_update();
+  if (system_.durable() && system_.calibrated()) {
+    try {
+      system_.save();  // epilogue snapshot; WAL rotates with it.
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(err_mu_);
+      last_error_ = std::string("drain save: ") + e.what();
+      TAFLOC_LOG_ERROR << "zone '" << config_.name << "': epilogue snapshot failed: " << e.what();
+    }
+  }
+  transition(ZoneState::kStopped);
+}
+
+bool Zone::update_in_flight() const noexcept {
+  return job_phase_.load(std::memory_order_acquire) != JobPhase::kIdle || inflight_ != nullptr;
+}
+
+Zone::Status Zone::status() const {
+  Status s;
+  s.state = state_;
+  s.queries = queries_;
+  s.updates_committed = updates_committed_;
+  s.updates_failed = updates_failed_;
+  s.update_in_flight = update_in_flight();
+  s.staleness_db = scheduler_ ? scheduler_->estimated_staleness_db() : 0.0;
+  s.clock_days = clock_days_;
+  s.wal_sequence = system_.durable() ? system_.durable_sequence() : 0;
+  {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    s.last_error = last_error_;
+  }
+  return s;
+}
+
+void Zone::apply_scheduler_config(const SchedulerConfig& config) {
+  config_.scheduler = config;
+  if (scheduler_) scheduler_->set_config(config);
+}
+
+}  // namespace tafloc::daemon

@@ -1,0 +1,84 @@
+// JobQueue -- the asynchronous front of the execution core: a small
+// supervised worker that runs queued jobs off the serving thread.
+//
+// The fork-join ThreadPool is the wrong shape for a zone recalibration:
+// run_chunks() blocks its caller and serializes whole batches, so a
+// LoLi-IR solve submitted through it would hold the pool (and the
+// serving thread) for the entire update.  JobQueue decouples admission
+// from execution: the serving thread enqueues a closure and returns
+// immediately; a dedicated worker dequeues jobs FIFO and runs them.
+// The job body is free to use the global ThreadPool internally -- a
+// JobQueue worker is not a pool task, so nested parallel_for calls get
+// the full pool, interleaving kernel-by-kernel with any concurrent
+// serving traffic instead of excluding it.
+//
+// Supervision contract (dinit-style: a misbehaving service must never
+// take the supervisor down): a job that throws is caught, logged and
+// counted in failed(); the worker keeps draining the queue.  Completion
+// hooks fire on the worker thread -- keep them cheap (set a flag, poke
+// an event-loop wakeup fd) and do the real commit on the serving
+// thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tafloc {
+
+class JobQueue {
+ public:
+  /// One FIFO worker by default; `name` prefixes log lines.
+  explicit JobQueue(std::string name = "jobs", std::size_t workers = 1);
+  /// Finishes every queued job, then joins (see shutdown()).
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue `job`; returns its id (1-based admission order).  Throws
+  /// std::runtime_error after shutdown().
+  std::uint64_t submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Stop admissions, finish everything already queued, join workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  std::size_t workers() const noexcept { return workers_count_; }
+  /// Jobs admitted / finished cleanly / swallowed an exception.
+  std::uint64_t submitted() const;
+  std::uint64_t completed() const;
+  std::uint64_t failed() const;
+  /// Queued-but-not-started jobs right now.
+  std::size_t pending() const;
+  /// True when nothing is queued and nothing is running.
+  bool idle() const;
+
+ private:
+  void worker_loop();
+
+  const std::string name_;
+  const std::size_t workers_count_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace tafloc

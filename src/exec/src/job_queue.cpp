@@ -1,0 +1,108 @@
+#include "tafloc/exec/job_queue.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "tafloc/util/check.h"
+#include "tafloc/util/log.h"
+
+namespace tafloc {
+
+JobQueue::JobQueue(std::string name, std::size_t workers)
+    : name_(std::move(name)), workers_count_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_count_);
+  for (std::size_t i = 0; i < workers_count_; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+JobQueue::~JobQueue() { shutdown(); }
+
+std::uint64_t JobQueue::submit(std::function<void()> job) {
+  TAFLOC_CHECK_ARG(job != nullptr, "job must not be null");
+  std::uint64_t id;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw std::runtime_error("JobQueue '" + name_ + "': submit after shutdown");
+    queue_.push_back(std::move(job));
+    id = ++submitted_;
+  }
+  cv_work_.notify_one();
+  return id;
+}
+
+void JobQueue::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void JobQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && threads_.empty()) return;
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+}
+
+std::uint64_t JobQueue::submitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+std::uint64_t JobQueue::completed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::uint64_t JobQueue::failed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+std::size_t JobQueue::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool JobQueue::idle() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && running_ == 0;
+}
+
+void JobQueue::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    bool ok = true;
+    try {
+      job();
+    } catch (const std::exception& e) {
+      ok = false;
+      TAFLOC_LOG_ERROR << "JobQueue '" << name_ << "': job threw: " << e.what();
+    } catch (...) {
+      ok = false;
+      TAFLOC_LOG_ERROR << "JobQueue '" << name_ << "': job threw a non-exception";
+    }
+    lock.lock();
+    --running_;
+    if (ok)
+      ++completed_;
+    else
+      ++failed_;
+    if (queue_.empty() && running_ == 0) cv_idle_.notify_all();
+  }
+}
+
+}  // namespace tafloc

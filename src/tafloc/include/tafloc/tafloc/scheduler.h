@@ -66,6 +66,10 @@ class UpdateScheduler {
 
   double last_update_days() const noexcept { return updated_at_; }
   const SchedulerConfig& config() const noexcept { return config_; }
+  /// Live-apply new trigger thresholds (taflocd config reload); the
+  /// baseline and accumulators are untouched, so the next observation
+  /// is judged against the new thresholds only.
+  void set_config(const SchedulerConfig& config) noexcept { config_ = config; }
 
   /// Point scheduler.* metrics at `registry` (typically the owning
   /// TafLocSystem's): staleness gauge in dB, observation / trigger

@@ -17,8 +17,10 @@
 // uniformly alongside RTI and RASS.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -112,8 +114,70 @@ class TafLocSystem : public Localizer {
   /// reconstruction's data/reference terms (LoLi-IR row_observed) and
   /// patched from the current database, so an update with faulty links
   /// degrades gracefully instead of aborting or poisoning the matrix.
+  /// Equivalent to stage_update + solve_staged_update + commit_update
+  /// run back to back (bit-identical results).
   UpdateReport update(const Matrix& fresh_reference_columns, Vector fresh_ambient,
                       double t_days);
+
+  // -- staged (off-thread) updates: the daemon's supervised resurvey --
+  //
+  // A recalibration must never block serving, so the expensive solve is
+  // split out of the swap:
+  //
+  //   StagedUpdate staged = system.stage_update(cols, ambient, t);
+  //       // serving thread: WAL append + sanitization + problem build.
+  //   system.solve_staged_update(staged);
+  //       // ANY thread: pure LoLi-IR solve; touches no system state, so
+  //       // localize()/localize_degraded() keep answering from the old
+  //       // matrix meanwhile.
+  //   report = system.commit_update(std::move(staged));
+  //       // serving thread: atomic swap of the reconstructed matrix,
+  //       // telemetry, snapshot.  Serialized against save().
+  //
+  // At most one update may be staged at a time (stage_update throws on
+  // a second).  A durable save() issued between stage and commit stamps
+  // its coverage *before* the staged WAL record, so recovery replays
+  // the in-flight update instead of losing it.
+
+  /// An update admitted but not yet applied.  Opaque to callers beyond
+  /// the diagnostics below; move-only bookkeeping travels through it
+  /// from stage to commit.
+  struct StagedUpdate {
+    double t_days = 0.0;
+    std::size_t references_surveyed = 0;
+    LoliIrProblem problem;
+    Vector sanitized_ambient;
+    LoliIrResult solver;     ///< filled by solve_staged_update.
+    bool solved = false;
+    std::uint64_t wal_seq = 0;  ///< the kWalUpdate record (0 when not durable).
+  };
+
+  /// Admission: write-ahead-log the raw inputs, run fault sanitization
+  /// (non-finite fresh rows mark their link dead) and build the solver
+  /// problem from the CURRENT database.  Call on the serving thread.
+  StagedUpdate stage_update(const Matrix& fresh_reference_columns, Vector fresh_ambient,
+                            double t_days);
+
+  /// The expensive part: runs LoLi-IR on the staged problem.  Reads no
+  /// mutable system state -- safe to run on a worker thread while the
+  /// serving thread keeps localizing against the old matrix.
+  void solve_staged_update(StagedUpdate& staged) const;
+
+  /// Swap the reconstructed matrix in, publish telemetry, and (when
+  /// durable) commit a snapshot.  Serialized against save() -- a drain
+  /// mid-recalibration sees either the old matrix or the new one, never
+  /// a torn state.  Call on the serving thread.
+  UpdateReport commit_update(StagedUpdate staged);
+
+  /// Discard a staged update without applying it (solver failure in a
+  /// supervised job).  The WAL record already written stays in the log,
+  /// so a crash-recovery replay MAY apply the abandoned update -- the
+  /// recovered state is consistent, just not bit-identical to a live
+  /// process that dropped it.
+  void abandon_staged_update(const StagedUpdate& staged) noexcept;
+
+  /// True while an update is staged but not yet committed or abandoned.
+  bool update_staged() const noexcept;
 
   /// Convenience: perform the reference survey + ambient scan through a
   /// collector, then update.
@@ -192,7 +256,11 @@ class TafLocSystem : public Localizer {
   bool durable() const noexcept { return store_ != nullptr; }
 
   /// Commit a snapshot of the full zone state now and rotate the WAL.
-  /// Requires attach_durability() and a calibrated system.
+  /// Requires attach_durability() and a calibrated system.  Thread-safe
+  /// against a concurrent commit_update(): the snapshot captures either
+  /// the pre-swap or the post-swap state, and while an update is staged
+  /// the coverage stamp stops just before its WAL record so recovery
+  /// still replays it.
   void save();
 
   /// Restore this system from the zone directory: newest valid
@@ -234,6 +302,8 @@ class TafLocSystem : public Localizer {
   void rebuild_matcher();
 
   // -- durability internals (all no-ops until attach_durability) --
+  /// Body of save(); commit_mu_ must be held.
+  void save_locked();
   std::string wal_segment_path(std::uint64_t generation) const;
   void rotate_wal(std::uint64_t generation);
   std::string encode_zone_payload() const;
@@ -260,9 +330,18 @@ class TafLocSystem : public Localizer {
   std::unique_ptr<storage::SnapshotStore> store_;
   std::unique_ptr<storage::WalWriter> wal_;
   UpdateScheduler* scheduler_ = nullptr;  ///< snapshotted + WAL-fed when set.
+  std::uint64_t oldest_wal_gen_ = 1;      ///< oldest segment possibly still on disk.
   std::uint64_t generation_ = 0;          ///< last committed snapshot generation.
   std::uint64_t next_seq_ = 1;            ///< next WAL sequence number.
   bool replaying_ = false;                ///< recovery replay: no re-logging/snapshots.
+
+  // Staged-update supervision: commit_mu_ serializes the swap (commit_
+  // update) against save(), and the staged bookkeeping keeps a snapshot
+  // taken mid-recalibration from claiming coverage of the in-flight
+  // update's WAL record.
+  mutable std::mutex commit_mu_;
+  bool staged_pending_ = false;   ///< one update staged, not yet committed.
+  std::uint64_t staged_seq_ = 0;  ///< its WAL sequence (durable systems).
 };
 
 }  // namespace tafloc

@@ -106,9 +106,12 @@ TafLocSystem::TafLocSystem(TafLocSystem&& other) noexcept
       store_(std::move(other.store_)),
       wal_(std::move(other.wal_)),
       scheduler_(other.scheduler_),
+      oldest_wal_gen_(other.oldest_wal_gen_),
       generation_(other.generation_),
       next_seq_(other.next_seq_),
-      replaying_(other.replaying_) {
+      replaying_(other.replaying_),
+      staged_pending_(other.staged_pending_),
+      staged_seq_(other.staged_seq_) {
   // The moved-from shell must not detach our scheduler's WAL in its
   // destructor, and both borrowed raw pointers must follow the move:
   // the solver's telemetry sink, and the matcher's link-health mask
@@ -168,6 +171,14 @@ void TafLocSystem::calibrate(const Matrix& full_survey, Vector ambient, double t
 
 TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_columns,
                                                 Vector fresh_ambient, double t_days) {
+  ScopedSpan span(telemetry_.get(), "system.update_seconds");
+  StagedUpdate staged = stage_update(fresh_reference_columns, std::move(fresh_ambient), t_days);
+  solve_staged_update(staged);
+  return commit_update(std::move(staged));
+}
+
+TafLocSystem::StagedUpdate TafLocSystem::stage_update(const Matrix& fresh_reference_columns,
+                                                      Vector fresh_ambient, double t_days) {
   TAFLOC_CHECK_STATE(calibrated(), "update() requires a prior calibrate()");
   TAFLOC_CHECK_ARG(fresh_reference_columns.rows() == deployment_.num_links(),
                    "reference columns must have one row per link");
@@ -175,14 +186,20 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
                    "reference column count must match the calibrated reference set");
   TAFLOC_CHECK_ARG(fresh_ambient.size() == deployment_.num_links(),
                    "ambient vector must have one entry per link");
-  ScopedSpan span(telemetry_.get(), "system.update_seconds");
+  ScopedSpan span(telemetry_.get(), "system.stage_update_seconds");
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  TAFLOC_CHECK_STATE(!staged_pending_, "one update is already staged; commit or abandon it");
+
+  StagedUpdate staged;
+  staged.t_days = t_days;
+  staged.references_surveyed = reference_indices_.size();
 
   if (durable() && wal_ != nullptr && !replaying_) {
     // Write-ahead: the raw survey inputs are durable before anything
     // mutates, so a crash anywhere inside the (expensive) solver
     // replays this update from the log and lands on the same matrix.
-    wal_->append(kWalUpdate, encode_update_record(t_days, fresh_reference_columns,
-                                                  fresh_ambient));
+    staged.wal_seq = wal_->append(
+        kWalUpdate, encode_update_record(t_days, fresh_reference_columns, fresh_ambient));
     wal_->sync();
   }
 
@@ -215,11 +232,10 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
     }
   }
 
-  LoliIrProblem problem;
+  LoliIrProblem& problem = staged.problem;
   problem.mask_undistorted = mask_->undistorted;
   problem.known = known_entry_matrix(*mask_, fresh_ambient);
   problem.prediction = lrr_->predict(ref_cols);
-  problem.reference_columns = ref_cols;
   problem.reference_indices = reference_indices_;
   problem.continuity = continuity_;
   problem.similarity = similarity_;
@@ -235,24 +251,58 @@ TafLocSystem::UpdateReport TafLocSystem::update(const Matrix& fresh_reference_co
         problem.prediction(i, j) = database_->fingerprints()(i, j);
     }
   }
+  problem.reference_columns = std::move(ref_cols);
+  staged.sanitized_ambient = std::move(fresh_ambient);
+  staged_pending_ = true;
+  staged_seq_ = staged.wal_seq;
+  return staged;
+}
+
+void TafLocSystem::solve_staged_update(StagedUpdate& staged) const {
+  ScopedSpan span(telemetry_.get(), "system.solve_update_seconds");
+  staged.solver = loli_ir_reconstruct(staged.problem, config_.solver);
+  staged.solved = true;
+}
+
+TafLocSystem::UpdateReport TafLocSystem::commit_update(StagedUpdate staged) {
+  TAFLOC_CHECK_STATE(staged.solved, "commit_update() requires solve_staged_update()");
+  ScopedSpan span(telemetry_.get(), "system.commit_update_seconds");
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  TAFLOC_CHECK_STATE(staged_pending_, "no update is staged");
+  staged_pending_ = false;
 
   UpdateReport report;
-  report.solver = loli_ir_reconstruct(problem, config_.solver);
-  report.updated_at_days = t_days;
-  report.references_surveyed = reference_indices_.size();
+  report.solver = std::move(staged.solver);
+  report.updated_at_days = staged.t_days;
+  report.references_surveyed = staged.references_surveyed;
 
-  database_->update(report.solver.x, std::move(fresh_ambient), t_days);
+  database_->update(report.solver.x, std::move(staged.sanitized_ambient), staged.t_days);
   rebuild_matcher();
   if (telemetry_->enabled()) {
     telemetry_->counter("system.updates").add();
-    telemetry_->gauge("system.last_update_days").set(t_days);
+    telemetry_->gauge("system.last_update_days").set(staged.t_days);
     // Post-update reconstruction quality: the solver objective at the
     // accepted iterate (lower is better; see loli_ir.h for the terms).
     telemetry_->gauge("system.post_update_objective").set(report.solver.objective);
   }
   // The refreshed matrix supersedes the WAL: snapshot it and rotate.
-  if (durable() && !replaying_) save();
+  if (durable() && !replaying_) save_locked();
   return report;
+}
+
+void TafLocSystem::abandon_staged_update(const StagedUpdate& staged) noexcept {
+  (void)staged;
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!staged_pending_) return;
+  staged_pending_ = false;
+  TAFLOC_LOG_WARN << "staged update abandoned (wal seq "
+                  << (staged.wal_seq != 0 ? std::to_string(staged.wal_seq) : "none")
+                  << "); a recovery replay may still apply it";
+}
+
+bool TafLocSystem::update_staged() const noexcept {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  return staged_pending_;
 }
 
 TafLocSystem::UpdateReport TafLocSystem::update_with_collector(
@@ -427,6 +477,7 @@ void TafLocSystem::attach_durability(const DurabilityConfig& config) {
   if (existing.snapshot.has_value()) {
     generation_ = existing.snapshot->generation;
     next_seq_ = existing.snapshot->sequence + 1;
+    oldest_wal_gen_ = generation_ >= 2 ? generation_ - 1 : 1;
   }
 }
 
@@ -456,8 +507,16 @@ void TafLocSystem::rotate_wal(std::uint64_t generation) {
                                               durability_.wal_fsync_every);
   if (scheduler_ != nullptr) scheduler_->attach_wal(wal_.get());
   // Keep current + previous segments: falling back one snapshot
-  // generation must still find every record past that snapshot.
-  if (generation >= 3) std::filesystem::remove(wal_segment_path(generation - 2), ec);
+  // generation must still find every record past that snapshot.  While
+  // an update is staged, keep everything -- its WAL record may live in
+  // an older segment and must survive until a snapshot covers it; the
+  // next unstaged rotation catches up on the deferred deletions.
+  if (!staged_pending_) {
+    while (oldest_wal_gen_ + 2 <= generation) {
+      std::filesystem::remove(wal_segment_path(oldest_wal_gen_), ec);
+      ++oldest_wal_gen_;
+    }
+  }
 }
 
 std::string TafLocSystem::encode_zone_payload() const {
@@ -519,6 +578,11 @@ void TafLocSystem::install_zone_payload(std::string_view payload) {
 }
 
 void TafLocSystem::save() {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  save_locked();
+}
+
+void TafLocSystem::save_locked() {
   TAFLOC_CHECK_STATE(durable(), "save() requires attach_durability()");
   TAFLOC_CHECK_STATE(calibrated(), "save() requires a calibrated system");
   if (wal_ != nullptr) {
@@ -530,7 +594,12 @@ void TafLocSystem::save() {
   }
   storage::SnapshotData snap;
   snap.generation = generation_ + 1;
-  snap.sequence = next_seq_ - 1;  // every record up to here is in the payload.
+  // Every record up to the stamp is reflected in the payload.  While an
+  // update is staged but not committed, the payload is still the
+  // pre-swap matrix, so coverage stops just before the staged kWalUpdate
+  // record -- recovery replays the in-flight update instead of losing it
+  // (a drain mid-recalibration depends on this).
+  snap.sequence = (staged_pending_ && staged_seq_ != 0) ? staged_seq_ - 1 : next_seq_ - 1;
   snap.payload = encode_zone_payload();
   store_->commit(snap);
   generation_ = snap.generation;

@@ -122,6 +122,13 @@ struct TelemetryConfig {
   bool enabled = true;
   /// Completed spans retained in the stage-trace ring (oldest evicted).
   std::size_t trace_capacity = 1024;
+  /// Zone attribution label.  When non-empty, every exported line --
+  /// snapshot header, counters, gauges, histograms, spans -- carries a
+  /// `"zone":"<id>"` field, so one JSONL stream concatenating several
+  /// registries (taflocd) stays attributable per zone.  Empty (the
+  /// library default) leaves the export byte-identical to the unlabeled
+  /// format.
+  std::string zone;
 };
 
 /// Named metric store.  Lookup creates on first use and returns a
@@ -137,6 +144,8 @@ class MetricRegistry {
 
   bool enabled() const noexcept { return config_.enabled; }
   const TelemetryConfig& config() const noexcept { return config_; }
+  /// Zone attribution label ("" = unlabeled library registry).
+  const std::string& zone() const noexcept { return config_.zone; }
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);

@@ -231,7 +231,9 @@ std::string MetricRegistry::text_dump() const {
   const std::lock_guard<std::mutex> lock(mu_);
   out << "telemetry: " << (enabled() ? "enabled" : "disabled") << ", "
       << counters_.size() + gauges_.size() + histograms_.size() << " metrics, "
-      << spans_recorded() << " spans recorded\n";
+      << spans_recorded() << " spans recorded";
+  if (!config_.zone.empty()) out << ", zone=" << config_.zone;
+  out << '\n';
   for (const auto& [name, c] : counters_)
     out << "  counter    " << name << " = " << c->value() << '\n';
   for (const auto& [name, g] : gauges_)
@@ -246,16 +248,22 @@ std::string MetricRegistry::text_dump() const {
 
 void MetricRegistry::snapshot_json(std::ostream& out) const {
   const std::lock_guard<std::mutex> lock(mu_);
+  // Zone attribution rides every line so a stream concatenating several
+  // registries stays per-line attributable; the empty-label format is
+  // byte-identical to the historical (library) one.
+  std::string zone_field;
+  if (!config_.zone.empty()) zone_field = ",\"zone\":\"" + json_escape(config_.zone) + "\"";
   out << "{\"type\":\"snapshot\",\"enabled\":" << (enabled() ? "true" : "false")
       << ",\"metrics\":" << counters_.size() + gauges_.size() + histograms_.size()
-      << ",\"spans_recorded\":" << spans_recorded() << ",\"uptime_ns\":" << now_ns() << "}\n";
+      << ",\"spans_recorded\":" << spans_recorded() << ",\"uptime_ns\":" << now_ns()
+      << zone_field << "}\n";
   for (const auto& [name, c] : counters_) {
     out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
-        << "\",\"value\":" << c->value() << "}\n";
+        << "\",\"value\":" << c->value() << zone_field << "}\n";
   }
   for (const auto& [name, g] : gauges_) {
     out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
-        << "\",\"value\":" << json_double(g->value()) << "}\n";
+        << "\",\"value\":" << json_double(g->value()) << zone_field << "}\n";
   }
   for (const auto& [name, h] : histograms_) {
     out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(name)
@@ -264,13 +272,14 @@ void MetricRegistry::snapshot_json(std::ostream& out) const {
         << ",\"mean\":" << json_double(h->mean())
         << ",\"p50\":" << json_double(h->quantile(0.5))
         << ",\"p95\":" << json_double(h->quantile(0.95))
-        << ",\"p99\":" << json_double(h->quantile(0.99)) << "}\n";
+        << ",\"p99\":" << json_double(h->quantile(0.99)) << zone_field << "}\n";
   }
   for (std::size_t i = 0; i < trace_.size(); ++i) {
     const SpanRecord& s = trace_[(trace_head_ + i) % trace_.size()];
     out << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
         << "\",\"depth\":" << s.depth << ",\"thread\":" << s.thread
-        << ",\"start_ns\":" << s.start_ns << ",\"duration_ns\":" << s.duration_ns << "}\n";
+        << ",\"start_ns\":" << s.start_ns << ",\"duration_ns\":" << s.duration_ns
+        << zone_field << "}\n";
   }
 }
 

@@ -1,0 +1,107 @@
+// Daemon config parser: the happy path and the strictness contract
+// (a config the daemon does not fully understand must be refused).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "tafloc/daemon/config.h"
+
+namespace tafloc::daemon {
+namespace {
+
+DaemonConfig parse(const std::string& text) {
+  std::istringstream in(text);
+  return DaemonConfig::parse(in);
+}
+
+TEST(DaemonConfig, ParsesDaemonAndZoneSections) {
+  const DaemonConfig config = parse(R"(
+# daemon-wide
+socket = /run/tafloc/taflocd.sock
+telemetry_dir = /var/lib/tafloc/telemetry
+
+[zone office]
+seed = 4242
+state_dir = /var/lib/tafloc/office
+staleness_threshold_db = 2.5
+min_interval_days = 0.5
+max_interval_days = 30
+telemetry = true
+
+[zone lab]
+seed = 7
+telemetry = off
+)");
+  EXPECT_EQ(config.socket_path, "/run/tafloc/taflocd.sock");
+  EXPECT_EQ(config.telemetry_dir, "/var/lib/tafloc/telemetry");
+  ASSERT_EQ(config.zones.size(), 2u);
+
+  const ZoneConfig* office = config.find_zone("office");
+  ASSERT_NE(office, nullptr);
+  EXPECT_EQ(office->seed, 4242u);
+  EXPECT_EQ(office->state_dir, "/var/lib/tafloc/office");
+  EXPECT_EQ(office->scheduler.staleness_threshold_db, 2.5);
+  EXPECT_EQ(office->scheduler.min_interval_days, 0.5);
+  EXPECT_EQ(office->scheduler.max_interval_days, 30.0);
+  EXPECT_TRUE(office->telemetry);
+
+  const ZoneConfig* lab = config.find_zone("lab");
+  ASSERT_NE(lab, nullptr);
+  EXPECT_EQ(lab->seed, 7u);
+  EXPECT_TRUE(lab->state_dir.empty());  // in-memory zone.
+  EXPECT_FALSE(lab->telemetry);
+
+  EXPECT_EQ(config.find_zone("warehouse"), nullptr);
+}
+
+TEST(DaemonConfig, DefaultsMatchSchedulerDefaults) {
+  const DaemonConfig config = parse("socket = /tmp/t.sock\n[zone a]\n");
+  const SchedulerConfig defaults;
+  EXPECT_EQ(config.zones[0].scheduler.staleness_threshold_db, defaults.staleness_threshold_db);
+  EXPECT_EQ(config.zones[0].scheduler.min_interval_days, defaults.min_interval_days);
+  EXPECT_EQ(config.zones[0].scheduler.max_interval_days, defaults.max_interval_days);
+}
+
+TEST(DaemonConfig, RejectsMissingSocket) {
+  EXPECT_THROW(parse("[zone a]\nseed = 1\n"), std::runtime_error);
+}
+
+TEST(DaemonConfig, RejectsZeroZones) {
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n"), std::runtime_error);
+}
+
+TEST(DaemonConfig, RejectsDuplicateZones) {
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\n[zone a]\n"), std::runtime_error);
+}
+
+TEST(DaemonConfig, RejectsUnknownKeysAtBothLevels) {
+  EXPECT_THROW(parse("socket = /tmp/t.sock\nspeed = 11\n[zone a]\n"), std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nwarp = 9\n"), std::runtime_error);
+}
+
+TEST(DaemonConfig, RejectsMalformedLines) {
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a\n"), std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\njust words\n"), std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[section]\n"), std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone ]\n"), std::runtime_error);
+}
+
+TEST(DaemonConfig, RejectsBadNumbersWithLineInfo) {
+  try {
+    parse("socket = /tmp/t.sock\n[zone a]\nseed = twelve\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nmin_interval_days = 1.5x\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\ntelemetry = maybe\n"), std::runtime_error);
+}
+
+TEST(DaemonConfig, LoadFileMissingThrows) {
+  EXPECT_THROW(DaemonConfig::load_file("/nonexistent/taflocd.conf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tafloc::daemon

@@ -1,0 +1,326 @@
+// ZoneManager + ControlServer: in-process dispatch across every packet
+// type and fault-containment path, plus a socket-level round trip over
+// a live event loop.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "tafloc/daemon/daemon.h"
+#include "tafloc/sim/scenario.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc::daemon {
+namespace {
+
+namespace fs = std::filesystem;
+
+DaemonConfig two_zone_config() {
+  std::istringstream in(
+      "socket = /tmp/unused.sock\n"
+      "[zone office]\n"
+      "seed = 21\n"
+      "[zone lab]\n"
+      "seed = 22\n");
+  return DaemonConfig::parse(in);
+}
+
+storage::Frame reframe(const std::string& bytes) {
+  storage::Frame frame;
+  std::size_t pos = 0;
+  EXPECT_EQ(storage::decode_frame(bytes, pos, frame), storage::FrameStatus::kOk);
+  return frame;
+}
+
+Vector office_query() {
+  Scenario scenario = Scenario::paper_room(21);
+  Rng rng(5);
+  return scenario.collector().observe({2.0, 2.0}, 0.0, rng);
+}
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  DispatchTest()
+      : config_(two_zone_config()),
+        zones_(config_),
+        server_(zones_, loop_, "/tmp/tafloc_dispatch_unused.sock") {
+    zones_.start_all();
+  }
+  ~DispatchTest() override { zones_.drain_all(); }
+
+  DaemonConfig config_;
+  EventLoop loop_;
+  ZoneManager zones_;
+  ControlServer server_;
+};
+
+TEST_F(DispatchTest, StartAllBringsEveryZoneToServing) {
+  ASSERT_EQ(zones_.zones().size(), 2u);
+  for (const auto& zone : zones_.zones()) {
+    EXPECT_EQ(zone->state(), ZoneState::kServing) << zone->name();
+  }
+  EXPECT_NE(zones_.find("office"), nullptr);
+  EXPECT_NE(zones_.find("lab"), nullptr);
+  EXPECT_EQ(zones_.find("warehouse"), nullptr);
+}
+
+TEST_F(DispatchTest, LocalizeDispatch) {
+  LocalizeRequest req{"office", office_query()};
+  const LocalizeResponse res = LocalizeResponse::decode(reframe(server_.dispatch(reframe(req.encode(1)))));
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_TRUE(res.served);
+  EXPECT_GT(res.confidence, 0.0);
+  EXPECT_EQ(zones_.find("office")->status().queries, 1u);
+}
+
+TEST_F(DispatchTest, UnknownZoneIsAWireStatusNotACrash) {
+  LocalizeRequest req{"warehouse", office_query()};
+  const LocalizeResponse res = LocalizeResponse::decode(reframe(server_.dispatch(reframe(req.encode(1)))));
+  EXPECT_EQ(res.status, WireStatus::kUnknownZone);
+  EXPECT_FALSE(res.served);
+}
+
+TEST_F(DispatchTest, BadQueryIsABadRequestNotACrash) {
+  // Wrong-length RSS vector: the zone throws invalid_argument; dispatch
+  // must map it to a kError packet with kBadRequest.
+  LocalizeRequest req{"office", {1.0, 2.0, 3.0}};
+  const storage::Frame reply = reframe(server_.dispatch(reframe(req.encode(1))));
+  ASSERT_EQ(reply.type, static_cast<std::uint32_t>(PacketType::kError));
+  const ErrorResponse err = ErrorResponse::decode(reply);
+  EXPECT_EQ(err.status, WireStatus::kBadRequest);
+  EXPECT_FALSE(err.message.empty());
+}
+
+TEST_F(DispatchTest, DrainedZoneReportsNotServing) {
+  AdminRequest drain{AdminOp::kDrain, "lab"};
+  const AdminResponse ack = AdminResponse::decode(reframe(server_.dispatch(reframe(drain.encode(1)))));
+  EXPECT_EQ(ack.status, WireStatus::kOk);
+  EXPECT_EQ(zones_.find("lab")->state(), ZoneState::kStopped);
+
+  LocalizeRequest req{"lab", office_query()};
+  const LocalizeResponse res = LocalizeResponse::decode(reframe(server_.dispatch(reframe(req.encode(2)))));
+  EXPECT_EQ(res.status, WireStatus::kNotServing);
+}
+
+TEST_F(DispatchTest, StatusCoversAllZonesOrOne) {
+  const StatusResponse all = StatusResponse::decode(reframe(server_.dispatch(reframe(StatusRequest{""}.encode(1)))));
+  EXPECT_EQ(all.status, WireStatus::kOk);
+  ASSERT_EQ(all.zones.size(), 2u);
+
+  const StatusResponse one = StatusResponse::decode(reframe(server_.dispatch(reframe(StatusRequest{"lab"}.encode(2)))));
+  ASSERT_EQ(one.zones.size(), 1u);
+  EXPECT_EQ(one.zones[0].zone, "lab");
+  EXPECT_EQ(one.zones[0].state, "serving");
+
+  const StatusResponse none = StatusResponse::decode(reframe(server_.dispatch(reframe(StatusRequest{"warehouse"}.encode(3)))));
+  EXPECT_EQ(none.status, WireStatus::kUnknownZone);
+}
+
+TEST_F(DispatchTest, ProbeAndResurveyAndAmbientDispatch) {
+  const ProbeResponse probe = ProbeResponse::decode(reframe(server_.dispatch(reframe(ProbeRequest{"office"}.encode(1)))));
+  EXPECT_EQ(probe.status, WireStatus::kOk);
+  EXPECT_LT(probe.error_m, 2.0);  // sanity, not an accuracy benchmark.
+
+  const ResurveyResponse sur = ResurveyResponse::decode(reframe(server_.dispatch(reframe(ResurveyRequest{"office", 2.0}.encode(2)))));
+  EXPECT_EQ(sur.status, WireStatus::kOk);
+  EXPECT_TRUE(sur.accepted);
+  EXPECT_EQ(zones_.find("office")->state(), ZoneState::kResurveying);
+  zones_.jobs().wait_idle();  // let the supervised solve land...
+  zones_.poll_all();          // ...and the serving thread commit it.
+  EXPECT_EQ(zones_.find("office")->state(), ZoneState::kServing);
+  EXPECT_EQ(zones_.find("office")->status().updates_committed, 1u);
+
+  Scenario scenario = Scenario::paper_room(21);
+  Rng rng(6);
+  AmbientRequest amb{"office", scenario.collector().ambient_scan(3.0, rng), 3.0};
+  const AmbientResponse ares = AmbientResponse::decode(reframe(server_.dispatch(reframe(amb.encode(3)))));
+  EXPECT_EQ(ares.status, WireStatus::kOk);
+  EXPECT_TRUE(ares.accepted);
+}
+
+TEST_F(DispatchTest, VersionSkewGetsAnErrorPacketBack) {
+  storage::ByteWriter payload;
+  payload.put_u32(99);  // future wire version.
+  const std::string bytes = storage::encode_frame(
+      static_cast<std::uint32_t>(PacketType::kLocalizeRequest), 9, payload.bytes());
+  const storage::Frame reply = reframe(server_.dispatch(reframe(bytes)));
+  ASSERT_EQ(reply.type, static_cast<std::uint32_t>(PacketType::kError));
+  const ErrorResponse err = ErrorResponse::decode(reply);
+  EXPECT_EQ(err.status, WireStatus::kBadRequest);
+  EXPECT_FALSE(err.message.empty());
+}
+
+TEST_F(DispatchTest, UnexpectedPacketTypeGetsAnErrorPacketBack) {
+  // A client must never send a *response* type at the daemon.
+  AdminResponse rogue;
+  const storage::Frame reply = reframe(server_.dispatch(reframe(rogue.encode(1))));
+  EXPECT_EQ(reply.type, static_cast<std::uint32_t>(PacketType::kError));
+}
+
+TEST_F(DispatchTest, ReloadWithoutHandlerIsRefusedWithHandlerRuns) {
+  AdminRequest reload{AdminOp::kReload, ""};
+  const AdminResponse refused = AdminResponse::decode(reframe(server_.dispatch(reframe(reload.encode(1)))));
+  EXPECT_EQ(refused.status, WireStatus::kBadRequest);
+
+  server_.set_reload_handler([] { return std::string("2 zone(s) updated"); });
+  const AdminResponse ok = AdminResponse::decode(reframe(server_.dispatch(reframe(reload.encode(2)))));
+  EXPECT_EQ(ok.status, WireStatus::kOk);
+  EXPECT_NE(ok.message.find("2 zone(s)"), std::string::npos);
+}
+
+TEST(ZoneManagerReload, AppliesSchedulerChangesAndRefusesTopology) {
+  DaemonConfig config = two_zone_config();
+  ZoneManager zones(config);
+  zones.start_all();
+
+  std::istringstream in(
+      "socket = /tmp/unused.sock\n"
+      "[zone office]\n"
+      "seed = 21\n"
+      "staleness_threshold_db = 9.5\n"
+      "[zone forge]\n"
+      "seed = 99\n");
+  const std::string summary = zones.reload(DaemonConfig::parse(in));
+  EXPECT_EQ(zones.find("office")->config().scheduler.staleness_threshold_db, 9.5);
+  EXPECT_NE(summary.find("forge"), std::string::npos);  // new zone refused, reported.
+  EXPECT_NE(summary.find("lab"), std::string::npos);    // removed zone reported.
+  zones.drain_all();
+}
+
+TEST(ZoneManagerTelemetry, ExportWritesOneLabeledFilePerZone) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("tafloc_daemon_telemetry_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  DaemonConfig config = two_zone_config();
+  {
+    ZoneManager zones(config);
+    zones.start_all();
+    EXPECT_EQ(zones.export_telemetry(dir.string()), 2u);
+    zones.drain_all();
+  }
+  for (const char* name : {"office", "lab"}) {
+    std::ifstream in(dir / (std::string(name) + ".jsonl"));
+    ASSERT_TRUE(in.good()) << name;
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)) << name;
+    EXPECT_NE(line.find("\"zone\":\"" + std::string(name) + "\""), std::string::npos) << line;
+  }
+  fs::remove_all(dir);
+}
+
+// ---- socket level: the full loop -> accept -> frame -> dispatch path.
+
+class RawClient {
+ public:
+  explicit RawClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("connect() failed: " + path);
+    }
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocking read until one whole frame (or peer close -> kEof).
+  bool recv_frame(storage::Frame& out) {
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+      ExtractResult r = extract_packet(buffer, out);
+      if (r == ExtractResult::kPacket) return true;
+      if (r == ExtractResult::kCorrupt) return false;
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ControlServerSocket, ServesFramesAndSurvivesGarbage) {
+  const std::string socket_path =
+      (fs::temp_directory_path() / ("tafloc_daemon_sock_" + std::to_string(::getpid()))).string();
+  std::istringstream in("socket = " + socket_path + "\n[zone office]\nseed = 21\n");
+  const DaemonConfig config = DaemonConfig::parse(in);
+
+  EventLoop loop;
+  ZoneManager zones(config);
+  ASSERT_EQ(zones.start_all(), 1u);
+  ControlServer server(zones, loop, socket_path);
+  server.open();
+  std::thread loop_thread([&loop] { loop.run(50); });
+
+  {
+    RawClient client(socket_path);
+    client.send(StatusRequest{""}.encode(1));
+    storage::Frame frame;
+    ASSERT_TRUE(client.recv_frame(frame));
+    const StatusResponse status = StatusResponse::decode(frame);
+    ASSERT_EQ(status.zones.size(), 1u);
+    EXPECT_EQ(status.zones[0].zone, "office");
+
+    // Two packets in one write: both must be answered, in order.
+    client.send(ProbeRequest{"office"}.encode(2) + StatusRequest{"office"}.encode(3));
+    ASSERT_TRUE(client.recv_frame(frame));
+    EXPECT_EQ(frame.seq, 2u);
+    ASSERT_TRUE(client.recv_frame(frame));
+    EXPECT_EQ(frame.seq, 3u);
+  }
+
+  {
+    // Garbage bytes: the daemon replies with one error packet (best
+    // effort) and closes this connection -- and only this connection.
+    RawClient garbage(socket_path);
+    garbage.send(std::string(64, '\xfe'));
+    storage::Frame frame;
+    while (garbage.recv_frame(frame)) {
+    }  // drain until the daemon closes on us.
+  }
+
+  {
+    // The daemon is still healthy for a fresh client.
+    RawClient again(socket_path);
+    again.send(ProbeRequest{"office"}.encode(9));
+    storage::Frame frame;
+    ASSERT_TRUE(again.recv_frame(frame));
+    const ProbeResponse probe = ProbeResponse::decode(frame);
+    EXPECT_EQ(probe.status, WireStatus::kOk);
+  }
+
+  loop.post([&] {
+    server.close();
+    loop.stop();
+  });
+  loop_thread.join();
+  zones.drain_all();
+  fs::remove(socket_path);
+}
+
+}  // namespace
+}  // namespace tafloc::daemon

@@ -1,0 +1,257 @@
+// Zone lifecycle: the exhaustive transition table, resurvey-while-
+// serving correctness, drain with queued work, and recover-on-restart.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "tafloc/daemon/zone.h"
+#include "tafloc/sim/scenario.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc::daemon {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("tafloc_daemonzone_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+ZoneConfig zone_config(const std::string& name, std::uint64_t seed) {
+  ZoneConfig config;
+  config.name = name;
+  config.seed = seed;
+  return config;
+}
+
+/// A query vector the zone's deployment accepts (paper_room layout).
+Vector make_query(std::uint64_t seed, double t = 0.0) {
+  Scenario scenario = Scenario::paper_room(seed);
+  Rng rng(seed ^ 0x9e97u);
+  return scenario.collector().observe({2.5, 1.5}, t, rng);
+}
+
+TEST(ZoneStateMachine, ExhaustiveTransitionTable) {
+  using S = ZoneState;
+  const S all[] = {S::kLoading,     S::kCalibrating, S::kServing, S::kDegraded,
+                   S::kResurveying, S::kDraining,    S::kStopped};
+  // The complete set of legal edges; everything else must be refused.
+  const std::set<std::pair<S, S>> legal = {
+      {S::kLoading, S::kCalibrating},     {S::kLoading, S::kStopped},
+      {S::kCalibrating, S::kServing},     {S::kCalibrating, S::kDraining},
+      {S::kCalibrating, S::kStopped},     {S::kServing, S::kDegraded},
+      {S::kServing, S::kResurveying},     {S::kServing, S::kDraining},
+      {S::kDegraded, S::kServing},        {S::kDegraded, S::kResurveying},
+      {S::kDegraded, S::kDraining},       {S::kResurveying, S::kServing},
+      {S::kResurveying, S::kDegraded},    {S::kResurveying, S::kDraining},
+      {S::kDraining, S::kStopped},
+  };
+  for (const S from : all) {
+    for (const S to : all) {
+      EXPECT_EQ(zone_transition_legal(from, to), legal.count({from, to}) == 1)
+          << zone_state_name(from) << " -> " << zone_state_name(to);
+    }
+  }
+  // Terminal state and no self-loops, stated explicitly.
+  for (const S to : all) EXPECT_FALSE(zone_transition_legal(S::kStopped, to));
+  for (const S s : all) EXPECT_FALSE(zone_transition_legal(s, s));
+}
+
+TEST(ZoneStateMachine, StateNamesAreDistinct) {
+  using S = ZoneState;
+  std::set<std::string> names;
+  for (const S s : {S::kLoading, S::kCalibrating, S::kServing, S::kDegraded, S::kResurveying,
+                    S::kDraining, S::kStopped}) {
+    names.insert(zone_state_name(s));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(ZoneLifecycle, StartServesAndGuardsReentry) {
+  Zone zone(zone_config("alpha", 11), nullptr);
+  EXPECT_EQ(zone.state(), ZoneState::kLoading);
+  EXPECT_FALSE(zone.admissible());
+  zone.start();
+  EXPECT_EQ(zone.state(), ZoneState::kServing);
+  EXPECT_TRUE(zone.admissible());
+  // start() is not reentrant: serving -> calibrating is not an edge.
+  EXPECT_THROW(zone.start(), std::logic_error);
+
+  const Vector rss = make_query(11);
+  const TafLocSystem::DegradedResult result = zone.localize(rss);
+  EXPECT_TRUE(result.served);
+  EXPECT_EQ(zone.status().queries, 1u);
+}
+
+TEST(ZoneLifecycle, LocalizeBeforeStartAndAfterDrainIsRefused) {
+  Zone zone(zone_config("beta", 12), nullptr);
+  const Vector rss = make_query(12);
+  EXPECT_THROW((void)zone.localize(rss), std::logic_error);
+  zone.drain();  // loading -> stopped.
+  EXPECT_EQ(zone.state(), ZoneState::kStopped);
+  EXPECT_THROW((void)zone.localize(rss), std::logic_error);
+  zone.drain();  // idempotent.
+  EXPECT_EQ(zone.state(), ZoneState::kStopped);
+}
+
+TEST(ZoneLifecycle, ResurveyWhileServingAnswersFromTheOldMatrix) {
+  JobQueue jobs("test-zone", 1);
+  // Park the single worker so the zone's solve stays queued and the
+  // zone is pinned in kResurveying while we query it.
+  std::atomic<bool> release{false};
+  jobs.submit([&release] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+
+  Zone zone(zone_config("gamma", 13), &jobs);
+  zone.start();
+  const Vector rss = make_query(13);
+  const TafLocSystem::DegradedResult before = zone.localize(rss);
+
+  ASSERT_TRUE(zone.request_resurvey(2.0));
+  EXPECT_EQ(zone.state(), ZoneState::kResurveying);
+  EXPECT_TRUE(zone.update_in_flight());
+  EXPECT_FALSE(zone.request_resurvey(2.5));  // one update at a time.
+
+  // Mid-recalibration queries are answered, bit-identically to the
+  // pre-update matrix (the solve has not swapped anything in).
+  const TafLocSystem::DegradedResult during = zone.localize(rss);
+  EXPECT_TRUE(during.served);
+  EXPECT_EQ(during.point.x, before.point.x);
+  EXPECT_EQ(during.point.y, before.point.y);
+  // poll() with the solve still queued must not commit anything.
+  zone.poll();
+  EXPECT_EQ(zone.state(), ZoneState::kResurveying);
+
+  release.store(true);
+  jobs.wait_idle();
+  zone.poll();
+  EXPECT_EQ(zone.state(), ZoneState::kServing);
+  EXPECT_FALSE(zone.update_in_flight());
+  const Zone::Status status = zone.status();
+  EXPECT_EQ(status.updates_committed, 1u);
+  EXPECT_EQ(status.updates_failed, 0u);
+  EXPECT_EQ(status.clock_days, 2.0);
+  zone.drain();
+}
+
+TEST(ZoneLifecycle, SynchronousResurveyCommitsInline) {
+  Zone zone(zone_config("delta", 14), nullptr);  // no job queue.
+  zone.start();
+  ASSERT_TRUE(zone.request_resurvey(3.0));
+  EXPECT_EQ(zone.state(), ZoneState::kServing);  // already committed.
+  EXPECT_EQ(zone.status().updates_committed, 1u);
+  EXPECT_FALSE(zone.update_in_flight());
+}
+
+TEST(ZoneLifecycle, DrainWithQueuedWorkFinishesTheUpdate) {
+  TempDir dir("drainq");
+  JobQueue jobs("test-drain", 1);
+  std::atomic<bool> release{false};
+  jobs.submit([&release] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+
+  ZoneConfig config = zone_config("epsilon", 15);
+  config.state_dir = dir.str();
+  Zone zone(config, &jobs);
+  zone.start();
+  ASSERT_TRUE(zone.request_resurvey(4.0));
+  ASSERT_EQ(zone.state(), ZoneState::kResurveying);
+
+  // Drain arrives while the solve is still queued behind the parked
+  // worker: it must wait the update out, commit it, snapshot, stop.
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true);
+  });
+  zone.drain();
+  releaser.join();
+
+  EXPECT_EQ(zone.state(), ZoneState::kStopped);
+  EXPECT_EQ(zone.status().updates_committed, 1u);
+  EXPECT_FALSE(zone.update_in_flight());
+
+  // The epilogue snapshot is recoverable and carries the update.
+  JobQueue jobs2("test-drain2", 1);
+  Zone restarted(config, &jobs2);
+  restarted.start();
+  EXPECT_EQ(restarted.state(), ZoneState::kServing);
+  EXPECT_TRUE(restarted.system().database() == zone.system().database());
+  EXPECT_EQ(restarted.status().clock_days, 4.0);
+  restarted.drain();
+}
+
+TEST(ZoneLifecycle, DegradedEdgeAndResurveyFromDegraded) {
+  Zone zone(zone_config("zeta", 16), nullptr);
+  zone.start();
+
+  Vector poisoned = make_query(16);
+  poisoned[0] = std::nan("");
+  (void)zone.localize(poisoned);
+  EXPECT_EQ(zone.state(), ZoneState::kDegraded);
+
+  // A resurvey from degraded returns to degraded (synchronous queue).
+  ASSERT_TRUE(zone.request_resurvey(2.0));
+  EXPECT_EQ(zone.state(), ZoneState::kDegraded);
+  EXPECT_EQ(zone.status().updates_committed, 1u);
+
+  // Draining from degraded is legal too.
+  zone.drain();
+  EXPECT_EQ(zone.state(), ZoneState::kStopped);
+}
+
+TEST(ZoneLifecycle, AmbientTriggerStartsResurvey) {
+  ZoneConfig config = zone_config("eta", 17);
+  config.scheduler.staleness_threshold_db = 1e-9;  // any drift triggers.
+  config.scheduler.min_interval_days = 0.0;
+  Zone zone(config, nullptr);
+  zone.start();
+
+  Scenario scenario = Scenario::paper_room(17);
+  Rng rng(99);
+  const Vector ambient = scenario.collector().observe_ambient(5.0, rng);
+  const Zone::AmbientResult result = zone.observe_ambient(ambient, 5.0);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_TRUE(result.triggered);
+  EXPECT_TRUE(result.resurvey_started);
+  EXPECT_EQ(zone.status().updates_committed, 1u);
+  EXPECT_EQ(zone.status().clock_days, 5.0);
+
+  zone.drain();
+  const Zone::AmbientResult refused = zone.observe_ambient(ambient, 6.0);
+  EXPECT_FALSE(refused.accepted);
+}
+
+TEST(ZoneLifecycle, TransitionsLandInZoneTelemetry) {
+  Zone zone(zone_config("theta", 18), nullptr);
+  zone.start();
+  zone.drain();
+  const std::string json = zone.telemetry_json();
+  EXPECT_NE(json.find("\"zone\":\"theta\""), std::string::npos);
+  EXPECT_NE(json.find("zone.transitions"), std::string::npos);
+  EXPECT_NE(json.find("zone.state.serving"), std::string::npos);
+  EXPECT_NE(json.find("zone.state.stopped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tafloc::daemon

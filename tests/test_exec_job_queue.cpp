@@ -1,0 +1,108 @@
+// JobQueue: the asynchronous, supervised job runner under the daemon's
+// per-zone update jobs.  FIFO order on one worker, exception
+// containment, idle tracking, shutdown semantics.
+#include "tafloc/exec/job_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tafloc {
+namespace {
+
+TEST(JobQueue, RunsJobsInSubmissionOrderOnOneWorker) {
+  JobQueue queue("test");
+  std::vector<int> ran;
+  std::mutex mu;
+  for (int i = 0; i < 32; ++i) {
+    queue.submit([&, i] {
+      const std::lock_guard<std::mutex> lock(mu);
+      ran.push_back(i);
+    });
+  }
+  queue.wait_idle();
+  ASSERT_EQ(ran.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ran[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(queue.submitted(), 32u);
+  EXPECT_EQ(queue.completed(), 32u);
+  EXPECT_EQ(queue.failed(), 0u);
+  EXPECT_TRUE(queue.idle());
+}
+
+TEST(JobQueue, SubmitReturnsMonotonicIds) {
+  JobQueue queue("test");
+  EXPECT_EQ(queue.submit([] {}), 1u);
+  EXPECT_EQ(queue.submit([] {}), 2u);
+  EXPECT_EQ(queue.submit([] {}), 3u);
+  queue.wait_idle();
+}
+
+TEST(JobQueue, ThrowingJobIsContainedAndCounted) {
+  JobQueue queue("test");
+  std::atomic<bool> after{false};
+  queue.submit([] { throw std::runtime_error("boom"); });
+  queue.submit([&] { after = true; });
+  queue.wait_idle();
+  EXPECT_TRUE(after.load());  // the worker survived the throw.
+  EXPECT_EQ(queue.failed(), 1u);
+  EXPECT_EQ(queue.completed(), 1u);
+}
+
+TEST(JobQueue, WaitIdleBlocksUntilRunningJobFinishes) {
+  JobQueue queue("test");
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> done{false};
+  queue.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    done = true;
+  });
+  // Give the worker time to dequeue; pending() then reports 0 while the
+  // job is still running, and idle() must stay false.
+  while (queue.pending() != 0) std::this_thread::yield();
+  EXPECT_FALSE(queue.idle());
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  queue.wait_idle();
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(queue.idle());
+}
+
+TEST(JobQueue, ShutdownDrainsQueuedJobsThenRejectsSubmissions) {
+  JobQueue queue("test");
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) queue.submit([&] { ++ran; });
+  queue.shutdown();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_THROW(queue.submit([] {}), std::runtime_error);
+  queue.shutdown();  // idempotent.
+}
+
+TEST(JobQueue, NullJobRejected) {
+  JobQueue queue("test");
+  EXPECT_THROW(queue.submit(std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(JobQueue, ManyWorkersCompleteEverything) {
+  JobQueue queue("test", 4);
+  EXPECT_EQ(queue.workers(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) queue.submit([&] { ++ran; });
+  queue.wait_idle();
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_EQ(queue.completed(), 200u);
+}
+
+}  // namespace
+}  // namespace tafloc

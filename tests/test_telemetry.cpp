@@ -427,6 +427,54 @@ TEST(Telemetry, TextDumpListsEveryMetric) {
   EXPECT_NE(dump.find("c.hist"), std::string::npos);
 }
 
+// ---------------- zone attribution labels ----------------
+
+TEST(Telemetry, ZoneLabelTagsEveryExportLine) {
+  TelemetryConfig config;
+  config.zone = "lobby";
+  MetricRegistry registry(config);
+  EXPECT_EQ(registry.zone(), "lobby");
+  registry.counter("zone.queries").add(2);
+  registry.gauge("zone.staleness_db").set(1.5);
+  registry.histogram("zone.latency_seconds").observe(0.01);
+  {
+    ScopedSpan span(&registry, "zone.update_seconds");
+  }
+  const std::vector<std::string> lines = split_lines(registry.snapshot_json());
+  ASSERT_GE(lines.size(), 5u);  // header + counter + gauge + 2 histograms + span.
+  for (const std::string& line : lines) {
+    JsonParser parser(line);
+    EXPECT_TRUE(parser.valid()) << "not valid JSON: " << line;
+    EXPECT_NE(line.find("\"zone\":\"lobby\""), std::string::npos)
+        << "unlabeled line: " << line;
+  }
+  EXPECT_NE(registry.text_dump().find("zone=lobby"), std::string::npos);
+}
+
+TEST(Telemetry, EmptyZoneLabelKeepsLibraryExportUnlabeled) {
+  MetricRegistry registry;  // default config: no zone.
+  registry.counter("a.count").add(1);
+  registry.gauge("b.gauge").set(0.5);
+  {
+    ScopedSpan span(&registry, "c.op_seconds");
+  }
+  const std::string snapshot = registry.snapshot_json();
+  EXPECT_EQ(snapshot.find("\"zone\""), std::string::npos)
+      << "no-label export must stay byte-identical to the historical format";
+  EXPECT_EQ(registry.text_dump().find("zone="), std::string::npos);
+}
+
+TEST(Telemetry, ZoneLabelWithSpecialCharactersStaysValidJson) {
+  TelemetryConfig config;
+  config.zone = "lab\"2\\north";
+  MetricRegistry registry(config);
+  registry.counter("a.count").add(1);
+  for (const std::string& line : split_lines(registry.snapshot_json())) {
+    JsonParser parser(line);
+    EXPECT_TRUE(parser.valid()) << "not valid JSON: " << line;
+  }
+}
+
 // ---------------- atomic logging ----------------
 
 TEST(Telemetry, ConcurrentLogLinesNeverInterleave) {

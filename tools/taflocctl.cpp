@@ -1,0 +1,238 @@
+// taflocctl -- control client for taflocd.
+//
+//   taflocctl --socket=PATH status   [--zone=NAME]
+//   taflocctl --socket=PATH localize --zone=NAME --rss=v1,v2,...
+//   taflocctl --socket=PATH probe    --zone=NAME [--count=N]
+//   taflocctl --socket=PATH observe  --zone=NAME --t=DAYS --ambient=v1,v2,...
+//   taflocctl --socket=PATH resurvey --zone=NAME --t=DAYS
+//   taflocctl --socket=PATH drain    [--zone=NAME]
+//   taflocctl --socket=PATH reload
+//   taflocctl --socket=PATH shutdown
+//
+// Exit status: 0 when the daemon answered with wire status ok, 1 on a
+// daemon-side error status, 2 on usage/connection errors.
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tafloc/daemon/wire.h"
+#include "tafloc/util/cli.h"
+
+namespace {
+
+using namespace tafloc;
+using namespace tafloc::daemon;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: taflocctl --socket=PATH "
+               "status|localize|probe|observe|resurvey|drain|reload|shutdown [options]\n"
+               "  status   [--zone=NAME]\n"
+               "  localize --zone=NAME --rss=v1,v2,...\n"
+               "  probe    --zone=NAME [--count=N]\n"
+               "  observe  --zone=NAME --t=DAYS --ambient=v1,v2,...\n"
+               "  resurvey --zone=NAME --t=DAYS\n"
+               "  drain    [--zone=NAME]\n"
+               "  reload | shutdown\n");
+  return 2;
+}
+
+std::vector<double> parse_csv(const std::string& csv) {
+  std::vector<double> values;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item.empty()) throw std::runtime_error("empty element in list '" + csv + "'");
+    std::size_t consumed = 0;
+    values.push_back(std::stod(item, &consumed));
+    if (consumed != item.size()) throw std::runtime_error("bad number '" + item + "'");
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
+}
+
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + socket_path);
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("cannot connect to " + socket_path + ": " + why);
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Send one encoded request, block until one complete frame returns.
+  storage::Frame round_trip(const std::string& request) {
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::write(fd_, request.data() + sent, request.size() - sent);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("write to daemon failed");
+      sent += static_cast<std::size_t>(n);
+    }
+    storage::Frame frame;
+    for (;;) {
+      std::string error;
+      const ExtractResult result = extract_packet(buffer_, frame, &error);
+      if (result == ExtractResult::kPacket) return frame;
+      if (result == ExtractResult::kCorrupt) {
+        throw std::runtime_error("corrupt response from daemon: " + error);
+      }
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("daemon closed the connection");
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// kError replies can answer any request type; report and exit 1.
+bool maybe_error(const storage::Frame& frame) {
+  if (frame.type != static_cast<std::uint32_t>(PacketType::kError)) return false;
+  const ErrorResponse err = ErrorResponse::decode(frame);
+  std::fprintf(stderr, "error (%s): %s\n", wire_status_name(err.status), err.message.c_str());
+  return true;
+}
+
+int report(WireStatus status, const std::string& message) {
+  if (status == WireStatus::kOk) return 0;
+  std::fprintf(stderr, "error (%s): %s\n", wire_status_name(status), message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const std::string socket_path = args.get_string("socket", "");
+  if (socket_path.empty() || args.positionals().size() != 1) return usage();
+  const std::string command = args.positionals()[0];
+  const std::string zone = args.get_string("zone", "");
+
+  try {
+    Client client(socket_path);
+    std::uint64_t seq = 1;
+
+    if (command == "status") {
+      const storage::Frame frame = client.round_trip(StatusRequest{zone}.encode(seq));
+      if (maybe_error(frame)) return 1;
+      const StatusResponse res = StatusResponse::decode(frame);
+      for (const ZoneStatus& z : res.zones) {
+        std::printf(
+            "zone=%s state=%s queries=%llu updates=%llu failed=%llu in_flight=%d "
+            "staleness_db=%.3f clock_days=%.3f wal_seq=%llu%s%s\n",
+            z.zone.c_str(), z.state.c_str(), static_cast<unsigned long long>(z.queries),
+            static_cast<unsigned long long>(z.updates_committed),
+            static_cast<unsigned long long>(z.updates_failed), z.update_in_flight ? 1 : 0,
+            z.staleness_db, z.clock_days, static_cast<unsigned long long>(z.wal_sequence),
+            z.last_error.empty() ? "" : " last_error=", z.last_error.c_str());
+      }
+      return report(res.status, res.message);
+    }
+
+    if (command == "localize") {
+      if (zone.empty() || !args.has("rss")) return usage();
+      LocalizeRequest req{zone, parse_csv(args.get_string("rss", ""))};
+      const storage::Frame frame = client.round_trip(req.encode(seq));
+      if (maybe_error(frame)) return 1;
+      const LocalizeResponse res = LocalizeResponse::decode(frame);
+      if (res.status == WireStatus::kOk) {
+        std::printf("estimate=(%.3f, %.3f) served=%d degraded=%d confidence=%.3f links=%llu\n",
+                    res.x, res.y, res.served ? 1 : 0, res.degraded ? 1 : 0, res.confidence,
+                    static_cast<unsigned long long>(res.links_used));
+      }
+      return report(res.status, res.message);
+    }
+
+    if (command == "probe") {
+      if (zone.empty()) return usage();
+      const long count = args.get_long("count", 1);
+      if (count < 1) return usage();
+      double total_error = 0.0;
+      for (long i = 0; i < count; ++i) {
+        const storage::Frame frame = client.round_trip(ProbeRequest{zone}.encode(seq++));
+        if (maybe_error(frame)) return 1;
+        const ProbeResponse res = ProbeResponse::decode(frame);
+        if (res.status != WireStatus::kOk) return report(res.status, res.message);
+        total_error += res.error_m;
+        std::printf("probe truth=(%.3f, %.3f) estimate=(%.3f, %.3f) error=%.3fm degraded=%d\n",
+                    res.truth_x, res.truth_y, res.estimate_x, res.estimate_y, res.error_m,
+                    res.degraded ? 1 : 0);
+      }
+      if (count > 1) std::printf("mean_error=%.3fm over %ld probes\n", total_error / count, count);
+      return 0;
+    }
+
+    if (command == "observe") {
+      if (zone.empty() || !args.has("t") || !args.has("ambient")) return usage();
+      AmbientRequest req{zone, parse_csv(args.get_string("ambient", "")),
+                         args.get_double("t", 0.0)};
+      const storage::Frame frame = client.round_trip(req.encode(seq));
+      if (maybe_error(frame)) return 1;
+      const AmbientResponse res = AmbientResponse::decode(frame);
+      if (res.status == WireStatus::kOk) {
+        std::printf("accepted=%d triggered=%d staleness_db=%.3f\n", res.accepted ? 1 : 0,
+                    res.triggered ? 1 : 0, res.staleness_db);
+      }
+      return report(res.status, res.message);
+    }
+
+    if (command == "resurvey") {
+      if (zone.empty() || !args.has("t")) return usage();
+      ResurveyRequest req{zone, args.get_double("t", 0.0)};
+      const storage::Frame frame = client.round_trip(req.encode(seq));
+      if (maybe_error(frame)) return 1;
+      const ResurveyResponse res = ResurveyResponse::decode(frame);
+      std::printf("accepted=%d%s%s\n", res.accepted ? 1 : 0,
+                  res.message.empty() ? "" : " message=", res.message.c_str());
+      return report(res.status, res.message) != 0 ? 1 : (res.accepted ? 0 : 1);
+    }
+
+    if (command == "drain" || command == "reload" || command == "shutdown") {
+      AdminRequest req;
+      req.zone = zone;
+      req.op = command == "drain"    ? AdminOp::kDrain
+               : command == "reload" ? AdminOp::kReload
+                                     : AdminOp::kShutdown;
+      const storage::Frame frame = client.round_trip(req.encode(seq));
+      if (maybe_error(frame)) return 1;
+      const AdminResponse res = AdminResponse::decode(frame);
+      if (!res.message.empty()) std::printf("%s\n", res.message.c_str());
+      return report(res.status, res.message);
+    }
+
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "taflocctl: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,128 @@
+// taflocd -- the multi-zone TafLoc serving daemon.
+//
+//   taflocd --config=/etc/tafloc/taflocd.conf [--socket=PATH]
+//           [--telemetry-dir=DIR] [--poll-ms=50]
+//
+// One process supervises many zones (config.h describes the file
+// format).  Each zone is a TafLocSystem + UpdateScheduler with its own
+// durability directory; LoLi-IR recalibrations run on a supervised job
+// queue so serving is never blocked.  SIGTERM/SIGINT (or a taflocctl
+// shutdown/drain) stop the daemon gracefully: admissions stop,
+// in-flight updates finish, every durable zone WAL-flushes and commits
+// an epilogue snapshot, and per-zone telemetry JSONL is exported.
+#include <signal.h>
+
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "tafloc/daemon/daemon.h"
+#include "tafloc/util/cli.h"
+#include "tafloc/util/log.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+tafloc::daemon::EventLoop* g_loop = nullptr;
+
+void on_signal(int) {
+  g_signal = 1;
+  if (g_loop != nullptr) g_loop->post_from_signal();
+}
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A client vanishing mid-response must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: taflocd --config=FILE [--socket=PATH] [--telemetry-dir=DIR] "
+               "[--poll-ms=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tafloc;
+  using namespace tafloc::daemon;
+
+  const ArgParser args(argc, argv);
+  const std::string config_path = args.get_string("config", "");
+  if (config_path.empty()) return usage();
+
+  try {
+    DaemonConfig config = DaemonConfig::load_file(config_path);
+    if (args.has("socket")) config.socket_path = args.get_string("socket", config.socket_path);
+    if (args.has("telemetry-dir")) {
+      config.telemetry_dir = args.get_string("telemetry-dir", config.telemetry_dir);
+    }
+    const int poll_ms = static_cast<int>(args.get_long("poll-ms", 50));
+
+    EventLoop loop;
+    g_loop = &loop;
+    ZoneManager zones(config);
+    ControlServer server(zones, loop, config.socket_path);
+
+    bool shutting_down = false;
+    const auto shutdown = [&] {
+      if (shutting_down) return;
+      shutting_down = true;
+      TAFLOC_LOG_INFO << "taflocd: graceful shutdown (drain all zones)";
+      server.stop_admissions();
+      zones.drain_all();
+      if (!config.telemetry_dir.empty()) {
+        try {
+          const std::size_t n = zones.export_telemetry(config.telemetry_dir);
+          TAFLOC_LOG_INFO << "taflocd: exported telemetry for " << n << " zone(s) to "
+                          << config.telemetry_dir;
+        } catch (const std::exception& e) {
+          TAFLOC_LOG_ERROR << "taflocd: telemetry export failed: " << e.what();
+        }
+      }
+      server.close();
+      loop.stop();
+    };
+    server.set_shutdown_handler(shutdown);
+    server.set_reload_handler(
+        [&] { return zones.reload(DaemonConfig::load_file(config_path)); });
+
+    // Serving-thread supervision: every loop iteration lands finished
+    // update jobs; a signal turns into the same graceful path as a
+    // taflocctl shutdown.
+    loop.set_idle_hook([&] {
+      if (g_signal != 0) {
+        g_signal = 0;
+        shutdown();
+        return;
+      }
+      zones.poll_all();
+    });
+    for (const auto& zone : zones.zones()) {
+      zone->set_wakeup([&loop] { loop.post_from_signal(); });
+    }
+
+    install_signal_handlers();
+    const std::size_t serving = zones.start_all();
+    if (serving == 0) {
+      TAFLOC_LOG_ERROR << "taflocd: no zone reached serving; refusing to start";
+      return 1;
+    }
+    TAFLOC_LOG_INFO << "taflocd: " << serving << "/" << zones.zones().size()
+                    << " zone(s) serving";
+    server.open();
+    loop.run(poll_ms);
+    TAFLOC_LOG_INFO << "taflocd: clean exit";
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "taflocd: %s\n", e.what());
+    return 1;
+  }
+}
