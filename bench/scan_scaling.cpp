@@ -1,0 +1,285 @@
+// Large-grid scaling of the serving hot paths: the KNN fingerprint
+// scan and the LoLi-IR reconstruction solve, at 96 / 2 500 / 20 000
+// grid cells x 128 / 512 links -- the paper room up to warehouse-scale
+// deployments.
+//
+// Two comparisons per configuration, both written to BENCH_scan.json
+// (the CI artefact) before the google-benchmark micro timings run:
+//
+//   * quantized vs float: per-query latency of the exact float column
+//     scan against the int8 pre-pass + exact re-rank (matcher.h).  The
+//     two serve bit-identical answers, so the speedup column is the
+//     whole story.  Measured at one thread -- the acceptance bar is the
+//     single-thread win of the representation, not pool scaling.
+//   * backend vs backend: the same quantized scan and the same LoLi-IR
+//     solve under the AVX2 kernel backend and the forced-scalar one
+//     (linalg/backend.h), quantifying what the SIMD kernels buy.
+//
+// Honors TAFLOC_BENCH_SMOKE (tiny sizes, no micro timings) so CI's
+// bench-smoke job exercises every code path in seconds.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "tafloc/linalg/backend.h"
+#include "tafloc/linalg/ops.h"
+
+namespace {
+
+using namespace tafloc;
+
+/// Repeat `op` for ~`budget` and return seconds per operation.
+template <typename Op>
+double seconds_per_op(Op&& op, std::chrono::milliseconds budget) {
+  using clock = std::chrono::steady_clock;
+  op();  // warm caches and the thread pool
+  const auto t0 = clock::now();
+  std::size_t reps = 0;
+  while (clock::now() - t0 < budget) {
+    op();
+    ++reps;
+  }
+  return std::chrono::duration<double>(clock::now() - t0).count() / static_cast<double>(reps);
+}
+
+/// Synthetic deployment-scale fixture: per-link RSS offsets in
+/// [-70, -40] dBm plus structured low-rank variation plus noise -- the
+/// shape (not the physics) of a surveyed fingerprint matrix, cheap
+/// enough to build at 20 000 cells.
+struct ScaleFixture {
+  Deployment deployment;
+  Matrix fingerprints;  ///< links x cells.
+  Vector ambient;
+  std::vector<Vector> queries;
+
+  ScaleFixture(std::size_t grid_w, std::size_t grid_h, std::size_t links, std::uint64_t seed)
+      : deployment(Deployment::perimeter(static_cast<double>(grid_w),
+                                         static_cast<double>(grid_h), 1.0, links)) {
+    const std::size_t cells = grid_w * grid_h;
+    Rng rng(seed);
+    constexpr std::size_t kRank = 6;
+    const Matrix u = random_gaussian(links, kRank, rng);
+    const Matrix v = random_gaussian(kRank, cells, rng);
+    fingerprints = u * v;  // structured variation, O(1) dB per entry
+    ambient = Vector(links);
+    for (std::size_t i = 0; i < links; ++i) {
+      const double offset = -70.0 + 30.0 * rng.uniform01();
+      ambient[i] = offset;
+      for (std::size_t j = 0; j < cells; ++j)
+        fingerprints(i, j) = offset + 2.0 * fingerprints(i, j) + rng.normal();
+    }
+    const std::size_t n_queries = 16;
+    queries.reserve(n_queries);
+    for (std::size_t q = 0; q < n_queries; ++q) {
+      Vector query = fingerprints.col((q * 6151) % cells);
+      for (double& v_i : query) v_i += 2.0 * rng.normal();  // observation noise
+      queries.push_back(std::move(query));
+    }
+  }
+};
+
+struct ScanTimings {
+  double float_ns = 0.0;
+  double quantized_ns = 0.0;
+  double scalar_quantized_ns = 0.0;
+};
+
+ScanTimings time_scans(const ScaleFixture& f, std::chrono::milliseconds budget) {
+  const std::size_t k = 4;
+  KnnMatcher float_matcher(f.fingerprints.view(), f.deployment.grid(), k);
+  KnnMatcher quant_matcher(f.fingerprints.view(), f.deployment.grid(), k);
+  QuantizedTier tier;
+  tier.rebuild(f.fingerprints.view());
+  quant_matcher.attach_quantized_tier(&tier);
+
+  const auto localize_all = [&](const KnnMatcher& m) {
+    for (const Vector& q : f.queries) benchmark::DoNotOptimize(m.localize(q));
+  };
+  const double per_query = 1.0 / static_cast<double>(f.queries.size());
+
+  ScanTimings t;
+  t.float_ns = 1e9 * per_query * seconds_per_op([&] { localize_all(float_matcher); }, budget);
+  t.quantized_ns =
+      1e9 * per_query * seconds_per_op([&] { localize_all(quant_matcher); }, budget);
+  if (cpu_supports_avx2()) {
+    set_kernel_backend(KernelBackend::kScalar);
+    t.scalar_quantized_ns =
+        1e9 * per_query * seconds_per_op([&] { localize_all(quant_matcher); }, budget);
+    set_kernel_backend(KernelBackend::kAuto);
+  } else {
+    t.scalar_quantized_ns = t.quantized_ns;  // scalar IS the active backend
+  }
+  return t;
+}
+
+struct SolveTimings {
+  double seconds = 0.0;
+  double scalar_seconds = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// One bounded LoLi-IR solve on the fixture: detected distortion mask,
+/// evenly spaced reference columns, oracle prediction (the solver does
+/// not care how the prediction was made; skipping the LRR fit keeps
+/// the 20 000-cell build affordable).
+SolveTimings time_solve(const ScaleFixture& f, std::uint64_t seed) {
+  using tafloc::bench::smoke_or;
+  const std::size_t cells = f.fingerprints.cols();
+  Rng rng(seed);
+
+  const DistortionMask mask = DistortionDetector().detect_from_data(f.fingerprints, f.ambient);
+  const std::size_t n_refs = 12;
+  std::vector<std::size_t> refs(n_refs);
+  for (std::size_t r = 0; r < n_refs; ++r) refs[r] = r * cells / n_refs;
+
+  LoliIrProblem problem;
+  problem.mask_undistorted = mask.undistorted;
+  problem.known = known_entry_matrix(mask, f.ambient);
+  problem.prediction = f.fingerprints;
+  for (double& v : problem.prediction.data()) v += 0.5 * rng.normal();
+  problem.reference_columns = Matrix(f.fingerprints.rows(), n_refs);
+  for (std::size_t r = 0; r < n_refs; ++r)
+    for (std::size_t i = 0; i < f.fingerprints.rows(); ++i)
+      problem.reference_columns(i, r) = f.fingerprints(i, refs[r]);
+  problem.reference_indices = refs;
+  problem.continuity = continuity_pairs(f.deployment, &mask);
+  problem.similarity = similarity_pairs(f.deployment, &mask);
+
+  LoliIrConfig config;
+  config.rank = 4;
+  config.max_rank = 4;
+  config.max_outer_iterations = smoke_or<std::size_t>(6, 2);
+  config.cg.max_iterations = smoke_or<std::size_t>(60, 15);
+
+  SolveTimings t;
+  {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const LoliIrResult result = loli_ir_reconstruct(problem, config);
+    t.seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    t.iterations = result.outer_iterations;
+  }
+  if (cpu_supports_avx2()) {
+    set_kernel_backend(KernelBackend::kScalar);
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    benchmark::DoNotOptimize(loli_ir_reconstruct(problem, config));
+    t.scalar_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    set_kernel_backend(KernelBackend::kAuto);
+  } else {
+    t.scalar_seconds = t.seconds;
+  }
+  return t;
+}
+
+struct ConfigResult {
+  std::size_t cells = 0;
+  std::size_t links = 0;
+  ScanTimings scan;
+  SolveTimings solve;
+};
+
+void run_json_experiments() {
+  using tafloc::bench::smoke_or;
+  const auto budget = std::chrono::milliseconds(smoke_or(400, 25));
+
+  // (grid_w, grid_h) pairs: 96 (the paper room's 12 x 8), 2 500, and
+  // 20 000 cells; smoke mode stops at a few hundred.
+  struct Dims {
+    std::size_t w, h;
+  };
+  const std::vector<Dims> full_grids = {{12, 8}, {50, 50}, {160, 125}};
+  const std::vector<Dims> smoke_grids = {{12, 8}, {20, 12}};
+  const std::vector<Dims>& grids = tafloc::bench::smoke_mode() ? smoke_grids : full_grids;
+  const std::vector<std::size_t> link_counts =
+      tafloc::bench::smoke_mode() ? std::vector<std::size_t>{32}
+                                  : std::vector<std::size_t>{128, 512};
+
+  // Single-thread timings: the acceptance criterion is the win of the
+  // int8 representation and the SIMD kernels, not pool scaling.
+  const std::size_t threads_before = global_thread_count();
+  set_global_threads(1);
+
+  std::printf("=== scan + solve scaling (single thread; avx2=%d, default backend=%s) ===\n",
+              cpu_supports_avx2() ? 1 : 0, kernel_backend_name(active_kernel_backend()));
+  std::vector<ConfigResult> results;
+  std::uint64_t seed = 1234;
+  for (const Dims& g : grids) {
+    for (std::size_t links : link_counts) {
+      ScaleFixture fixture(g.w, g.h, links, ++seed);
+      ConfigResult r;
+      r.cells = g.w * g.h;
+      r.links = links;
+      r.scan = time_scans(fixture, budget);
+      r.solve = time_solve(fixture, seed * 31);
+      std::printf(
+          "  cells=%6zu links=%4zu  scan: float %10.0f ns  quantized %10.0f ns (%.2fx)  "
+          "scalar-quantized %10.0f ns   solve: %7.3f s  scalar %7.3f s\n",
+          r.cells, r.links, r.scan.float_ns, r.scan.quantized_ns,
+          r.scan.float_ns / r.scan.quantized_ns, r.scan.scalar_quantized_ns, r.solve.seconds,
+          r.solve.scalar_seconds);
+      results.push_back(r);
+    }
+  }
+  set_global_threads(threads_before);
+
+  std::ofstream json("BENCH_scan.json");
+  json << "{\n  \"smoke\": " << (tafloc::bench::smoke_mode() ? "true" : "false")
+       << ",\n  \"threads\": 1,\n  \"avx2_supported\": "
+       << (cpu_supports_avx2() ? "true" : "false") << ",\n  \"default_backend\": \""
+       << kernel_backend_name(resolve_kernel_backend()) << "\",\n  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    json << "    {\"cells\": " << r.cells << ", \"links\": " << r.links
+         << ",\n     \"scan\": {\"float_ns\": " << r.scan.float_ns
+         << ", \"quantized_ns\": " << r.scan.quantized_ns
+         << ", \"quantized_speedup\": " << r.scan.float_ns / r.scan.quantized_ns
+         << ", \"scalar_quantized_ns\": " << r.scan.scalar_quantized_ns
+         << ", \"backend_speedup\": " << r.scan.scalar_quantized_ns / r.scan.quantized_ns
+         << "},\n     \"solve\": {\"seconds\": " << r.solve.seconds
+         << ", \"scalar_seconds\": " << r.solve.scalar_seconds
+         << ", \"backend_speedup\": " << r.solve.scalar_seconds / r.solve.seconds
+         << ", \"outer_iterations\": " << r.solve.iterations << "}}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_scan.json\n\n");
+}
+
+// ---- google-benchmark micro timings (skipped in smoke mode) ----
+
+void BM_ScanFloat(benchmark::State& state) {
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  ScaleFixture f(cells / 8, 8, 128, 7);
+  KnnMatcher matcher(f.fingerprints.view(), f.deployment.grid(), 4);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.localize(f.queries[q++ % f.queries.size()]));
+  }
+}
+BENCHMARK(BM_ScanFloat)->Arg(96)->Arg(2496)->Unit(benchmark::kMicrosecond);
+
+void BM_ScanQuantized(benchmark::State& state) {
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  ScaleFixture f(cells / 8, 8, 128, 7);
+  KnnMatcher matcher(f.fingerprints.view(), f.deployment.grid(), 4);
+  QuantizedTier tier;
+  tier.rebuild(f.fingerprints.view());
+  matcher.attach_quantized_tier(&tier);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.localize(f.queries[q++ % f.queries.size()]));
+  }
+}
+BENCHMARK(BM_ScanQuantized)->Arg(96)->Arg(2496)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_json_experiments();
+  return tafloc::bench::finish_benchmarks(argc, argv);
+}

@@ -30,7 +30,8 @@ namespace tafloc::daemon {
 
 /// Bumped on any incompatible payload change; packets carrying another
 /// version are rejected per-connection.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2: ZoneStatus grew kernel_backend + quantized_tier.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 enum class PacketType : std::uint32_t {
   kError = 0,  ///< server -> client: request rejected (status + message).
@@ -178,6 +179,8 @@ struct ZoneStatus {
   double staleness_db = 0.0;
   double clock_days = 0.0;
   std::uint64_t wal_sequence = 0;  ///< 0 when the zone is not durable.
+  std::string kernel_backend;      ///< active process-wide kernel backend name.
+  bool quantized_tier = false;     ///< int8 scan tier serving this zone's queries.
   std::string last_error;
 };
 

@@ -140,6 +140,8 @@ class Zone {
     double staleness_db = 0.0;
     double clock_days = 0.0;
     std::uint64_t wal_sequence = 0;  ///< 0 when not durable.
+    std::string kernel_backend;      ///< active kernel backend (process-wide).
+    bool quantized_tier = false;     ///< int8 scan tier active for this zone.
     std::string last_error;
   };
   Status status() const;

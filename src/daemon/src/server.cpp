@@ -357,6 +357,8 @@ std::string ControlServer::dispatch(const storage::Frame& frame) {
           z.staleness_db = s.staleness_db;
           z.clock_days = s.clock_days;
           z.wal_sequence = s.wal_sequence;
+          z.kernel_backend = s.kernel_backend;
+          z.quantized_tier = s.quantized_tier;
           z.last_error = s.last_error;
           res.zones.push_back(std::move(z));
         }

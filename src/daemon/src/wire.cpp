@@ -300,6 +300,8 @@ std::string StatusResponse::encode(std::uint64_t seq) const {
     out.put_f64(z.staleness_db);
     out.put_f64(z.clock_days);
     out.put_u64(z.wal_sequence);
+    put_string(out, z.kernel_backend);
+    out.put_u8(z.quantized_tier ? 1 : 0);
     put_string(out, z.last_error);
   }
   return finish(PacketType::kStatusResponse, seq, out);
@@ -324,6 +326,8 @@ StatusResponse StatusResponse::decode(const storage::Frame& frame) {
     z.staleness_db = in.get_f64();
     z.clock_days = in.get_f64();
     z.wal_sequence = in.get_u64();
+    z.kernel_backend = get_string(in);
+    z.quantized_tier = in.get_u8() != 0;
     z.last_error = get_string(in);
     res.zones.push_back(std::move(z));
   }

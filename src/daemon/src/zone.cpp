@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "tafloc/linalg/backend.h"
 #include "tafloc/util/check.h"
 #include "tafloc/util/log.h"
 
@@ -295,6 +296,8 @@ Zone::Status Zone::status() const {
   s.staleness_db = scheduler_ ? scheduler_->estimated_staleness_db() : 0.0;
   s.clock_days = clock_days_;
   s.wal_sequence = system_.durable() ? system_.durable_sequence() : 0;
+  s.kernel_backend = kernel_backend_name(active_kernel_backend());
+  s.quantized_tier = system_.quantized_tier_active();
   {
     std::lock_guard<std::mutex> lock(err_mu_);
     s.last_error = last_error_;

@@ -11,8 +11,19 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace tafloc {
+
+/// Which implementation table the linalg hot-path kernels dispatch to
+/// (see linalg/backend.h for the table itself and the resolution
+/// rules).  An execution knob, not a numerics knob: every backend is
+/// bit-identical to the scalar reference on the same inputs.
+enum class KernelBackend : std::uint8_t {
+  kAuto = 0,    ///< TAFLOC_KERNEL_BACKEND env if set, else best supported.
+  kScalar = 1,  ///< portable reference kernels (any CPU).
+  kAvx2 = 2,    ///< AVX2 vector kernels (requires runtime CPU support).
+};
 
 struct ExecConfig {
   /// Worker thread count for the global pool.  0 = automatic: the
@@ -20,6 +31,11 @@ struct ExecConfig {
   /// std::thread::hardware_concurrency().  1 = fully sequential legacy
   /// behaviour (bit-identical to the pre-exec-layer code).
   std::size_t threads = 0;
+  /// Kernel dispatch table for the linalg hot paths.  kAuto leaves the
+  /// process-wide selection alone (TAFLOC_KERNEL_BACKEND environment
+  /// variable, falling back to CPU detection); any other value forces
+  /// that backend at system construction, like `threads`.
+  KernelBackend kernel_backend = KernelBackend::kAuto;
 };
 
 /// Turn an ExecConfig thread request into a concrete count >= 1,

@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "tafloc/fingerprint/link_health.h"
+#include "tafloc/fingerprint/quantized.h"
 #include "tafloc/linalg/matrix.h"
 
 namespace tafloc {
@@ -51,6 +52,14 @@ class FingerprintDatabase {
   /// warning; only negative absolute times are rejected.
   double age_days(double now_days) const;
 
+  /// The int8 scan mirror of the fingerprint matrix (see quantized.h).
+  /// Derived state: rebuilt by the constructor and every update() --
+  /// i.e. on load() and on the staged-update commit swap -- so it is
+  /// always consistent with fingerprints_view(); never serialized and
+  /// not part of operator==.  Same lifetime caveat as
+  /// fingerprints_view(): consumers re-attach after an update.
+  const QuantizedTier& quantized_tier() const noexcept { return quantized_; }
+
   /// Per-link serving mask, persisted across update() calls: the
   /// fingerprints are refreshed, but a dead transceiver stays dead.
   /// Mask-aware consumers (matchers, LoLi-IR via row_observed) read
@@ -77,6 +86,7 @@ class FingerprintDatabase {
   Vector ambient_;
   double surveyed_at_;
   LinkHealth link_health_;
+  QuantizedTier quantized_;  ///< derived from fingerprints_, never persisted.
 };
 
 }  // namespace tafloc

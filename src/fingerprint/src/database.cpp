@@ -19,6 +19,7 @@ FingerprintDatabase::FingerprintDatabase(Matrix fingerprints, Vector ambient,
   TAFLOC_CHECK_ARG(ambient_.size() == fingerprints_.rows(),
                    "ambient vector must have one entry per link");
   TAFLOC_CHECK_ARG(surveyed_at_days >= 0.0, "survey timestamp must be non-negative");
+  quantized_.rebuild(fingerprints_.view());
 }
 
 Vector FingerprintDatabase::fingerprint_of(std::size_t grid) const {
@@ -41,6 +42,9 @@ void FingerprintDatabase::update(Matrix fingerprints, Vector ambient, double sur
   fingerprints_ = std::move(fingerprints);
   ambient_ = std::move(ambient);
   surveyed_at_ = surveyed_at_days;
+  // The scan tier mirrors the matrix it indexes; rebuilding inside the
+  // swap keeps the two consistent at every point a matcher can observe.
+  quantized_.rebuild(fingerprints_.view());
 }
 
 void FingerprintDatabase::save(storage::ByteWriter& out) const {

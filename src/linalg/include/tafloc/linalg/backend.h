@@ -1,0 +1,92 @@
+// Pluggable kernel backends for the linalg hot paths.
+//
+// Every `*_into` kernel in matrix.cpp keeps its own loop structure (the
+// blocking, the parallel partitioning, the zero-skips) and dispatches
+// only its innermost row primitive through the process-wide KernelOps
+// table below.  Two tables ship:
+//
+//   scalar -- portable reference loops; runs on any CPU.
+//   avx2   -- AVX2 vector loops, selected at runtime via
+//             __builtin_cpu_supports("avx2"); compiled with GCC/Clang
+//             function target attributes, so no special build flags are
+//             needed and non-x86 builds simply never offer it.
+//
+// Bit-identity contract (the reason this file is small): a backend may
+// only vectorize a primitive when every output element's floating-point
+// operation sequence is EXACTLY the scalar reference's.
+//
+//   * axpy (y[j] += a * x[j]) and hadamard (out[j] = a[j] * b[j]) are
+//     element-wise over the output index: lanes never share an
+//     accumulator, and the AVX2 code uses separate multiply and add
+//     instructions (never FMA -- a fused contraction rounds once where
+//     mul+add rounds twice, which would break scalar/AVX2 identity).
+//   * The int8 distance kernels are exact integer arithmetic, so any
+//     summation order gives the same answer.
+//   * Dot-product reductions (matrix-vector multiply, outer_product)
+//     CANNOT be vectorized under this contract -- SIMD lane partial
+//     sums reorder the accumulation -- so they stay scalar in every
+//     backend and are not in this table.
+//
+// Selection: `TAFLOC_KERNEL_BACKEND` (scalar | avx2 | auto) or
+// ExecConfig::kernel_backend via set_kernel_backend(); kAuto picks the
+// best supported table.  Forcing kScalar reproduces the pre-backend
+// results bit-for-bit -- CI runs the whole test suite that way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tafloc/exec/exec_config.h"
+
+namespace tafloc {
+
+/// The dispatch table: one row primitive per hot inner loop.
+struct KernelOps {
+  KernelBackend id = KernelBackend::kScalar;
+  const char* name = "scalar";
+
+  /// y[j] += a * x[j] for j in [0, n).  The gemm / gram / transposed
+  /// matvec / add_scaled inner loop.  x and y must not alias.
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+
+  /// out[j] = a[j] * b[j] for j in [0, n).
+  void (*hadamard)(const double* a, const double* b, double* out, std::size_t n);
+
+  /// Sum over j of (a[j] - b[j])^2, exact 64-bit integer arithmetic.
+  /// The quantized fingerprint pre-pass inner loop.
+  std::uint64_t (*dist_sq_i8)(const std::int8_t* a, const std::int8_t* b, std::size_t n);
+
+  /// Masked variant: entries with usable[j] == 0 contribute nothing.
+  std::uint64_t (*dist_sq_i8_masked)(const std::int8_t* a, const std::int8_t* b,
+                                     const std::uint8_t* usable, std::size_t n);
+};
+
+/// True when this CPU can run the AVX2 table (always false on non-x86
+/// builds).
+bool cpu_supports_avx2() noexcept;
+
+/// Turn a backend request into a concrete choice: kAuto consults the
+/// TAFLOC_KERNEL_BACKEND environment variable (scalar | avx2 | auto;
+/// unset or empty means auto) and falls back to the best supported
+/// table.  Throws std::invalid_argument when the request (explicit or
+/// from the environment) names an unsupported or unknown backend.
+KernelBackend resolve_kernel_backend(KernelBackend requested = KernelBackend::kAuto);
+
+/// Install the process-wide dispatch table (kAuto re-runs the automatic
+/// resolution).  Cheap atomic store; callers running concurrent kernels
+/// may observe either table mid-switch -- both produce identical bits.
+void set_kernel_backend(KernelBackend requested);
+
+/// The backend currently installed (resolving lazily on first use).
+KernelBackend active_kernel_backend() noexcept;
+
+const char* kernel_backend_name(KernelBackend backend) noexcept;
+
+/// The active dispatch table (resolving lazily on first use).
+const KernelOps& kernel_ops() noexcept;
+
+/// A specific table, for tests that compare backends side by side.
+/// Throws std::invalid_argument for kAuto or an unsupported backend.
+const KernelOps& kernel_ops(KernelBackend backend);
+
+}  // namespace tafloc

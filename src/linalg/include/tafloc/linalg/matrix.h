@@ -242,6 +242,16 @@ double max_abs_diff(const Matrix& a, const Matrix& b);
 // thread count -- and identical whether operands are owning matrices,
 // views of them, or views into larger strided storage.
 //
+// The innermost row primitives (the axpy inside gemm / gram /
+// transposed matvec / add_scaled, and the hadamard row) dispatch
+// through the pluggable KernelOps table (backend.h): scalar reference
+// or AVX2, selected via ExecConfig::kernel_backend or the
+// TAFLOC_KERNEL_BACKEND environment variable.  Backends preserve the
+// per-element operation sequence exactly (no FMA, no lane-shared
+// accumulators), so kernel results are ALSO bit-identical across
+// backends; dot-product reductions (matrix-vector multiply,
+// outer_product) stay scalar everywhere for the same reason.
+//
 // Aliasing: where "out must not alias an input" is stated, debug
 // builds verify it (std::invalid_argument on overlap of the viewed
 // storage ranges); release builds trust the caller.

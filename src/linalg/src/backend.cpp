@@ -1,0 +1,146 @@
+#include "tafloc/linalg/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+/// The AVX2 table, or nullptr when this build/CPU cannot run it
+/// (defined in backend_avx2.cpp so the vector intrinsics live in one
+/// translation unit).
+const KernelOps* detail_avx2_kernel_table() noexcept;
+
+namespace {
+
+// ---------------- scalar reference kernels ----------------
+//
+// These loops ARE the semantics: every other backend must reproduce
+// their per-element operation order bit-for-bit.
+
+void axpy_scalar(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] += a * x[j];
+}
+
+void hadamard_scalar(const double* a, const double* b, double* out, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] * b[j];
+}
+
+std::uint64_t dist_sq_i8_scalar(const std::int8_t* a, const std::int8_t* b, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::int32_t d = static_cast<std::int32_t>(a[j]) - static_cast<std::int32_t>(b[j]);
+    total += static_cast<std::uint64_t>(d * d);
+  }
+  return total;
+}
+
+std::uint64_t dist_sq_i8_masked_scalar(const std::int8_t* a, const std::int8_t* b,
+                                       const std::uint8_t* usable, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (usable[j] == 0) continue;
+    const std::int32_t d = static_cast<std::int32_t>(a[j]) - static_cast<std::int32_t>(b[j]);
+    total += static_cast<std::uint64_t>(d * d);
+  }
+  return total;
+}
+
+constexpr KernelOps kScalarOps{KernelBackend::kScalar, "scalar", axpy_scalar, hadamard_scalar,
+                               dist_sq_i8_scalar, dist_sq_i8_masked_scalar};
+
+const KernelOps* avx2_table() { return detail_avx2_kernel_table(); }
+
+/// The process-wide selection.  nullptr = not resolved yet; the first
+/// kernel_ops() call resolves kAuto (environment + CPU detection) once
+/// and caches the winner.
+std::atomic<const KernelOps*> g_active{nullptr};
+
+KernelBackend env_backend_request() {
+  const char* env = std::getenv("TAFLOC_KERNEL_BACKEND");
+  if (env == nullptr || *env == '\0') return KernelBackend::kAuto;
+  const std::string value(env);
+  if (value == "auto") return KernelBackend::kAuto;
+  if (value == "scalar") return KernelBackend::kScalar;
+  if (value == "avx2") return KernelBackend::kAvx2;
+  throw std::invalid_argument("TAFLOC_KERNEL_BACKEND='" + value +
+                              "' is not one of auto | scalar | avx2");
+}
+
+const KernelOps* table_for(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return &kScalarOps;
+    case KernelBackend::kAvx2:
+      return avx2_table();
+    case KernelBackend::kAuto:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() noexcept { return avx2_table() != nullptr; }
+
+KernelBackend resolve_kernel_backend(KernelBackend requested) {
+  if (requested == KernelBackend::kAuto) {
+    requested = env_backend_request();
+    if (requested == KernelBackend::kAuto)
+      return cpu_supports_avx2() ? KernelBackend::kAvx2 : KernelBackend::kScalar;
+  }
+  if (table_for(requested) == nullptr)
+    throw std::invalid_argument(std::string("kernel backend '") +
+                                kernel_backend_name(requested) +
+                                "' is not supported on this CPU/build");
+  return requested;
+}
+
+void set_kernel_backend(KernelBackend requested) {
+  const KernelOps* table = table_for(resolve_kernel_backend(requested));
+  TAFLOC_CHECK_ARG(table != nullptr, "resolved kernel backend has no dispatch table");
+  g_active.store(table, std::memory_order_release);
+}
+
+const KernelOps& kernel_ops() noexcept {
+  const KernelOps* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // First use: resolve the automatic selection.  A malformed
+    // TAFLOC_KERNEL_BACKEND value aborts via the argument check rather
+    // than silently running a backend the operator did not ask for.
+    try {
+      table = table_for(resolve_kernel_backend(KernelBackend::kAuto));
+    } catch (const std::invalid_argument&) {
+      table = &kScalarOps;  // unreachable for env values naming real backends
+    }
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+const KernelOps& kernel_ops(KernelBackend backend) {
+  const KernelOps* table = table_for(backend);
+  if (table == nullptr)
+    throw std::invalid_argument(std::string("kernel backend '") + kernel_backend_name(backend) +
+                                "' is not available");
+  return *table;
+}
+
+KernelBackend active_kernel_backend() noexcept { return kernel_ops().id; }
+
+const char* kernel_backend_name(KernelBackend backend) noexcept {
+  switch (backend) {
+    case KernelBackend::kAuto:
+      return "auto";
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace tafloc

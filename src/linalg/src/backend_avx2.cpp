@@ -1,0 +1,138 @@
+// The AVX2 kernel table (see backend.h for the bit-identity contract).
+//
+// Compiled into every build via GCC/Clang function target attributes --
+// no -mavx2 build flag, so the rest of the binary stays baseline
+// x86-64 (or non-x86) and the table is only handed out after
+// __builtin_cpu_supports("avx2") says the instructions exist.
+//
+// Floating-point lanes use SEPARATE multiply and add instructions, not
+// FMA: the scalar reference rounds after the multiply and again after
+// the add, and a fused contraction would round once -- bit-identity
+// with the scalar backend is the whole contract.  (The CPU may well
+// have FMA; we detect it for telemetry honesty but deliberately never
+// emit it in these kernels.)  The int8 kernels are exact integer
+// arithmetic, so vectorizing them is unconditionally safe.
+
+#include "tafloc/linalg/backend.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TAFLOC_HAVE_AVX2_BACKEND 1
+#include <immintrin.h>
+#endif
+
+namespace tafloc {
+
+#ifdef TAFLOC_HAVE_AVX2_BACKEND
+
+namespace {
+
+__attribute__((target("avx2"))) void axpy_avx2(double a, const double* x, double* y,
+                                               std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + j);
+    __m256d vy = _mm256_loadu_pd(y + j);
+    // mul then add, matching the scalar reference's two roundings.
+    vy = _mm256_add_pd(vy, _mm256_mul_pd(va, vx));
+    _mm256_storeu_pd(y + j, vy);
+  }
+  for (; j < n; ++j) y[j] += a * x[j];
+}
+
+__attribute__((target("avx2"))) void hadamard_avx2(const double* a, const double* b, double* out,
+                                                   std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4)
+    _mm256_storeu_pd(out + j, _mm256_mul_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j)));
+  for (; j < n; ++j) out[j] = a[j] * b[j];
+}
+
+/// Elements per int32-lane accumulation block: each _mm256_madd_epi16
+/// adds at most 2 * 254^2 per lane per step, so a block of 2^14
+/// elements stays below 2^31 per lane with a wide margin.
+constexpr std::size_t kI8Chunk = std::size_t{1} << 14;
+
+__attribute__((target("avx2"))) inline std::uint64_t hsum_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm_cvtsi128_si32(s)));
+}
+
+__attribute__((target("avx2"))) std::uint64_t dist_sq_i8_avx2(const std::int8_t* a,
+                                                              const std::int8_t* b,
+                                                              std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t j = 0;
+  while (j < n) {
+    const std::size_t chunk_end = std::min(n, j + kI8Chunk);
+    __m256i acc = _mm256_setzero_si256();
+    for (; j + 16 <= chunk_end; j += 16) {
+      const __m256i va =
+          _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + j)));
+      const __m256i vb =
+          _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j)));
+      const __m256i d = _mm256_sub_epi16(va, vb);  // |d| <= 254 fits int16
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+    }
+    total += hsum_epi32(acc);
+    for (; j < chunk_end; ++j) {
+      const std::int32_t d = static_cast<std::int32_t>(a[j]) - static_cast<std::int32_t>(b[j]);
+      total += static_cast<std::uint64_t>(d * d);
+    }
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) std::uint64_t dist_sq_i8_masked_avx2(const std::int8_t* a,
+                                                                     const std::int8_t* b,
+                                                                     const std::uint8_t* usable,
+                                                                     std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t j = 0;
+  while (j < n) {
+    const std::size_t chunk_end = std::min(n, j + kI8Chunk);
+    __m256i acc = _mm256_setzero_si256();
+    for (; j + 16 <= chunk_end; j += 16) {
+      const __m256i va =
+          _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + j)));
+      const __m256i vb =
+          _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j)));
+      const __m256i mask16 =
+          _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(usable + j)));
+      // 0xFFFF where the link is dead (mask byte 0); zero those diffs.
+      const __m256i dead = _mm256_cmpeq_epi16(mask16, _mm256_setzero_si256());
+      const __m256i d = _mm256_andnot_si256(dead, _mm256_sub_epi16(va, vb));
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+    }
+    total += hsum_epi32(acc);
+    for (; j < chunk_end; ++j) {
+      if (usable[j] == 0) continue;
+      const std::int32_t d = static_cast<std::int32_t>(a[j]) - static_cast<std::int32_t>(b[j]);
+      total += static_cast<std::uint64_t>(d * d);
+    }
+  }
+  return total;
+}
+
+constexpr KernelOps kAvx2Ops{KernelBackend::kAvx2, "avx2", axpy_avx2, hadamard_avx2,
+                             dist_sq_i8_avx2, dist_sq_i8_masked_avx2};
+
+}  // namespace
+
+const KernelOps* detail_avx2_kernel_table() noexcept {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Ops : nullptr;
+}
+
+#else  // TAFLOC_HAVE_AVX2_BACKEND not defined
+
+const KernelOps* detail_avx2_kernel_table() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace tafloc

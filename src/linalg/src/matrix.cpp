@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "tafloc/exec/thread_pool.h"
+#include "tafloc/linalg/backend.h"
 
 namespace tafloc {
 
@@ -307,24 +308,39 @@ void multiply_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   out.fill(0.0);
   const std::size_t kk = a.cols();
   const std::size_t nc = b.cols();
-  // Row-panel blocking: within a panel of kPanel output rows the k loop
-  // is outermost, so each B row is streamed once per panel instead of
-  // once per output row.  Per output element the accumulation still
-  // runs over k in increasing order -- the same order as the classic
-  // i-k-j loop, so the result is bitwise independent of panel size and
-  // thread count.
+  const KernelOps& ops = kernel_ops();
+  // Cache-blocked/tiled gemm.  Three levels:
+  //   * row panels (kPanel output rows) keep a hot set of C rows while
+  //     B rows stream through;
+  //   * k blocks (kKBlock) bound the slice of B live in cache per panel
+  //     pass;
+  //   * j tiles (kJTile) bound the C/B row segments to a cache-friendly
+  //     width when the output is very wide (the 10^4-cell fingerprint
+  //     scans), at the cost of re-reading A once per tile.
+  // Per output element the accumulation still runs over k in strictly
+  // increasing order -- identical to the classic i-k-j loop -- and the
+  // inner row update dispatches to the backend's axpy, which is
+  // element-wise over j.  The result is therefore bitwise independent
+  // of panel/block/tile sizes, thread count AND backend choice.
   constexpr std::size_t kPanel = 8;
+  constexpr std::size_t kKBlock = 256;
+  constexpr std::size_t kJTile = 2048;
   ThreadPool::global().parallel_for(
       0, a.rows(), row_grain(kk * nc), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i0 = r0; i0 < r1; i0 += kPanel) {
-          const std::size_t ilim = std::min(i0 + kPanel, r1);
-          for (std::size_t k = 0; k < kk; ++k) {
-            const double* brow = b.row_ptr(k);
-            for (std::size_t i = i0; i < ilim; ++i) {
-              const double aik = a.row_ptr(i)[k];
-              if (aik == 0.0) continue;
-              double* crow = out.row_ptr(i);
-              for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
+        for (std::size_t j0 = 0; j0 < nc; j0 += kJTile) {
+          const std::size_t jn = std::min(kJTile, nc - j0);
+          for (std::size_t i0 = r0; i0 < r1; i0 += kPanel) {
+            const std::size_t ilim = std::min(i0 + kPanel, r1);
+            for (std::size_t k0 = 0; k0 < kk; k0 += kKBlock) {
+              const std::size_t klim = std::min(k0 + kKBlock, kk);
+              for (std::size_t k = k0; k < klim; ++k) {
+                const double* brow = b.row_ptr(k) + j0;
+                for (std::size_t i = i0; i < ilim; ++i) {
+                  const double aik = a.row_ptr(i)[k];
+                  if (aik == 0.0) continue;
+                  ops.axpy(aik, brow, out.row_ptr(i) + j0, jn);
+                }
+              }
             }
           }
         }
@@ -334,6 +350,9 @@ void multiply_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
 void multiply_into(ConstMatrixView a, std::span<const double> x, Vector& y) {
   TAFLOC_CHECK_ARG(a.cols() == x.size(), "matrix-vector product dimension mismatch");
   y.assign(a.rows(), 0.0);
+  // Dot-product reduction: SIMD lane partial sums would reorder the
+  // accumulation, so this kernel stays scalar in EVERY backend (see
+  // backend.h) -- it is deliberately not dispatched.
   ThreadPool::global().parallel_for(
       0, a.rows(), row_grain(a.cols()), [&](std::size_t r0, std::size_t r1) {
         for (std::size_t i = r0; i < r1; ++i) {
@@ -350,14 +369,16 @@ void multiply_transposed_into(ConstMatrixView a, std::span<const double> x, Vect
   y.assign(a.cols(), 0.0);
   // Partitioned over *output* entries: every lane scans all rows but
   // only accumulates its own span of y, preserving the sequential
-  // per-entry accumulation order (increasing i).
+  // per-entry accumulation order (increasing i).  The row update is the
+  // backend axpy -- element-wise over j, so lanes and vector widths
+  // never share an accumulator.
+  const KernelOps& ops = kernel_ops();
   ThreadPool::global().parallel_for(
       0, a.cols(), row_grain(2 * a.rows()), [&](std::size_t c0, std::size_t c1) {
         for (std::size_t i = 0; i < a.rows(); ++i) {
           const double xi = x[i];
           if (xi == 0.0) continue;
-          const double* arow = a.row_ptr(i);
-          for (std::size_t j = c0; j < c1; ++j) y[j] += arow[j] * xi;
+          ops.axpy(xi, a.row_ptr(i) + c0, y.data() + c0, c1 - c0);
         }
       });
 }
@@ -373,19 +394,20 @@ void gram_product_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   out.fill(0.0);
   const std::size_t kk = a.rows();
   const std::size_t nc = b.cols();
+  const KernelOps& ops = kernel_ops();
   ThreadPool::global().parallel_for(
       0, a.cols(), row_grain(kk * nc), [&](std::size_t r0, std::size_t r1) {
         // k outermost (as in the sequential kernel) keeps per-element
         // accumulation order identical; the i loop covers only this
-        // lane's output rows.
+        // lane's output rows, and the row update is the element-wise
+        // backend axpy (bit-identical across backends, see backend.h).
         for (std::size_t k = 0; k < kk; ++k) {
           const double* arow = a.row_ptr(k);
           const double* brow = b.row_ptr(k);
           for (std::size_t i = r0; i < r1; ++i) {
             const double aki = arow[i];
             if (aki == 0.0) continue;
-            double* crow = out.row_ptr(i);
-            for (std::size_t j = 0; j < nc; ++j) crow[j] += aki * brow[j];
+            ops.axpy(aki, brow, out.row_ptr(i), nc);
           }
         }
       });
@@ -434,21 +456,15 @@ void transposed_into(ConstMatrixView a, MatrixView out) {
 void hadamard_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   TAFLOC_CHECK_ARG(a.same_shape(b), "Hadamard product requires equal shapes");
   TAFLOC_CHECK_ARG(out.same_shape(a), "hadamard_into destination shape mismatch");
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* ap = a.row_ptr(r);
-    const double* bp = b.row_ptr(r);
-    double* op = out.row_ptr(r);
-    for (std::size_t c = 0; c < a.cols(); ++c) op[c] = ap[c] * bp[c];
-  }
+  const KernelOps& ops = kernel_ops();
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    ops.hadamard(a.row_ptr(r), b.row_ptr(r), out.row_ptr(r), a.cols());
 }
 
 void add_scaled_into(ConstMatrixView x, double s, MatrixView y) {
   TAFLOC_CHECK_ARG(y.same_shape(x), "add_scaled_into requires equal shapes");
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double* xp = x.row_ptr(r);
-    double* yp = y.row_ptr(r);
-    for (std::size_t c = 0; c < x.cols(); ++c) yp[c] += s * xp[c];
-  }
+  const KernelOps& ops = kernel_ops();
+  for (std::size_t r = 0; r < x.rows(); ++r) ops.axpy(s, x.row_ptr(r), y.row_ptr(r), x.cols());
 }
 
 void copy_into(ConstMatrixView src, MatrixView dst) {

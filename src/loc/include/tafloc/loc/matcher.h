@@ -22,12 +22,22 @@
 // bit-identical to a maskless build.  BayesMatcher keeps the strict
 // all-links contract (its posterior is calibrated against the full
 // link set); route degraded traffic through NN/KNN.
+//
+// Two-tier scan: KnnMatcher can additionally attach a QuantizedTier
+// (attach_quantized_tier).  Queries then rank every grid with an int8
+// integer distance first and re-rank only a widened candidate prefix
+// with the exact float kernel; the quantization error bound drives the
+// widening, so the served top-k (indices, distances, weights) is
+// provably bit-identical to the full float scan -- the tier changes
+// speed, never results.  See quantized.h and the proof sketch in
+// matcher.cpp.
 #pragma once
 
 #include <cstddef>
 #include <span>
 
 #include "tafloc/fingerprint/link_health.h"
+#include "tafloc/fingerprint/quantized.h"
 #include "tafloc/linalg/matrix.h"
 #include "tafloc/loc/localizer.h"
 #include "tafloc/sim/grid.h"
@@ -131,6 +141,34 @@ class KnnMatcher : public Localizer {
   /// the surviving link count.  nullptr detaches (strict contract).
   void attach_link_health(const LinkHealth* health) noexcept { health_ = health; }
 
+  /// Use `tier` (not owned; must outlive the matcher) as the scan's
+  /// first pass: an int8 integer distance ranks every grid, then the k
+  /// nearest are re-ranked with the exact float kernel over a widened
+  /// candidate set.  The widening is driven by the tier's quantization
+  /// error bound, so the returned top-k -- indices AND distances, hence
+  /// the inverse-distance weights -- is PROVABLY identical to the full
+  /// float scan (the re-rank keeps doubling the candidate set until the
+  /// bound certifies it, degenerating to the full exact scan in the
+  /// worst case).  A tier that is not ready() or whose shape disagrees
+  /// with the fingerprint view is ignored for that query -- faults and
+  /// mid-update windows fall back to the float path, never abort.
+  /// nullptr detaches (pure float scan, the pre-refactor behaviour).
+  void attach_quantized_tier(const QuantizedTier* tier) noexcept { quantized_ = tier; }
+
+  /// True when the next query would take the quantized pre-pass.
+  bool quantized_active() const noexcept {
+    return quantized_ != nullptr && quantized_->ready() &&
+           quantized_->num_links() == fingerprints_.view().rows() &&
+           quantized_->num_grids() == fingerprints_.view().cols();
+  }
+
+  /// Initial re-rank candidate budget, as a multiple of k (candidates =
+  /// max(k * alpha, k + 8), capped at N).  Larger alpha means fewer
+  /// widening rounds on noisy data at the cost of more exact distance
+  /// evaluations per query.  alpha must be >= 1; results never depend
+  /// on it (the widening proof does not either), only the speed does.
+  void set_rerank_multiplier(std::size_t alpha);
+
   /// Indices of the k best-matching grids, best first (for tests).
   std::vector<std::size_t> nearest_grids(std::span<const double> rss) const;
 
@@ -159,6 +197,8 @@ class KnnMatcher : public Localizer {
   bool weighted_;
   double spatial_gate_m_;
   const LinkHealth* health_ = nullptr;
+  const QuantizedTier* quantized_ = nullptr;
+  std::size_t rerank_alpha_ = 4;
 
   // Telemetry handles (all null when detached; see attach_telemetry).
   MetricRegistry* telemetry_ = nullptr;
@@ -169,6 +209,8 @@ class KnnMatcher : public Localizer {
   Counter* scratch_alloc_counter_ = nullptr;
   Counter* gated_counter_ = nullptr;
   Counter* fallback_counter_ = nullptr;
+  Counter* prepass_counter_ = nullptr;
+  Counter* widen_counter_ = nullptr;
 };
 
 /// Gaussian-likelihood matcher: p(Y | grid j) ~ exp(-||Y - x_j||^2 /

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "tafloc/exec/thread_pool.h"
+#include "tafloc/linalg/backend.h"
 #include "tafloc/linalg/vector_ops.h"
 #include "tafloc/telemetry/metrics.h"
 #include "tafloc/util/check.h"
@@ -70,12 +71,19 @@ bool usable_entries_finite(std::span<const double> rss, std::span<const std::uin
 }
 
 /// Per-thread KNN scratch: the distance and candidate-order buffers of
-/// the column scan.  thread_local so concurrent localize_batch lanes
-/// never contend; grows monotonically, so queries after the first on a
-/// thread allocate nothing.
+/// the column scan, plus the quantized pre-pass buffers (query levels,
+/// padded mask, per-link residuals, integer distances and their order).
+/// thread_local so concurrent localize_batch lanes never contend; grows
+/// monotonically, so queries after the first on a thread allocate
+/// nothing.
 struct KnnScratch {
   std::vector<double> dist;
   std::vector<std::size_t> order;
+  std::vector<std::int8_t> qvalues;
+  std::vector<std::uint8_t> qmask;
+  std::vector<double> qresidual;
+  std::vector<std::uint64_t> qdist;
+  std::vector<std::size_t> qorder;
 };
 
 KnnScratch& knn_scratch() {
@@ -90,6 +98,123 @@ KnnScratch& knn_scratch() {
 Counter& knn_scratch_allocation_counter() {
   static Counter counter;
   return counter;
+}
+
+/// Two-tier scan: int8 integer pre-pass over every grid, exact float
+/// re-rank over a provably sufficient candidate prefix.
+///
+/// Why the result equals the full float scan, bit for bit:
+///   * Let s be the tier's scale.  For a usable link i the query's
+///     dequantization error e_i = residual[i] + s/2 bounds
+///     | |y_i - x_ij| - s*|q_i - c_ij| | for every column j (stored
+///     levels are exact to s/2 by construction; the query residual
+///     already includes any clamp excess).  Summing in quadrature,
+///     every column obeys  | ||dy|| - s*sqrt(qdist_j) | <= E  with
+///     E = sqrt(sum e_i^2)  over usable links.
+///   * The candidate prefix holds the m smallest integer distances, so
+///     every EXCLUDED column j has s*sqrt(qdist_j) >= s*sqrt(T) where T
+///     is the prefix's largest integer distance, hence an exact root
+///     distance >= sqrt(mask_scale) * (s*sqrt(T) - E).
+///   * If the k-th best EXACT distance inside the prefix is strictly
+///     below that floor, no excluded column can enter the top-k: the
+///     exact re-rank of the prefix IS the full scan's top-k.  Exact
+///     distances come from the very same column_distance_sq kernels and
+///     the sort uses the same (distance, index) tie rule, so indices,
+///     distances, and therefore downstream weights are bit-identical.
+///   * Otherwise the prefix doubles and the test repeats; at m == n the
+///     "prefix" is the whole grid set and re-ranking it is literally
+///     the exact scan, so termination is unconditional.  E is inflated
+///     by one ulp-scale epsilon before use so float rounding in the
+///     bookkeeping (never in the served distances) can only widen.
+///
+/// Fills s.order[0..k) with the winners and s.dist[j] with their exact
+/// distances (other s.dist entries are stale).  Caller has resized
+/// s.dist/s.order to n and validated shapes, finiteness, and the tier.
+void quantized_scan(ConstMatrixView fp, std::span<const double> rss, const LinkHealth* mask,
+                    const QuantizedTier& tier, std::size_t k, std::size_t alpha, KnnScratch& s,
+                    Counter* widen_counter) {
+  const std::size_t n = fp.cols();
+  const std::size_t rows = fp.rows();
+  const std::size_t padded = tier.padded_links();
+
+  std::span<const std::uint8_t> usable{};
+  double mask_scale = 1.0;
+  const std::uint8_t* mask_bytes = nullptr;
+  if (mask != nullptr) {
+    usable = mask->usable_bytes();
+    mask_scale = static_cast<double>(rows) / static_cast<double>(mask->usable_count());
+    // Padded copy of the mask: pad bytes 0, so the masked integer
+    // kernel ignores the padding just like it ignores dead links.
+    s.qmask.assign(padded, 0);
+    std::copy(usable.begin(), usable.end(), s.qmask.begin());
+    mask_bytes = s.qmask.data();
+  }
+  tier.quantize_observation(rss, usable, s.qvalues, s.qresidual);
+
+  const double scale = tier.scale();
+  double err_sq = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (mask != nullptr && usable[i] == 0) continue;
+    const double e = s.qresidual[i] + 0.5 * scale;
+    err_sq += e * e;
+  }
+  const double err = std::sqrt(err_sq) * (1.0 + 1e-9) + 1e-9;
+  const double root_scale = std::sqrt(mask_scale);
+
+  // Integer pre-pass over every grid.  Each distance is an independent
+  // exact integer, so the parallel split cannot perturb anything.
+  s.qdist.resize(n);
+  s.qorder.resize(n);
+  const KernelOps& ops = kernel_ops();
+  const std::int8_t* query = s.qvalues.data();
+  const std::size_t grain =
+      std::max<std::size_t>(1, (std::size_t{1} << 15) / std::max<std::size_t>(padded, 1));
+  ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
+    if (mask_bytes == nullptr) {
+      for (std::size_t j = j0; j < j1; ++j)
+        s.qdist[j] = ops.dist_sq_i8(query, tier.cell_data(j), padded);
+    } else {
+      for (std::size_t j = j0; j < j1; ++j)
+        s.qdist[j] = ops.dist_sq_i8_masked(query, tier.cell_data(j), mask_bytes, padded);
+    }
+  });
+
+  std::size_t m = std::min(n, std::max(k * alpha, k + 8));
+  while (true) {
+    // Rank the integer distances with the same (value, index) tie rule
+    // as the exact sort, take the m best as candidates.
+    std::iota(s.qorder.begin(), s.qorder.end(), 0);
+    std::partial_sort(s.qorder.begin(), s.qorder.begin() + static_cast<std::ptrdiff_t>(m),
+                      s.qorder.end(), [&](std::size_t a, std::size_t b) {
+                        return s.qdist[a] != s.qdist[b] ? s.qdist[a] < s.qdist[b] : a < b;
+                      });
+    // Exact re-rank: the same column kernels as the float scan, so the
+    // surviving distances (and the weights derived from them) match a
+    // full scan bit for bit.
+    ThreadPool::global().parallel_for(0, m, 64, [&](std::size_t c0, std::size_t c1) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        const std::size_t j = s.qorder[c];
+        s.dist[j] = mask == nullptr
+                        ? column_distance_sq(fp.col_view(j), rss)
+                        : column_distance_sq_masked(fp.col_view(j), rss, usable, mask_scale);
+      }
+    });
+    std::partial_sort(s.qorder.begin(), s.qorder.begin() + static_cast<std::ptrdiff_t>(k),
+                      s.qorder.begin() + static_cast<std::ptrdiff_t>(m),
+                      [&](std::size_t a, std::size_t b) {
+                        return s.dist[a] != s.dist[b] ? s.dist[a] < s.dist[b] : a < b;
+                      });
+    if (m == n) break;  // re-ranked everything: this IS the exact scan
+    const double threshold_root =
+        scale * std::sqrt(static_cast<double>(s.qdist[s.qorder[m - 1]]));
+    const double excluded_floor = root_scale * (threshold_root - err);
+    const double kth_root = std::sqrt(s.dist[s.qorder[k - 1]]);
+    if (kth_root < excluded_floor) break;  // proof holds; equality widens
+    if (widen_counter != nullptr) widen_counter->add();
+    m = std::min(n, m * 2);
+  }
+  std::copy(s.qorder.begin(), s.qorder.begin() + static_cast<std::ptrdiff_t>(k),
+            s.order.begin());
 }
 
 }  // namespace
@@ -187,6 +312,13 @@ void KnnMatcher::attach_telemetry(MetricRegistry* registry) {
   scratch_alloc_counter_ = registry_counter(telemetry_, "loc.knn.scratch_allocations");
   gated_counter_ = registry_counter(telemetry_, "loc.knn.gated_neighbors");
   fallback_counter_ = registry_counter(telemetry_, "loc.knn.centroid_fallbacks");
+  prepass_counter_ = registry_counter(telemetry_, "loc.knn.prepass_queries");
+  widen_counter_ = registry_counter(telemetry_, "loc.knn.rerank_widenings");
+}
+
+void KnnMatcher::set_rerank_multiplier(std::size_t alpha) {
+  TAFLOC_CHECK_ARG(alpha >= 1, "re-rank multiplier must be at least 1");
+  rerank_alpha_ = alpha;
 }
 
 std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const double> rss) const {
@@ -201,12 +333,30 @@ std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const doub
   }
   const std::size_t n = fp.cols();
   KnnScratch& s = knn_scratch();
-  if (s.dist.capacity() < n || s.order.capacity() < n) {
+  // The quantized tier is consulted per query: a tier that vanished
+  // (detach), went not-ready (non-finite entries mid-fault), or changed
+  // shape (borrowed view re-pointed before re-attach) silently falls
+  // back to the float scan for this query.
+  const QuantizedTier* tier = quantized_;
+  if (tier != nullptr &&
+      (!tier->ready() || tier->num_links() != fp.rows() || tier->num_grids() != n))
+    tier = nullptr;
+  const bool scratch_grown =
+      s.dist.capacity() < n || s.order.capacity() < n ||
+      (tier != nullptr &&
+       (s.qvalues.capacity() < tier->padded_links() || s.qmask.capacity() < tier->padded_links() ||
+        s.qresidual.capacity() < fp.rows() || s.qdist.capacity() < n || s.qorder.capacity() < n));
+  if (scratch_grown) {
     knn_scratch_allocation_counter().add();
     if (scratch_alloc_counter_ != nullptr) scratch_alloc_counter_->add();
   }
   s.dist.resize(n);
   s.order.resize(n);
+  if (tier != nullptr) {
+    if (prepass_counter_ != nullptr) prepass_counter_->add();
+    quantized_scan(fp, rss, mask, *tier, k_, rerank_alpha_, s, widen_counter_);
+    return {s.order.data(), k_};
+  }
   std::vector<double>& dist = s.dist;
   // Each distance is an independent scalar: the scan parallelizes over
   // columns without changing any accumulation order.

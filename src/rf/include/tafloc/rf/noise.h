@@ -25,6 +25,9 @@ class NoiseModel {
   double corrupt(double rss_dbm, Rng& rng) const;
 
   /// Quantize a value to the configured step (identity when step == 0).
+  /// Ties round away from zero -- the library-wide convention shared
+  /// with the fingerprint scan tier (util/quantize.h), so quantized
+  /// readings re-quantize stably instead of drifting one LSB.
   double quantize(double rss_dbm) const noexcept;
 
   const NoiseConfig& config() const noexcept { return config_; }

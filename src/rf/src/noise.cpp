@@ -1,8 +1,7 @@
 #include "tafloc/rf/noise.h"
 
-#include <cmath>
-
 #include "tafloc/util/check.h"
+#include "tafloc/util/quantize.h"
 
 namespace tafloc {
 
@@ -12,8 +11,9 @@ NoiseModel::NoiseModel(const NoiseConfig& config) : config_(config) {
 }
 
 double NoiseModel::quantize(double rss_dbm) const noexcept {
-  if (config_.quantization_step_db == 0.0) return rss_dbm;
-  return std::round(rss_dbm / config_.quantization_step_db) * config_.quantization_step_db;
+  // Shared library-wide rounding convention (ties away from zero) --
+  // see util/quantize.h for why this must match the fingerprint tier.
+  return quantize_to_step(rss_dbm, config_.quantization_step_db);
 }
 
 double NoiseModel::corrupt(double rss_dbm, Rng& rng) const {

@@ -74,6 +74,13 @@ struct TafLocConfig {
   double lrr_ridge = 1e-6;
   std::size_t knn_k = 3;            ///< localization matcher neighbours.
   bool mask_pairwise = true;        ///< restrict G/H terms to the distorted support.
+  /// Serve KNN queries through the int8 pre-pass + exact re-rank
+  /// (matcher.h) when the database's QuantizedTier is ready.  Results
+  /// are provably identical either way; this only trades scan speed.
+  bool quantized_scan = true;
+  /// Initial re-rank candidate budget as a multiple of knn_k (see
+  /// KnnMatcher::set_rerank_multiplier).  Speed knob only.
+  std::size_t knn_rerank_alpha = 4;
   /// Execution-core settings: threads == 0 leaves the process-wide pool
   /// alone (TAFLOC_THREADS env or hardware concurrency); threads == 1
   /// forces the sequential legacy path.  Applied at system construction.
@@ -217,6 +224,11 @@ class TafLocSystem : public Localizer {
 
   /// True once calibrate() has run.
   bool calibrated() const noexcept { return database_.has_value(); }
+
+  /// True when localize() currently serves through the quantized
+  /// pre-pass (quantized_scan enabled, calibrated, and the database's
+  /// int8 tier is ready).  Surfaced in zone status / taflocctl.
+  bool quantized_tier_active() const noexcept;
 
   /// Chosen reference grid indices (available after calibration).
   const std::vector<std::size_t>& reference_locations() const;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "tafloc/exec/thread_pool.h"
+#include "tafloc/linalg/backend.h"
 #include "tafloc/linalg/io.h"
 #include "tafloc/recon/operators.h"
 #include "tafloc/storage/snapshot.h"
@@ -83,7 +84,16 @@ TafLocSystem::TafLocSystem(const Deployment& deployment, const TafLocConfig& con
       config_(config),
       telemetry_(std::make_unique<MetricRegistry>(config.telemetry)) {
   TAFLOC_CHECK_ARG(config.knn_k >= 1, "knn k must be at least 1");
+  TAFLOC_CHECK_ARG(config.knn_rerank_alpha >= 1, "knn re-rank multiplier must be at least 1");
   if (config_.exec.threads != 0) set_global_threads(config_.exec.threads);
+  // Kernel backend selection is process-wide like the thread pool:
+  // kAuto leaves the resolved default (TAFLOC_KERNEL_BACKEND env, else
+  // CPU detection) alone; an explicit request pins it.
+  if (config_.exec.kernel_backend != KernelBackend::kAuto)
+    set_kernel_backend(config_.exec.kernel_backend);
+  if (telemetry_->enabled())
+    telemetry_->gauge("kernel.backend")
+        .set(static_cast<double>(static_cast<int>(active_kernel_backend())));
   // Route the solver's recon.* metrics into this system's registry.
   // The pointer is stable for the system's lifetime (unique_ptr owner).
   config_.solver.telemetry = telemetry_.get();
@@ -118,8 +128,12 @@ TafLocSystem::TafLocSystem(TafLocSystem&& other) noexcept
   // (the LinkHealth object lives inline in the optional database).
   other.scheduler_ = nullptr;
   config_.solver.telemetry = telemetry_.get();
-  if (matcher_ != nullptr && database_.has_value())
+  if (matcher_ != nullptr && database_.has_value()) {
     matcher_->attach_link_health(&database_->link_health());
+    // Same re-point for the quantized tier (it also lives inline in the
+    // optional database, so the move relocated it).
+    if (config_.quantized_scan) matcher_->attach_quantized_tier(&database_->quantized_tier());
+  }
 }
 
 // Out of line: the durability members' types are incomplete in the header.
@@ -313,6 +327,10 @@ TafLocSystem::UpdateReport TafLocSystem::update_with_collector(
   return update(fresh, std::move(ambient), t_days);
 }
 
+bool TafLocSystem::quantized_tier_active() const noexcept {
+  return matcher_ != nullptr && matcher_->quantized_active();
+}
+
 Point2 TafLocSystem::localize(std::span<const double> rss) const {
   TAFLOC_CHECK_STATE(matcher_ != nullptr, "localize() requires a prior calibrate()");
   return matcher_->localize(rss);
@@ -460,6 +478,16 @@ void TafLocSystem::rebuild_matcher() {
   // this rebuild.  With all links usable the matcher takes its exact
   // unmasked code path, so attaching here never changes healthy results.
   matcher_->attach_link_health(&database_->link_health());
+  // The int8 scan tier is rebuilt by the database on the same
+  // update()/emplace() that triggered this rebuild, so attaching it
+  // here keeps the two consistent at every point a query can observe.
+  // Results are provably unchanged (see matcher.h); only speed differs.
+  if (config_.quantized_scan) {
+    matcher_->attach_quantized_tier(&database_->quantized_tier());
+    matcher_->set_rerank_multiplier(config_.knn_rerank_alpha);
+  }
+  if (telemetry_->enabled())
+    telemetry_->gauge("fingerprint.quantized_tier").set(quantized_tier_active() ? 1.0 : 0.0);
 }
 
 // -- durability (DESIGN.md section 10) --

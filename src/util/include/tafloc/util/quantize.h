@@ -1,0 +1,34 @@
+// The ONE rounding convention shared by every quantizer in the
+// library: ties round away from zero (std::round), never to even.
+//
+// Two quantizers exist -- NoiseModel::quantize (the simulated radio's
+// integer-dBm reporting) and the fingerprint database's int8 scan tier
+// (fingerprint/quantized.h) -- and they meet: simulated readings pass
+// through the radio quantizer, land in the fingerprint matrix, and are
+// re-quantized into the scan tier.  If the two disagreed on ties
+// (ties-away vs ties-even), a reading sitting exactly between two
+// levels would round differently on the two passes and the tier would
+// carry a permanent one-LSB offset against the matrix it mirrors.
+// With both quantizers on round_ties_away, a value already on a level
+// grid re-quantizes to exactly that level (round(k) == k), so
+// integer-dBm data round-trips through the int8 tier bit-exactly
+// whenever the tier's scale is 1 dB and its offset is on the integer
+// grid -- asserted in test_fingerprint_quantized.
+#pragma once
+
+#include <cmath>
+
+namespace tafloc {
+
+/// std::round semantics, named for what matters here: 0.5 -> 1,
+/// -0.5 -> -1, 2.5 -> 3 (ties-to-even would give 0, 0, 2).
+inline double round_ties_away(double v) noexcept { return std::round(v); }
+
+/// Snap `v` to the nearest multiple of `step` (ties away from zero).
+/// step == 0 disables quantization (returns v unchanged).
+inline double quantize_to_step(double v, double step) noexcept {
+  if (step == 0.0) return v;
+  return round_ties_away(v / step) * step;
+}
+
+}  // namespace tafloc

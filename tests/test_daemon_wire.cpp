@@ -81,9 +81,11 @@ TEST(DaemonWire, StatusRoundTripCarriesEveryZoneField) {
   z.staleness_db = 2.5;
   z.clock_days = 14.0;
   z.wal_sequence = 99;
+  z.kernel_backend = "avx2";
+  z.quantized_tier = true;
   z.last_error = "solver: diverged";
   res.zones.push_back(z);
-  res.zones.push_back(ZoneStatus{"lab", "serving", 0, 0, 0, false, 0.0, 0.0, 0, ""});
+  res.zones.push_back(ZoneStatus{"lab", "serving", 0, 0, 0, false, 0.0, 0.0, 0, "scalar", false, ""});
 
   const StatusResponse back = StatusResponse::decode(reframe(res.encode(1)));
   ASSERT_EQ(back.zones.size(), 2u);
@@ -96,8 +98,12 @@ TEST(DaemonWire, StatusRoundTripCarriesEveryZoneField) {
   EXPECT_EQ(back.zones[0].staleness_db, 2.5);
   EXPECT_EQ(back.zones[0].clock_days, 14.0);
   EXPECT_EQ(back.zones[0].wal_sequence, 99u);
+  EXPECT_EQ(back.zones[0].kernel_backend, "avx2");
+  EXPECT_TRUE(back.zones[0].quantized_tier);
   EXPECT_EQ(back.zones[0].last_error, "solver: diverged");
   EXPECT_EQ(back.zones[1].zone, "lab");
+  EXPECT_EQ(back.zones[1].kernel_backend, "scalar");
+  EXPECT_FALSE(back.zones[1].quantized_tier);
 }
 
 TEST(DaemonWire, AdminAndProbeRoundTrip) {

@@ -207,5 +207,43 @@ TEST_F(TafLocSystemTest, SuccessiveUpdatesAdvanceTime) {
   EXPECT_DOUBLE_EQ(system.database().surveyed_at_days(), 45.0);
 }
 
+TEST_F(TafLocSystemTest, QuantizedScanIsBitIdenticalToFloatScan) {
+  // quantized_scan defaults on; a system with it disabled must produce
+  // the SAME bits for every estimate -- the tier is a pure accelerator.
+  // Both systems calibrate from ONE survey so any divergence is the
+  // scan path's fault, not sampling noise.
+  const Matrix x0 = scenario_.collector().survey_all(0.0, rng_);
+  const Vector ambient = scenario_.collector().ambient_scan(0.0, rng_);
+  TafLocSystem quantized(scenario_.deployment());
+  quantized.calibrate(x0, Vector(ambient), 0.0);
+  TafLocConfig cfg;
+  cfg.quantized_scan = false;
+  TafLocSystem plain(scenario_.deployment(), cfg);
+  plain.calibrate(x0, Vector(ambient), 0.0);
+  EXPECT_TRUE(quantized.quantized_tier_active());
+  EXPECT_FALSE(plain.quantized_tier_active());
+
+  Rng probe_rng(909);
+  auto compare_everywhere = [&](double t) {
+    for (std::size_t j : {0u, 11u, 44u, 77u, 95u}) {
+      const Point2 target = scenario_.deployment().grid().center(j);
+      const Vector y = scenario_.collector().observe(target, t, probe_rng);
+      const Point2 a = quantized.localize(y);
+      const Point2 b = plain.localize(y);
+      EXPECT_EQ(a.x, b.x) << "t=" << t << " j=" << j;
+      EXPECT_EQ(a.y, b.y) << "t=" << t << " j=" << j;
+    }
+  };
+  compare_everywhere(0.0);
+
+  // Tier survives an update (database rebuild) with identity intact.
+  Rng upd_rng(910);
+  quantized.update_with_collector(scenario_.collector(), 45.0, upd_rng);
+  Rng upd_rng2(910);
+  plain.update_with_collector(scenario_.collector(), 45.0, upd_rng2);
+  EXPECT_TRUE(quantized.quantized_tier_active());
+  compare_everywhere(45.0);
+}
+
 }  // namespace
 }  // namespace tafloc

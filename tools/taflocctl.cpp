@@ -148,11 +148,12 @@ int main(int argc, char** argv) {
       for (const ZoneStatus& z : res.zones) {
         std::printf(
             "zone=%s state=%s queries=%llu updates=%llu failed=%llu in_flight=%d "
-            "staleness_db=%.3f clock_days=%.3f wal_seq=%llu%s%s\n",
+            "staleness_db=%.3f clock_days=%.3f wal_seq=%llu backend=%s quantized=%d%s%s\n",
             z.zone.c_str(), z.state.c_str(), static_cast<unsigned long long>(z.queries),
             static_cast<unsigned long long>(z.updates_committed),
             static_cast<unsigned long long>(z.updates_failed), z.update_in_flight ? 1 : 0,
             z.staleness_db, z.clock_days, static_cast<unsigned long long>(z.wal_sequence),
+            z.kernel_backend.c_str(), z.quantized_tier ? 1 : 0,
             z.last_error.empty() ? "" : " last_error=", z.last_error.c_str());
       }
       return report(res.status, res.message);
