@@ -9,8 +9,12 @@
 // column range) that track the zero-copy win of the view layer, and a
 // KNN per-query latency comparison with telemetry absent / disabled /
 // enabled that keeps the "disabled telemetry is free" claim honest.
-// With TAFLOC_BENCH_TELEMETRY set, the enabled run's registry snapshot
-// is embedded in the JSON record.
+// The same KNN loop is re-run under request tracing -- scope + stage
+// per query -- with tracing off, sampled at 1%, and sampled at 100%,
+// so the artefact records the tracing tax at both ends of the sampling
+// dial (the acceptance bar is < 2% with tracing off).  With
+// TAFLOC_BENCH_TELEMETRY set, the enabled run's registry snapshot is
+// embedded in the JSON record.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -21,6 +25,7 @@
 #include "tafloc/exec/exec_config.h"
 #include "tafloc/exec/workspace.h"
 #include "tafloc/telemetry/metrics.h"
+#include "tafloc/telemetry/trace.h"
 #include "tafloc/linalg/cg.h"
 #include "tafloc/linalg/cholesky.h"
 #include "tafloc/linalg/eig.h"
@@ -373,7 +378,9 @@ void run_json_experiments() {
   }
   KnnMatcher knn_none(fingerprints, scenario.deployment().grid(), 4);
   KnnMatcher knn_disabled(fingerprints, scenario.deployment().grid(), 4);
-  MetricRegistry disabled_registry(TelemetryConfig{.enabled = false});
+  TelemetryConfig disabled_config;
+  disabled_config.enabled = false;
+  MetricRegistry disabled_registry(disabled_config);
   knn_disabled.attach_telemetry(&disabled_registry);
   KnnMatcher knn_enabled(fingerprints, scenario.deployment().grid(), 4);
   MetricRegistry enabled_registry;
@@ -395,6 +402,44 @@ void run_json_experiments() {
               "ns/query (%+.1f%%)\n",
               ns_none, ns_disabled, 100.0 * disabled_overhead, ns_enabled,
               100.0 * enabled_overhead);
+
+  // 4) the same KNN loop under request tracing.  "off" is an inactive
+  //    tracer (no ring, no slow log, no sampler): the per-query cost is
+  //    one branch in TraceScope plus a thread-local load per stage.
+  //    1% / 100% sampling bound the real serving configurations.
+  std::printf("=== knn localize under tracing: off / 1%% sampled / 100%% sampled ===\n");
+  TracerConfig off_config;
+  off_config.ring_capacity = 0;
+  off_config.slow_log_capacity = 0;
+  off_config.sample_every = 0;
+  Tracer tracer_off(off_config);
+  TracerConfig sampled_config;
+  sampled_config.ring_capacity = 1024;
+  sampled_config.sample_every = 100;
+  Tracer tracer_1pct(sampled_config);
+  sampled_config.sample_every = 1;
+  Tracer tracer_100pct(sampled_config);
+
+  const auto localize_traced = [&](Tracer& tracer) {
+    for (const Vector& q : queries) {
+      TraceScope scope(tracer, {}, 0);
+      TraceStage stage("bench.knn");
+      benchmark::DoNotOptimize(knn_none.localize(q));
+    }
+  };
+  const double ns_trace_off =
+      1e9 / (ops_per_sec([&] { localize_traced(tracer_off); }, budget) * reps_per_query);
+  const double ns_trace_1pct =
+      1e9 / (ops_per_sec([&] { localize_traced(tracer_1pct); }, budget) * reps_per_query);
+  const double ns_trace_100pct =
+      1e9 / (ops_per_sec([&] { localize_traced(tracer_100pct); }, budget) * reps_per_query);
+  const double trace_off_overhead = ns_trace_off / ns_none - 1.0;
+  const double trace_1pct_overhead = ns_trace_1pct / ns_none - 1.0;
+  const double trace_100pct_overhead = ns_trace_100pct / ns_none - 1.0;
+  std::printf("  off %9.1f ns/query (%+.1f%%)   1%% %9.1f ns/query (%+.1f%%)   100%% %9.1f "
+              "ns/query (%+.1f%%)\n",
+              ns_trace_off, 100.0 * trace_off_overhead, ns_trace_1pct,
+              100.0 * trace_1pct_overhead, ns_trace_100pct, 100.0 * trace_100pct_overhead);
 
   std::ofstream json("BENCH_linalg.json");
   json << "{\n  \"unit\": \"ops_per_sec\",\n  \"smoke\": "
@@ -419,7 +464,15 @@ void run_json_experiments() {
        << "    \"per_query_ns\": {\"none\": " << ns_none << ", \"disabled\": " << ns_disabled
        << ", \"enabled\": " << ns_enabled << "},\n"
        << "    \"disabled_overhead\": " << disabled_overhead
-       << ",\n    \"enabled_overhead\": " << enabled_overhead << "\n  }";
+       << ",\n    \"enabled_overhead\": " << enabled_overhead << "\n  },\n"
+       << "  \"knn_tracing\": {\n"
+       << "    \"queries\": " << n_queries << ",\n"
+       << "    \"per_query_ns\": {\"baseline\": " << ns_none
+       << ", \"off\": " << ns_trace_off << ", \"sample_1pct\": " << ns_trace_1pct
+       << ", \"sample_100pct\": " << ns_trace_100pct << "},\n"
+       << "    \"off_overhead\": " << trace_off_overhead
+       << ",\n    \"sample_1pct_overhead\": " << trace_1pct_overhead
+       << ",\n    \"sample_100pct_overhead\": " << trace_100pct_overhead << "\n  }";
   if (tafloc::bench::telemetry_mode()) {
     // The enabled run's registry, embedded so the artefact records the
     // query counters and latency histogram behind the timings above.

@@ -14,6 +14,14 @@
 //   min_interval_days = 1.0
 //   max_interval_days = 45.0
 //   telemetry = true
+//   trace_sample_every = 100    # 0 = off, 1 = every query, N = every Nth
+//   trace_ring_capacity = 256
+//   slow_query_ms = 50.0        # 0 = slow-query log off
+//   slow_log_capacity = 64
+//   slo_deadline_ms = 100.0     # 0 = no latency SLO
+//   slo_target = 0.99           # fraction of queries that must meet it
+//   fault_slow_every = 0        # drills: delay every Nth query...
+//   fault_slow_ms = 0.0         # ...by this much (0/0 = off)
 //
 // Parsing is strict: unknown keys, duplicate zone names, a missing
 // socket path, or an unparsable number all throw std::runtime_error
@@ -36,6 +44,20 @@ struct ZoneConfig {
   std::string state_dir;      ///< durability directory; empty = in-memory only.
   SchedulerConfig scheduler;  ///< time-adaptive update trigger tuning.
   bool telemetry = true;      ///< per-zone MetricRegistry on/off.
+
+  // -- request tracing --
+  std::uint64_t trace_sample_every = 0;   ///< 0 = off, N = every Nth query.
+  std::uint64_t trace_ring_capacity = 256;
+  double slow_query_ms = 0.0;             ///< slow-query threshold (0 = off).
+  std::uint64_t slow_log_capacity = 64;
+
+  // -- latency SLO --
+  double slo_deadline_ms = 0.0;  ///< per-query deadline (0 = no SLO).
+  double slo_target = 0.99;      ///< fraction that must meet the deadline.
+
+  // -- fault injection (drills/tests only) --
+  std::uint64_t fault_slow_every = 0;  ///< delay every Nth query (0 = off).
+  double fault_slow_ms = 0.0;          ///< injected delay per hit.
 };
 
 struct DaemonConfig {

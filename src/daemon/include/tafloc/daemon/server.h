@@ -56,8 +56,11 @@ class ZoneManager {
   /// Returns a human-readable summary.
   std::string reload(const DaemonConfig& fresh);
 
-  /// Write each zone's labeled telemetry JSONL to `dir/<zone>.jsonl`.
-  /// Returns the number of files written; throws on I/O failure.
+  /// Write each zone's labeled telemetry JSONL to `dir/<zone>.jsonl`,
+  /// plus its retained traces to `dir/<zone>.trace.jsonl` and its
+  /// slow-query log to `dir/<zone>.slow.jsonl` (trace files only when
+  /// the zone recorded anything).  Returns the number of files written;
+  /// throws on I/O failure.
   std::size_t export_telemetry(const std::string& dir) const;
 
   JobQueue& jobs() noexcept { return jobs_; }
@@ -106,11 +109,15 @@ class ControlServer {
 
   /// Packet dispatch, exposed for in-process tests: takes one decoded
   /// frame, returns the encoded response packet.  Never throws.
-  std::string dispatch(const storage::Frame& frame);
+  /// `received_ns` is the steady-clock stamp of the socket read that
+  /// delivered the frame (0 = unknown); localize traces report the gap
+  /// to dispatch as queue wait.
+  std::string dispatch(const storage::Frame& frame, std::uint64_t received_ns = 0);
 
  private:
   struct Connection {
     std::string buffer;
+    std::uint64_t received_ns = 0;  ///< steady-clock stamp of the last read.
   };
 
   void handle_accept(short revents);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "tafloc/storage/record.h"
@@ -29,9 +30,13 @@
 namespace tafloc::daemon {
 
 /// Bumped on any incompatible payload change; packets carrying another
-/// version are rejected per-connection.
+/// version are rejected per-packet (kBadRequest) without harming the
+/// connection or any zone.
 /// v2: ZoneStatus grew kernel_backend + quantized_tier.
-inline constexpr std::uint32_t kWireVersion = 2;
+/// v3: LocalizeRequest grew the trace context (trace_id + sampled);
+///     ZoneStatus grew the SLO block; new kMetricsRequest/Response and
+///     kTraceRequest/Response packets for live introspection.
+inline constexpr std::uint32_t kWireVersion = 3;
 
 enum class PacketType : std::uint32_t {
   kError = 0,  ///< server -> client: request rejected (status + message).
@@ -47,6 +52,10 @@ enum class PacketType : std::uint32_t {
   kAdminResponse = 10,
   kProbeRequest = 11,
   kProbeResponse = 12,
+  kMetricsRequest = 13,
+  kMetricsResponse = 14,
+  kTraceRequest = 15,
+  kTraceResponse = 16,
 };
 
 const char* packet_type_name(PacketType type);
@@ -66,6 +75,12 @@ const char* wire_status_name(WireStatus status);
 struct LocalizeRequest {
   std::string zone;
   std::vector<double> rss;  ///< one reading per deployment link.
+  /// Trace context: a client-chosen id echoed into the zone's trace
+  /// records (0 = let the zone assign one) and a flag forcing this
+  /// request into the sampled trace ring regardless of the zone's
+  /// periodic sampler.
+  std::uint64_t trace_id = 0;
+  bool trace_sampled = false;
 
   std::string encode(std::uint64_t seq) const;
   static LocalizeRequest decode(const storage::Frame& frame);
@@ -125,6 +140,27 @@ struct ProbeRequest {
   static ProbeRequest decode(const storage::Frame& frame);
 };
 
+/// Snapshot a zone's metric registry over the wire (empty `zone` =
+/// every zone).  Powers `taflocctl top` without touching the JSONL
+/// export path.
+struct MetricsRequest {
+  std::string zone;
+
+  std::string encode(std::uint64_t seq) const;
+  static MetricsRequest decode(const storage::Frame& frame);
+};
+
+/// Pull retained trace records from a zone: the newest `max` sampled
+/// traces, or the slow-query log when `slow` is set.
+struct TraceRequest {
+  std::string zone;
+  std::uint64_t max = 64;  ///< newest-N cap for the sampled ring.
+  bool slow = false;       ///< true: return the slow-query log instead.
+
+  std::string encode(std::uint64_t seq) const;
+  static TraceRequest decode(const storage::Frame& frame);
+};
+
 // -- responses --
 
 struct ErrorResponse {
@@ -181,6 +217,11 @@ struct ZoneStatus {
   std::uint64_t wal_sequence = 0;  ///< 0 when the zone is not durable.
   std::string kernel_backend;      ///< active process-wide kernel backend name.
   bool quantized_tier = false;     ///< int8 scan tier serving this zone's queries.
+  // SLO accounting (all zero when the zone has no latency deadline).
+  std::uint64_t slo_ok = 0;        ///< queries inside the deadline.
+  std::uint64_t slo_violated = 0;  ///< queries past the deadline.
+  double slo_budget_remaining = 0.0;  ///< error budget left (can go negative).
+  bool slo_degraded = false;       ///< budget exhausted: `degraded-slo`.
   std::string last_error;
 };
 
@@ -213,6 +254,54 @@ struct ProbeResponse {
 
   std::string encode(std::uint64_t seq) const;
   static ProbeResponse decode(const storage::Frame& frame);
+};
+
+/// One histogram's summary, pre-aggregated daemon-side so clients never
+/// need the bucket layout.
+struct WireHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of one zone's metric registry.
+struct ZoneMetrics {
+  std::string zone;
+  std::string state;  ///< lifecycle state at snapshot time.
+  std::uint64_t uptime_ns = 0;
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<WireHistogram> histograms;
+};
+
+struct MetricsResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  std::vector<ZoneMetrics> zones;
+
+  std::string encode(std::uint64_t seq) const;
+  static MetricsResponse decode(const storage::Frame& frame);
+};
+
+struct TraceResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  /// Trace records as JSONL (one `{"type":"trace",...}` object per
+  /// line) -- the same codec the daemon writes to disk, so clients and
+  /// files share one schema.
+  std::string jsonl;
+  std::uint64_t total_recorded = 0;  ///< ring pushes (or slow-log size).
+  std::uint64_t dropped = 0;         ///< ring overwrites (or slow-log drops).
+
+  std::string encode(std::uint64_t seq) const;
+  static TraceResponse decode(const storage::Frame& frame);
 };
 
 // -- connection-buffer framing --

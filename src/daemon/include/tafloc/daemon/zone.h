@@ -43,6 +43,7 @@
 #include "tafloc/sim/scenario.h"
 #include "tafloc/tafloc/scheduler.h"
 #include "tafloc/tafloc/system.h"
+#include "tafloc/telemetry/trace.h"
 #include "tafloc/util/rng.h"
 
 namespace tafloc::daemon {
@@ -91,7 +92,16 @@ class Zone {
   /// Serve one query through the fault-tolerant path.  Drives the
   /// serving <-> degraded edge from the result's link-health verdict.
   /// Throws std::logic_error when !admissible() (callers gate on it).
-  TafLocSystem::DegradedResult localize(std::span<const double> rss);
+  /// `trace` is the client's trace context (id + forced sampling);
+  /// `queue_wait_ns` is how long the request sat between socket read
+  /// and dispatch, stamped into the trace record.
+  TafLocSystem::DegradedResult localize(std::span<const double> rss,
+                                        const TraceContext& trace = {},
+                                        std::uint64_t queue_wait_ns = 0);
+
+  /// Record one refused admission (the server could not hand the query
+  /// to localize()); feeds the zone.shed counter `taflocctl top` shows.
+  void note_shed() noexcept;
 
   struct AmbientResult {
     bool accepted = false;   ///< false: zone not admissible.
@@ -142,6 +152,12 @@ class Zone {
     std::uint64_t wal_sequence = 0;  ///< 0 when not durable.
     std::string kernel_backend;      ///< active kernel backend (process-wide).
     bool quantized_tier = false;     ///< int8 scan tier active for this zone.
+    // SLO accounting (all zero when slo_deadline_ms == 0).
+    std::uint64_t slo_ok = 0;        ///< queries inside the deadline.
+    std::uint64_t slo_violated = 0;  ///< queries past the deadline.
+    double slo_budget_remaining = 0.0;  ///< violations the target still allows.
+    bool slo_degraded = false;       ///< budget exhausted: annotate `degraded-slo`.
+    std::uint64_t sheds = 0;         ///< admissions refused by the server.
     std::string last_error;
   };
   Status status() const;
@@ -158,6 +174,9 @@ class Zone {
 
   const TafLocSystem& system() const noexcept { return system_; }
   const ZoneConfig& config() const noexcept { return config_; }
+  /// The zone's request-trace pipeline (ring + slow log); the server
+  /// answers kTraceRequest from it.
+  const Tracer& tracer() const noexcept { return tracer_; }
 
  private:
   enum class JobPhase : std::uint8_t { kIdle, kSolving, kSolved, kFailed };
@@ -169,6 +188,9 @@ class Zone {
   /// only when still kResurveying (a drain overrides the return edge).
   void finish_update();
   double now_days() const noexcept { return clock_days_; }
+  /// Violations the slo_target still allows minus those spent; negative
+  /// once the error budget is exhausted.
+  double slo_budget_remaining() const noexcept;
 
   ZoneConfig config_;
   JobQueue* jobs_;  ///< shared, not owned; nullptr = synchronous updates.
@@ -176,6 +198,19 @@ class Zone {
   TafLocSystem system_;
   std::optional<UpdateScheduler> scheduler_;  ///< constructed in start().
   Rng rng_;
+  Tracer tracer_;  ///< per-request tracing; feeds off system_'s registry.
+
+  // Cached telemetry handles (null when the registry is disabled) and
+  // SLO accounting.  All serving-thread only.
+  Histogram* request_hist_ = nullptr;    ///< zone.request_seconds.
+  Counter* shed_counter_ = nullptr;      ///< zone.shed.
+  Counter* slo_ok_counter_ = nullptr;    ///< slo.ok.
+  Counter* slo_violated_counter_ = nullptr;  ///< slo.violated.
+  Gauge* slo_budget_gauge_ = nullptr;    ///< slo.budget_remaining.
+  std::uint64_t slo_deadline_ns_ = 0;    ///< 0 = no latency SLO.
+  std::uint64_t slo_ok_ = 0;
+  std::uint64_t slo_violated_ = 0;
+  std::uint64_t sheds_ = 0;
 
   ZoneState state_ = ZoneState::kLoading;
   ZoneState resume_state_ = ZoneState::kServing;  ///< post-resurvey return edge.

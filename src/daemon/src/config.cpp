@@ -111,6 +111,27 @@ DaemonConfig DaemonConfig::parse(std::istream& in) {
       zone->scheduler.max_interval_days = parse_double(value, line_no, key);
     } else if (key == "telemetry") {
       zone->telemetry = parse_bool(value, line_no, key);
+    } else if (key == "trace_sample_every") {
+      zone->trace_sample_every = parse_u64(value, line_no, key);
+    } else if (key == "trace_ring_capacity") {
+      zone->trace_ring_capacity = parse_u64(value, line_no, key);
+    } else if (key == "slow_query_ms") {
+      zone->slow_query_ms = parse_double(value, line_no, key);
+      if (zone->slow_query_ms < 0.0) fail(line_no, "slow_query_ms must be >= 0");
+    } else if (key == "slow_log_capacity") {
+      zone->slow_log_capacity = parse_u64(value, line_no, key);
+    } else if (key == "slo_deadline_ms") {
+      zone->slo_deadline_ms = parse_double(value, line_no, key);
+      if (zone->slo_deadline_ms < 0.0) fail(line_no, "slo_deadline_ms must be >= 0");
+    } else if (key == "slo_target") {
+      zone->slo_target = parse_double(value, line_no, key);
+      if (zone->slo_target <= 0.0 || zone->slo_target > 1.0)
+        fail(line_no, "slo_target must be in (0, 1]");
+    } else if (key == "fault_slow_every") {
+      zone->fault_slow_every = parse_u64(value, line_no, key);
+    } else if (key == "fault_slow_ms") {
+      zone->fault_slow_ms = parse_double(value, line_no, key);
+      if (zone->fault_slow_ms < 0.0) fail(line_no, "fault_slow_ms must be >= 0");
     } else {
       fail(line_no, "unknown zone key '" + key + "'");
     }

@@ -85,17 +85,38 @@ std::string ZoneManager::reload(const DaemonConfig& fresh) {
   return summary;
 }
 
+namespace {
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("telemetry export: cannot open " + path);
+  out << body;
+  if (!out) throw std::runtime_error("telemetry export: write failed for " + path);
+}
+
+}  // namespace
+
 std::size_t ZoneManager::export_telemetry(const std::string& dir) const {
   namespace fs = std::filesystem;
   fs::create_directories(dir);
   std::size_t written = 0;
   for (const auto& zone : zones_) {
-    const std::string path = (fs::path(dir) / (zone->name() + ".jsonl")).string();
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) throw std::runtime_error("telemetry export: cannot open " + path);
-    out << zone->telemetry_json();
-    if (!out) throw std::runtime_error("telemetry export: write failed for " + path);
+    write_text_file((fs::path(dir) / (zone->name() + ".jsonl")).string(),
+                    zone->telemetry_json());
     ++written;
+    // Trace artifacts only when the zone captured anything -- a zone
+    // with tracing off leaves no empty files behind.
+    const Tracer& tracer = zone->tracer();
+    if (tracer.ring().pushed() > 0) {
+      write_text_file((fs::path(dir) / (zone->name() + ".trace.jsonl")).string(),
+                      tracer.ring_json());
+      ++written;
+    }
+    if (tracer.slow_log().size() > 0) {
+      write_text_file((fs::path(dir) / (zone->name() + ".slow.jsonl")).string(),
+                      tracer.slow_json());
+      ++written;
+    }
   }
   return written;
 }
@@ -201,6 +222,7 @@ void ControlServer::handle_connection(int fd, short revents) {
     const ssize_t n = ::read(fd, buf, sizeof buf);
     if (n > 0) {
       it->second.buffer.append(buf, static_cast<std::size_t>(n));
+      it->second.received_ns = trace_detail::steady_ns();
       if (it->second.buffer.size() > kMaxConnectionBuffer) {
         TAFLOC_LOG_WARN << "control server: connection exceeded buffer cap; closing";
         close_connection(fd);
@@ -236,7 +258,7 @@ void ControlServer::handle_connection(int fd, short revents) {
       close_connection(fd);
       return;
     }
-    const std::string response = dispatch(frame);
+    const std::string response = dispatch(frame, it->second.received_ns);
     if (!send_all(fd, response)) {
       close_connection(fd);
       return;
@@ -275,7 +297,7 @@ bool ControlServer::send_all(int fd, std::string_view bytes) {
   return true;
 }
 
-std::string ControlServer::dispatch(const storage::Frame& frame) {
+std::string ControlServer::dispatch(const storage::Frame& frame, std::uint64_t received_ns) {
   const std::uint64_t seq = frame.seq;
   try {
     switch (static_cast<PacketType>(frame.type)) {
@@ -287,10 +309,14 @@ std::string ControlServer::dispatch(const storage::Frame& frame) {
           res.status = WireStatus::kUnknownZone;
           res.message = "no zone '" + req.zone + "'";
         } else if (!zone->admissible()) {
+          zone->note_shed();
           res.status = WireStatus::kNotServing;
           res.message = std::string("zone is ") + zone_state_name(zone->state());
         } else {
-          const TafLocSystem::DegradedResult r = zone->localize(req.rss);
+          const std::uint64_t queue_wait_ns =
+              received_ns > 0 ? trace_detail::steady_ns() - received_ns : 0;
+          const TraceContext trace{req.trace_id, req.trace_sampled};
+          const TafLocSystem::DegradedResult r = zone->localize(req.rss, trace, queue_wait_ns);
           res.x = r.point.x;
           res.y = r.point.y;
           res.confidence = r.confidence;
@@ -359,6 +385,10 @@ std::string ControlServer::dispatch(const storage::Frame& frame) {
           z.wal_sequence = s.wal_sequence;
           z.kernel_backend = s.kernel_backend;
           z.quantized_tier = s.quantized_tier;
+          z.slo_ok = s.slo_ok;
+          z.slo_violated = s.slo_violated;
+          z.slo_budget_remaining = s.slo_budget_remaining;
+          z.slo_degraded = s.slo_degraded;
           z.last_error = s.last_error;
           res.zones.push_back(std::move(z));
         }
@@ -372,6 +402,7 @@ std::string ControlServer::dispatch(const storage::Frame& frame) {
           res.status = WireStatus::kUnknownZone;
           res.message = "no zone '" + req.zone + "'";
         } else if (!zone->admissible()) {
+          zone->note_shed();
           res.status = WireStatus::kNotServing;
           res.message = std::string("zone is ") + zone_state_name(zone->state());
         } else {
@@ -382,6 +413,55 @@ std::string ControlServer::dispatch(const storage::Frame& frame) {
           res.estimate_y = r.estimate.y;
           res.error_m = r.error_m;
           res.degraded = r.degraded;
+        }
+        return res.encode(seq);
+      }
+      case PacketType::kMetricsRequest: {
+        const MetricsRequest req = MetricsRequest::decode(frame);
+        MetricsResponse res;
+        if (!req.zone.empty() && zones_.find(req.zone) == nullptr) {
+          res.status = WireStatus::kUnknownZone;
+          res.message = "no zone '" + req.zone + "'";
+          return res.encode(seq);
+        }
+        for (const auto& zone : zones_.zones()) {
+          if (!req.zone.empty() && zone->name() != req.zone) continue;
+          const MetricRegistry::Snapshot snap = zone->system().telemetry().snapshot();
+          ZoneMetrics m;
+          m.zone = zone->name();
+          m.state = zone_state_name(zone->state());
+          m.uptime_ns = snap.uptime_ns;
+          m.spans_recorded = snap.spans_recorded;
+          m.spans_dropped = snap.spans_dropped;
+          m.counters = snap.counters;
+          m.gauges = snap.gauges;
+          m.histograms.reserve(snap.histograms.size());
+          for (const MetricRegistry::HistogramSummary& h : snap.histograms) {
+            m.histograms.push_back(
+                WireHistogram{h.name, h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99});
+          }
+          res.zones.push_back(std::move(m));
+        }
+        return res.encode(seq);
+      }
+      case PacketType::kTraceRequest: {
+        const TraceRequest req = TraceRequest::decode(frame);
+        Zone* zone = zones_.find(req.zone);
+        TraceResponse res;
+        if (zone == nullptr) {
+          res.status = WireStatus::kUnknownZone;
+          res.message = "no zone '" + req.zone + "'";
+          return res.encode(seq);
+        }
+        const Tracer& tracer = zone->tracer();
+        if (req.slow) {
+          res.jsonl = tracer.slow_json();
+          res.total_recorded = tracer.slow_log().size();
+          res.dropped = tracer.slow_log().dropped();
+        } else {
+          res.jsonl = tracer.ring_json(static_cast<std::size_t>(req.max));
+          res.total_recorded = tracer.ring().pushed();
+          res.dropped = tracer.ring().overwritten();
         }
         return res.encode(seq);
       }

@@ -74,6 +74,10 @@ const char* packet_type_name(PacketType type) {
     case PacketType::kAdminResponse: return "admin-response";
     case PacketType::kProbeRequest: return "probe-request";
     case PacketType::kProbeResponse: return "probe-response";
+    case PacketType::kMetricsRequest: return "metrics-request";
+    case PacketType::kMetricsResponse: return "metrics-response";
+    case PacketType::kTraceRequest: return "trace-request";
+    case PacketType::kTraceResponse: return "trace-response";
   }
   return "unknown";
 }
@@ -104,6 +108,8 @@ std::string LocalizeRequest::encode(std::uint64_t seq) const {
   ByteWriter out = begin_payload();
   put_string(out, zone);
   out.put_f64_span(rss);
+  out.put_u64(trace_id);
+  out.put_u8(trace_sampled ? 1 : 0);
   return finish(PacketType::kLocalizeRequest, seq, out);
 }
 
@@ -112,6 +118,8 @@ LocalizeRequest LocalizeRequest::decode(const storage::Frame& frame) {
   LocalizeRequest req;
   req.zone = get_string(in);
   req.rss = in.get_f64_vector();
+  req.trace_id = in.get_u64();
+  req.trace_sampled = in.get_u8() != 0;
   in.expect_exhausted("localize request");
   return req;
 }
@@ -196,6 +204,38 @@ ProbeRequest ProbeRequest::decode(const storage::Frame& frame) {
   ProbeRequest req;
   req.zone = get_string(in);
   in.expect_exhausted("probe request");
+  return req;
+}
+
+std::string MetricsRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  return finish(PacketType::kMetricsRequest, seq, out);
+}
+
+MetricsRequest MetricsRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kMetricsRequest);
+  MetricsRequest req;
+  req.zone = get_string(in);
+  in.expect_exhausted("metrics request");
+  return req;
+}
+
+std::string TraceRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  out.put_u64(max);
+  out.put_u8(slow ? 1 : 0);
+  return finish(PacketType::kTraceRequest, seq, out);
+}
+
+TraceRequest TraceRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kTraceRequest);
+  TraceRequest req;
+  req.zone = get_string(in);
+  req.max = in.get_u64();
+  req.slow = in.get_u8() != 0;
+  in.expect_exhausted("trace request");
   return req;
 }
 
@@ -302,6 +342,10 @@ std::string StatusResponse::encode(std::uint64_t seq) const {
     out.put_u64(z.wal_sequence);
     put_string(out, z.kernel_backend);
     out.put_u8(z.quantized_tier ? 1 : 0);
+    out.put_u64(z.slo_ok);
+    out.put_u64(z.slo_violated);
+    out.put_f64(z.slo_budget_remaining);
+    out.put_u8(z.slo_degraded ? 1 : 0);
     put_string(out, z.last_error);
   }
   return finish(PacketType::kStatusResponse, seq, out);
@@ -328,6 +372,10 @@ StatusResponse StatusResponse::decode(const storage::Frame& frame) {
     z.wal_sequence = in.get_u64();
     z.kernel_backend = get_string(in);
     z.quantized_tier = in.get_u8() != 0;
+    z.slo_ok = in.get_u64();
+    z.slo_violated = in.get_u64();
+    z.slo_budget_remaining = in.get_f64();
+    z.slo_degraded = in.get_u8() != 0;
     z.last_error = get_string(in);
     res.zones.push_back(std::move(z));
   }
@@ -376,6 +424,114 @@ ProbeResponse ProbeResponse::decode(const storage::Frame& frame) {
   res.error_m = in.get_f64();
   res.degraded = in.get_u8() != 0;
   in.expect_exhausted("probe response");
+  return res;
+}
+
+std::string MetricsResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  out.put_u64(zones.size());
+  for (const ZoneMetrics& z : zones) {
+    put_string(out, z.zone);
+    put_string(out, z.state);
+    out.put_u64(z.uptime_ns);
+    out.put_u64(z.spans_recorded);
+    out.put_u64(z.spans_dropped);
+    out.put_u64(z.counters.size());
+    for (const auto& [name, value] : z.counters) {
+      put_string(out, name);
+      out.put_u64(value);
+    }
+    out.put_u64(z.gauges.size());
+    for (const auto& [name, value] : z.gauges) {
+      put_string(out, name);
+      out.put_f64(value);
+    }
+    out.put_u64(z.histograms.size());
+    for (const WireHistogram& h : z.histograms) {
+      put_string(out, h.name);
+      out.put_u64(h.count);
+      out.put_f64(h.sum);
+      out.put_f64(h.min);
+      out.put_f64(h.max);
+      out.put_f64(h.p50);
+      out.put_f64(h.p95);
+      out.put_f64(h.p99);
+    }
+  }
+  return finish(PacketType::kMetricsResponse, seq, out);
+}
+
+MetricsResponse MetricsResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kMetricsResponse);
+  MetricsResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  const std::uint64_t zone_count = in.get_u64();
+  in.require_elements(zone_count, 8, "metrics zone entries");
+  res.zones.reserve(zone_count);
+  for (std::uint64_t i = 0; i < zone_count; ++i) {
+    ZoneMetrics z;
+    z.zone = get_string(in);
+    z.state = get_string(in);
+    z.uptime_ns = in.get_u64();
+    z.spans_recorded = in.get_u64();
+    z.spans_dropped = in.get_u64();
+    const std::uint64_t counters = in.get_u64();
+    in.require_elements(counters, 8, "metrics counters");
+    z.counters.reserve(counters);
+    for (std::uint64_t c = 0; c < counters; ++c) {
+      std::string name = get_string(in);
+      z.counters.emplace_back(std::move(name), in.get_u64());
+    }
+    const std::uint64_t gauges = in.get_u64();
+    in.require_elements(gauges, 8, "metrics gauges");
+    z.gauges.reserve(gauges);
+    for (std::uint64_t g = 0; g < gauges; ++g) {
+      std::string name = get_string(in);
+      z.gauges.emplace_back(std::move(name), in.get_f64());
+    }
+    const std::uint64_t histograms = in.get_u64();
+    in.require_elements(histograms, 8, "metrics histograms");
+    z.histograms.reserve(histograms);
+    for (std::uint64_t h = 0; h < histograms; ++h) {
+      WireHistogram hist;
+      hist.name = get_string(in);
+      hist.count = in.get_u64();
+      hist.sum = in.get_f64();
+      hist.min = in.get_f64();
+      hist.max = in.get_f64();
+      hist.p50 = in.get_f64();
+      hist.p95 = in.get_f64();
+      hist.p99 = in.get_f64();
+      z.histograms.push_back(std::move(hist));
+    }
+    res.zones.push_back(std::move(z));
+  }
+  in.expect_exhausted("metrics response");
+  return res;
+}
+
+std::string TraceResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  put_string(out, jsonl);
+  out.put_u64(total_recorded);
+  out.put_u64(dropped);
+  return finish(PacketType::kTraceResponse, seq, out);
+}
+
+TraceResponse TraceResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kTraceResponse);
+  TraceResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  res.jsonl = get_string(in);
+  res.total_recorded = in.get_u64();
+  res.dropped = in.get_u64();
+  in.expect_exhausted("trace response");
   return res;
 }
 

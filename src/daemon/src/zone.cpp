@@ -21,6 +21,16 @@ TafLocConfig make_system_config(const ZoneConfig& config) {
   return cfg;
 }
 
+TracerConfig make_tracer_config(const ZoneConfig& config) {
+  TracerConfig cfg;
+  cfg.ring_capacity = static_cast<std::size_t>(config.trace_ring_capacity);
+  cfg.slow_log_capacity = static_cast<std::size_t>(config.slow_log_capacity);
+  cfg.sample_every = config.trace_sample_every;
+  cfg.slow_threshold_ms = config.slow_query_ms;
+  cfg.zone = config.name;
+  return cfg;
+}
+
 }  // namespace
 
 const char* zone_state_name(ZoneState state) {
@@ -64,8 +74,20 @@ Zone::Zone(ZoneConfig config, JobQueue* jobs)
       jobs_(jobs),
       scenario_(Scenario::paper_room(config_.seed)),
       system_(scenario_.deployment(), make_system_config(config_)),
-      rng_(config_.seed ^ 0x5a11ull) {
+      rng_(config_.seed ^ 0x5a11ull),
+      tracer_(make_tracer_config(config_), &system_.telemetry()) {
   TAFLOC_CHECK_ARG(!config_.name.empty(), "zone needs a name");
+  slo_deadline_ns_ = static_cast<std::uint64_t>(config_.slo_deadline_ms * 1e6);
+  MetricRegistry& reg = system_.telemetry();
+  if (reg.enabled()) {
+    request_hist_ = &reg.histogram("zone.request_seconds");
+    shed_counter_ = &reg.counter("zone.shed");
+    if (slo_deadline_ns_ > 0) {
+      slo_ok_counter_ = &reg.counter("slo.ok");
+      slo_violated_counter_ = &reg.counter("slo.violated");
+      slo_budget_gauge_ = &reg.gauge("slo.budget_remaining");
+    }
+  }
 }
 
 Zone::~Zone() {
@@ -128,11 +150,62 @@ void Zone::start() {
   transition(ZoneState::kServing);
 }
 
-TafLocSystem::DegradedResult Zone::localize(std::span<const double> rss) {
+TafLocSystem::DegradedResult Zone::localize(std::span<const double> rss,
+                                            const TraceContext& trace,
+                                            std::uint64_t queue_wait_ns) {
   TAFLOC_CHECK_STATE(admissible(), "zone '" + config_.name + "' not admitting queries (" +
                                        zone_state_name(state_) + ")");
-  const TafLocSystem::DegradedResult result = system_.localize_degraded(rss);
-  ++queries_;
+  TraceScope scope(tracer_, trace, queue_wait_ns);
+  scope.record().set_state(zone_state_name(state_));
+  const std::uint64_t ordinal = ++queries_;
+
+  // Latency is only measured when someone consumes it (SLO accounting
+  // or the zone.request_seconds histogram); otherwise the query path
+  // pays no extra clock reads beyond the trace scope itself.
+  const bool want_latency = slo_deadline_ns_ > 0 || request_hist_ != nullptr;
+  const std::uint64_t t0 = want_latency ? tracer_.now_ns() : 0;
+
+  // Deterministic fault injection for drills: every Nth query (by zone
+  // ordinal) is delayed, so tests can predict exactly which requests
+  // land in the slow-query log.
+  if (config_.fault_slow_every > 0 && config_.fault_slow_ms > 0.0 &&
+      ordinal % config_.fault_slow_every == 0) {
+    TraceStage fault_stage("zone.fault.delay");
+    scope.record().fault_injected = true;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(config_.fault_slow_ms));
+  }
+
+  TafLocSystem::DegradedResult result;
+  {
+    TraceStage serve_stage("zone.serve");
+    result = system_.localize_degraded(rss);
+  }
+
+  TraceRecord& rec = scope.record();
+  rec.confidence = result.confidence;
+  rec.links_used = static_cast<std::uint32_t>(result.links_used);
+  rec.links_total = static_cast<std::uint32_t>(result.links_total);
+  rec.served = result.served;
+  rec.degraded = result.degraded;
+
+  if (want_latency) {
+    const std::uint64_t elapsed_ns = tracer_.now_ns() - t0;
+    if (request_hist_ != nullptr) {
+      request_hist_->observe(static_cast<double>(elapsed_ns) * 1e-9);
+    }
+    if (slo_deadline_ns_ > 0) {
+      if (elapsed_ns <= slo_deadline_ns_) {
+        ++slo_ok_;
+        if (slo_ok_counter_ != nullptr) slo_ok_counter_->add(1);
+      } else {
+        ++slo_violated_;
+        if (slo_violated_counter_ != nullptr) slo_violated_counter_->add(1);
+      }
+      if (slo_budget_gauge_ != nullptr) slo_budget_gauge_->set(slo_budget_remaining());
+    }
+  }
+
   // The link-health verdict drives the serving <-> degraded edge; a
   // resurveying zone reports through its own state until the commit.
   if (state_ == ZoneState::kServing && result.degraded) {
@@ -141,6 +214,17 @@ TafLocSystem::DegradedResult Zone::localize(std::span<const double> rss) {
     transition(ZoneState::kServing);
   }
   return result;
+}
+
+void Zone::note_shed() noexcept {
+  ++sheds_;
+  if (shed_counter_ != nullptr) shed_counter_->add(1);
+}
+
+double Zone::slo_budget_remaining() const noexcept {
+  const std::uint64_t total = slo_ok_ + slo_violated_;
+  const double allowed = static_cast<double>(total) * (1.0 - config_.slo_target);
+  return allowed - static_cast<double>(slo_violated_);
 }
 
 Zone::AmbientResult Zone::observe_ambient(std::span<const double> ambient, double t_days) {
@@ -298,6 +382,13 @@ Zone::Status Zone::status() const {
   s.wal_sequence = system_.durable() ? system_.durable_sequence() : 0;
   s.kernel_backend = kernel_backend_name(active_kernel_backend());
   s.quantized_tier = system_.quantized_tier_active();
+  s.slo_ok = slo_ok_;
+  s.slo_violated = slo_violated_;
+  if (slo_deadline_ns_ > 0) {
+    s.slo_budget_remaining = slo_budget_remaining();
+    s.slo_degraded = s.slo_budget_remaining < 0.0;
+  }
+  s.sheds = sheds_;
   {
     std::lock_guard<std::mutex> lock(err_mu_);
     s.last_error = last_error_;

@@ -9,6 +9,7 @@
 #include "tafloc/linalg/backend.h"
 #include "tafloc/linalg/vector_ops.h"
 #include "tafloc/telemetry/metrics.h"
+#include "tafloc/telemetry/trace.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -165,20 +166,24 @@ void quantized_scan(ConstMatrixView fp, std::span<const double> rss, const LinkH
   // exact integer, so the parallel split cannot perturb anything.
   s.qdist.resize(n);
   s.qorder.resize(n);
-  const KernelOps& ops = kernel_ops();
-  const std::int8_t* query = s.qvalues.data();
-  const std::size_t grain =
-      std::max<std::size_t>(1, (std::size_t{1} << 15) / std::max<std::size_t>(padded, 1));
-  ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
-    if (mask_bytes == nullptr) {
-      for (std::size_t j = j0; j < j1; ++j)
-        s.qdist[j] = ops.dist_sq_i8(query, tier.cell_data(j), padded);
-    } else {
-      for (std::size_t j = j0; j < j1; ++j)
-        s.qdist[j] = ops.dist_sq_i8_masked(query, tier.cell_data(j), mask_bytes, padded);
-    }
-  });
+  {
+    TraceStage prepass_stage("loc.prepass");
+    const KernelOps& ops = kernel_ops();
+    const std::int8_t* query = s.qvalues.data();
+    const std::size_t grain =
+        std::max<std::size_t>(1, (std::size_t{1} << 15) / std::max<std::size_t>(padded, 1));
+    ThreadPool::global().parallel_for(0, n, grain, [&](std::size_t j0, std::size_t j1) {
+      if (mask_bytes == nullptr) {
+        for (std::size_t j = j0; j < j1; ++j)
+          s.qdist[j] = ops.dist_sq_i8(query, tier.cell_data(j), padded);
+      } else {
+        for (std::size_t j = j0; j < j1; ++j)
+          s.qdist[j] = ops.dist_sq_i8_masked(query, tier.cell_data(j), mask_bytes, padded);
+      }
+    });
+  }
 
+  TraceStage rerank_stage("loc.rerank");
   std::size_t m = std::min(n, std::max(k * alpha, k + 8));
   while (true) {
     // Rank the integer distances with the same (value, index) tie rule
@@ -357,6 +362,7 @@ std::span<const std::size_t> KnnMatcher::nearest_in_scratch(std::span<const doub
     quantized_scan(fp, rss, mask, *tier, k_, rerank_alpha_, s, widen_counter_);
     return {s.order.data(), k_};
   }
+  TraceStage scan_stage("loc.scan");
   std::vector<double>& dist = s.dist;
   // Each distance is an independent scalar: the scan parallelizes over
   // columns without changing any accumulation order.

@@ -9,6 +9,7 @@
 #include "tafloc/linalg/svd.h"
 #include "tafloc/telemetry/metrics.h"
 #include "tafloc/telemetry/span.h"
+#include "tafloc/telemetry/trace.h"
 #include "tafloc/util/check.h"
 
 namespace tafloc {
@@ -243,6 +244,10 @@ LoliIrResult loli_ir_reconstruct(const LoliIrProblem& p, const LoliIrConfig& c) 
   validate(p);
   validate(c);
   ScopedSpan solve_span(c.telemetry, "recon.loli_ir.solve_seconds");
+  // Request-scoped twin of the ambient span: when a trace is live on
+  // this thread (a traced request triggered a synchronous reconstruct),
+  // the solve lands in that request's stage list too.
+  TraceStage solve_stage("recon.loli_ir.solve");
   Counter* tel_cg_iters = registry_counter(c.telemetry, "recon.loli_ir.cg_iterations");
   Histogram* tel_sweep = registry_histogram(c.telemetry, "recon.loli_ir.sweep_rel_change");
 

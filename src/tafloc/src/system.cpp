@@ -17,6 +17,7 @@
 #include "tafloc/storage/wal.h"
 #include "tafloc/tafloc/scheduler.h"
 #include "tafloc/telemetry/span.h"
+#include "tafloc/telemetry/trace.h"
 #include "tafloc/util/check.h"
 #include "tafloc/util/log.h"
 
@@ -353,7 +354,10 @@ TafLocSystem::DegradedResult TafLocSystem::localize_degraded(std::span<const dou
   if (durable() && wal_ != nullptr && !replaying_)
     wal_->append(kWalObserve, encode_observe_record(rss));
   LinkHealth& health = database_->link_health();
-  health.observe(rss);
+  {
+    TraceStage stage("system.health");
+    health.observe(rss);
+  }
 
   DegradedResult out;
   out.links_total = health.num_links();
@@ -361,21 +365,24 @@ TafLocSystem::DegradedResult TafLocSystem::localize_degraded(std::span<const dou
   ++total_degraded_calls_;
   if (out.degraded) ++degraded_query_count_;
 
-  if (health.usable_count() == 0) {
-    // Nothing left to match against.  The least-wrong answer with zero
-    // information is the area centre; served == false tells the caller
-    // this estimate carries no signal.
-    TAFLOC_LOG_WARN << "localize_degraded: all " << out.links_total
-                    << " links dead; returning area centre";
-    out.point = {0.5 * deployment_.grid().width(), 0.5 * deployment_.grid().height()};
-  } else {
-    MatchStats stats;
-    out.point = matcher_->localize(rss, &stats);
-    out.links_used = stats.links_used;
-    out.gated_neighbors = stats.gated_out;
-    out.confidence =
-        static_cast<double>(out.links_used) / static_cast<double>(out.links_total);
-    out.served = true;
+  {
+    TraceStage match_stage("system.match");
+    if (health.usable_count() == 0) {
+      // Nothing left to match against.  The least-wrong answer with zero
+      // information is the area centre; served == false tells the caller
+      // this estimate carries no signal.
+      TAFLOC_LOG_WARN << "localize_degraded: all " << out.links_total
+                      << " links dead; returning area centre";
+      out.point = {0.5 * deployment_.grid().width(), 0.5 * deployment_.grid().height()};
+    } else {
+      MatchStats stats;
+      out.point = matcher_->localize(rss, &stats);
+      out.links_used = stats.links_used;
+      out.gated_neighbors = stats.gated_out;
+      out.confidence =
+          static_cast<double>(out.links_used) / static_cast<double>(out.links_total);
+      out.served = true;
+    }
   }
 
   if (telemetry_->enabled()) {

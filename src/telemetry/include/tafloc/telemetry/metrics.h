@@ -164,6 +164,11 @@ class MetricRegistry {
   std::uint64_t spans_recorded() const noexcept {
     return spans_recorded_.load(std::memory_order_relaxed);
   }
+  /// Spans evicted from the ring by wraparound -- overflow under load
+  /// is visible, not silent (exported as `spans_dropped` in snapshots).
+  std::uint64_t spans_dropped() const noexcept {
+    return spans_dropped_.load(std::memory_order_relaxed);
+  }
   /// Retained trace tail, oldest first.
   std::vector<SpanRecord> trace() const;
 
@@ -181,6 +186,31 @@ class MetricRegistry {
   std::string snapshot_json() const;
   void snapshot_json(std::ostream& out) const;
 
+  /// Structured point-in-time copy for wire export (kMetricsResponse):
+  /// names + values only, no JSON, so the daemon can encode it into a
+  /// packet without re-parsing its own snapshot.
+  struct HistogramSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  struct Snapshot {
+    bool enabled = false;
+    std::string zone;
+    std::uint64_t uptime_ns = 0;
+    std::uint64_t spans_recorded = 0;
+    std::uint64_t spans_dropped = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted by name.
+    std::vector<std::pair<std::string, double>> gauges;           ///< sorted by name.
+    std::vector<HistogramSummary> histograms;                     ///< sorted by name.
+  };
+  Snapshot snapshot() const;
+
  private:
   template <class T, class Make>
   T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics,
@@ -197,6 +227,7 @@ class MetricRegistry {
   std::vector<SpanRecord> trace_;  ///< ring buffer of size <= trace_capacity.
   std::size_t trace_head_ = 0;     ///< next eviction slot once full.
   std::atomic<std::uint64_t> spans_recorded_{0};
+  std::atomic<std::uint64_t> spans_dropped_{0};
 
   // Inert instances handed out while disabled, so callers never branch
   // on registry state and the maps never grow.

@@ -212,6 +212,9 @@ void MetricRegistry::record_span(std::string_view name, std::uint32_t depth,
   if (trace_.size() < config_.trace_capacity) {
     trace_.push_back(std::move(record));
   } else {
+    // Wraparound evicts the oldest span; count the loss so trace gaps
+    // under load are diagnosable instead of silent.
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
     trace_[trace_head_] = std::move(record);
     trace_head_ = (trace_head_ + 1) % trace_.size();
   }
@@ -231,7 +234,7 @@ std::string MetricRegistry::text_dump() const {
   const std::lock_guard<std::mutex> lock(mu_);
   out << "telemetry: " << (enabled() ? "enabled" : "disabled") << ", "
       << counters_.size() + gauges_.size() + histograms_.size() << " metrics, "
-      << spans_recorded() << " spans recorded";
+      << spans_recorded() << " spans recorded, " << spans_dropped() << " dropped";
   if (!config_.zone.empty()) out << ", zone=" << config_.zone;
   out << '\n';
   for (const auto& [name, c] : counters_)
@@ -255,7 +258,8 @@ void MetricRegistry::snapshot_json(std::ostream& out) const {
   if (!config_.zone.empty()) zone_field = ",\"zone\":\"" + json_escape(config_.zone) + "\"";
   out << "{\"type\":\"snapshot\",\"enabled\":" << (enabled() ? "true" : "false")
       << ",\"metrics\":" << counters_.size() + gauges_.size() + histograms_.size()
-      << ",\"spans_recorded\":" << spans_recorded() << ",\"uptime_ns\":" << now_ns()
+      << ",\"spans_recorded\":" << spans_recorded()
+      << ",\"spans_dropped\":" << spans_dropped() << ",\"uptime_ns\":" << now_ns()
       << zone_field << "}\n";
   for (const auto& [name, c] : counters_) {
     out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
@@ -287,6 +291,34 @@ std::string MetricRegistry::snapshot_json() const {
   std::ostringstream out;
   snapshot_json(out);
   return out.str();
+}
+
+MetricRegistry::Snapshot MetricRegistry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  snap.enabled = enabled();
+  snap.zone = config_.zone;
+  snap.uptime_ns = now_ns();
+  snap.spans_recorded = spans_recorded();
+  snap.spans_dropped = spans_dropped();
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->quantile(0.5);
+    s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
 }
 
 // ---------------- optional-registry helpers ----------------

@@ -19,6 +19,10 @@ void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
 /// Emit one message at `level` (no-op when below the configured level).
+/// The prefix carries both wall-clock UTC (ISO-8601, for correlating
+/// runs with exported snapshots) and the monotonic offset since the
+/// first log call (drift-free, lines up with telemetry spans):
+///   [tafloc INFO  2026-08-09T12:34:56.789Z +1.234s] message
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

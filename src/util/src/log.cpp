@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace tafloc {
 
@@ -28,6 +29,23 @@ double elapsed_seconds() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+/// Wall-clock UTC as ISO-8601 with milliseconds, so logs from separate
+/// daemon runs can be correlated with exported JSONL snapshots (the
+/// monotonic offset alone resets every process start).
+void format_wall_clock(char* out, std::size_t out_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(out, out_size, "%s.%03dZ", date, static_cast<int>(millis));
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
@@ -40,8 +58,10 @@ void log_message(LogLevel level, const std::string& message) {
   // emitted with a single fwrite: stdio locks the stream per call, so
   // concurrent loggers never interleave within a line and need no
   // additional mutex.
-  char prefix[64];
-  std::snprintf(prefix, sizeof(prefix), "[tafloc %s +%.3fs] ", level_name(level),
+  char wall[40];
+  format_wall_clock(wall, sizeof(wall));
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[tafloc %s %s +%.3fs] ", level_name(level), wall,
                 elapsed_seconds());
   std::string line;
   line.reserve(sizeof(prefix) + message.size() + 1);

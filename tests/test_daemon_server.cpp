@@ -147,6 +147,98 @@ TEST_F(DispatchTest, ProbeAndResurveyAndAmbientDispatch) {
   EXPECT_TRUE(ares.accepted);
 }
 
+TEST_F(DispatchTest, MetricsDispatchSnapshotsEveryZoneOrOne) {
+  // Drive a little traffic so the snapshot has something to show.
+  for (int i = 0; i < 3; ++i) {
+    LocalizeRequest req{"office", office_query()};
+    (void)server_.dispatch(reframe(req.encode(1)));
+  }
+  const MetricsResponse all =
+      MetricsResponse::decode(reframe(server_.dispatch(reframe(MetricsRequest{""}.encode(2)))));
+  EXPECT_EQ(all.status, WireStatus::kOk);
+  ASSERT_EQ(all.zones.size(), 2u);
+
+  const MetricsResponse one = MetricsResponse::decode(
+      reframe(server_.dispatch(reframe(MetricsRequest{"office"}.encode(3)))));
+  ASSERT_EQ(one.zones.size(), 1u);
+  const ZoneMetrics& m = one.zones[0];
+  EXPECT_EQ(m.zone, "office");
+  EXPECT_EQ(m.state, "serving");
+  EXPECT_GT(m.uptime_ns, 0u);
+  bool saw_latency = false;
+  for (const WireHistogram& h : m.histograms) {
+    if (h.name == "zone.request_seconds") {
+      saw_latency = true;
+      EXPECT_EQ(h.count, 3u);
+      EXPECT_GT(h.p50, 0.0);
+      EXPECT_LE(h.p50, h.p95);
+      EXPECT_LE(h.p95, h.p99);
+    }
+  }
+  EXPECT_TRUE(saw_latency);
+
+  const MetricsResponse none = MetricsResponse::decode(
+      reframe(server_.dispatch(reframe(MetricsRequest{"warehouse"}.encode(4)))));
+  EXPECT_EQ(none.status, WireStatus::kUnknownZone);
+}
+
+TEST_F(DispatchTest, TraceDispatchReturnsClientForcedSamples) {
+  LocalizeRequest req{"office", office_query()};
+  req.trace_id = 9001;
+  req.trace_sampled = true;  // zone has no periodic sampler configured.
+  (void)server_.dispatch(reframe(req.encode(1)));
+
+  const TraceResponse res = TraceResponse::decode(
+      reframe(server_.dispatch(reframe(TraceRequest{"office", 16, false}.encode(2)))));
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.total_recorded, 1u);
+  EXPECT_EQ(res.dropped, 0u);
+  EXPECT_NE(res.jsonl.find("\"trace_id\":9001"), std::string::npos) << res.jsonl;
+  EXPECT_NE(res.jsonl.find("\"name\":\"zone.serve\""), std::string::npos) << res.jsonl;
+
+  const TraceResponse missing = TraceResponse::decode(
+      reframe(server_.dispatch(reframe(TraceRequest{"warehouse", 16, false}.encode(3)))));
+  EXPECT_EQ(missing.status, WireStatus::kUnknownZone);
+}
+
+TEST_F(DispatchTest, ShedsAreCountedWhenAdmissionIsRefused) {
+  AdminRequest drain{AdminOp::kDrain, "lab"};
+  (void)server_.dispatch(reframe(drain.encode(1)));
+  LocalizeRequest req{"lab", office_query()};
+  (void)server_.dispatch(reframe(req.encode(2)));
+  (void)server_.dispatch(reframe(ProbeRequest{"lab"}.encode(3)));
+  EXPECT_EQ(zones_.find("lab")->status().sheds, 2u);
+}
+
+TEST_F(DispatchTest, VersionSkewedLocalizeLeavesZonesAndDispatchUntouched) {
+  // A v2 client's localize payload (zone + rss, no trace context): the
+  // daemon must answer kBadRequest for THAT packet and keep serving --
+  // no zone leaves its lifecycle state, no query is counted.
+  storage::ByteWriter payload;
+  payload.put_u32(kWireVersion - 1);
+  const std::string zone = "office";
+  payload.put_u8_span({reinterpret_cast<const std::uint8_t*>(zone.data()), zone.size()});
+  const Vector rss = office_query();
+  payload.put_f64_span(rss);
+  const std::string bytes = storage::encode_frame(
+      static_cast<std::uint32_t>(PacketType::kLocalizeRequest), 7, payload.bytes());
+
+  const storage::Frame reply = reframe(server_.dispatch(reframe(bytes)));
+  ASSERT_EQ(reply.type, static_cast<std::uint32_t>(PacketType::kError));
+  const ErrorResponse err = ErrorResponse::decode(reply);
+  EXPECT_EQ(err.status, WireStatus::kBadRequest);
+  EXPECT_NE(err.message.find("version"), std::string::npos) << err.message;
+  EXPECT_EQ(zones_.find("office")->state(), ZoneState::kServing);
+  EXPECT_EQ(zones_.find("office")->status().queries, 0u);
+
+  // The very next well-formed packet on the same dispatch path serves.
+  LocalizeRequest good{"office", office_query()};
+  const LocalizeResponse res =
+      LocalizeResponse::decode(reframe(server_.dispatch(reframe(good.encode(8)))));
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_TRUE(res.served);
+}
+
 TEST_F(DispatchTest, VersionSkewGetsAnErrorPacketBack) {
   storage::ByteWriter payload;
   payload.put_u32(99);  // future wire version.

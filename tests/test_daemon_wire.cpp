@@ -2,8 +2,11 @@
 // rejection paths that keep one bad client from hurting the daemon.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "tafloc/daemon/wire.h"
 #include "tafloc/storage/codec.h"
@@ -22,12 +25,16 @@ storage::Frame reframe(const std::string& bytes) {
 
 TEST(DaemonWire, LocalizeRoundTrip) {
   LocalizeRequest req{"office", {1.0, -2.5, 3.25}};
+  req.trace_id = 0xfeedbeef12345678ull;
+  req.trace_sampled = true;
   const storage::Frame frame = reframe(req.encode(42));
   EXPECT_EQ(frame.type, static_cast<std::uint32_t>(PacketType::kLocalizeRequest));
   EXPECT_EQ(frame.seq, 42u);
   const LocalizeRequest back = LocalizeRequest::decode(frame);
   EXPECT_EQ(back.zone, "office");
   EXPECT_EQ(back.rss, req.rss);
+  EXPECT_EQ(back.trace_id, 0xfeedbeef12345678ull);
+  EXPECT_TRUE(back.trace_sampled);
 
   LocalizeResponse res;
   res.status = WireStatus::kOk;
@@ -83,9 +90,17 @@ TEST(DaemonWire, StatusRoundTripCarriesEveryZoneField) {
   z.wal_sequence = 99;
   z.kernel_backend = "avx2";
   z.quantized_tier = true;
+  z.slo_ok = 980;
+  z.slo_violated = 20;
+  z.slo_budget_remaining = -10.25;
+  z.slo_degraded = true;
   z.last_error = "solver: diverged";
   res.zones.push_back(z);
-  res.zones.push_back(ZoneStatus{"lab", "serving", 0, 0, 0, false, 0.0, 0.0, 0, "scalar", false, ""});
+  ZoneStatus lab;
+  lab.zone = "lab";
+  lab.state = "serving";
+  lab.kernel_backend = "scalar";
+  res.zones.push_back(lab);
 
   const StatusResponse back = StatusResponse::decode(reframe(res.encode(1)));
   ASSERT_EQ(back.zones.size(), 2u);
@@ -100,10 +115,74 @@ TEST(DaemonWire, StatusRoundTripCarriesEveryZoneField) {
   EXPECT_EQ(back.zones[0].wal_sequence, 99u);
   EXPECT_EQ(back.zones[0].kernel_backend, "avx2");
   EXPECT_TRUE(back.zones[0].quantized_tier);
+  EXPECT_EQ(back.zones[0].slo_ok, 980u);
+  EXPECT_EQ(back.zones[0].slo_violated, 20u);
+  EXPECT_EQ(back.zones[0].slo_budget_remaining, -10.25);
+  EXPECT_TRUE(back.zones[0].slo_degraded);
   EXPECT_EQ(back.zones[0].last_error, "solver: diverged");
   EXPECT_EQ(back.zones[1].zone, "lab");
   EXPECT_EQ(back.zones[1].kernel_backend, "scalar");
   EXPECT_FALSE(back.zones[1].quantized_tier);
+  EXPECT_EQ(back.zones[1].slo_ok, 0u);
+  EXPECT_FALSE(back.zones[1].slo_degraded);
+}
+
+TEST(DaemonWire, MetricsRoundTripCarriesEveryField) {
+  MetricsRequest req{"office"};
+  const storage::Frame rframe = reframe(req.encode(5));
+  EXPECT_EQ(rframe.type, static_cast<std::uint32_t>(PacketType::kMetricsRequest));
+  EXPECT_EQ(MetricsRequest::decode(rframe).zone, "office");
+
+  MetricsResponse res;
+  ZoneMetrics m;
+  m.zone = "office";
+  m.state = "degraded";
+  m.uptime_ns = 123456789;
+  m.spans_recorded = 40;
+  m.spans_dropped = 8;
+  m.counters = {{"zone.shed", 3}, {"system.degraded_queries", 11}};
+  m.gauges = {{"slo.budget_remaining", -1.5}};
+  m.histograms.push_back(WireHistogram{"zone.request_seconds", 100, 0.5, 0.001, 0.09,
+                                       0.004, 0.02, 0.05});
+  res.zones.push_back(m);
+
+  const MetricsResponse back = MetricsResponse::decode(reframe(res.encode(5)));
+  ASSERT_EQ(back.zones.size(), 1u);
+  const ZoneMetrics& b = back.zones[0];
+  EXPECT_EQ(b.zone, "office");
+  EXPECT_EQ(b.state, "degraded");
+  EXPECT_EQ(b.uptime_ns, 123456789u);
+  EXPECT_EQ(b.spans_recorded, 40u);
+  EXPECT_EQ(b.spans_dropped, 8u);
+  ASSERT_EQ(b.counters.size(), 2u);
+  EXPECT_EQ(b.counters[0].first, "zone.shed");
+  EXPECT_EQ(b.counters[0].second, 3u);
+  ASSERT_EQ(b.gauges.size(), 1u);
+  EXPECT_EQ(b.gauges[0].second, -1.5);
+  ASSERT_EQ(b.histograms.size(), 1u);
+  EXPECT_EQ(b.histograms[0].name, "zone.request_seconds");
+  EXPECT_EQ(b.histograms[0].count, 100u);
+  EXPECT_EQ(b.histograms[0].p95, 0.02);
+  EXPECT_EQ(b.histograms[0].p99, 0.05);
+}
+
+TEST(DaemonWire, TraceRoundTripCarriesEveryField) {
+  TraceRequest req{"lab", 32, true};
+  const storage::Frame rframe = reframe(req.encode(6));
+  EXPECT_EQ(rframe.type, static_cast<std::uint32_t>(PacketType::kTraceRequest));
+  const TraceRequest rback = TraceRequest::decode(rframe);
+  EXPECT_EQ(rback.zone, "lab");
+  EXPECT_EQ(rback.max, 32u);
+  EXPECT_TRUE(rback.slow);
+
+  TraceResponse res;
+  res.jsonl = "{\"type\":\"trace\",\"trace_id\":1}\n{\"type\":\"trace\",\"trace_id\":2}\n";
+  res.total_recorded = 9;
+  res.dropped = 2;
+  const TraceResponse back = TraceResponse::decode(reframe(res.encode(6)));
+  EXPECT_EQ(back.jsonl, res.jsonl);
+  EXPECT_EQ(back.total_recorded, 9u);
+  EXPECT_EQ(back.dropped, 2u);
 }
 
 TEST(DaemonWire, AdminAndProbeRoundTrip) {
@@ -133,6 +212,51 @@ TEST(DaemonWire, VersionSkewIsRejected) {
       static_cast<std::uint32_t>(PacketType::kLocalizeRequest), 1, payload.bytes());
   const storage::Frame frame = reframe(bytes);
   EXPECT_THROW((void)LocalizeRequest::decode(frame), std::runtime_error);
+}
+
+// Build a syntactically valid v2 localize request (zone + rss, no trace
+// context -- the pre-v3 payload layout) claiming the given version.
+std::string v2_localize_bytes(std::uint32_t version, std::uint64_t seq) {
+  storage::ByteWriter payload;
+  payload.put_u32(version);
+  const std::string zone = "office";
+  payload.put_u8_span({reinterpret_cast<const std::uint8_t*>(zone.data()), zone.size()});
+  const std::vector<double> rss{1.0, 2.0};
+  payload.put_f64_span(rss);
+  return storage::encode_frame(static_cast<std::uint32_t>(PacketType::kLocalizeRequest), seq,
+                               payload.bytes());
+}
+
+TEST(DaemonWire, OldClientAgainstNewServerIsARejectNotAMisparse) {
+  // A v2 client's localize request must be rejected on the version
+  // field alone -- never half-parsed into a v3 struct (which would read
+  // the missing trace context off the end of the payload).
+  const storage::Frame frame = reframe(v2_localize_bytes(kWireVersion - 1, 11));
+  try {
+    (void)LocalizeRequest::decode(frame);
+    FAIL() << "v2 payload must not decode on a v3 daemon";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(DaemonWire, NewClientAgainstOldServerIsARejectNotAMisparse) {
+  // The mirror direction: an old daemon applies the same strict
+  // equality check to a payload claiming a future version, so a v3+1
+  // client gets a clean version error before any field is trusted.
+  LocalizeRequest req{"office", {1.0, 2.0}};
+  storage::Frame frame = reframe(req.encode(12));
+  // Rewrite the leading version word to a future generation in place.
+  ASSERT_GE(frame.payload.size(), 4u);
+  const std::uint32_t future = kWireVersion + 1;
+  std::memcpy(frame.payload.data(), &future, sizeof future);
+  const std::string reframed = storage::encode_frame(frame.type, frame.seq, frame.payload);
+  try {
+    (void)LocalizeRequest::decode(reframe(reframed));
+    FAIL() << "future-version payload must not decode";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
 }
 
 TEST(DaemonWire, WrongPacketTypeIsRejected) {

@@ -118,7 +118,7 @@ TEST(UpdateScheduler, SplitDropCountersDistinguishReasons) {
 }
 
 TEST(UpdateScheduler, SplitDropCountersReachTelemetrySnapshot) {
-  MetricRegistry registry({.enabled = true});
+  MetricRegistry registry;  // enabled by default.
   UpdateScheduler sched(Vector{-30.0, -30.0}, 5.0);
   sched.attach_telemetry(&registry);
   sched.observe_ambient(std::vector<double>{-31.0, -31.0}, 10.0);

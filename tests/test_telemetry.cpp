@@ -501,12 +501,25 @@ TEST(Telemetry, ConcurrentLogLinesNeverInterleave) {
   ASSERT_EQ(lines.size(), kThreads * kLines);
   std::vector<std::size_t> seen(kThreads, 0);
   for (const std::string& line : lines) {
-    // Prefix: "[tafloc INFO  +<seconds>s] thread-T-line-I-end" -- one
-    // complete message per line, never split or merged.
-    ASSERT_EQ(line.rfind("[tafloc INFO  +", 0), 0u) << "bad prefix: " << line;
+    // Prefix: "[tafloc INFO  <ISO-8601>Z +<seconds>s] thread-T-line-I-end"
+    // -- one complete message per line, never split or merged, with
+    // wall-clock UTC next to the monotonic offset.
+    ASSERT_EQ(line.rfind("[tafloc INFO  ", 0), 0u) << "bad prefix: " << line;
     const std::size_t close = line.find("] ");
     ASSERT_NE(close, std::string::npos) << line;
-    EXPECT_NE(line.find('s'), std::string::npos) << "missing timestamp unit: " << line;
+    const std::string stamp = line.substr(14, close - 14);
+    const std::size_t space = stamp.find(' ');
+    ASSERT_NE(space, std::string::npos) << "missing wall clock: " << line;
+    const std::string wall = stamp.substr(0, space);
+    // 2026-08-09T12:34:56.789Z -- fixed-width ISO-8601 UTC.
+    ASSERT_EQ(wall.size(), 24u) << "bad wall clock: " << line;
+    EXPECT_EQ(wall[4], '-');
+    EXPECT_EQ(wall[10], 'T');
+    EXPECT_EQ(wall[19], '.');
+    EXPECT_EQ(wall.back(), 'Z');
+    const std::string mono = stamp.substr(space + 1);
+    ASSERT_EQ(mono.rfind('+', 0), 0u) << "missing monotonic offset: " << line;
+    EXPECT_EQ(mono.back(), 's') << "missing timestamp unit: " << line;
     const std::string payload = line.substr(close + 2);
     ASSERT_EQ(payload.rfind("thread-", 0), 0u) << "torn line: " << line;
     ASSERT_EQ(payload.size() - payload.rfind("-end"), 4u) << "torn line: " << line;
