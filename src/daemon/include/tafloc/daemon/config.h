@@ -22,6 +22,9 @@
 //   slo_target = 0.99           # fraction of queries that must meet it
 //   fault_slow_every = 0        # drills: delay every Nth query...
 //   fault_slow_ms = 0.0         # ...by this much (0/0 = off)
+//   motion_threshold_db = 1.0   # ingest gate: below = ambient, above = query
+//   ingest_dedup_window = 1024  # per-node sequence dedup window
+//   ingest_max_pending_rounds = 64  # open merge rounds before expiry
 //
 // Parsing is strict: unknown keys, duplicate zone names, a missing
 // socket path, or an unparsable number all throw std::runtime_error
@@ -37,6 +40,17 @@
 #include "tafloc/tafloc/scheduler.h"
 
 namespace tafloc::daemon {
+
+/// Edge-ingestion knobs (the kBatchIngest path; see src/ingest).
+struct IngestConfig {
+  /// Symmetric-diff movement gate against the scheduler's ambient
+  /// baseline: a completed round whose mean |Y - baseline| stays below
+  /// this is classified ambient (feeds the update scheduler); at or
+  /// above it the round is admitted as a localize query.
+  double motion_threshold_db = 1.0;
+  std::uint64_t dedup_window = 1024;      ///< per-node sequence dedup window.
+  std::uint64_t max_pending_rounds = 64;  ///< open merge rounds before expiry.
+};
 
 struct ZoneConfig {
   std::string name;
@@ -58,6 +72,9 @@ struct ZoneConfig {
   // -- fault injection (drills/tests only) --
   std::uint64_t fault_slow_every = 0;  ///< delay every Nth query (0 = off).
   double fault_slow_ms = 0.0;          ///< injected delay per hit.
+
+  // -- edge ingestion (kBatchIngest) --
+  IngestConfig ingest;
 };
 
 struct DaemonConfig {

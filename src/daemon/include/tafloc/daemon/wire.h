@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "tafloc/ingest/batch.h"
 #include "tafloc/storage/record.h"
 
 namespace tafloc::daemon {
@@ -36,7 +37,10 @@ namespace tafloc::daemon {
 /// v3: LocalizeRequest grew the trace context (trace_id + sampled);
 ///     ZoneStatus grew the SLO block; new kMetricsRequest/Response and
 ///     kTraceRequest/Response packets for live introspection.
-inline constexpr std::uint32_t kWireVersion = 3;
+/// v4: new kBatchIngestRequest/Response (edge node batches through the
+///     dedup/merge/movement-gate front-end); AmbientResponse grew the
+///     scheduler's sample_accepted verdict.
+inline constexpr std::uint32_t kWireVersion = 4;
 
 enum class PacketType : std::uint32_t {
   kError = 0,  ///< server -> client: request rejected (status + message).
@@ -56,6 +60,8 @@ enum class PacketType : std::uint32_t {
   kMetricsResponse = 14,
   kTraceRequest = 15,
   kTraceResponse = 16,
+  kBatchIngestRequest = 17,
+  kBatchIngestResponse = 18,
 };
 
 const char* packet_type_name(PacketType type);
@@ -161,6 +167,17 @@ struct TraceRequest {
   static TraceRequest decode(const storage::Frame& frame);
 };
 
+/// One node batch into a zone's ingest front-end (dedup + merge +
+/// movement gate); the batch payload is the shared ingest codec, so a
+/// node's store-and-forward file replays over the wire unmodified.
+struct BatchIngestRequest {
+  std::string zone;
+  ingest::NodeBatch batch;
+
+  std::string encode(std::uint64_t seq) const;
+  static BatchIngestRequest decode(const storage::Frame& frame);
+};
+
 // -- responses --
 
 struct ErrorResponse {
@@ -188,8 +205,9 @@ struct LocalizeResponse {
 struct AmbientResponse {
   WireStatus status = WireStatus::kOk;
   std::string message;
-  bool accepted = false;   ///< scan admitted into the scheduler.
-  bool triggered = false;  ///< it crossed the staleness threshold.
+  bool accepted = false;        ///< scan admitted into the scheduler.
+  bool sample_accepted = false; ///< the scheduler kept it (not out-of-order/NaN).
+  bool triggered = false;       ///< it crossed the staleness threshold.
   double staleness_db = 0.0;
 
   std::string encode(std::uint64_t seq) const;
@@ -288,6 +306,36 @@ struct MetricsResponse {
 
   std::string encode(std::uint64_t seq) const;
   static MetricsResponse decode(const storage::Frame& frame);
+};
+
+/// One localize result served from an ingested round.
+struct IngestQuery {
+  double t_days = 0.0;
+  double motion_db = 0.0;  ///< the gate metric that admitted it.
+  double x = 0.0;
+  double y = 0.0;
+  double confidence = 0.0;
+  bool served = false;
+  bool degraded = false;
+  std::uint64_t links_used = 0;
+};
+
+struct BatchIngestResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  // This batch's exact accounting deltas (mirrors ingest.* telemetry).
+  std::uint64_t readings = 0;
+  std::uint64_t dups_dropped = 0;
+  std::uint64_t stale_dropped = 0;
+  std::uint64_t bad_readings = 0;
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t gated_ambient = 0;
+  std::uint64_t admitted_queries = 0;
+  double last_motion_db = 0.0;
+  std::vector<IngestQuery> queries;  ///< one per admitted round.
+
+  std::string encode(std::uint64_t seq) const;
+  static BatchIngestResponse decode(const storage::Frame& frame);
 };
 
 struct TraceResponse {

@@ -38,8 +38,11 @@
 #include <span>
 #include <string>
 
+#include <vector>
+
 #include "tafloc/daemon/config.h"
 #include "tafloc/exec/job_queue.h"
+#include "tafloc/ingest/assembler.h"
 #include "tafloc/sim/scenario.h"
 #include "tafloc/tafloc/scheduler.h"
 #include "tafloc/tafloc/system.h"
@@ -105,6 +108,10 @@ class Zone {
 
   struct AmbientResult {
     bool accepted = false;   ///< false: zone not admissible.
+    /// The scheduler's verdict on the sample itself: false when it was
+    /// dropped (out-of-order timestamp or no finite entry).  A dropped
+    /// sample leaves the zone clock untouched.
+    bool sample_accepted = false;
     bool triggered = false;  ///< scheduler crossed the staleness threshold.
     bool resurvey_started = false;
     double staleness_db = 0.0;
@@ -112,6 +119,34 @@ class Zone {
   /// Feed an ambient scan to the update scheduler; a trigger starts a
   /// supervised resurvey immediately (unless one is already in flight).
   AmbientResult observe_ambient(std::span<const double> ambient, double t_days);
+
+  /// Result of feeding one node batch through the ingest front-end:
+  /// exact per-batch accounting deltas plus the outcome of every round
+  /// the batch completed (below the movement gate -> ambient into the
+  /// scheduler, at/above it -> a localize query served inline).
+  struct IngestResult {
+    bool accepted = false;  ///< false: zone not admissible.
+    std::uint64_t readings = 0;
+    std::uint64_t dups_dropped = 0;
+    std::uint64_t stale_dropped = 0;
+    std::uint64_t bad_readings = 0;
+    std::uint64_t rounds_completed = 0;
+    std::uint64_t gated_ambient = 0;    ///< rounds classified ambient.
+    std::uint64_t admitted_queries = 0; ///< rounds served as queries.
+    double last_motion_db = 0.0;  ///< gate metric of the newest completed round.
+    struct Query {
+      double t_days = 0.0;
+      double motion_db = 0.0;
+      TafLocSystem::DegradedResult result;
+    };
+    std::vector<Query> queries;  ///< one per admitted round, oldest first.
+  };
+  /// Dedup + merge one node batch (see ingest::BatchAssembler), then
+  /// gate every completed round on the symmetric diff against the
+  /// scheduler baseline.  Ambient rounds flow through observe_ambient()
+  /// (clock, staleness trigger, resurvey admission included); admitted
+  /// rounds are served through localize().
+  IngestResult ingest_batch(const ingest::NodeBatch& batch);
 
   /// Start a supervised reference re-survey at time `t_days`: survey
   /// through the zone's collector, stage the update, submit the solve
@@ -199,11 +234,21 @@ class Zone {
   std::optional<UpdateScheduler> scheduler_;  ///< constructed in start().
   Rng rng_;
   Tracer tracer_;  ///< per-request tracing; feeds off system_'s registry.
+  ingest::BatchAssembler assembler_;  ///< kBatchIngest dedup + merge state.
 
   // Cached telemetry handles (null when the registry is disabled) and
   // SLO accounting.  All serving-thread only.
   Histogram* request_hist_ = nullptr;    ///< zone.request_seconds.
   Counter* shed_counter_ = nullptr;      ///< zone.shed.
+  Counter* ingest_batches_counter_ = nullptr;      ///< ingest.batches.
+  Counter* ingest_readings_counter_ = nullptr;     ///< ingest.readings.
+  Counter* ingest_dups_counter_ = nullptr;         ///< ingest.dups_dropped.
+  Counter* ingest_stale_counter_ = nullptr;        ///< ingest.stale_dropped.
+  Counter* ingest_bad_counter_ = nullptr;          ///< ingest.bad_readings.
+  Counter* ingest_rounds_counter_ = nullptr;       ///< ingest.rounds_completed.
+  Counter* ingest_expired_counter_ = nullptr;      ///< ingest.rounds_expired.
+  Counter* ingest_gated_counter_ = nullptr;        ///< ingest.gated_ambient.
+  Counter* ingest_admitted_counter_ = nullptr;     ///< ingest.admitted_queries.
   Counter* slo_ok_counter_ = nullptr;    ///< slo.ok.
   Counter* slo_violated_counter_ = nullptr;  ///< slo.violated.
   Gauge* slo_budget_gauge_ = nullptr;    ///< slo.budget_remaining.

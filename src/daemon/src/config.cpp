@@ -36,6 +36,12 @@ double parse_double(const std::string& value, std::size_t line_no, const std::st
 }
 
 std::uint64_t parse_u64(const std::string& value, std::size_t line_no, const std::string& key) {
+  // std::stoull silently negates "-1" into 2^64-1; an unsigned knob fed
+  // a negative value must fail loudly, not wrap into "practically off"
+  // (or "practically always"), so reject the sign before parsing.
+  if (!value.empty() && value[0] == '-') {
+    fail(line_no, key + ": must be a non-negative integer, got '" + value + "'");
+  }
   try {
     std::size_t consumed = 0;
     const unsigned long long parsed = std::stoull(value, &consumed);
@@ -132,6 +138,16 @@ DaemonConfig DaemonConfig::parse(std::istream& in) {
     } else if (key == "fault_slow_ms") {
       zone->fault_slow_ms = parse_double(value, line_no, key);
       if (zone->fault_slow_ms < 0.0) fail(line_no, "fault_slow_ms must be >= 0");
+    } else if (key == "motion_threshold_db") {
+      zone->ingest.motion_threshold_db = parse_double(value, line_no, key);
+      if (zone->ingest.motion_threshold_db < 0.0) fail(line_no, "motion_threshold_db must be >= 0");
+    } else if (key == "ingest_dedup_window") {
+      zone->ingest.dedup_window = parse_u64(value, line_no, key);
+      if (zone->ingest.dedup_window == 0) fail(line_no, "ingest_dedup_window must be >= 1");
+    } else if (key == "ingest_max_pending_rounds") {
+      zone->ingest.max_pending_rounds = parse_u64(value, line_no, key);
+      if (zone->ingest.max_pending_rounds == 0)
+        fail(line_no, "ingest_max_pending_rounds must be >= 1");
     } else {
       fail(line_no, "unknown zone key '" + key + "'");
     }

@@ -340,8 +340,46 @@ std::string ControlServer::dispatch(const storage::Frame& frame, std::uint64_t r
             res.message = std::string("zone is ") + zone_state_name(zone->state());
           }
           res.accepted = r.accepted;
+          res.sample_accepted = r.sample_accepted;
           res.triggered = r.triggered;
           res.staleness_db = r.staleness_db;
+        }
+        return res.encode(seq);
+      }
+      case PacketType::kBatchIngestRequest: {
+        const BatchIngestRequest req = BatchIngestRequest::decode(frame);
+        Zone* zone = zones_.find(req.zone);
+        BatchIngestResponse res;
+        if (zone == nullptr) {
+          res.status = WireStatus::kUnknownZone;
+          res.message = "no zone '" + req.zone + "'";
+        } else if (!zone->admissible()) {
+          zone->note_shed();
+          res.status = WireStatus::kNotServing;
+          res.message = std::string("zone is ") + zone_state_name(zone->state());
+        } else {
+          const Zone::IngestResult r = zone->ingest_batch(req.batch);
+          res.readings = r.readings;
+          res.dups_dropped = r.dups_dropped;
+          res.stale_dropped = r.stale_dropped;
+          res.bad_readings = r.bad_readings;
+          res.rounds_completed = r.rounds_completed;
+          res.gated_ambient = r.gated_ambient;
+          res.admitted_queries = r.admitted_queries;
+          res.last_motion_db = r.last_motion_db;
+          res.queries.reserve(r.queries.size());
+          for (const Zone::IngestResult::Query& q : r.queries) {
+            IngestQuery wq;
+            wq.t_days = q.t_days;
+            wq.motion_db = q.motion_db;
+            wq.x = q.result.point.x;
+            wq.y = q.result.point.y;
+            wq.confidence = q.result.confidence;
+            wq.served = q.result.served;
+            wq.degraded = q.result.degraded;
+            wq.links_used = q.result.links_used;
+            res.queries.push_back(wq);
+          }
         }
         return res.encode(seq);
       }

@@ -78,6 +78,8 @@ const char* packet_type_name(PacketType type) {
     case PacketType::kMetricsResponse: return "metrics-response";
     case PacketType::kTraceRequest: return "trace-request";
     case PacketType::kTraceResponse: return "trace-response";
+    case PacketType::kBatchIngestRequest: return "batch-ingest-request";
+    case PacketType::kBatchIngestResponse: return "batch-ingest-response";
   }
   return "unknown";
 }
@@ -239,6 +241,22 @@ TraceRequest TraceRequest::decode(const storage::Frame& frame) {
   return req;
 }
 
+std::string BatchIngestRequest::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  put_string(out, zone);
+  batch.encode(out);  // the nested payload carries its own format version.
+  return finish(PacketType::kBatchIngestRequest, seq, out);
+}
+
+BatchIngestRequest BatchIngestRequest::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kBatchIngestRequest);
+  BatchIngestRequest req;
+  req.zone = get_string(in);
+  req.batch = ingest::NodeBatch::decode(in);
+  in.expect_exhausted("batch ingest request");
+  return req;
+}
+
 // -- responses --
 
 std::string ErrorResponse::encode(std::uint64_t seq) const {
@@ -290,6 +308,7 @@ std::string AmbientResponse::encode(std::uint64_t seq) const {
   out.put_u8(static_cast<std::uint8_t>(status));
   put_string(out, message);
   out.put_u8(accepted ? 1 : 0);
+  out.put_u8(sample_accepted ? 1 : 0);
   out.put_u8(triggered ? 1 : 0);
   out.put_f64(staleness_db);
   return finish(PacketType::kAmbientResponse, seq, out);
@@ -301,6 +320,7 @@ AmbientResponse AmbientResponse::decode(const storage::Frame& frame) {
   res.status = get_status(in);
   res.message = get_string(in);
   res.accepted = in.get_u8() != 0;
+  res.sample_accepted = in.get_u8() != 0;
   res.triggered = in.get_u8() != 0;
   res.staleness_db = in.get_f64();
   in.expect_exhausted("ambient response");
@@ -532,6 +552,64 @@ TraceResponse TraceResponse::decode(const storage::Frame& frame) {
   res.total_recorded = in.get_u64();
   res.dropped = in.get_u64();
   in.expect_exhausted("trace response");
+  return res;
+}
+
+std::string BatchIngestResponse::encode(std::uint64_t seq) const {
+  ByteWriter out = begin_payload();
+  out.put_u8(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  out.put_u64(readings);
+  out.put_u64(dups_dropped);
+  out.put_u64(stale_dropped);
+  out.put_u64(bad_readings);
+  out.put_u64(rounds_completed);
+  out.put_u64(gated_ambient);
+  out.put_u64(admitted_queries);
+  out.put_f64(last_motion_db);
+  out.put_u64(queries.size());
+  for (const IngestQuery& q : queries) {
+    out.put_f64(q.t_days);
+    out.put_f64(q.motion_db);
+    out.put_f64(q.x);
+    out.put_f64(q.y);
+    out.put_f64(q.confidence);
+    out.put_u8(q.served ? 1 : 0);
+    out.put_u8(q.degraded ? 1 : 0);
+    out.put_u64(q.links_used);
+  }
+  return finish(PacketType::kBatchIngestResponse, seq, out);
+}
+
+BatchIngestResponse BatchIngestResponse::decode(const storage::Frame& frame) {
+  ByteReader in = open_payload(frame, PacketType::kBatchIngestResponse);
+  BatchIngestResponse res;
+  res.status = get_status(in);
+  res.message = get_string(in);
+  res.readings = in.get_u64();
+  res.dups_dropped = in.get_u64();
+  res.stale_dropped = in.get_u64();
+  res.bad_readings = in.get_u64();
+  res.rounds_completed = in.get_u64();
+  res.gated_ambient = in.get_u64();
+  res.admitted_queries = in.get_u64();
+  res.last_motion_db = in.get_f64();
+  const std::uint64_t count = in.get_u64();
+  in.require_elements(count, 50, "ingest query entries");
+  res.queries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IngestQuery q;
+    q.t_days = in.get_f64();
+    q.motion_db = in.get_f64();
+    q.x = in.get_f64();
+    q.y = in.get_f64();
+    q.confidence = in.get_f64();
+    q.served = in.get_u8() != 0;
+    q.degraded = in.get_u8() != 0;
+    q.links_used = in.get_u64();
+    res.queries.push_back(q);
+  }
+  in.expect_exhausted("batch ingest response");
   return res;
 }
 

@@ -1,5 +1,6 @@
 #include "tafloc/daemon/zone.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -28,6 +29,15 @@ TracerConfig make_tracer_config(const ZoneConfig& config) {
   cfg.sample_every = config.trace_sample_every;
   cfg.slow_threshold_ms = config.slow_query_ms;
   cfg.zone = config.name;
+  return cfg;
+}
+
+ingest::AssemblerConfig make_assembler_config(const ZoneConfig& config,
+                                              const Scenario& scenario) {
+  ingest::AssemblerConfig cfg;
+  cfg.num_links = scenario.deployment().num_links();
+  cfg.dedup_window = static_cast<std::size_t>(config.ingest.dedup_window);
+  cfg.max_pending_rounds = static_cast<std::size_t>(config.ingest.max_pending_rounds);
   return cfg;
 }
 
@@ -75,13 +85,39 @@ Zone::Zone(ZoneConfig config, JobQueue* jobs)
       scenario_(Scenario::paper_room(config_.seed)),
       system_(scenario_.deployment(), make_system_config(config_)),
       rng_(config_.seed ^ 0x5a11ull),
-      tracer_(make_tracer_config(config_), &system_.telemetry()) {
+      tracer_(make_tracer_config(config_), &system_.telemetry()),
+      assembler_(make_assembler_config(config_, scenario_)) {
   TAFLOC_CHECK_ARG(!config_.name.empty(), "zone needs a name");
+  // Millisecond knobs get cast to unsigned nanoseconds / compared as
+  // thresholds below; a negative or non-finite value would wrap into a
+  // huge deadline (every request an SLO pass) instead of failing --
+  // reject it here so a programmatic ZoneConfig is held to the same
+  // contract the config parser enforces.
+  TAFLOC_CHECK_ARG(std::isfinite(config_.slo_deadline_ms) && config_.slo_deadline_ms >= 0.0,
+                   "zone '" + config_.name + "': slo_deadline_ms must be finite and >= 0");
+  TAFLOC_CHECK_ARG(config_.slo_target > 0.0 && config_.slo_target <= 1.0,
+                   "zone '" + config_.name + "': slo_target must be in (0, 1]");
+  TAFLOC_CHECK_ARG(std::isfinite(config_.slow_query_ms) && config_.slow_query_ms >= 0.0,
+                   "zone '" + config_.name + "': slow_query_ms must be finite and >= 0");
+  TAFLOC_CHECK_ARG(std::isfinite(config_.fault_slow_ms) && config_.fault_slow_ms >= 0.0,
+                   "zone '" + config_.name + "': fault_slow_ms must be finite and >= 0");
+  TAFLOC_CHECK_ARG(
+      std::isfinite(config_.ingest.motion_threshold_db) && config_.ingest.motion_threshold_db >= 0.0,
+      "zone '" + config_.name + "': motion_threshold_db must be finite and >= 0");
   slo_deadline_ns_ = static_cast<std::uint64_t>(config_.slo_deadline_ms * 1e6);
   MetricRegistry& reg = system_.telemetry();
   if (reg.enabled()) {
     request_hist_ = &reg.histogram("zone.request_seconds");
     shed_counter_ = &reg.counter("zone.shed");
+    ingest_batches_counter_ = &reg.counter("ingest.batches");
+    ingest_readings_counter_ = &reg.counter("ingest.readings");
+    ingest_dups_counter_ = &reg.counter("ingest.dups_dropped");
+    ingest_stale_counter_ = &reg.counter("ingest.stale_dropped");
+    ingest_bad_counter_ = &reg.counter("ingest.bad_readings");
+    ingest_rounds_counter_ = &reg.counter("ingest.rounds_completed");
+    ingest_expired_counter_ = &reg.counter("ingest.rounds_expired");
+    ingest_gated_counter_ = &reg.counter("ingest.gated_ambient");
+    ingest_admitted_counter_ = &reg.counter("ingest.admitted_queries");
     if (slo_deadline_ns_ > 0) {
       slo_ok_counter_ = &reg.counter("slo.ok");
       slo_violated_counter_ = &reg.counter("slo.violated");
@@ -132,7 +168,10 @@ void Zone::start() {
     const RecoveryReport report = system_.recover();
     if (report.outcome != RecoveryReport::Outcome::kUnrecoverable) {
       recovered = true;
-      clock_days_ = scheduler_->last_update_days();
+      // The recovered clock is the newest time the scheduler vouches
+      // for: the last accepted ambient observation (>= the last update;
+      // replayed *dropped* samples never moved it).
+      clock_days_ = std::max(scheduler_->last_update_days(), scheduler_->last_observation_days());
       TAFLOC_LOG_INFO << "zone '" << config_.name << "': recovered ("
                       << recovery_outcome_name(report.outcome) << ", " << report.replayed_records
                       << " records replayed)";
@@ -231,10 +270,69 @@ Zone::AmbientResult Zone::observe_ambient(std::span<const double> ambient, doubl
   AmbientResult out;
   if (!admissible()) return out;
   out.accepted = true;
-  if (t_days > clock_days_) clock_days_ = t_days;
+  // The scheduler is the authority on whether the sample carries any
+  // timing information: an out-of-order or all-NaN scan is dropped, and
+  // a dropped sample must not move the zone clock that probe() and
+  // resurvey admission read (the drop counter delta is exact -- all
+  // scheduler mutation happens on this serving thread).
+  const std::size_t dropped_before = scheduler_->dropped_observations();
   out.triggered = scheduler_->observe_ambient(ambient, t_days);
+  out.sample_accepted = scheduler_->dropped_observations() == dropped_before;
   out.staleness_db = scheduler_->estimated_staleness_db();
+  if (out.sample_accepted && t_days > clock_days_) clock_days_ = t_days;
   if (out.triggered) out.resurvey_started = request_resurvey(t_days);
+  return out;
+}
+
+Zone::IngestResult Zone::ingest_batch(const ingest::NodeBatch& batch) {
+  IngestResult out;
+  if (!admissible()) return out;
+  out.accepted = true;
+
+  // The assembler keeps lifetime totals; this request's contribution is
+  // the counter delta (exact -- all ingest runs on the serving thread).
+  const ingest::IngestCounters before = assembler_.counters();
+  const std::vector<ingest::CompletedRound> rounds = assembler_.ingest(batch);
+  const ingest::IngestCounters& after = assembler_.counters();
+  out.readings = after.readings - before.readings;
+  out.dups_dropped = after.dups_dropped - before.dups_dropped;
+  out.stale_dropped = after.stale_dropped - before.stale_dropped;
+  out.bad_readings = after.bad_readings - before.bad_readings;
+  out.rounds_completed = after.rounds_completed - before.rounds_completed;
+
+  for (const ingest::CompletedRound& round : rounds) {
+    const double motion = ingest::movement_db(round.y, scheduler_->baseline());
+    out.last_motion_db = motion;
+    if (motion < config_.ingest.motion_threshold_db) {
+      // Nobody moved: the round is an ambient sample -- the free
+      // scheduling signal.  observe_ambient handles the clock, the
+      // staleness trigger, and resurvey admission.
+      ++out.gated_ambient;
+      observe_ambient(round.y, round.t_days);
+    } else {
+      ++out.admitted_queries;
+      IngestResult::Query q;
+      q.t_days = round.t_days;
+      q.motion_db = motion;
+      q.result = localize(round.y);
+      out.queries.push_back(std::move(q));
+    }
+    // A resurvey started by the gated ambient path may have flipped the
+    // zone to kResurveying; both paths still admit, so keep draining
+    // the completed rounds.
+  }
+
+  if (ingest_batches_counter_ != nullptr) {
+    ingest_batches_counter_->add(1);
+    ingest_readings_counter_->add(out.readings);
+    ingest_dups_counter_->add(out.dups_dropped);
+    ingest_stale_counter_->add(out.stale_dropped);
+    ingest_bad_counter_->add(out.bad_readings);
+    ingest_rounds_counter_->add(out.rounds_completed);
+    ingest_expired_counter_->add(after.rounds_expired - before.rounds_expired);
+    ingest_gated_counter_->add(out.gated_ambient);
+    ingest_admitted_counter_->add(out.admitted_queries);
+  }
   return out;
 }
 

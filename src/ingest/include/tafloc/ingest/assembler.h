@@ -1,0 +1,115 @@
+// BatchAssembler -- the per-zone merge point between many cheap nodes
+// and one localization pipeline.
+//
+// Nodes flush independently, retransmit on any doubt, and arrive in
+// whatever order the transport felt like, so the assembler's job is to
+// turn that into clean, complete per-scan `Y` vectors with exact
+// accounting:
+//
+//   * dedup     -- (node id, sequence) identifies one physical
+//                  measurement; a re-seen sequence is dropped and
+//                  counted (dups_dropped), so a retransmitted batch
+//                  changes nothing downstream.
+//   * staleness -- per-node sequences older than the dedup window, and
+//                  readings for rounds that already completed or
+//                  expired, are dropped and counted (stale_dropped).
+//   * merge     -- readings sharing a t_days timestamp form one scan
+//                  round; a round completes when every deployment link
+//                  is covered.  Rounds may complete out of order: an
+//                  older round still open when a newer one finishes
+//                  keeps accumulating and is emitted late (the
+//                  scheduler's own out-of-order drop then judges its
+//                  timestamp -- exactly the PR 5 sanitization rules).
+//
+// A NaN RSS still *covers* its link (the node affirmatively reported a
+// dead read); the fault-tolerant localize/scheduler path downstream
+// decides what a NaN entry means.  The assembler is deliberately
+// transport- and telemetry-free: plain counters, no sockets, no
+// registry -- the Zone maps the counters onto its ingest.* metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "tafloc/ingest/batch.h"
+#include "tafloc/linalg/matrix.h"
+
+namespace tafloc::ingest {
+
+struct AssemblerConfig {
+  std::size_t num_links = 0;          ///< deployment link count (required).
+  std::size_t dedup_window = 1024;    ///< per-node sequences kept for exact dedup.
+  std::size_t max_pending_rounds = 64;  ///< open rounds before the oldest expires.
+};
+
+/// One fully-covered scan round, ready for gating + localization.
+struct CompletedRound {
+  double t_days = 0.0;
+  Vector y;                  ///< one entry per link (NaN = dead-link report).
+  std::size_t readings = 0;  ///< readings merged into this round.
+};
+
+/// Exact accounting; every ingested reading lands in exactly one of
+/// readings / dups_dropped / stale_dropped / bad_readings.
+struct IngestCounters {
+  std::uint64_t batches = 0;          ///< batches ingested.
+  std::uint64_t readings = 0;         ///< readings merged into rounds.
+  std::uint64_t dups_dropped = 0;     ///< (node, sequence) or link re-seen.
+  std::uint64_t stale_dropped = 0;    ///< below the dedup window / closed round.
+  std::uint64_t bad_readings = 0;     ///< link out of range / non-finite t_days.
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t rounds_expired = 0;   ///< evicted incomplete (pending cap).
+};
+
+class BatchAssembler {
+ public:
+  /// Throws std::invalid_argument when num_links, dedup_window, or
+  /// max_pending_rounds is zero.
+  explicit BatchAssembler(const AssemblerConfig& config);
+
+  /// Validate, dedup, and merge one node batch; returns the rounds it
+  /// completed, oldest first.  Never throws on hostile *content* --
+  /// bad readings are counted, not fatal (the codec already rejected
+  /// structural garbage).
+  std::vector<CompletedRound> ingest(const NodeBatch& batch);
+
+  const IngestCounters& counters() const noexcept { return counters_; }
+  const AssemblerConfig& config() const noexcept { return config_; }
+  /// Rounds currently open (incomplete link coverage).
+  std::size_t pending_rounds() const noexcept { return pending_.size(); }
+
+ private:
+  struct NodeState {
+    /// Sequences below this are too old to dedup exactly -- dropped as
+    /// stale.  Starts at 0 (nothing stale); slides up as the window
+    /// fills.
+    std::uint64_t low = 0;
+    std::set<std::uint64_t> seen;  ///< accepted sequences >= low.
+  };
+  struct PendingRound {
+    Vector y;
+    std::vector<char> have;  ///< per-link coverage (vector<bool> is a trap).
+    std::size_t filled = 0;
+    std::size_t readings = 0;
+  };
+
+  AssemblerConfig config_;
+  IngestCounters counters_;
+  std::unordered_map<std::uint32_t, NodeState> nodes_;
+  std::map<double, PendingRound> pending_;  ///< open rounds by timestamp.
+  double closed_before_ = 0.0;  ///< rounds at/below this completed or expired.
+  bool any_closed_ = false;     ///< closed_before_ is meaningful.
+};
+
+/// The symmetric-diff movement detector: mean |y[i] - baseline[i]| over
+/// the entries finite in both (0.0 when none are).  Matches the
+/// scheduler's staleness mean, so "ambient" means the same thing to the
+/// gate and to the update trigger it feeds.
+double movement_db(std::span<const double> y, std::span<const double> baseline);
+
+}  // namespace tafloc::ingest

@@ -1,0 +1,52 @@
+// NodeNetwork -- simulate the edge side of the ingest path: a fleet of
+// cheap sensor nodes that each own a slice of the deployment's links,
+// batch their readings, and flush them towards taflocd.
+//
+// Links are partitioned round-robin across the nodes (link i belongs
+// to node i % num_nodes), every node keeps its own monotonic sequence
+// counter, and one scan round shares a single t_days timestamp -- the
+// assembler's merge key.  The perturbation helper reproduces real
+// transport behaviour for torture tests and the load harness:
+// duplicated batches (retransmit on any doubt) and shuffled delivery
+// order (multi-hop reordering).  Perturbation only *repeats and
+// reorders* batches; it never invents sequences, so a perturbed stream
+// must produce bit-identical localization results to clean delivery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tafloc/ingest/batch.h"
+#include "tafloc/util/rng.h"
+
+namespace tafloc {
+
+class NodeNetwork {
+ public:
+  /// Throws std::invalid_argument when num_links or num_nodes is zero
+  /// (more nodes than links is fine -- the surplus nodes stay silent).
+  NodeNetwork(std::size_t num_links, std::size_t num_nodes);
+
+  std::size_t num_links() const noexcept { return num_links_; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Split one per-link scan `y` (size num_links) into per-node batches
+  /// stamped t_days, advancing every contributing node's sequence
+  /// counter.  Nodes with no links emit no batch.
+  std::vector<ingest::NodeBatch> emit_round(std::span<const double> y, double t_days);
+
+  /// Transport torture: duplicate each batch with probability
+  /// `dup_fraction` (appended verbatim -- same sequences, the dedup
+  /// target), then shuffle delivery order when `shuffle` is set.
+  static void perturb(std::vector<ingest::NodeBatch>& batches, double dup_fraction,
+                      bool shuffle, Rng& rng);
+
+ private:
+  std::size_t num_links_;
+  std::size_t num_nodes_;
+  std::vector<std::uint64_t> next_sequence_;  ///< per node.
+};
+
+}  // namespace tafloc

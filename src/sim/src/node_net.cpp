@@ -1,0 +1,56 @@
+#include "tafloc/sim/node_net.h"
+
+#include "tafloc/util/check.h"
+
+namespace tafloc {
+
+NodeNetwork::NodeNetwork(std::size_t num_links, std::size_t num_nodes)
+    : num_links_(num_links), num_nodes_(num_nodes), next_sequence_(num_nodes, 1) {
+  TAFLOC_CHECK_ARG(num_links > 0, "node network needs at least one link");
+  TAFLOC_CHECK_ARG(num_nodes > 0, "node network needs at least one node");
+}
+
+std::vector<ingest::NodeBatch> NodeNetwork::emit_round(std::span<const double> y,
+                                                       double t_days) {
+  TAFLOC_CHECK_ARG(y.size() == num_links_, "scan size must match the link count");
+  std::vector<ingest::NodeBatch> batches;
+  const std::size_t active = std::min(num_links_, num_nodes_);
+  batches.reserve(active);
+  for (std::size_t node = 0; node < active; ++node) {
+    ingest::NodeBatch batch;
+    batch.node_id = static_cast<std::uint32_t>(node);
+    for (std::size_t link = node; link < num_links_; link += num_nodes_) {
+      ingest::NodeReading r;
+      r.link = static_cast<std::uint32_t>(link);
+      r.rss = y[link];
+      r.sequence = next_sequence_[node]++;
+      r.t_days = t_days;
+      batch.readings.push_back(r);
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+void NodeNetwork::perturb(std::vector<ingest::NodeBatch>& batches, double dup_fraction,
+                          bool shuffle, Rng& rng) {
+  TAFLOC_CHECK_ARG(dup_fraction >= 0.0 && dup_fraction <= 1.0,
+                   "dup fraction must be in [0, 1]");
+  const std::size_t original = batches.size();
+  for (std::size_t i = 0; i < original; ++i) {
+    if (rng.bernoulli(dup_fraction)) batches.push_back(batches[i]);
+  }
+  if (shuffle && batches.size() > 1) {
+    // Fisher-Yates over the batches via the index shuffle the Rng
+    // already provides, so the draw count stays deterministic.
+    std::vector<std::size_t> order(batches.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    std::vector<ingest::NodeBatch> shuffled;
+    shuffled.reserve(batches.size());
+    for (const std::size_t idx : order) shuffled.push_back(std::move(batches[idx]));
+    batches = std::move(shuffled);
+  }
+}
+
+}  // namespace tafloc

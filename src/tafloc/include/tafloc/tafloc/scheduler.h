@@ -65,6 +65,13 @@ class UpdateScheduler {
   void notify_updated(Vector fresh_ambient, double t_days);
 
   double last_update_days() const noexcept { return updated_at_; }
+  /// Timestamp of the latest *accepted* ambient observation (equals
+  /// last_update_days() right after an update); dropped samples never
+  /// move it.
+  double last_observation_days() const noexcept { return last_observation_; }
+  /// The ambient scan taken at the last update -- the reference the
+  /// staleness mean (and the ingest movement gate) compares against.
+  const Vector& baseline() const noexcept { return baseline_; }
   const SchedulerConfig& config() const noexcept { return config_; }
   /// Live-apply new trigger thresholds (taflocd config reload); the
   /// baseline and accumulators are untouched, so the next observation

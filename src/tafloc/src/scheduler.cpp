@@ -128,23 +128,43 @@ void UpdateScheduler::save(storage::ByteWriter& out) const {
 }
 
 void UpdateScheduler::restore(storage::ByteReader& in) {
+  // Decode into locals and validate before committing anything: a
+  // payload rejected halfway through must leave this scheduler exactly
+  // as it was, not half-overwritten.
   Vector baseline = in.get_f64_vector();
   if (baseline.empty())
     throw std::runtime_error("UpdateScheduler::restore: empty baseline");
-  baseline_ = std::move(baseline);
-  updated_at_ = in.get_f64();
-  last_observation_ = in.get_f64();
-  staleness_ = in.get_f64();
-  dropped_ = static_cast<std::size_t>(in.get_u64());
-  dropped_out_of_order_ = static_cast<std::size_t>(in.get_u64());
-  dropped_nan_ = static_cast<std::size_t>(in.get_u64());
-  config_.staleness_threshold_db = in.get_f64();
-  config_.min_interval_days = in.get_f64();
-  config_.max_interval_days = in.get_f64();
-  if (!(updated_at_ >= 0.0) || !(config_.staleness_threshold_db > 0.0) ||
-      !(config_.min_interval_days >= 0.0) ||
-      !(config_.max_interval_days > config_.min_interval_days))
+  const double updated_at = in.get_f64();
+  const double last_observation = in.get_f64();
+  const double staleness = in.get_f64();
+  const std::size_t dropped = static_cast<std::size_t>(in.get_u64());
+  const std::size_t dropped_out_of_order = static_cast<std::size_t>(in.get_u64());
+  const std::size_t dropped_nan = static_cast<std::size_t>(in.get_u64());
+  SchedulerConfig config;
+  config.staleness_threshold_db = in.get_f64();
+  config.min_interval_days = in.get_f64();
+  config.max_interval_days = in.get_f64();
+  // A NaN last_observation_ would silently disable the out-of-order
+  // drop (every `t_days < last_observation_` comparison is false), so
+  // non-finite clocks are corruption, not state.  The clocks must also
+  // be mutually consistent: observations never predate the update that
+  // reset them.
+  if (!std::isfinite(updated_at) || !std::isfinite(last_observation) ||
+      !std::isfinite(staleness) || !std::isfinite(config.staleness_threshold_db) ||
+      !std::isfinite(config.min_interval_days) || !std::isfinite(config.max_interval_days))
+    throw std::runtime_error("UpdateScheduler::restore: non-finite payload values");
+  if (!(updated_at >= 0.0) || !(last_observation >= updated_at) || !(staleness >= 0.0) ||
+      !(config.staleness_threshold_db > 0.0) || !(config.min_interval_days >= 0.0) ||
+      !(config.max_interval_days > config.min_interval_days))
     throw std::runtime_error("UpdateScheduler::restore: inconsistent payload values");
+  baseline_ = std::move(baseline);
+  updated_at_ = updated_at;
+  last_observation_ = last_observation;
+  staleness_ = staleness;
+  dropped_ = dropped;
+  dropped_out_of_order_ = dropped_out_of_order;
+  dropped_nan_ = dropped_nan;
+  config_ = config;
   if (staleness_gauge_ != nullptr) staleness_gauge_->set(staleness_);
 }
 

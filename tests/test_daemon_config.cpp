@@ -99,6 +99,42 @@ TEST(DaemonConfig, RejectsBadNumbersWithLineInfo) {
   EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\ntelemetry = maybe\n"), std::runtime_error);
 }
 
+TEST(DaemonConfig, ParsesIngestKeys) {
+  const DaemonConfig config = parse(R"(
+socket = /tmp/t.sock
+[zone a]
+motion_threshold_db = 1.5
+ingest_dedup_window = 512
+ingest_max_pending_rounds = 16
+)");
+  EXPECT_EQ(config.zones[0].ingest.motion_threshold_db, 1.5);
+  EXPECT_EQ(config.zones[0].ingest.dedup_window, 512u);
+  EXPECT_EQ(config.zones[0].ingest.max_pending_rounds, 16u);
+}
+
+TEST(DaemonConfig, RejectsNegativeTimingAndSloValues) {
+  // A negative value fed through stoull wraps to a huge unsigned -- the
+  // parser must refuse it as a bad number, never accept the wrap; the
+  // float keys in the same family must refuse negatives explicitly.
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\ntrace_sample_every = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nfault_slow_every = -5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nseed = -2\n"), std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nslo_deadline_ms = -10\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nfault_slow_ms = -3\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nslow_query_ms = -3\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\nmotion_threshold_db = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\ningest_dedup_window = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("socket = /tmp/t.sock\n[zone a]\ningest_max_pending_rounds = 0\n"),
+               std::runtime_error);
+}
+
 TEST(DaemonConfig, LoadFileMissingThrows) {
   EXPECT_THROW(DaemonConfig::load_file("/nonexistent/taflocd.conf"), std::runtime_error);
 }

@@ -242,6 +242,108 @@ TEST(ZoneLifecycle, AmbientTriggerStartsResurvey) {
   EXPECT_FALSE(refused.accepted);
 }
 
+TEST(ZoneClock, DroppedAmbientSampleLeavesClockUntouched) {
+  // Regression: the zone used to advance clock_days_ for every admitted
+  // ambient request, even when the scheduler dropped the sample as
+  // out-of-order or all-NaN -- so one late packet could push the zone
+  // clock forward and silently discard every following in-order sample.
+  ZoneConfig config = zone_config("clock1", 41);
+  config.scheduler.staleness_threshold_db = 1e9;  // never trigger.
+  Zone zone(config, nullptr);
+  zone.start();
+
+  Scenario scenario = Scenario::paper_room(41);
+  Rng rng(7);
+  const Vector fresh = scenario.collector().observe_ambient(2.0, rng);
+  const Zone::AmbientResult ok = zone.observe_ambient(fresh, 2.0);
+  EXPECT_TRUE(ok.accepted);
+  EXPECT_TRUE(ok.sample_accepted);
+  EXPECT_EQ(zone.status().clock_days, 2.0);
+
+  // Out-of-order: admitted (the zone is serving) but the sample itself
+  // is dropped, and the clock must not move.
+  const Zone::AmbientResult late = zone.observe_ambient(fresh, 1.0);
+  EXPECT_TRUE(late.accepted);
+  EXPECT_FALSE(late.sample_accepted);
+  EXPECT_EQ(zone.status().clock_days, 2.0);
+
+  // All-NaN: dropped for a different reason, same clock contract.
+  const Vector dead(fresh.size(), std::nan(""));
+  const Zone::AmbientResult nan_scan = zone.observe_ambient(dead, 3.0);
+  EXPECT_TRUE(nan_scan.accepted);
+  EXPECT_FALSE(nan_scan.sample_accepted);
+  EXPECT_EQ(zone.status().clock_days, 2.0);
+
+  // An in-order successor of the dropped samples is still accepted:
+  // the dropped t=3.0 scan did not poison the scheduler's clock either.
+  const Vector next = scenario.collector().observe_ambient(2.5, rng);
+  const Zone::AmbientResult after = zone.observe_ambient(next, 2.5);
+  EXPECT_TRUE(after.sample_accepted);
+  EXPECT_EQ(zone.status().clock_days, 2.5);
+  zone.drain();
+}
+
+TEST(ZoneClock, RecoveryRestoresClockFromReplayedObservations) {
+  // The WAL logs every ambient sample (dropped ones included); replay
+  // must reproduce the exact clock -- including that dropped samples
+  // never advanced it.
+  TempDir dir("clockwal");
+  ZoneConfig config = zone_config("clock2", 42);
+  config.state_dir = dir.str();
+  config.scheduler.staleness_threshold_db = 1e9;
+
+  Scenario scenario = Scenario::paper_room(42);
+  Rng rng(7);
+  const Vector fresh = scenario.collector().observe_ambient(2.0, rng);
+  {
+    Zone zone(config, nullptr);
+    zone.start();
+    EXPECT_TRUE(zone.observe_ambient(fresh, 2.0).sample_accepted);
+    EXPECT_FALSE(zone.observe_ambient(fresh, 1.0).sample_accepted);  // dropped.
+    EXPECT_EQ(zone.status().clock_days, 2.0);
+    // No drain: the snapshot predates both observations, recovery has
+    // to get the clock from the WAL replay.
+  }
+
+  Zone restarted(config, nullptr);
+  restarted.start();
+  EXPECT_EQ(restarted.status().clock_days, 2.0);
+  // The replayed scheduler still holds last_observation = 2.0: an
+  // out-of-order sample keeps being dropped, an in-order one lands.
+  EXPECT_FALSE(restarted.observe_ambient(fresh, 1.5).sample_accepted);
+  EXPECT_EQ(restarted.status().clock_days, 2.0);
+  EXPECT_TRUE(restarted.observe_ambient(fresh, 2.5).sample_accepted);
+  EXPECT_EQ(restarted.status().clock_days, 2.5);
+  restarted.drain();
+}
+
+TEST(ZoneConfigValidation, NonFiniteOrNegativeTimingConfigIsRefused) {
+  // Regression: a negative slo_deadline_ms survived into the nanosecond
+  // conversion and wrapped to a huge uint64 deadline (every query an
+  // instant SLO pass); the zone must refuse the config up front.
+  const auto with = [](auto mutate) {
+    ZoneConfig config;
+    config.name = "bad";
+    config.seed = 43;
+    mutate(config);
+    return config;
+  };
+  EXPECT_THROW(Zone(with([](ZoneConfig& c) { c.slo_deadline_ms = -5.0; }), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(Zone(with([](ZoneConfig& c) { c.slo_deadline_ms = std::nan(""); }), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(Zone(with([](ZoneConfig& c) { c.slo_target = 0.0; }), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(Zone(with([](ZoneConfig& c) { c.slo_target = 1.5; }), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(Zone(with([](ZoneConfig& c) { c.slow_query_ms = -1.0; }), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(Zone(with([](ZoneConfig& c) { c.fault_slow_ms = -1.0; }), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(Zone(with([](ZoneConfig& c) { c.ingest.motion_threshold_db = -1.0; }), nullptr),
+               std::invalid_argument);
+}
+
 TEST(ZoneLifecycle, TransitionsLandInZoneTelemetry) {
   Zone zone(zone_config("theta", 18), nullptr);
   zone.start();

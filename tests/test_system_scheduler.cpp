@@ -168,6 +168,75 @@ TEST(UpdateScheduler, RestoreRejectsMalformedPayload) {
   EXPECT_THROW(victim.restore(r), std::runtime_error);
 }
 
+/// A hand-built restore payload in save()'s exact field order, with the
+/// clock / config fields chosen by the test.
+std::string scheduler_payload(double updated_at, double last_observation, double staleness,
+                              double threshold = 3.0, double min_interval = 1.0,
+                              double max_interval = 45.0) {
+  storage::ByteWriter w;
+  w.put_f64_span(std::vector<double>{-30.0, -31.0});
+  w.put_f64(updated_at);
+  w.put_f64(last_observation);
+  w.put_f64(staleness);
+  w.put_u64(0);  // dropped
+  w.put_u64(0);  // dropped_out_of_order
+  w.put_u64(0);  // dropped_nan
+  w.put_f64(threshold);
+  w.put_f64(min_interval);
+  w.put_f64(max_interval);
+  return w.take();
+}
+
+TEST(UpdateScheduler, RestoreRejectsNonFiniteFields) {
+  // A NaN last_observation_ silently disables the out-of-order drop
+  // (every `t_days < last_observation_` is false), so corruption in any
+  // clock field must be a hard restore error, not accepted state.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string payloads[] = {
+      scheduler_payload(nan, 5.0, 0.0),         // NaN updated_at
+      scheduler_payload(2.0, nan, 0.0),         // NaN last_observation
+      scheduler_payload(2.0, 5.0, nan),         // NaN staleness
+      scheduler_payload(2.0, 5.0, 0.0, inf),    // inf threshold
+      scheduler_payload(2.0, 5.0, 0.0, 3.0, nan),  // NaN min interval
+      scheduler_payload(2.0, 5.0, 0.0, 3.0, 1.0, inf),  // inf max interval
+  };
+  for (const std::string& bytes : payloads) {
+    UpdateScheduler victim(Vector{-40.0}, 1.0);
+    const UpdateScheduler untouched(Vector{-40.0}, 1.0);
+    storage::ByteReader r(bytes);
+    EXPECT_THROW(victim.restore(r), std::runtime_error);
+    // A rejected payload must leave the scheduler bitwise as it was.
+    EXPECT_TRUE(victim == untouched);
+  }
+}
+
+TEST(UpdateScheduler, RestoreRejectsInconsistentClocks) {
+  const std::string payloads[] = {
+      scheduler_payload(5.0, 2.0, 0.0),   // observation predates the update
+      scheduler_payload(-1.0, 2.0, 0.0),  // negative update time
+      scheduler_payload(2.0, 5.0, -0.5),  // negative staleness
+      scheduler_payload(2.0, 5.0, 0.0, 0.0),            // threshold not positive
+      scheduler_payload(2.0, 5.0, 0.0, 3.0, -1.0),      // negative min interval
+      scheduler_payload(2.0, 5.0, 0.0, 3.0, 5.0, 5.0),  // max == min
+  };
+  for (const std::string& bytes : payloads) {
+    UpdateScheduler victim(Vector{-40.0}, 1.0);
+    const UpdateScheduler untouched(Vector{-40.0}, 1.0);
+    storage::ByteReader r(bytes);
+    EXPECT_THROW(victim.restore(r), std::runtime_error);
+    EXPECT_TRUE(victim == untouched);
+  }
+  // The boundary case last_observation_ == updated_at_ is the state
+  // notify_updated() itself produces; it must restore fine.
+  UpdateScheduler ok(Vector{-40.0}, 1.0);
+  const std::string boundary = scheduler_payload(5.0, 5.0, 0.0);
+  storage::ByteReader r(boundary);
+  ok.restore(r);
+  EXPECT_DOUBLE_EQ(ok.last_update_days(), 5.0);
+  EXPECT_DOUBLE_EQ(ok.last_observation_days(), 5.0);
+}
+
 TEST(UpdateScheduler, AdaptiveBehaviourOnSimulatedDrift) {
   // On the simulated room the ambient drifts with the power law; the
   // scheduler should stay quiet early and trigger once mean drift

@@ -234,8 +234,9 @@ int main(int argc, char** argv) {
       if (maybe_error(frame)) return 1;
       const AmbientResponse res = AmbientResponse::decode(frame);
       if (res.status == WireStatus::kOk) {
-        std::printf("accepted=%d triggered=%d staleness_db=%.3f\n", res.accepted ? 1 : 0,
-                    res.triggered ? 1 : 0, res.staleness_db);
+        std::printf("accepted=%d sample_accepted=%d triggered=%d staleness_db=%.3f\n",
+                    res.accepted ? 1 : 0, res.sample_accepted ? 1 : 0, res.triggered ? 1 : 0,
+                    res.staleness_db);
       }
       return report(res.status, res.message);
     }
